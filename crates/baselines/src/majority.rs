@@ -1,0 +1,66 @@
+//! Majority vote — the simple conflict-resolution strategy of Section 2.
+
+use slimfast_data::{FusionInput, FusionMethod, FusionOutput, TruthAssignment};
+
+/// Predicts, for each object, the value claimed by the largest number of sources (ties are
+/// broken toward the value observed first, which keeps the method deterministic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVote;
+
+impl FusionMethod for MajorityVote {
+    fn name(&self) -> &str {
+        "MajorityVote"
+    }
+
+    fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
+        let dataset = input.dataset;
+        let mut assignment = TruthAssignment::empty(dataset.num_objects());
+        for o in dataset.object_ids() {
+            let domain = dataset.domain(o);
+            if domain.is_empty() {
+                continue;
+            }
+            let observations = dataset.observations_for_object(o);
+            let mut counts = vec![0usize; domain.len()];
+            for &(_, v) in observations {
+                if let Some(idx) = domain.iter().position(|&d| d == v) {
+                    counts[idx] += 1;
+                }
+            }
+            let best = counts
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let confidence = counts[best] as f64 / observations.len().max(1) as f64;
+            assignment.assign(o, domain[best], confidence);
+        }
+        FusionOutput::new(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimfast_data::{DatasetBuilder, FeatureMatrix, GroundTruth};
+
+    #[test]
+    fn majority_wins_and_ties_break_to_the_first_seen_value() {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "x").unwrap();
+        b.observe("s1", "o0", "x").unwrap();
+        b.observe("s2", "o0", "y").unwrap();
+        // o1 is a tie between "y" (first seen) and "x".
+        b.observe("s0", "o1", "y").unwrap();
+        b.observe("s1", "o1", "x").unwrap();
+        let d = b.build();
+        let f = FeatureMatrix::empty(d.num_sources());
+        let truth = GroundTruth::empty(d.num_objects());
+        let out = MajorityVote.fuse(&FusionInput::new(&d, &f, &truth));
+        assert_eq!(out.assignment.get(d.object_id("o0").unwrap()), d.value_id("x"));
+        assert_eq!(out.assignment.get(d.object_id("o1").unwrap()), d.value_id("y"));
+        assert!((out.assignment.confidence(d.object_id("o0").unwrap()) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(out.source_accuracies.is_none());
+    }
+}

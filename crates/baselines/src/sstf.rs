@@ -1,0 +1,186 @@
+//! SSTF — semi-supervised truth finding (Yin & Tan, WWW 2011).
+//!
+//! SSTF propagates trust over the bipartite source/claim graph while *clamping* the claims
+//! whose truth is known from ground truth: labelled true claims keep confidence 1, labelled
+//! false claims keep confidence 0, and the propagation (source trust ← average claim
+//! confidence, claim confidence ← dampened aggregate of supporting sources' trust) pulls
+//! the unlabelled claims toward values consistent with the labelled ones. This captures the
+//! semi-supervised graph-learning character of the original method with the same
+//! fixed-point structure used by our TruthFinder implementation; SSTF does not report
+//! probabilistic source accuracies (matching the paper's "Omitted Comparison" note).
+
+use slimfast_data::{FusionInput, FusionMethod, FusionOutput, TruthAssignment};
+
+/// The SSTF baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Sstf {
+    /// Initial source trust.
+    pub initial_trust: f64,
+    /// Dampening factor of the claim-confidence aggregation.
+    pub dampening: f64,
+    /// Maximum number of propagation rounds.
+    pub max_iterations: usize,
+    /// Convergence tolerance on source trust.
+    pub tolerance: f64,
+}
+
+impl Default for Sstf {
+    fn default() -> Self {
+        Self { initial_trust: 0.7, dampening: 0.3, max_iterations: 25, tolerance: 1e-4 }
+    }
+}
+
+impl FusionMethod for Sstf {
+    fn name(&self) -> &str {
+        "SSTF"
+    }
+
+    fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
+        let dataset = input.dataset;
+        let truth = input.train_truth;
+
+        // Claim lattice: confidence per (object, domain value); labelled claims are clamped.
+        let mut confidence: Vec<Vec<f64>> = dataset
+            .object_ids()
+            .map(|o| vec![0.5; dataset.domain(o).len()])
+            .collect();
+        let clamped: Vec<Option<usize>> = dataset
+            .object_ids()
+            .map(|o| {
+                truth
+                    .get(o)
+                    .and_then(|label| dataset.domain(o).iter().position(|&d| d == label))
+            })
+            .collect();
+        let clamp = |confidence: &mut Vec<Vec<f64>>| {
+            for (o_idx, label) in clamped.iter().enumerate() {
+                if let Some(idx) = label {
+                    for (value_idx, c) in confidence[o_idx].iter_mut().enumerate() {
+                        *c = if value_idx == *idx { 1.0 } else { 0.0 };
+                    }
+                }
+            }
+        };
+        clamp(&mut confidence);
+
+        let mut trust = vec![self.initial_trust; dataset.num_sources()];
+        for _ in 0..self.max_iterations {
+            // Source trust from the confidence of supported claims.
+            let mut new_trust = vec![self.initial_trust; dataset.num_sources()];
+            let mut max_delta = 0.0f64;
+            for s in dataset.source_ids() {
+                let observations = dataset.observations_by_source(s);
+                if observations.is_empty() {
+                    continue;
+                }
+                let mut sum = 0.0;
+                for &(o, v) in observations {
+                    if let Some(idx) = dataset.domain(o).iter().position(|&d| d == v) {
+                        sum += confidence[o.index()][idx];
+                    }
+                }
+                new_trust[s.index()] = (sum / observations.len() as f64).clamp(0.01, 0.99);
+                max_delta = max_delta.max((new_trust[s.index()] - trust[s.index()]).abs());
+            }
+            trust = new_trust;
+
+            // Claim confidence from supporting sources' trust (labelled claims re-clamped).
+            for o in dataset.object_ids() {
+                let domain = dataset.domain(o);
+                if domain.is_empty() {
+                    continue;
+                }
+                let mut scores = vec![0.0f64; domain.len()];
+                for &(s, v) in dataset.observations_for_object(o) {
+                    if let Some(idx) = domain.iter().position(|&d| d == v) {
+                        let t = trust[s.index()].clamp(1e-6, 1.0 - 1e-6);
+                        scores[idx] += -(1.0 - t).ln();
+                    }
+                }
+                for (idx, score) in scores.iter().enumerate() {
+                    confidence[o.index()][idx] = 1.0 / (1.0 + (-self.dampening * score).exp());
+                }
+            }
+            clamp(&mut confidence);
+
+            if max_delta < self.tolerance {
+                break;
+            }
+        }
+
+        let mut assignment = TruthAssignment::empty(dataset.num_objects());
+        for o in dataset.object_ids() {
+            let domain = dataset.domain(o);
+            let confidences = &confidence[o.index()];
+            if domain.is_empty() || confidences.is_empty() {
+                continue;
+            }
+            let best = confidences
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            assignment.assign(o, domain[best], confidences[best]);
+        }
+        FusionOutput::new(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimfast_data::{FeatureMatrix, GroundTruth, SplitPlan};
+    use slimfast_datagen::{AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig};
+
+    fn instance(seed: u64) -> slimfast_datagen::SyntheticInstance {
+        SyntheticConfig {
+            name: "sstf".into(),
+            num_sources: 60,
+            num_objects: 250,
+            domain_size: 2,
+            pattern: ObservationPattern::PerObjectExact(8),
+            accuracy: AccuracyModel { mean: 0.65, spread: 0.15 },
+            features: FeatureModel::default(),
+            copying: None,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn labels_are_clamped_and_propagation_helps_held_out_objects() {
+        let inst = instance(1);
+        let split = SplitPlan::new(0.2, 1).draw(&inst.truth, 0).unwrap();
+        let train = split.train_truth(&inst.truth);
+        let f = FeatureMatrix::empty(inst.dataset.num_sources());
+        let out = Sstf::default().fuse(&FusionInput::new(&inst.dataset, &f, &train));
+        for &o in &split.train {
+            assert_eq!(out.assignment.get(o), inst.truth.get(o), "labelled claim not clamped");
+        }
+        let accuracy = out.assignment.accuracy_against(&inst.truth, &split.test);
+        assert!(accuracy > 0.7, "SSTF held-out accuracy {accuracy:.3}");
+        assert!(out.source_accuracies.is_none());
+    }
+
+    #[test]
+    fn supervision_does_not_hurt_compared_to_no_labels() {
+        let inst = instance(2);
+        let split = SplitPlan::new(0.3, 2).draw(&inst.truth, 0).unwrap();
+        let train = split.train_truth(&inst.truth);
+        let f = FeatureMatrix::empty(inst.dataset.num_sources());
+        let supervised = Sstf::default()
+            .fuse(&FusionInput::new(&inst.dataset, &f, &train))
+            .assignment
+            .accuracy_against(&inst.truth, &split.test);
+        let empty = GroundTruth::empty(inst.dataset.num_objects());
+        let unsupervised = Sstf::default()
+            .fuse(&FusionInput::new(&inst.dataset, &f, &empty))
+            .assignment
+            .accuracy_against(&inst.truth, &split.test);
+        assert!(
+            supervised + 0.03 >= unsupervised,
+            "supervision should not hurt: {supervised:.3} vs {unsupervised:.3}"
+        );
+    }
+}

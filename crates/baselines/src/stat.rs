@@ -1,0 +1,102 @@
+//! Small statistical helpers (normal and chi-squared quantiles) used by CATD's
+//! confidence-interval weights.
+
+/// Quantile (inverse CDF) of the standard normal distribution, via the Acklam rational
+/// approximation (relative error below 1.15e-9 over the open unit interval).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal quantile requires p in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Quantile of the chi-squared distribution with `df` degrees of freedom via the
+/// Wilson–Hilferty cube approximation, accurate enough for CATD's weighting purposes.
+pub fn chi_squared_quantile(p: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    let z = normal_quantile(p);
+    let term = 1.0 - 2.0 / (9.0 * df) + z * (2.0 / (9.0 * df)).sqrt();
+    (df * term * term * term).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_matches_reference_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.8413447) - 1.0).abs() < 1e-4);
+        assert!((normal_quantile(0.001) + 3.0902).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chi_squared_quantile_matches_reference_values() {
+        // Reference values from standard chi-squared tables.
+        assert!((chi_squared_quantile(0.95, 1.0) - 3.841).abs() < 0.12);
+        assert!((chi_squared_quantile(0.95, 10.0) - 18.307).abs() < 0.15);
+        assert!((chi_squared_quantile(0.05, 10.0) - 3.940).abs() < 0.15);
+        assert!((chi_squared_quantile(0.975, 100.0) - 129.561).abs() < 0.5);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..20 {
+            let q = normal_quantile(i as f64 / 20.0);
+            assert!(q > prev);
+            prev = q;
+        }
+        assert!(chi_squared_quantile(0.9, 5.0) > chi_squared_quantile(0.1, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0, 1)")]
+    fn out_of_range_probability_panics() {
+        normal_quantile(1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md: regularization
+//! (L1 vs L2 with many uninformative features), domain features vs source-only models, and
+//! closed-form inference vs Gibbs sampling on the factor-graph substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use slimfast_core::compile::compile;
+use slimfast_core::erm::train_erm;
+use slimfast_core::{SlimFast, SlimFastConfig};
+use slimfast_data::{FeatureMatrix, FusionInput, FusionMethod, SplitPlan};
+use slimfast_datagen::{AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig};
+use slimfast_graph::GibbsConfig;
+use slimfast_optim::Penalty;
+
+fn noisy_feature_instance() -> slimfast_datagen::SyntheticInstance {
+    // Few predictive features drowned in noise features: the regime where Theorem 2's
+    // L1 refinement matters.
+    SyntheticConfig {
+        name: "ablation".into(),
+        num_sources: 120,
+        num_objects: 300,
+        domain_size: 2,
+        pattern: ObservationPattern::Bernoulli(0.06),
+        accuracy: AccuracyModel { mean: 0.68, spread: 0.05 },
+        features: FeatureModel { num_predictive: 2, num_noise: 20, predictive_strength: 0.35 },
+        copying: None,
+        seed: 5,
+    }
+    .generate()
+}
+
+fn regularization(c: &mut Criterion) {
+    let instance = noisy_feature_instance();
+    let split = SplitPlan::new(0.1, 1).draw(&instance.truth, 0).unwrap();
+    let train = split.train_truth(&instance.truth);
+
+    let mut group = c.benchmark_group("ablation_regularization");
+    group.sample_size(10);
+    for (label, penalty) in [
+        ("l2", Penalty::L2(1e-4)),
+        ("l1", Penalty::L1(1e-3)),
+        ("none", Penalty::None),
+    ] {
+        let config = SlimFastConfig { erm_epochs: 40, penalty, ..Default::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| train_erm(&instance.dataset, &instance.features, &train, &config));
+        });
+    }
+    group.finish();
+}
+
+fn features_vs_sources_only(c: &mut Criterion) {
+    let instance = noisy_feature_instance();
+    let split = SplitPlan::new(0.1, 1).draw(&instance.truth, 0).unwrap();
+    let train = split.train_truth(&instance.truth);
+    let empty = FeatureMatrix::empty(instance.dataset.num_sources());
+    let config = SlimFastConfig { erm_epochs: 40, ..Default::default() };
+
+    let mut group = c.benchmark_group("ablation_features");
+    group.sample_size(10);
+    group.bench_function("with_domain_features", |b| {
+        let input = FusionInput::new(&instance.dataset, &instance.features, &train);
+        let method = SlimFast::erm(config.clone());
+        b.iter(|| method.fuse(&input));
+    });
+    group.bench_function("sources_only", |b| {
+        let input = FusionInput::new(&instance.dataset, &empty, &train);
+        let method = SlimFast::erm(config.clone());
+        b.iter(|| method.fuse(&input));
+    });
+    group.finish();
+}
+
+fn inference_paths(c: &mut Criterion) {
+    let instance = noisy_feature_instance();
+    let split = SplitPlan::new(0.2, 1).draw(&instance.truth, 0).unwrap();
+    let train = split.train_truth(&instance.truth);
+    let config = SlimFastConfig { erm_epochs: 40, ..Default::default() };
+    let input = FusionInput::new(&instance.dataset, &instance.features, &train);
+    let (model, _) = SlimFast::erm(config).train(&input);
+    let mut compiled = compile(&instance.dataset, &instance.features, &train);
+    compiled.load_model(&model);
+
+    let mut group = c.benchmark_group("ablation_inference_path");
+    group.sample_size(10);
+    group.bench_function("closed_form_softmax", |b| {
+        b.iter(|| model.predict(&instance.dataset, &instance.features));
+    });
+    group.bench_function("gibbs_sampling", |b| {
+        let gibbs = GibbsConfig { burn_in: 20, samples: 100, chains: 1, seed: 1 };
+        b.iter(|| compiled.infer(&instance.dataset, &gibbs));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regularization, features_vs_sources_only, inference_paths);
+criterion_main!(benches);

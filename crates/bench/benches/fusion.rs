@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks: end-to-end fusion cost of every method on a mid-sized
+//! synthetic instance, plus the cost of SLiMFast's inference step alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use slimfast_core::{SlimFast, SlimFastConfig};
+use slimfast_data::{FeatureMatrix, FusionInput, FusionMethod, SplitPlan};
+use slimfast_datagen::{AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig};
+use slimfast_eval::standard_lineup;
+
+fn bench_instance() -> slimfast_datagen::SyntheticInstance {
+    SyntheticConfig {
+        name: "bench".into(),
+        num_sources: 100,
+        num_objects: 400,
+        domain_size: 2,
+        pattern: ObservationPattern::Bernoulli(0.08),
+        accuracy: AccuracyModel { mean: 0.7, spread: 0.15 },
+        features: FeatureModel { num_predictive: 3, num_noise: 3, predictive_strength: 0.2 },
+        copying: None,
+        seed: 1,
+    }
+    .generate()
+}
+
+fn fusion_methods(c: &mut Criterion) {
+    let instance = bench_instance();
+    let split = SplitPlan::new(0.1, 1).draw(&instance.truth, 0).unwrap();
+    let train = split.train_truth(&instance.truth);
+    let empty_features = FeatureMatrix::empty(instance.dataset.num_sources());
+    let config = SlimFastConfig { erm_epochs: 30, ..Default::default() };
+
+    let mut group = c.benchmark_group("fusion_methods");
+    group.sample_size(10);
+    for entry in standard_lineup(&config) {
+        let features = if entry.use_features { &instance.features } else { &empty_features };
+        let input = FusionInput::new(&instance.dataset, features, &train);
+        group.bench_function(entry.name().to_string(), |b| {
+            b.iter(|| entry.method.fuse(&input));
+        });
+    }
+    group.finish();
+}
+
+fn inference_only(c: &mut Criterion) {
+    let instance = bench_instance();
+    let split = SplitPlan::new(0.2, 1).draw(&instance.truth, 0).unwrap();
+    let train = split.train_truth(&instance.truth);
+    let config = SlimFastConfig { erm_epochs: 30, ..Default::default() };
+    let input = FusionInput::new(&instance.dataset, &instance.features, &train);
+    let (model, _) = SlimFast::erm(config).train(&input);
+
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(20);
+    group.bench_function("slimfast_map_prediction", |b| {
+        b.iter(|| model.predict(&instance.dataset, &instance.features));
+    });
+    group.bench_function("slimfast_source_accuracies", |b| {
+        b.iter(|| model.source_accuracies(&instance.dataset, &instance.features));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fusion_methods, inference_only);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Table 2: accuracy for predicting the true object values, for all methods, datasets, and
+//! training-data fractions (Panel A), plus the average relative difference between
+//! SLiMFast and every other method (Panel B).
+
+use slimfast_bench::{all_datasets, protocol_for, scale_from_env, slimfast_config_for, HARNESS_SEED};
+use slimfast_eval::runner::{run_grid, MethodSummary};
+use slimfast_eval::tables::{best_method_per_fraction, format_accuracy_table};
+use slimfast_eval::standard_lineup;
+
+fn main() {
+    let scale = scale_from_env();
+    let protocol = protocol_for(scale);
+    let config = slimfast_config_for(scale);
+    println!(
+        "Table 2 (scale: {scale:?}, {} repetitions per cell)\n",
+        protocol.repetitions
+    );
+
+    let mut per_dataset: Vec<(String, Vec<MethodSummary>)> = Vec::new();
+    for instance in all_datasets(HARNESS_SEED) {
+        eprintln!("[table2] running {} ...", instance.name);
+        let lineup = standard_lineup(&config);
+        let summaries = run_grid(&instance, &lineup, &protocol);
+        println!("{}", format_accuracy_table(&instance.name, &summaries));
+        for (fraction, best) in best_method_per_fraction(&summaries) {
+            println!("  best @ {:>5.1}% training: {best}", fraction * 100.0);
+        }
+        println!();
+        per_dataset.push((instance.name.clone(), summaries));
+    }
+
+    // Panel B: average accuracy across datasets per training fraction, and the relative
+    // difference of every method against SLiMFast.
+    println!("Panel B: relative difference (%) between SLiMFast and other methods, averaged across datasets");
+    let method_names: Vec<String> =
+        per_dataset[0].1.iter().map(|s| s.method.clone()).collect();
+    let num_fractions = protocol.train_fractions.len();
+    print!("{:>8}", "TD(%)");
+    for name in &method_names {
+        print!("{name:>14}");
+    }
+    println!();
+    for row in 0..num_fractions {
+        let fraction = protocol.train_fractions[row] * 100.0;
+        // Average accuracy of each method across datasets at this fraction.
+        let avg: Vec<f64> = method_names
+            .iter()
+            .enumerate()
+            .map(|(m, _)| {
+                per_dataset
+                    .iter()
+                    .map(|(_, summaries)| summaries[m].cells[row].object_accuracy)
+                    .sum::<f64>()
+                    / per_dataset.len() as f64
+            })
+            .collect();
+        let slimfast = avg[0];
+        print!("{fraction:>8.1}");
+        for (m, value) in avg.iter().enumerate() {
+            if m == 0 {
+                print!("{value:>14.3}");
+            } else {
+                let diff = (value - slimfast) / slimfast * 100.0;
+                print!("{:>13.2}%", diff);
+            }
+        }
+        println!();
+    }
+    println!("\n(negative percentages mean the method trails SLiMFast, as in the paper)");
+}

@@ -1,0 +1,27 @@
+//! Table 5: wall-clock runtimes (seconds) of every data-fusion method on every dataset,
+//! per training fraction. Absolute numbers depend on the machine; the orderings —
+//! non-iterative generative methods fastest, EM-based discriminative learning slowest —
+//! are the reproducible part.
+
+use slimfast_bench::{all_datasets, protocol_for, scale_from_env, slimfast_config_for, HARNESS_SEED};
+use slimfast_eval::runner::run_grid;
+use slimfast_eval::standard_lineup;
+use slimfast_eval::tables::format_runtime_table;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut protocol = protocol_for(scale);
+    // Runtime measurement does not need repetition averaging at quick scale.
+    if protocol.repetitions > 2 {
+        protocol.repetitions = 2;
+    }
+    let config = slimfast_config_for(scale);
+    println!("Table 5 (scale: {scale:?}): wall-clock runtime in seconds, learning + inference\n");
+    for instance in all_datasets(HARNESS_SEED) {
+        eprintln!("[table5] running {} ...", instance.name);
+        let lineup = standard_lineup(&config);
+        let summaries = run_grid(&instance, &lineup, &protocol);
+        println!("{}", format_runtime_table(&instance.name, &summaries));
+        println!();
+    }
+}

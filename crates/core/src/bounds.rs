@@ -1,0 +1,120 @@
+//! The theoretical guarantees of Section 4.2 as computable quantities.
+//!
+//! These functions return the *rates* of Theorems 1–3 (up to the constants hidden in the
+//! `O(·)` notation), so callers can reason about how much ground truth a target error
+//! requires, compare regimes (Figure 5), and sanity-check empirical behaviour. They are
+//! also exercised by integration tests asserting the qualitative claims of the paper:
+//! ERM's error shrinks with `|G|` and grows with `|K|`; EM's error shrinks with the number
+//! of sources, the density, and the accuracy margin `δ`.
+
+/// Theorem 1/2 — ERM generalization and accuracy-estimation rate:
+/// `√(|K| / |G|) · log|G|`. Returns infinity when no ground truth is available.
+pub fn erm_rate(num_features: usize, num_labeled: usize) -> f64 {
+    if num_labeled == 0 {
+        return f64::INFINITY;
+    }
+    let k = num_features.max(1) as f64;
+    let g = num_labeled as f64;
+    (k / g).sqrt() * g.ln().max(1.0)
+}
+
+/// The sparse refinement of Theorem 2 under `L1` regularization:
+/// `√(k_active · log|K| / |G|) · log|G|`, which depends on the number of *predictive*
+/// features `k_active` rather than the total number of features.
+pub fn erm_rate_sparse(num_features: usize, num_active: usize, num_labeled: usize) -> f64 {
+    if num_labeled == 0 {
+        return f64::INFINITY;
+    }
+    let k = num_active.max(1) as f64;
+    let total = (num_features.max(2) as f64).ln();
+    let g = num_labeled as f64;
+    (k * total / g).sqrt() * g.ln().max(1.0)
+}
+
+/// Theorem 3 — the unsupervised (EM) rate on the average KL divergence of the estimated
+/// source accuracies:
+/// `log|O| / (|S|·δ) + √(|K| / (|O|·|S|·p)) · log²(|O|·|S|) / δ`.
+///
+/// `delta` is the accuracy margin (`A*_s ∈ [0.5 + δ/2, 1 − δ/2]`), `density` is the
+/// probability `p` that a source observes an object.
+pub fn em_rate(
+    num_features: usize,
+    num_sources: usize,
+    num_objects: usize,
+    density: f64,
+    delta: f64,
+) -> f64 {
+    if num_sources == 0 || num_objects == 0 || density <= 0.0 || delta <= 0.0 {
+        return f64::INFINITY;
+    }
+    let k = num_features.max(1) as f64;
+    let s = num_sources as f64;
+    let o = num_objects as f64;
+    let log_so = (o * s).ln().max(1.0);
+    o.ln().max(1.0) / (s * delta) + (k / (o * s * density)).sqrt() * log_so * log_so / delta
+}
+
+/// The number of labelled objects needed for [`erm_rate`] to fall below `target`.
+/// Returns `None` if no achievable `|G|` up to `max_labeled` reaches the target.
+pub fn labels_needed_for_erm(num_features: usize, target: f64, max_labeled: usize) -> Option<usize> {
+    (1..=max_labeled).find(|&g| erm_rate(num_features, g) <= target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erm_rate_decreases_with_labels_and_increases_with_features() {
+        assert!(erm_rate(10, 100) > erm_rate(10, 10_000));
+        assert!(erm_rate(100, 100) > erm_rate(10, 100));
+        assert!(erm_rate(10, 0).is_infinite());
+    }
+
+    #[test]
+    fn sparse_rate_beats_dense_rate_when_few_features_are_active() {
+        // 1000 features of which only 5 matter: the L1 rate is far better.
+        assert!(erm_rate_sparse(1000, 5, 200) < erm_rate(1000, 200));
+        // When every feature is active the sparse bound is no better (up to log factors).
+        assert!(erm_rate_sparse(10, 10, 200) >= erm_rate(10, 200) * 0.5);
+        assert!(erm_rate_sparse(10, 5, 0).is_infinite());
+    }
+
+    #[test]
+    fn em_rate_improves_with_density_accuracy_and_scale() {
+        let base = em_rate(10, 1000, 1000, 0.01, 0.2);
+        assert!(em_rate(10, 1000, 1000, 0.02, 0.2) < base, "denser instances help EM");
+        assert!(em_rate(10, 1000, 1000, 0.01, 0.4) < base, "more accurate sources help EM");
+        assert!(em_rate(10, 2000, 1000, 0.01, 0.2) < base, "more sources help EM");
+        assert!(em_rate(40, 1000, 1000, 0.01, 0.2) > base, "more features hurt EM");
+        assert!(em_rate(10, 0, 1000, 0.01, 0.2).is_infinite());
+        assert!(em_rate(10, 1000, 1000, 0.0, 0.2).is_infinite());
+    }
+
+    #[test]
+    fn labels_needed_is_monotone_in_the_target() {
+        let strict = labels_needed_for_erm(7, 0.5, 1_000_000).unwrap();
+        let loose = labels_needed_for_erm(7, 2.0, 1_000_000).unwrap();
+        assert!(strict > loose);
+        assert!(labels_needed_for_erm(7, 1e-9, 100).is_none());
+        // The found |G| indeed achieves the target.
+        assert!(erm_rate(7, strict) <= 0.5);
+        assert!(erm_rate(7, strict.saturating_sub(1).max(1)) > 0.5 || strict == 1);
+    }
+
+    #[test]
+    fn tradeoff_matches_figure5_corners() {
+        // ERM's rate is governed by the amount of ground truth only.
+        let erm_many_labels = erm_rate(8, 5000);
+        let erm_few_labels = erm_rate(8, 5);
+        assert!(erm_many_labels < erm_few_labels);
+        // EM's rate is governed by density and accuracy: the dense/accurate corner of
+        // Figure 5 is far better than the sparse/inaccurate corner.
+        let em_dense_accurate = em_rate(8, 1000, 1000, 0.02, 0.5);
+        let em_sparse_inaccurate = em_rate(8, 1000, 1000, 0.005, 0.1);
+        assert!(em_dense_accurate < em_sparse_inaccurate);
+        // With abundant labels ERM's rate beats even the favourable EM corner (the
+        // "ERM" row of Figure 5).
+        assert!(erm_many_labels < em_dense_accurate);
+    }
+}

@@ -1,0 +1,139 @@
+//! Configuration of the SLiMFast learner.
+
+use slimfast_optim::{LearningRate, Penalty, SgdConfig};
+
+/// Which learning algorithm estimates the model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LearnerChoice {
+    /// Let SLiMFast's optimizer (Section 4.3) decide between ERM and EM.
+    #[default]
+    Auto,
+    /// Always use empirical risk minimization on the labelled objects.
+    Erm,
+    /// Always use expectation maximization over all objects (semi-supervised when labels
+    /// are present).
+    Em,
+}
+
+/// Configuration of EM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmConfig {
+    /// Maximum number of E/M iterations.
+    pub max_iterations: usize,
+    /// SGD epochs per M-step.
+    pub m_step_epochs: usize,
+    /// Convergence tolerance on the maximum absolute weight change between iterations.
+    pub tolerance: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self { max_iterations: 25, m_step_epochs: 10, tolerance: 1e-3 }
+    }
+}
+
+/// Full configuration of a SLiMFast run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlimFastConfig {
+    /// Learning-algorithm selection policy.
+    pub learner: LearnerChoice,
+    /// SGD epochs used by the ERM learner.
+    pub erm_epochs: usize,
+    /// Regularization applied to all weights (sources and features).
+    pub penalty: Penalty,
+    /// Step-size schedule.
+    pub learning_rate: LearningRate,
+    /// EM-specific settings.
+    pub em: EmConfig,
+    /// Threshold `τ` of Algorithm 2: when `√(|K|/|G|)·log|G|` falls below it, ERM is chosen
+    /// without further analysis.
+    pub optimizer_threshold: f64,
+    /// Seed for all stochastic components (SGD shuffles, EM initialisation).
+    pub seed: u64,
+}
+
+impl Default for SlimFastConfig {
+    fn default() -> Self {
+        Self {
+            learner: LearnerChoice::Auto,
+            erm_epochs: 80,
+            penalty: Penalty::L2(1e-4),
+            learning_rate: LearningRate::InvSqrt(0.5),
+            em: EmConfig::default(),
+            optimizer_threshold: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+impl SlimFastConfig {
+    /// The SGD configuration used by the ERM learner.
+    pub fn erm_sgd(&self) -> SgdConfig {
+        SgdConfig {
+            epochs: self.erm_epochs,
+            learning_rate: self.learning_rate,
+            penalty: self.penalty,
+            seed: self.seed,
+            ..SgdConfig::default()
+        }
+    }
+
+    /// The SGD configuration used by one EM M-step.
+    pub fn m_step_sgd(&self) -> SgdConfig {
+        SgdConfig {
+            epochs: self.em.m_step_epochs,
+            learning_rate: self.learning_rate,
+            penalty: self.penalty,
+            seed: self.seed,
+            ..SgdConfig::default()
+        }
+    }
+
+    /// Returns a copy that always runs ERM.
+    pub fn with_erm(mut self) -> Self {
+        self.learner = LearnerChoice::Erm;
+        self
+    }
+
+    /// Returns a copy that always runs EM.
+    pub fn with_em(mut self) -> Self {
+        self.learner = LearnerChoice::Em;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let config = SlimFastConfig::default();
+        assert_eq!(config.learner, LearnerChoice::Auto);
+        assert!(config.erm_epochs > 0);
+        assert!(config.em.max_iterations > 0);
+        assert!(config.optimizer_threshold > 0.0);
+    }
+
+    #[test]
+    fn sgd_configs_reflect_the_settings() {
+        let config = SlimFastConfig { erm_epochs: 7, seed: 11, ..Default::default() };
+        assert_eq!(config.erm_sgd().epochs, 7);
+        assert_eq!(config.erm_sgd().seed, 11);
+        assert_eq!(config.m_step_sgd().epochs, config.em.m_step_epochs);
+    }
+
+    #[test]
+    fn builder_style_overrides_work() {
+        let config = SlimFastConfig::default().with_erm().with_seed(5);
+        assert_eq!(config.learner, LearnerChoice::Erm);
+        assert_eq!(config.seed, 5);
+        assert_eq!(SlimFastConfig::default().with_em().learner, LearnerChoice::Em);
+    }
+}

@@ -1,0 +1,237 @@
+//! Expectation maximization: the (semi-)unsupervised learner of SLiMFast.
+//!
+//! When ground truth is scarce, SLiMFast maximizes the likelihood of the source
+//! observations themselves by alternating (Section 3.2):
+//!
+//! * **E-step** — with the current weights, compute the posterior of every unlabelled
+//!   object's value (labelled objects stay clamped to their ground-truth value, making the
+//!   procedure semi-supervised exactly as the paper describes);
+//! * **M-step** — refit the weights by SGD against those posteriors (soft targets), warm
+//!   starting from the previous iterate.
+//!
+//! The objective is non-convex; Theorem 3 bounds the error of the resulting accuracy
+//! estimates in terms of the source accuracies (`δ`) and the observation density (`p`).
+
+use slimfast_optim::{ConditionalExample, ConditionalLogit, Target};
+
+use slimfast_data::{Dataset, FeatureMatrix, GroundTruth};
+
+use crate::config::SlimFastConfig;
+use crate::erm::{object_example, train_erm};
+use crate::model::{ParameterSpace, SlimFastModel};
+
+/// Diagnostics of an EM run.
+#[derive(Debug, Clone)]
+pub struct EmTrace {
+    /// Number of E/M iterations executed.
+    pub iterations: usize,
+    /// Maximum absolute weight change at each iteration.
+    pub weight_deltas: Vec<f64>,
+    /// Whether the tolerance criterion fired before the iteration cap.
+    pub converged: bool,
+}
+
+/// Trains a SLiMFast model with (semi-supervised) EM and returns the model together with
+/// its convergence trace.
+pub fn train_em_traced(
+    dataset: &Dataset,
+    features: &FeatureMatrix,
+    truth: &GroundTruth,
+    config: &SlimFastConfig,
+) -> (SlimFastModel, EmTrace) {
+    let space = ParameterSpace::new(dataset, features);
+
+    // Symmetry breaking. The all-zero weight vector is a stationary point of the EM
+    // objective (uniform posteriors produce zero M-step gradients) and the objective has a
+    // label-flipped mirror optimum. Like the paper, we lean on the assumption that sources
+    // are better than random (A*_s ≥ 0.5 + δ/2): every source starts from a shared positive
+    // trust score derived from the agreement-based accuracy estimate, which turns the first
+    // E-step into a weighted majority vote on the correct branch.
+    let prior_accuracy = crate::optimizer::estimate_average_accuracy(dataset)
+        .unwrap_or(0.7)
+        .clamp(0.55, 0.9);
+    let prior_weight = (prior_accuracy / (1.0 - prior_accuracy)).ln();
+
+    // Initialisation: if any labels exist, an ERM fit on them is both what the paper's
+    // semi-supervised setup does (labels become evidence) and a much better starting point
+    // than zeros for the non-convex objective. Sources the ERM fit never saw keep the
+    // positive prior.
+    let mut model = if truth.is_empty() {
+        let mut weights = vec![0.0; space.len()];
+        weights[..space.num_sources].fill(prior_weight);
+        SlimFastModel::new(space, weights)
+    } else {
+        let mut fitted = train_erm(dataset, features, truth, config);
+        for s in 0..space.num_sources {
+            if fitted.weights()[s] == 0.0 {
+                fitted.weights_mut()[s] = prior_weight;
+            }
+        }
+        fitted
+    };
+
+    // Pre-build the per-object class structure once; only the targets change per iteration.
+    let mut objects = Vec::new();
+    for o in dataset.object_ids() {
+        if let Some(classes) = object_example(dataset, features, &space, o) {
+            let label = truth
+                .get(o)
+                .and_then(|v| dataset.domain(o).iter().position(|&d| d == v));
+            objects.push((o, classes, label));
+        }
+    }
+
+    let mut deltas = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    for iteration in 0..config.em.max_iterations {
+        iterations = iteration + 1;
+        // --- E-step: posterior targets for every object. -----------------------------
+        let examples: Vec<ConditionalExample> = objects
+            .iter()
+            .map(|(o, classes, label)| {
+                let target = match label {
+                    Some(idx) => Target::Hard(*idx),
+                    None => Target::Soft(model.posterior(dataset, features, *o)),
+                };
+                ConditionalExample { classes: classes.clone(), target, weight: 1.0 }
+            })
+            .collect();
+
+        // --- M-step: weighted refit, warm-started from the current weights. ----------
+        let mut sgd = config.m_step_sgd();
+        // Vary the shuffle order across iterations while staying deterministic overall.
+        sgd.seed = config.seed.wrapping_add(iteration as u64);
+        let fit =
+            ConditionalLogit::fit_warm(&examples, space.len(), &sgd, Some(model.weights().to_vec()));
+        let delta = fit
+            .weights()
+            .iter()
+            .zip(model.weights())
+            .map(|(new, old)| (new - old).abs())
+            .fold(0.0f64, f64::max);
+        deltas.push(delta);
+        model = SlimFastModel::new(space, fit.weights().to_vec());
+        if delta < config.em.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    (model, EmTrace { iterations, weight_deltas: deltas, converged })
+}
+
+/// Trains a SLiMFast model with EM, discarding the trace.
+pub fn train_em(
+    dataset: &Dataset,
+    features: &FeatureMatrix,
+    truth: &GroundTruth,
+    config: &SlimFastConfig,
+) -> SlimFastModel {
+    train_em_traced(dataset, features, truth, config).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimfast_data::{SourceId, SplitPlan};
+    use slimfast_datagen::{
+        AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig, SyntheticInstance,
+    };
+
+    fn instance(mean_accuracy: f64, density: f64, seed: u64) -> SyntheticInstance {
+        SyntheticConfig {
+            name: "em-test".into(),
+            num_sources: 80,
+            num_objects: 300,
+            domain_size: 2,
+            pattern: ObservationPattern::Bernoulli(density),
+            accuracy: AccuracyModel { mean: mean_accuracy, spread: 0.15 },
+            features: FeatureModel { num_predictive: 3, num_noise: 2, predictive_strength: 0.2 },
+            copying: None,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn unsupervised_em_beats_the_zero_model_when_sources_are_accurate() {
+        let inst = instance(0.75, 0.2, 1);
+        let empty = GroundTruth::empty(inst.dataset.num_objects());
+        let config = SlimFastConfig::default();
+        let (model, trace) = train_em_traced(&inst.dataset, &inst.features, &empty, &config);
+        assert!(trace.iterations >= 1);
+        let all_objects: Vec<_> = inst.dataset.object_ids().collect();
+        let em_acc = model
+            .predict(&inst.dataset, &inst.features)
+            .accuracy_against(&inst.truth, &all_objects);
+        let zero_acc = SlimFastModel::zeros(model.space())
+            .predict(&inst.dataset, &inst.features)
+            .accuracy_against(&inst.truth, &all_objects);
+        assert!(
+            em_acc > zero_acc + 0.05,
+            "EM ({em_acc:.3}) should beat the uninformed model ({zero_acc:.3})"
+        );
+        assert!(em_acc > 0.8, "EM accuracy too low: {em_acc:.3}");
+    }
+
+    #[test]
+    fn em_source_accuracies_track_planted_accuracies_without_labels() {
+        let inst = instance(0.75, 0.25, 2);
+        let empty = GroundTruth::empty(inst.dataset.num_objects());
+        let model = train_em(&inst.dataset, &inst.features, &empty, &SlimFastConfig::default());
+        let mut err = 0.0;
+        for (s, &true_acc) in inst.true_accuracies.iter().enumerate() {
+            err += (model.source_accuracy(SourceId::new(s), &inst.features) - true_acc).abs();
+        }
+        let mean_err = err / inst.true_accuracies.len() as f64;
+        assert!(mean_err < 0.2, "mean source-accuracy error {mean_err:.3}");
+    }
+
+    #[test]
+    fn semi_supervised_em_uses_labels_as_evidence() {
+        let inst = instance(0.62, 0.08, 3);
+        let split = SplitPlan::new(0.1, 5).draw(&inst.truth, 0).unwrap();
+        let train = split.train_truth(&inst.truth);
+        let config = SlimFastConfig::default();
+        let semi = train_em(&inst.dataset, &inst.features, &train, &config);
+        let unsup =
+            train_em(&inst.dataset, &inst.features, &GroundTruth::empty(inst.dataset.num_objects()), &config);
+        let semi_acc = semi
+            .predict(&inst.dataset, &inst.features)
+            .accuracy_against(&inst.truth, &split.test);
+        let unsup_acc = unsup
+            .predict(&inst.dataset, &inst.features)
+            .accuracy_against(&inst.truth, &split.test);
+        // Labels can only help (allowing a small tolerance for SGD noise).
+        assert!(
+            semi_acc + 0.03 >= unsup_acc,
+            "semi-supervised EM ({semi_acc:.3}) should not trail unsupervised EM ({unsup_acc:.3})"
+        );
+    }
+
+    #[test]
+    fn em_converges_and_reports_a_trace() {
+        let inst = instance(0.7, 0.15, 4);
+        let empty = GroundTruth::empty(inst.dataset.num_objects());
+        let config = SlimFastConfig { em: crate::config::EmConfig { max_iterations: 40, ..Default::default() }, ..Default::default() };
+        let (_, trace) = train_em_traced(&inst.dataset, &inst.features, &empty, &config);
+        assert_eq!(trace.weight_deltas.len(), trace.iterations);
+        // Weight changes should shrink over the run.
+        if trace.iterations >= 3 {
+            let first = trace.weight_deltas[0];
+            let last = *trace.weight_deltas.last().unwrap();
+            assert!(last <= first, "EM deltas should not grow: {:?}", trace.weight_deltas);
+        }
+    }
+
+    #[test]
+    fn em_is_deterministic_given_a_seed() {
+        let inst = instance(0.7, 0.1, 5);
+        let empty = GroundTruth::empty(inst.dataset.num_objects());
+        let config = SlimFastConfig::default().with_seed(21);
+        let a = train_em(&inst.dataset, &inst.features, &empty, &config);
+        let b = train_em(&inst.dataset, &inst.features, &empty, &config);
+        assert_eq!(a.weights(), b.weights());
+    }
+}

@@ -1,0 +1,65 @@
+//! # slimfast-core
+//!
+//! The SLiMFast data-fusion framework (Joglekar et al., SIGMOD 2017): data fusion expressed
+//! as statistical learning over a *discriminative* probabilistic model.
+//!
+//! ## The model
+//!
+//! For every object `o` the posterior over its candidate values `d ∈ D_o` is a logistic
+//! regression over the sources' claims (Equations 1–4 of the paper):
+//!
+//! ```text
+//! P(T_o = d | Ω; w) ∝ exp( Σ_{(o,s) ∈ Ω} (w_s + Σ_k w_k f_{s,k}) · 1[v_{o,s} = d] )
+//! A_s = logistic(w_s + Σ_k w_k f_{s,k})          (the source-accuracy model, Eq. 3)
+//! ```
+//!
+//! [`model::SlimFastModel`] holds the parameter vector (one weight per source plus one per
+//! domain feature) and answers both queries: the posterior over object values and the
+//! estimated accuracy of every source.
+//!
+//! ## Learning
+//!
+//! * [`erm`] — empirical risk minimization on the labelled objects (convex, SGD); used when
+//!   ground truth is plentiful (Theorems 1–2 bound its error by `O(√(|K|/|G|) log|G|)`).
+//! * [`em`] — expectation maximization when ground truth is scarce: alternates a posterior
+//!   E-step over unlabelled objects with a weighted M-step (Theorem 3 bounds its error in
+//!   terms of the source accuracies and the observation density).
+//! * [`optimizer`] — SLiMFast's optimizer (Section 4.3, Algorithms 1–2): decides between
+//!   ERM and EM by comparing information units, estimating the average source accuracy
+//!   from the pairwise agreement matrix via rank-one matrix completion.
+//!
+//! The top-level entry point is [`slimfast::SlimFast`], which implements
+//! [`slimfast_data::FusionMethod`] and wires compilation, the optimizer, learning, and
+//! inference together exactly as Figure 3 of the paper describes.
+//!
+//! ## Extensions
+//!
+//! * [`copying`] — pairwise copier detection and copy features (Appendix D, Figure 8).
+//! * [`explain`] — lasso-path feature-importance analysis (Section 5.3.1, Figures 6 & 9).
+//! * [`source_init`] — source-quality initialization for unseen sources (Section 5.3.2,
+//!   Figure 7).
+//! * [`bounds`] — the theoretical error bounds of Section 4.2 as computable quantities.
+//! * [`compile`] — compilation of the model onto the factor-graph substrate
+//!   (`slimfast-graph`), mirroring the paper's DeepDive deployment; used to separate
+//!   compilation from learning-and-inference time (Table 6) and as a cross-check of the
+//!   closed-form inference path.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bounds;
+pub mod compile;
+pub mod config;
+pub mod copying;
+pub mod em;
+pub mod erm;
+pub mod explain;
+pub mod model;
+pub mod optimizer;
+pub mod slimfast;
+pub mod source_init;
+
+pub use config::{LearnerChoice, SlimFastConfig};
+pub use model::{ParameterSpace, SlimFastModel};
+pub use optimizer::{OptimizerDecision, OptimizerReport};
+pub use slimfast::SlimFast;

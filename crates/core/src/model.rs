@@ -1,0 +1,340 @@
+//! The SLiMFast parameter space and model: posterior over object values (Eq. 4) and the
+//! source-accuracy model (Eq. 3).
+
+use slimfast_optim::{sigmoid, softmax_in_place, SparseVec};
+
+use slimfast_data::{
+    Dataset, FeatureMatrix, ObjectId, SourceAccuracies, SourceId, TruthAssignment, ValueId,
+};
+
+/// Layout of SLiMFast's parameter vector: one source-indicator weight `w_s` per source
+/// followed by one weight `w_k` per domain feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParameterSpace {
+    /// Number of sources `|S|`.
+    pub num_sources: usize,
+    /// Number of domain features `|K|`.
+    pub num_features: usize,
+}
+
+impl ParameterSpace {
+    /// Derives the parameter space from a fusion instance.
+    pub fn new(dataset: &Dataset, features: &FeatureMatrix) -> Self {
+        Self { num_sources: dataset.num_sources(), num_features: features.num_features() }
+    }
+
+    /// Total number of parameters.
+    pub fn len(&self) -> usize {
+        self.num_sources + self.num_features
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of a source-indicator weight.
+    pub fn source_param(&self, s: SourceId) -> usize {
+        s.index()
+    }
+
+    /// Index of a feature weight.
+    pub fn feature_param(&self, k: slimfast_data::FeatureId) -> usize {
+        self.num_sources + k.index()
+    }
+
+    /// The sparse parameter footprint of one observation by source `s`: the source
+    /// indicator plus the source's feature values. This is the per-claim contribution
+    /// `w_s + Σ_k w_k f_{s,k}` of Equation 4, expressed as a vector so the same structure
+    /// serves learning (gradient features) and inference (score accumulation).
+    pub fn claim_vector(&self, s: SourceId, features: &FeatureMatrix) -> SparseVec {
+        let mut v = SparseVec::new();
+        v.add(self.source_param(s), 1.0);
+        for (k, value) in features.features_of(s) {
+            v.add(self.feature_param(*k), *value);
+        }
+        v
+    }
+}
+
+/// A fitted SLiMFast model: the parameter space plus the learned weight vector.
+#[derive(Debug, Clone)]
+pub struct SlimFastModel {
+    space: ParameterSpace,
+    weights: Vec<f64>,
+}
+
+impl SlimFastModel {
+    /// Wraps a weight vector (padded or truncated to the parameter-space length).
+    pub fn new(space: ParameterSpace, mut weights: Vec<f64>) -> Self {
+        weights.resize(space.len(), 0.0);
+        Self { space, weights }
+    }
+
+    /// A model with all weights at zero (every source accuracy starts at 0.5).
+    pub fn zeros(space: ParameterSpace) -> Self {
+        Self::new(space, vec![0.0; space.len()])
+    }
+
+    /// The parameter space of the model.
+    pub fn space(&self) -> ParameterSpace {
+        self.space
+    }
+
+    /// The raw weight vector (sources first, then features).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mutable access to the weight vector (used by EM's M-step warm starts).
+    pub fn weights_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.weights
+    }
+
+    /// The trustworthiness score `σ_s = w_s + Σ_k w_k f_{s,k}` of a source (Eq. 2/3).
+    pub fn trust_score(&self, s: SourceId, features: &FeatureMatrix) -> f64 {
+        self.weights[self.space.source_param(s)] + features.dot(s, self.feature_weights())
+    }
+
+    /// The estimated accuracy `A_s = logistic(σ_s)` of a source (Eq. 3).
+    pub fn source_accuracy(&self, s: SourceId, features: &FeatureMatrix) -> f64 {
+        sigmoid(self.trust_score(s, features))
+    }
+
+    /// Estimated accuracies of all sources.
+    pub fn source_accuracies(&self, dataset: &Dataset, features: &FeatureMatrix) -> SourceAccuracies {
+        SourceAccuracies::new(
+            dataset.source_ids().map(|s| self.source_accuracy(s, features)).collect(),
+        )
+    }
+
+    /// The slice of feature weights `⟨w_k⟩`, indexed by [`slimfast_data::FeatureId`].
+    pub fn feature_weights(&self) -> &[f64] {
+        &self.weights[self.space.num_sources..]
+    }
+
+    /// The slice of source-indicator weights `⟨w_s⟩`, indexed by [`SourceId`].
+    pub fn source_weights(&self) -> &[f64] {
+        &self.weights[..self.space.num_sources]
+    }
+
+    /// Predicted accuracy of a source described only by its features (no per-source
+    /// indicator), as used for source-quality initialization of unseen sources.
+    pub fn accuracy_from_features(&self, feature_values: &[(slimfast_data::FeatureId, f64)]) -> f64 {
+        let score: f64 = feature_values
+            .iter()
+            .map(|(k, v)| self.feature_weights().get(k.index()).copied().unwrap_or(0.0) * v)
+            .sum();
+        sigmoid(score)
+    }
+
+    /// The posterior `P(T_o = d | Ω; w)` over the candidate values `D_o` of object `o`
+    /// (Eq. 4), in the order of [`Dataset::domain`].
+    pub fn posterior(&self, dataset: &Dataset, features: &FeatureMatrix, o: ObjectId) -> Vec<f64> {
+        let domain = dataset.domain(o);
+        if domain.is_empty() {
+            return Vec::new();
+        }
+        let mut scores = vec![0.0f64; domain.len()];
+        for &(s, value) in dataset.observations_for_object(o) {
+            if let Some(idx) = domain.iter().position(|&d| d == value) {
+                scores[idx] += self.trust_score(s, features);
+            }
+        }
+        softmax_in_place(&mut scores);
+        scores
+    }
+
+    /// MAP value of one object with its posterior probability; `None` for objects without
+    /// observations.
+    pub fn map_value(
+        &self,
+        dataset: &Dataset,
+        features: &FeatureMatrix,
+        o: ObjectId,
+    ) -> Option<(ValueId, f64)> {
+        let domain = dataset.domain(o);
+        if domain.is_empty() {
+            return None;
+        }
+        let posterior = self.posterior(dataset, features, o);
+        let (best, prob) = posterior
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        Some((domain[best], *prob))
+    }
+
+    /// MAP assignment over all objects.
+    pub fn predict(&self, dataset: &Dataset, features: &FeatureMatrix) -> TruthAssignment {
+        let mut assignment = TruthAssignment::empty(dataset.num_objects());
+        for o in dataset.object_ids() {
+            if let Some((value, prob)) = self.map_value(dataset, features, o) {
+                assignment.assign(o, value, prob);
+            }
+        }
+        assignment
+    }
+
+    /// Average negative log-likelihood of a labelled set of objects under the model (the
+    /// empirical risk the ERM learner minimizes).
+    pub fn mean_log_loss(
+        &self,
+        dataset: &Dataset,
+        features: &FeatureMatrix,
+        truth: &slimfast_data::GroundTruth,
+    ) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (o, v) in truth.labeled() {
+            let domain = dataset.domain(o);
+            let Some(idx) = domain.iter().position(|&d| d == v) else { continue };
+            let posterior = self.posterior(dataset, features, o);
+            total += -posterior[idx].clamp(1e-12, 1.0).ln();
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimfast_data::{DatasetBuilder, FeatureMatrixBuilder, GroundTruth};
+
+    fn instance() -> (Dataset, FeatureMatrix) {
+        let mut b = DatasetBuilder::new();
+        b.observe("good", "o0", "true").unwrap();
+        b.observe("bad", "o0", "false").unwrap();
+        b.observe("good", "o1", "false").unwrap();
+        b.observe("bad", "o1", "false").unwrap();
+        let d = b.build();
+        let mut fb = FeatureMatrixBuilder::new();
+        fb.set_flag(d.source_id("good").unwrap(), "Cited=High");
+        fb.set_flag(d.source_id("bad").unwrap(), "Cited=Low");
+        let f = fb.build(d.num_sources());
+        (d, f)
+    }
+
+    #[test]
+    fn parameter_space_layout_is_sources_then_features() {
+        let (d, f) = instance();
+        let space = ParameterSpace::new(&d, &f);
+        assert_eq!(space.len(), 4);
+        assert!(!space.is_empty());
+        assert_eq!(space.source_param(d.source_id("bad").unwrap()), 1);
+        let cited_high = f.feature_id("Cited=High").unwrap();
+        assert_eq!(space.feature_param(cited_high), 2);
+    }
+
+    #[test]
+    fn claim_vector_contains_indicator_and_features() {
+        let (d, f) = instance();
+        let space = ParameterSpace::new(&d, &f);
+        let good = d.source_id("good").unwrap();
+        let v = space.claim_vector(good, &f);
+        assert_eq!(v.nnz(), 2);
+        let dense: Vec<(usize, f64)> = v.iter().collect();
+        assert!(dense.contains(&(space.source_param(good), 1.0)));
+    }
+
+    #[test]
+    fn zero_model_gives_uniform_posteriors_and_half_accuracies() {
+        let (d, f) = instance();
+        let space = ParameterSpace::new(&d, &f);
+        let model = SlimFastModel::zeros(space);
+        let o0 = d.object_id("o0").unwrap();
+        let posterior = model.posterior(&d, &f, o0);
+        assert_eq!(posterior.len(), 2);
+        assert!((posterior[0] - 0.5).abs() < 1e-12);
+        for s in d.source_ids() {
+            assert!((model.source_accuracy(s, &f) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trusted_source_dominates_the_posterior() {
+        let (d, f) = instance();
+        let space = ParameterSpace::new(&d, &f);
+        let good = d.source_id("good").unwrap();
+        let bad = d.source_id("bad").unwrap();
+        let mut weights = vec![0.0; space.len()];
+        weights[space.source_param(good)] = 2.0;
+        weights[space.source_param(bad)] = -1.0;
+        let model = SlimFastModel::new(space, weights);
+        assert!(model.source_accuracy(good, &f) > 0.8);
+        assert!(model.source_accuracy(bad, &f) < 0.3);
+
+        let o0 = d.object_id("o0").unwrap();
+        let (value, prob) = model.map_value(&d, &f, o0).unwrap();
+        assert_eq!(value, d.value_id("true").unwrap());
+        assert!(prob > 0.5);
+
+        // On o1 both sources agree, so the single candidate value wins with certainty.
+        let o1 = d.object_id("o1").unwrap();
+        let (value, prob) = model.map_value(&d, &f, o1).unwrap();
+        assert_eq!(value, d.value_id("false").unwrap());
+        assert!((prob - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_weights_shift_accuracy_of_all_carrying_sources() {
+        let (d, f) = instance();
+        let space = ParameterSpace::new(&d, &f);
+        let mut weights = vec![0.0; space.len()];
+        weights[space.feature_param(f.feature_id("Cited=High").unwrap())] = 1.5;
+        let model = SlimFastModel::new(space, weights);
+        let good = d.source_id("good").unwrap();
+        let bad = d.source_id("bad").unwrap();
+        assert!(model.source_accuracy(good, &f) > 0.8);
+        assert!((model.source_accuracy(bad, &f) - 0.5).abs() < 1e-9);
+        // Accuracy from features alone matches, since the source indicator is zero.
+        let acc = model.accuracy_from_features(&[(f.feature_id("Cited=High").unwrap(), 1.0)]);
+        assert!((acc - model.source_accuracy(good, &f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_covers_all_observed_objects() {
+        let (d, f) = instance();
+        let model = SlimFastModel::zeros(ParameterSpace::new(&d, &f));
+        let assignment = model.predict(&d, &f);
+        assert_eq!(assignment.num_assigned(), 2);
+    }
+
+    #[test]
+    fn log_loss_decreases_when_weights_match_truth() {
+        let (d, f) = instance();
+        let space = ParameterSpace::new(&d, &f);
+        let truth = GroundTruth::from_pairs(
+            d.num_objects(),
+            [
+                (d.object_id("o0").unwrap(), d.value_id("true").unwrap()),
+                (d.object_id("o1").unwrap(), d.value_id("false").unwrap()),
+            ],
+        );
+        let zero = SlimFastModel::zeros(space);
+        let mut weights = vec![0.0; space.len()];
+        weights[space.source_param(d.source_id("good").unwrap())] = 2.0;
+        let good_model = SlimFastModel::new(space, weights);
+        assert!(
+            good_model.mean_log_loss(&d, &f, &truth) < zero.mean_log_loss(&d, &f, &truth),
+            "trusting the accurate source should reduce the empirical risk"
+        );
+    }
+
+    #[test]
+    fn posterior_of_unobserved_object_is_empty() {
+        let mut b = DatasetBuilder::new();
+        b.observe("s", "o0", "x").unwrap();
+        b.reserve_objects(2);
+        let d = b.build();
+        let f = FeatureMatrix::empty(d.num_sources());
+        let model = SlimFastModel::zeros(ParameterSpace::new(&d, &f));
+        assert!(model.posterior(&d, &f, ObjectId::new(1)).is_empty());
+        assert!(model.map_value(&d, &f, ObjectId::new(1)).is_none());
+    }
+}

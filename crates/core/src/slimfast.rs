@@ -1,0 +1,209 @@
+//! The top-level SLiMFast fusion method: compilation → optimizer → learning → inference
+//! (Figure 3 of the paper), packaged behind [`slimfast_data::FusionMethod`].
+
+use slimfast_data::{FusionInput, FusionMethod, FusionOutput};
+
+use crate::config::{LearnerChoice, SlimFastConfig};
+use crate::em::train_em;
+use crate::erm::train_erm;
+use crate::model::SlimFastModel;
+use crate::optimizer::{decide, OptimizerDecision, OptimizerReport};
+
+/// The SLiMFast data-fusion method.
+///
+/// Three presets cover the variants evaluated in the paper:
+///
+/// * [`SlimFast::new`] — domain features plus the optimizer choosing ERM or EM
+///   (the "SLiMFast" rows of Tables 2–4);
+/// * [`SlimFast::erm`] / [`SlimFast::em`] — force one learning algorithm
+///   ("SLiMFast-ERM" / "SLiMFast-EM");
+/// * feeding an empty [`slimfast_data::FeatureMatrix`] reproduces "Sources-ERM" /
+///   "Sources-EM", the feature-free discriminative baselines.
+#[derive(Debug, Clone, Default)]
+pub struct SlimFast {
+    config: SlimFastConfig,
+    name: String,
+}
+
+impl SlimFast {
+    /// SLiMFast with the optimizer enabled (automatic ERM/EM selection).
+    pub fn new(config: SlimFastConfig) -> Self {
+        let name = match config.learner {
+            LearnerChoice::Auto => "SLiMFast",
+            LearnerChoice::Erm => "SLiMFast-ERM",
+            LearnerChoice::Em => "SLiMFast-EM",
+        };
+        Self { config, name: name.to_string() }
+    }
+
+    /// SLiMFast that always learns with ERM.
+    pub fn erm(config: SlimFastConfig) -> Self {
+        Self::new(config.with_erm())
+    }
+
+    /// SLiMFast that always learns with EM.
+    pub fn em(config: SlimFastConfig) -> Self {
+        Self::new(config.with_em())
+    }
+
+    /// Overrides the display name (used by the harness for the "Sources-ERM"/"Sources-EM"
+    /// rows, which are the same model run without features).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &SlimFastConfig {
+        &self.config
+    }
+
+    /// Runs the optimizer only (no learning), returning its report.
+    pub fn plan(&self, input: &FusionInput<'_>) -> OptimizerReport {
+        decide(input.dataset, input.features, input.train_truth, &self.config)
+    }
+
+    /// Trains a model on the given input, resolving `Auto` through the optimizer, and
+    /// returns the fitted model together with the algorithm that was used.
+    pub fn train(&self, input: &FusionInput<'_>) -> (SlimFastModel, OptimizerDecision) {
+        let decision = match self.config.learner {
+            LearnerChoice::Erm => OptimizerDecision::Erm,
+            LearnerChoice::Em => OptimizerDecision::Em,
+            LearnerChoice::Auto => self.plan(input).decision,
+        };
+        let model = match decision {
+            OptimizerDecision::Erm => {
+                train_erm(input.dataset, input.features, input.train_truth, &self.config)
+            }
+            OptimizerDecision::Em => {
+                train_em(input.dataset, input.features, input.train_truth, &self.config)
+            }
+        };
+        (model, decision)
+    }
+}
+
+impl FusionMethod for SlimFast {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
+        let (model, _) = self.train(input);
+        let assignment = model.predict(input.dataset, input.features);
+        let accuracies = model.source_accuracies(input.dataset, input.features);
+        FusionOutput::with_accuracies(assignment, accuracies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimfast_data::{FeatureMatrix, GroundTruth, SplitPlan};
+    use slimfast_datagen::{AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig};
+
+    fn instance(seed: u64) -> slimfast_datagen::SyntheticInstance {
+        SyntheticConfig {
+            name: "slimfast-test".into(),
+            num_sources: 80,
+            num_objects: 300,
+            domain_size: 2,
+            pattern: ObservationPattern::Bernoulli(0.1),
+            accuracy: AccuracyModel { mean: 0.7, spread: 0.15 },
+            features: FeatureModel { num_predictive: 3, num_noise: 3, predictive_strength: 0.25 },
+            copying: None,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn names_reflect_the_learner_choice() {
+        assert_eq!(SlimFast::new(SlimFastConfig::default()).name(), "SLiMFast");
+        assert_eq!(SlimFast::erm(SlimFastConfig::default()).name(), "SLiMFast-ERM");
+        assert_eq!(SlimFast::em(SlimFastConfig::default()).name(), "SLiMFast-EM");
+        assert_eq!(
+            SlimFast::erm(SlimFastConfig::default()).with_name("Sources-ERM").name(),
+            "Sources-ERM"
+        );
+    }
+
+    #[test]
+    fn fuse_produces_assignments_and_accuracies() {
+        let inst = instance(1);
+        let split = SplitPlan::new(0.2, 3).draw(&inst.truth, 0).unwrap();
+        let train = split.train_truth(&inst.truth);
+        let input = FusionInput::new(&inst.dataset, &inst.features, &train);
+        let output = SlimFast::new(SlimFastConfig::default()).fuse(&input);
+        assert_eq!(output.assignment.num_assigned(), inst.dataset.num_objects());
+        let accuracies = output.source_accuracies.expect("SLiMFast reports source accuracies");
+        assert_eq!(accuracies.len(), inst.dataset.num_sources());
+        let accuracy = output.assignment.accuracy_against(&inst.truth, &split.test);
+        assert!(accuracy > 0.75, "held-out accuracy {accuracy:.3}");
+    }
+
+    #[test]
+    fn features_help_on_feature_driven_instances() {
+        // Make features the dominant accuracy signal and observations sparse, the regime
+        // the paper attributes the Genomics gains to.
+        let inst = SyntheticConfig {
+            name: "feature-driven".into(),
+            num_sources: 300,
+            num_objects: 250,
+            domain_size: 2,
+            pattern: ObservationPattern::PerObjectRange { min: 2, max: 5 },
+            accuracy: AccuracyModel { mean: 0.65, spread: 0.02 },
+            features: FeatureModel { num_predictive: 4, num_noise: 2, predictive_strength: 0.5 },
+            copying: None,
+            seed: 5,
+        }
+        .generate();
+        let split = SplitPlan::new(0.2, 7).draw(&inst.truth, 0).unwrap();
+        let train = split.train_truth(&inst.truth);
+        let no_features = FeatureMatrix::empty(inst.dataset.num_sources());
+
+        let config = SlimFastConfig::default();
+        let with = SlimFast::erm(config.clone())
+            .fuse(&FusionInput::new(&inst.dataset, &inst.features, &train))
+            .assignment
+            .accuracy_against(&inst.truth, &split.test);
+        let without = SlimFast::erm(config)
+            .fuse(&FusionInput::new(&inst.dataset, &no_features, &train))
+            .assignment
+            .accuracy_against(&inst.truth, &split.test);
+        assert!(
+            with >= without,
+            "features should not hurt: with {with:.3}, without {without:.3}"
+        );
+    }
+
+    #[test]
+    fn auto_matches_the_forced_variant_it_selects() {
+        let inst = instance(9);
+        let split = SplitPlan::new(0.05, 11).draw(&inst.truth, 0).unwrap();
+        let train = split.train_truth(&inst.truth);
+        let input = FusionInput::new(&inst.dataset, &inst.features, &train);
+        let auto = SlimFast::new(SlimFastConfig::default());
+        let (model, decision) = auto.train(&input);
+        let forced = match decision {
+            OptimizerDecision::Erm => SlimFast::erm(SlimFastConfig::default()),
+            OptimizerDecision::Em => SlimFast::em(SlimFastConfig::default()),
+        };
+        let (forced_model, _) = forced.train(&input);
+        assert_eq!(model.weights(), forced_model.weights());
+    }
+
+    #[test]
+    fn unsupervised_runs_fall_back_to_em() {
+        let inst = instance(13);
+        let empty = GroundTruth::empty(inst.dataset.num_objects());
+        let input = FusionInput::new(&inst.dataset, &inst.features, &empty);
+        let auto = SlimFast::new(SlimFastConfig::default());
+        let report = auto.plan(&input);
+        assert_eq!(report.decision, OptimizerDecision::Em);
+        let output = auto.fuse(&input);
+        let all: Vec<_> = inst.dataset.object_ids().collect();
+        let accuracy = output.assignment.accuracy_against(&inst.truth, &all);
+        assert!(accuracy > 0.7, "unsupervised accuracy {accuracy:.3}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Source-quality initialization (Section 5.3.2, Figure 7): estimating the accuracy of a
+//! *new* source from which no observations are available yet, using only its
+//! domain-specific features and the feature weights learned from the sources we have seen.
+
+use slimfast_data::{Dataset, FeatureMatrix, GroundTruth, SourceId};
+use slimfast_optim::logistic::fit_binary;
+use slimfast_optim::{BinaryLogisticRegression, Penalty, SparseVec};
+
+use crate::explain::correctness_examples;
+use crate::model::SlimFastModel;
+
+/// Predicts the accuracy of sources that were not part of training, using only the learned
+/// feature weights: `Â_s = logistic(Σ_k w_k f_{s,k})`. The per-source indicator is unknown
+/// for unseen sources and therefore omitted.
+pub fn predict_unseen_accuracies(
+    model: &SlimFastModel,
+    unseen_features: &FeatureMatrix,
+    unseen_sources: &[SourceId],
+) -> Vec<f64> {
+    unseen_sources
+        .iter()
+        .map(|&s| model.accuracy_from_features(unseen_features.features_of(s)))
+        .collect()
+}
+
+/// A dedicated feature-only accuracy model: a binary logistic regression from source
+/// features to the probability that an observation is correct, fitted on the *seen*
+/// sources' claims against the available labels.
+///
+/// Unlike [`predict_unseen_accuracies`] (which reuses a full SLiMFast model's feature
+/// weights), this estimator has no per-source indicators competing for the signal, so all
+/// of the accuracy variation must be explained by features — which is exactly the
+/// generalization Figure 7 measures. The more sources (and therefore feature/label pairs)
+/// are revealed, the better the model transfers to unseen sources.
+#[derive(Debug, Clone)]
+pub struct FeatureAccuracyModel {
+    model: BinaryLogisticRegression,
+}
+
+impl FeatureAccuracyModel {
+    /// Fits the model from the labelled observations of the (seen) sources in `dataset`.
+    pub fn fit(
+        dataset: &Dataset,
+        features: &FeatureMatrix,
+        truth: &GroundTruth,
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
+        let examples = correctness_examples(dataset, features, truth);
+        let model = fit_binary(&examples, features.num_features(), Penalty::L2(1e-3), epochs, seed);
+        Self { model }
+    }
+
+    /// Predicted accuracy of a source given only its feature vector.
+    pub fn predict(&self, features: &FeatureMatrix, source: SourceId) -> f64 {
+        let x: SparseVec =
+            features.features_of(source).iter().map(|(k, v)| (k.index(), *v)).collect();
+        self.model.predict_proba(&x)
+    }
+
+    /// Predicted accuracies of a batch of (typically unseen) sources.
+    pub fn predict_many(&self, features: &FeatureMatrix, sources: &[SourceId]) -> Vec<f64> {
+        sources.iter().map(|&s| self.predict(features, s)).collect()
+    }
+}
+
+/// Mean absolute error between predicted and true accuracies of unseen sources — the
+/// quantity plotted on the y-axis of Figure 7.
+pub fn unseen_accuracy_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "prediction/truth length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimfast_data::SplitPlan;
+    use slimfast_datagen::{AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig};
+
+    use crate::config::SlimFastConfig;
+    use crate::erm::train_erm;
+
+    #[test]
+    fn unseen_source_accuracy_is_predictable_from_features() {
+        // Accuracy driven almost entirely by features, so feature weights learned on 60% of
+        // the sources transfer to the held-out 40%.
+        let inst = SyntheticConfig {
+            name: "init".into(),
+            num_sources: 200,
+            num_objects: 500,
+            domain_size: 2,
+            pattern: ObservationPattern::Bernoulli(0.1),
+            accuracy: AccuracyModel { mean: 0.65, spread: 0.03 },
+            features: FeatureModel { num_predictive: 4, num_noise: 2, predictive_strength: 0.4 },
+            copying: None,
+            seed: 11,
+        }
+        .generate();
+
+        let seen: Vec<SourceId> = (0..120).map(SourceId::new).collect();
+        let unseen: Vec<SourceId> = (120..200).map(SourceId::new).collect();
+        let (train_dataset, kept) = inst.dataset.restrict_sources(&seen);
+        let train_features = inst.features.restrict_sources(&kept);
+        let split = SplitPlan::new(0.5, 1).draw(&inst.truth, 0).unwrap();
+        let train_truth = split.train_truth(&inst.truth);
+
+        let model =
+            train_erm(&train_dataset, &train_features, &train_truth, &SlimFastConfig::default());
+        let predicted = predict_unseen_accuracies(&model, &inst.features, &unseen);
+        let actual: Vec<f64> = unseen.iter().map(|s| inst.true_accuracies[s.index()]).collect();
+        let error = unseen_accuracy_error(&predicted, &actual);
+        assert!(error < 0.2, "unseen-source accuracy error too high: {error:.3}");
+
+        // A model that never saw features (uniform 0.5 prediction) should do worse or equal.
+        let uniform: Vec<f64> = vec![0.5; unseen.len()];
+        let uniform_error = unseen_accuracy_error(&uniform, &actual);
+        assert!(error <= uniform_error + 0.02, "features should beat the 0.5 prior");
+    }
+
+    #[test]
+    fn feature_only_model_transfers_to_unseen_sources() {
+        let inst = SyntheticConfig {
+            name: "init-feature-only".into(),
+            num_sources: 200,
+            num_objects: 400,
+            domain_size: 2,
+            pattern: ObservationPattern::Bernoulli(0.08),
+            accuracy: AccuracyModel { mean: 0.65, spread: 0.03 },
+            features: FeatureModel { num_predictive: 4, num_noise: 2, predictive_strength: 0.4 },
+            copying: None,
+            seed: 29,
+        }
+        .generate();
+        let seen: Vec<SourceId> = (0..100).map(SourceId::new).collect();
+        let unseen: Vec<SourceId> = (100..200).map(SourceId::new).collect();
+        let (train_dataset, kept) = inst.dataset.restrict_sources(&seen);
+        let train_features = inst.features.restrict_sources(&kept);
+        let split = SplitPlan::new(0.5, 1).draw(&inst.truth, 0).unwrap();
+        let model = FeatureAccuracyModel::fit(
+            &train_dataset,
+            &train_features,
+            &split.train_truth(&inst.truth),
+            60,
+            1,
+        );
+        let predicted = model.predict_many(&inst.features, &unseen);
+        let actual: Vec<f64> = unseen.iter().map(|s| inst.true_accuracies[s.index()]).collect();
+        let error = unseen_accuracy_error(&predicted, &actual);
+        assert!(error < 0.15, "feature-only transfer error too high: {error:.3}");
+    }
+
+    #[test]
+    fn error_helper_matches_hand_computation() {
+        assert_eq!(unseen_accuracy_error(&[], &[]), 0.0);
+        let err = unseen_accuracy_error(&[0.5, 0.9], &[0.7, 0.8]);
+        assert!((err - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        unseen_accuracy_error(&[0.5], &[0.5, 0.6]);
+    }
+}

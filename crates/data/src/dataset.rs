@@ -1,0 +1,450 @@
+//! The indexed collection of source observations that constitutes a fusion instance.
+
+use std::collections::HashMap;
+
+use crate::error::DataError;
+use crate::ids::{Interner, ObjectId, SourceId, ValueId};
+use crate::observation::Observation;
+
+/// An immutable, fully indexed fusion instance: the observation set `Ω` together with the
+/// per-object and per-source adjacency needed by learning and inference.
+///
+/// A `Dataset` is constructed through a [`DatasetBuilder`]; once built it is cheap to share
+/// (all methods take `&self`) and all lookups are `O(1)` or proportional to the size of the
+/// answer.
+///
+/// ```
+/// use slimfast_data::DatasetBuilder;
+///
+/// let mut builder = DatasetBuilder::new();
+/// builder.observe("article-1", "GIGYF2/Parkinson", "false").unwrap();
+/// builder.observe("article-2", "GIGYF2/Parkinson", "false").unwrap();
+/// builder.observe("article-3", "GIGYF2/Parkinson", "true").unwrap();
+/// builder.observe("article-1", "GBA/Parkinson", "true").unwrap();
+/// builder.observe("article-3", "GBA/Parkinson", "true").unwrap();
+/// let dataset = builder.build();
+///
+/// assert_eq!(dataset.num_sources(), 3);
+/// assert_eq!(dataset.num_objects(), 2);
+/// assert_eq!(dataset.num_observations(), 5);
+/// let gigyf2 = dataset.object_id("GIGYF2/Parkinson").unwrap();
+/// assert_eq!(dataset.observations_for_object(gigyf2).len(), 3);
+/// assert_eq!(dataset.domain(gigyf2).len(), 2); // conflicting values: {false, true}
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    observations: Vec<Observation>,
+    by_object: Vec<Vec<(SourceId, ValueId)>>,
+    by_source: Vec<Vec<(ObjectId, ValueId)>>,
+    object_domains: Vec<Vec<ValueId>>,
+    sources: Interner<SourceId>,
+    objects: Interner<ObjectId>,
+    values: Interner<ValueId>,
+}
+
+impl Dataset {
+    /// Number of distinct sources `|S|`.
+    pub fn num_sources(&self) -> usize {
+        self.by_source.len()
+    }
+
+    /// Number of distinct objects `|O|`.
+    pub fn num_objects(&self) -> usize {
+        self.by_object.len()
+    }
+
+    /// Number of distinct values across all objects.
+    pub fn num_values(&self) -> usize {
+        self.values.len().max(self.max_value_index_plus_one())
+    }
+
+    fn max_value_index_plus_one(&self) -> usize {
+        self.observations.iter().map(|o| o.value.index() + 1).max().unwrap_or(0)
+    }
+
+    /// Number of observations `|Ω|`.
+    pub fn num_observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// All observations in insertion order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// The observations `(source, value)` made about object `o`.
+    pub fn observations_for_object(&self, o: ObjectId) -> &[(SourceId, ValueId)] {
+        &self.by_object[o.index()]
+    }
+
+    /// The observations `(object, value)` made by source `s`.
+    pub fn observations_by_source(&self, s: SourceId) -> &[(ObjectId, ValueId)] {
+        &self.by_source[s.index()]
+    }
+
+    /// The distinct values `D_o` that sources assigned to object `o`, in first-seen order.
+    pub fn domain(&self, o: ObjectId) -> &[ValueId] {
+        &self.object_domains[o.index()]
+    }
+
+    /// The value source `s` asserted for object `o`, if any.
+    pub fn value_of(&self, s: SourceId, o: ObjectId) -> Option<ValueId> {
+        self.by_source[s.index()]
+            .iter()
+            .find(|(obj, _)| *obj == o)
+            .map(|(_, v)| *v)
+    }
+
+    /// Fraction of the `|S| × |O|` source/object grid that carries an observation
+    /// (the paper's *density*, the empirical estimate of the selectivity `p`).
+    pub fn density(&self) -> f64 {
+        let cells = self.num_sources() * self.num_objects();
+        if cells == 0 {
+            return 0.0;
+        }
+        self.num_observations() as f64 / cells as f64
+    }
+
+    /// Average number of observations per object.
+    pub fn avg_observations_per_object(&self) -> f64 {
+        if self.num_objects() == 0 {
+            return 0.0;
+        }
+        self.num_observations() as f64 / self.num_objects() as f64
+    }
+
+    /// Average number of observations per source.
+    pub fn avg_observations_per_source(&self) -> f64 {
+        if self.num_sources() == 0 {
+            return 0.0;
+        }
+        self.num_observations() as f64 / self.num_sources() as f64
+    }
+
+    /// Objects for which at least two distinct values were reported.
+    pub fn conflicting_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.object_domains
+            .iter()
+            .enumerate()
+            .filter(|(_, dom)| dom.len() > 1)
+            .map(|(i, _)| ObjectId::new(i))
+    }
+
+    /// Iterates over every object handle.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.num_objects()).map(ObjectId::new)
+    }
+
+    /// Iterates over every source handle.
+    pub fn source_ids(&self) -> impl Iterator<Item = SourceId> {
+        (0..self.num_sources()).map(SourceId::new)
+    }
+
+    /// Name of a source, when the dataset was built from named entities.
+    pub fn source_name(&self, s: SourceId) -> Option<&str> {
+        self.sources.name(s)
+    }
+
+    /// Name of an object, when the dataset was built from named entities.
+    pub fn object_name(&self, o: ObjectId) -> Option<&str> {
+        self.objects.name(o)
+    }
+
+    /// Name of a value, when the dataset was built from named entities.
+    pub fn value_name(&self, v: ValueId) -> Option<&str> {
+        self.values.name(v)
+    }
+
+    /// Looks up a source handle by name.
+    pub fn source_id(&self, name: &str) -> Option<SourceId> {
+        self.sources.get(name)
+    }
+
+    /// Looks up an object handle by name.
+    pub fn object_id(&self, name: &str) -> Option<ObjectId> {
+        self.objects.get(name)
+    }
+
+    /// Looks up a value handle by name.
+    pub fn value_id(&self, name: &str) -> Option<ValueId> {
+        self.values.get(name)
+    }
+
+    /// Returns a new dataset restricted to the given sources (handles are re-numbered
+    /// densely, objects left intact). Used by the source-quality-initialization experiment
+    /// (Figure 7), which hides a fraction of the sources during training.
+    pub fn restrict_sources(&self, keep: &[SourceId]) -> (Dataset, Vec<SourceId>) {
+        let mut keep_sorted: Vec<SourceId> = keep.to_vec();
+        keep_sorted.sort_unstable();
+        keep_sorted.dedup();
+        let mut remap: HashMap<SourceId, SourceId> = HashMap::with_capacity(keep_sorted.len());
+        for (new_idx, &old) in keep_sorted.iter().enumerate() {
+            remap.insert(old, SourceId::new(new_idx));
+        }
+        let mut builder = DatasetBuilder::with_capacity(self.num_observations());
+        // Preserve object and value vocabularies so handles stay comparable across the
+        // restricted and full datasets.
+        builder.objects = self.objects.clone();
+        builder.values = self.values.clone();
+        builder.num_objects = self.num_objects();
+        builder.num_values = self.num_values();
+        for obs in &self.observations {
+            if let Some(&new_source) = remap.get(&obs.source) {
+                builder
+                    .observe_ids(new_source, obs.object, obs.value)
+                    .expect("restricting sources cannot introduce conflicts");
+            }
+        }
+        builder.num_objects = self.num_objects();
+        (builder.build(), keep_sorted)
+    }
+}
+
+/// Incremental builder of a [`Dataset`].
+///
+/// Observations can be registered either by name ([`DatasetBuilder::observe`]) or by
+/// pre-assigned handles ([`DatasetBuilder::observe_ids`]); the two styles may be mixed as
+/// long as handle collisions are acceptable to the caller.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetBuilder {
+    observations: Vec<Observation>,
+    seen: HashMap<(SourceId, ObjectId), ValueId>,
+    sources: Interner<SourceId>,
+    objects: Interner<ObjectId>,
+    values: Interner<ValueId>,
+    num_sources: usize,
+    num_objects: usize,
+    num_values: usize,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with capacity for `n` observations.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            observations: Vec::with_capacity(n),
+            seen: HashMap::with_capacity(n),
+            ..Self::default()
+        }
+    }
+
+    /// Registers the claim that `source` asserts `value` for `object`, interning all names.
+    ///
+    /// Returns the created [`Observation`]. Exact duplicates are ignored; a source asserting
+    /// two *different* values for the same object is rejected with
+    /// [`DataError::ConflictingObservation`].
+    pub fn observe(
+        &mut self,
+        source: &str,
+        object: &str,
+        value: &str,
+    ) -> Result<Observation, DataError> {
+        let s = self.sources.intern(source);
+        let o = self.objects.intern(object);
+        let v = self.values.intern(value);
+        self.observe_ids(s, o, v)
+    }
+
+    /// Registers a claim using pre-assigned handles.
+    pub fn observe_ids(
+        &mut self,
+        source: SourceId,
+        object: ObjectId,
+        value: ValueId,
+    ) -> Result<Observation, DataError> {
+        if let Some(&existing) = self.seen.get(&(source, object)) {
+            if existing == value {
+                return Ok(Observation::new(source, object, value));
+            }
+            return Err(DataError::ConflictingObservation {
+                source: source.index(),
+                object: object.index(),
+            });
+        }
+        self.seen.insert((source, object), value);
+        let obs = Observation::new(source, object, value);
+        self.observations.push(obs);
+        self.num_sources = self.num_sources.max(source.index() + 1);
+        self.num_objects = self.num_objects.max(object.index() + 1);
+        self.num_values = self.num_values.max(value.index() + 1);
+        Ok(obs)
+    }
+
+    /// Interns an object name without adding an observation (useful to reserve handles for
+    /// objects that only appear in ground truth).
+    pub fn intern_object(&mut self, object: &str) -> ObjectId {
+        let o = self.objects.intern(object);
+        self.num_objects = self.num_objects.max(o.index() + 1);
+        o
+    }
+
+    /// Interns a source name without adding an observation.
+    pub fn intern_source(&mut self, source: &str) -> SourceId {
+        let s = self.sources.intern(source);
+        self.num_sources = self.num_sources.max(s.index() + 1);
+        s
+    }
+
+    /// Interns a value name without adding an observation.
+    pub fn intern_value(&mut self, value: &str) -> ValueId {
+        let v = self.values.intern(value);
+        self.num_values = self.num_values.max(v.index() + 1);
+        v
+    }
+
+    /// Ensures the dataset will report at least `n` sources even if some have no claims.
+    pub fn reserve_sources(&mut self, n: usize) {
+        self.num_sources = self.num_sources.max(n);
+    }
+
+    /// Ensures the dataset will report at least `n` objects even if some have no claims.
+    pub fn reserve_objects(&mut self, n: usize) {
+        self.num_objects = self.num_objects.max(n);
+    }
+
+    /// Number of observations registered so far.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether no observations have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Finalizes the builder into an immutable, indexed [`Dataset`].
+    pub fn build(self) -> Dataset {
+        let num_sources = self.num_sources.max(self.sources.len());
+        let num_objects = self.num_objects.max(self.objects.len());
+        let mut by_object: Vec<Vec<(SourceId, ValueId)>> = vec![Vec::new(); num_objects];
+        let mut by_source: Vec<Vec<(ObjectId, ValueId)>> = vec![Vec::new(); num_sources];
+        let mut object_domains: Vec<Vec<ValueId>> = vec![Vec::new(); num_objects];
+        for obs in &self.observations {
+            by_object[obs.object.index()].push((obs.source, obs.value));
+            by_source[obs.source.index()].push((obs.object, obs.value));
+            let domain = &mut object_domains[obs.object.index()];
+            if !domain.contains(&obs.value) {
+                domain.push(obs.value);
+            }
+        }
+        Dataset {
+            observations: self.observations,
+            by_object,
+            by_source,
+            object_domains,
+            sources: self.sources,
+            objects: self.objects,
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "false").unwrap();
+        b.observe("s1", "o0", "false").unwrap();
+        b.observe("s2", "o0", "true").unwrap();
+        b.observe("s0", "o1", "true").unwrap();
+        b.observe("s2", "o1", "true").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_indexes_by_object_and_source() {
+        let d = toy();
+        assert_eq!(d.num_sources(), 3);
+        assert_eq!(d.num_objects(), 2);
+        assert_eq!(d.num_observations(), 5);
+        let o0 = d.object_id("o0").unwrap();
+        let o1 = d.object_id("o1").unwrap();
+        assert_eq!(d.observations_for_object(o0).len(), 3);
+        assert_eq!(d.observations_for_object(o1).len(), 2);
+        let s2 = d.source_id("s2").unwrap();
+        assert_eq!(d.observations_by_source(s2).len(), 2);
+    }
+
+    #[test]
+    fn domains_collect_distinct_values() {
+        let d = toy();
+        let o0 = d.object_id("o0").unwrap();
+        let o1 = d.object_id("o1").unwrap();
+        assert_eq!(d.domain(o0).len(), 2);
+        assert_eq!(d.domain(o1).len(), 1);
+        assert_eq!(d.conflicting_objects().count(), 1);
+    }
+
+    #[test]
+    fn value_of_returns_the_asserted_value() {
+        let d = toy();
+        let s2 = d.source_id("s2").unwrap();
+        let o0 = d.object_id("o0").unwrap();
+        let true_v = d.value_id("true").unwrap();
+        assert_eq!(d.value_of(s2, o0), Some(true_v));
+        let s1 = d.source_id("s1").unwrap();
+        let o1 = d.object_id("o1").unwrap();
+        assert_eq!(d.value_of(s1, o1), None);
+    }
+
+    #[test]
+    fn duplicate_claims_are_idempotent_but_conflicts_error() {
+        let mut b = DatasetBuilder::new();
+        b.observe("s", "o", "1").unwrap();
+        b.observe("s", "o", "1").unwrap();
+        assert_eq!(b.len(), 1);
+        let err = b.observe("s", "o", "2").unwrap_err();
+        assert!(matches!(err, DataError::ConflictingObservation { .. }));
+    }
+
+    #[test]
+    fn density_counts_grid_coverage() {
+        let d = toy();
+        // 5 observations over a 3x2 grid.
+        assert!((d.density() - 5.0 / 6.0).abs() < 1e-12);
+        assert!((d.avg_observations_per_object() - 2.5).abs() < 1e-12);
+        assert!((d.avg_observations_per_source() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reserve_allows_silent_entities() {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "x").unwrap();
+        b.reserve_sources(10);
+        b.reserve_objects(4);
+        let d = b.build();
+        assert_eq!(d.num_sources(), 10);
+        assert_eq!(d.num_objects(), 4);
+        assert!(d.observations_by_source(SourceId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn restrict_sources_renumbers_densely() {
+        let d = toy();
+        let s0 = d.source_id("s0").unwrap();
+        let s2 = d.source_id("s2").unwrap();
+        let (restricted, kept) = d.restrict_sources(&[s2, s0]);
+        assert_eq!(kept, vec![s0, s2]);
+        assert_eq!(restricted.num_sources(), 2);
+        assert_eq!(restricted.num_objects(), d.num_objects());
+        assert_eq!(restricted.num_observations(), 4);
+        // Object/value handles stay aligned with the original dataset.
+        let o0 = d.object_id("o0").unwrap();
+        assert_eq!(restricted.domain(o0), d.domain(o0));
+    }
+
+    #[test]
+    fn empty_dataset_is_well_formed() {
+        let d = DatasetBuilder::new().build();
+        assert_eq!(d.num_sources(), 0);
+        assert_eq!(d.num_objects(), 0);
+        assert_eq!(d.num_observations(), 0);
+        assert_eq!(d.density(), 0.0);
+    }
+}

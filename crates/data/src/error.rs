@@ -1,0 +1,94 @@
+//! Error type shared by the data-model substrate.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or (de)serializing fusion instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A handle referenced an entity that does not exist in the dataset.
+    IndexOutOfBounds {
+        /// Which entity family the handle belongs to (`"source"`, `"object"`, ...).
+        entity: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of entities of that family in the dataset.
+        len: usize,
+    },
+    /// The same source asserted two different values for the same object.
+    ConflictingObservation {
+        /// Source that produced the duplicate claim.
+        source: usize,
+        /// Object the claim is about.
+        object: usize,
+    },
+    /// A ground-truth value was not among the values any source reported for the object
+    /// while the dataset is operating under single-truth (closed-world) semantics.
+    TruthOutsideDomain {
+        /// Object whose truth is outside its observed domain.
+        object: usize,
+    },
+    /// A malformed line was encountered while parsing a CSV file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what was expected.
+        message: String,
+    },
+    /// Wrapper around I/O failures during dataset import/export.
+    Io(String),
+    /// A request was semantically invalid (e.g. an empty split fraction).
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::IndexOutOfBounds { entity, index, len } => {
+                write!(f, "{entity} index {index} out of bounds (dataset has {len})")
+            }
+            DataError::ConflictingObservation { source, object } => write!(
+                f,
+                "source {source} asserted two different values for object {object}; \
+                 a source may claim at most one value per object"
+            ),
+            DataError::TruthOutsideDomain { object } => write!(
+                f,
+                "ground-truth value for object {object} was never reported by any source, \
+                 which violates single-truth (closed-world) semantics"
+            ),
+            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Io(msg) => write!(f, "I/O error: {msg}"),
+            DataError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(err: std::io::Error) -> Self {
+        DataError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DataError::IndexOutOfBounds { entity: "source", index: 7, len: 3 };
+        assert!(err.to_string().contains("source index 7"));
+        let err = DataError::ConflictingObservation { source: 1, object: 2 };
+        assert!(err.to_string().contains("source 1"));
+        let err = DataError::Parse { line: 10, message: "expected 3 fields".into() };
+        assert!(err.to_string().contains("line 10"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.csv");
+        let err: DataError = io.into();
+        assert!(matches!(err, DataError::Io(_)));
+    }
+}

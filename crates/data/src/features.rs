@@ -1,0 +1,251 @@
+//! Domain-specific features describing data sources (Section 3.1 of the paper).
+//!
+//! Features are stored sparsely per source: each source carries a list of
+//! `(feature, value)` pairs. The paper discretizes numeric metadata (Alexa traffic
+//! statistics, citation counts, ...) into Boolean indicator features; the
+//! [`FeatureMatrixBuilder`] offers both raw numeric features and a
+//! [`FeatureMatrixBuilder::set_bucketed`] helper performing that discretization.
+
+use crate::ids::{FeatureId, Interner, SourceId};
+
+/// Value a source takes for a feature; Boolean indicators use `1.0` / absence.
+pub type FeatureValue = f64;
+
+/// Sparse per-source feature matrix `F = (f_{s,k})`.
+///
+/// ```
+/// use slimfast_data::{FeatureMatrixBuilder, SourceId};
+///
+/// let mut builder = FeatureMatrixBuilder::new();
+/// builder.set_flag(SourceId::new(0), "PubYear=2009");
+/// builder.set_flag(SourceId::new(0), "Citations=High");
+/// builder.set_flag(SourceId::new(1), "Study=GWAS");
+/// let features = builder.build(2);
+///
+/// assert_eq!(features.num_features(), 3);
+/// assert_eq!(features.features_of(SourceId::new(0)).len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FeatureMatrix {
+    rows: Vec<Vec<(FeatureId, FeatureValue)>>,
+    features: Interner<FeatureId>,
+}
+
+impl FeatureMatrix {
+    /// A feature matrix with no features for `num_sources` sources (the "Sources-only"
+    /// configuration of the paper).
+    pub fn empty(num_sources: usize) -> Self {
+        Self { rows: vec![Vec::new(); num_sources], features: Interner::new() }
+    }
+
+    /// Number of distinct features `|K|`.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Number of sources covered.
+    pub fn num_sources(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sparse feature vector of source `s`.
+    pub fn features_of(&self, s: SourceId) -> &[(FeatureId, FeatureValue)] {
+        self.rows.get(s.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Value of feature `k` for source `s` (0.0 when unset).
+    pub fn value(&self, s: SourceId, k: FeatureId) -> FeatureValue {
+        self.features_of(s)
+            .iter()
+            .find(|(f, _)| *f == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    /// Name behind a feature handle.
+    pub fn feature_name(&self, k: FeatureId) -> Option<&str> {
+        self.features.name(k)
+    }
+
+    /// Handle of a named feature.
+    pub fn feature_id(&self, name: &str) -> Option<FeatureId> {
+        self.features.get(name)
+    }
+
+    /// Iterates over all `(handle, name)` feature pairs.
+    pub fn feature_names(&self) -> impl Iterator<Item = (FeatureId, &str)> + '_ {
+        self.features.iter()
+    }
+
+    /// Dot product of source `s`'s feature vector with a dense weight vector indexed by
+    /// feature handle. This is the `Σ_k w_k f_{s,k}` term of Equation 3.
+    pub fn dot(&self, s: SourceId, feature_weights: &[f64]) -> f64 {
+        self.features_of(s)
+            .iter()
+            .map(|(k, v)| feature_weights.get(k.index()).copied().unwrap_or(0.0) * v)
+            .sum()
+    }
+
+    /// Total number of non-zero feature values (the "# Feature Values" row of Table 1).
+    pub fn num_feature_values(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Restricts the matrix to a subset of sources, renumbering them densely in the order
+    /// given. Companion of [`crate::Dataset::restrict_sources`].
+    pub fn restrict_sources(&self, keep: &[SourceId]) -> FeatureMatrix {
+        let rows = keep.iter().map(|s| self.features_of(*s).to_vec()).collect();
+        FeatureMatrix { rows, features: self.features.clone() }
+    }
+}
+
+/// Incremental builder for a [`FeatureMatrix`].
+#[derive(Debug, Clone, Default)]
+pub struct FeatureMatrixBuilder {
+    rows: Vec<Vec<(FeatureId, FeatureValue)>>,
+    features: Interner<FeatureId>,
+}
+
+impl FeatureMatrixBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn row_mut(&mut self, s: SourceId) -> &mut Vec<(FeatureId, FeatureValue)> {
+        if s.index() >= self.rows.len() {
+            self.rows.resize(s.index() + 1, Vec::new());
+        }
+        &mut self.rows[s.index()]
+    }
+
+    /// Sets a numeric feature value for a source, overwriting any previous value.
+    pub fn set(&mut self, s: SourceId, feature: &str, value: FeatureValue) {
+        let k = self.features.intern(feature);
+        let row = self.row_mut(s);
+        if let Some(slot) = row.iter_mut().find(|(f, _)| *f == k) {
+            slot.1 = value;
+        } else {
+            row.push((k, value));
+        }
+    }
+
+    /// Sets a Boolean indicator feature (value `1.0`).
+    pub fn set_flag(&mut self, s: SourceId, feature: &str) {
+        self.set(s, feature, 1.0);
+    }
+
+    /// Discretizes a numeric quantity into a Boolean indicator named
+    /// `"{name}={bucket}"`, where `bucket` is the label of the first threshold the value
+    /// falls under (or the last label otherwise). Mirrors the paper's discretization of
+    /// Alexa traffic statistics into `High` / `Low` indicators.
+    ///
+    /// `thresholds` is a list of `(upper_bound, label)` pairs evaluated in order;
+    /// `last_label` is used when the value exceeds every bound.
+    pub fn set_bucketed(
+        &mut self,
+        s: SourceId,
+        name: &str,
+        value: f64,
+        thresholds: &[(f64, &str)],
+        last_label: &str,
+    ) {
+        let label = thresholds
+            .iter()
+            .find(|(bound, _)| value <= *bound)
+            .map(|(_, label)| *label)
+            .unwrap_or(last_label);
+        self.set_flag(s, &format!("{name}={label}"));
+    }
+
+    /// Number of features interned so far.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Finalizes into a [`FeatureMatrix`] covering at least `num_sources` sources.
+    pub fn build(mut self, num_sources: usize) -> FeatureMatrix {
+        if self.rows.len() < num_sources {
+            self.rows.resize(num_sources, Vec::new());
+        }
+        FeatureMatrix { rows: self.rows, features: self.features }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_no_features() {
+        let m = FeatureMatrix::empty(3);
+        assert_eq!(m.num_features(), 0);
+        assert_eq!(m.num_sources(), 3);
+        assert!(m.features_of(SourceId::new(1)).is_empty());
+        assert_eq!(m.num_feature_values(), 0);
+    }
+
+    #[test]
+    fn builder_sets_and_overwrites() {
+        let mut b = FeatureMatrixBuilder::new();
+        let s = SourceId::new(0);
+        b.set(s, "citations", 34.0);
+        b.set(s, "citations", 128.0);
+        b.set_flag(s, "Study=GWAS");
+        let m = b.build(1);
+        assert_eq!(m.num_features(), 2);
+        let cit = m.feature_id("citations").unwrap();
+        assert_eq!(m.value(s, cit), 128.0);
+        assert_eq!(m.value(s, m.feature_id("Study=GWAS").unwrap()), 1.0);
+        assert_eq!(m.num_feature_values(), 2);
+    }
+
+    #[test]
+    fn dot_product_matches_hand_computation() {
+        let mut b = FeatureMatrixBuilder::new();
+        let s = SourceId::new(0);
+        b.set(s, "a", 2.0);
+        b.set(s, "b", 3.0);
+        let m = b.build(1);
+        let mut weights = vec![0.0; m.num_features()];
+        weights[m.feature_id("a").unwrap().index()] = 0.5;
+        weights[m.feature_id("b").unwrap().index()] = -1.0;
+        assert!((m.dot(s, &weights) - (2.0 * 0.5 - 3.0)).abs() < 1e-12);
+        // Unknown source dots to zero.
+        assert_eq!(m.dot(SourceId::new(9), &weights), 0.0);
+    }
+
+    #[test]
+    fn bucketing_picks_first_matching_threshold() {
+        let mut b = FeatureMatrixBuilder::new();
+        let thresholds = [(10.0, "Low"), (100.0, "Medium")];
+        b.set_bucketed(SourceId::new(0), "Citations", 5.0, &thresholds, "High");
+        b.set_bucketed(SourceId::new(1), "Citations", 50.0, &thresholds, "High");
+        b.set_bucketed(SourceId::new(2), "Citations", 500.0, &thresholds, "High");
+        let m = b.build(3);
+        assert_eq!(m.value(SourceId::new(0), m.feature_id("Citations=Low").unwrap()), 1.0);
+        assert_eq!(m.value(SourceId::new(1), m.feature_id("Citations=Medium").unwrap()), 1.0);
+        assert_eq!(m.value(SourceId::new(2), m.feature_id("Citations=High").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn restrict_sources_reorders_rows() {
+        let mut b = FeatureMatrixBuilder::new();
+        b.set_flag(SourceId::new(0), "x");
+        b.set_flag(SourceId::new(2), "y");
+        let m = b.build(3);
+        let r = m.restrict_sources(&[SourceId::new(2), SourceId::new(0)]);
+        assert_eq!(r.num_sources(), 2);
+        assert_eq!(r.value(SourceId::new(0), m.feature_id("y").unwrap()), 1.0);
+        assert_eq!(r.value(SourceId::new(1), m.feature_id("x").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn build_pads_missing_sources() {
+        let mut b = FeatureMatrixBuilder::new();
+        b.set_flag(SourceId::new(0), "x");
+        let m = b.build(5);
+        assert_eq!(m.num_sources(), 5);
+        assert!(m.features_of(SourceId::new(4)).is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! The interface every fusion method implements, so the evaluation harness can compare
+//! SLiMFast and all baselines uniformly.
+
+use crate::dataset::Dataset;
+use crate::features::FeatureMatrix;
+use crate::truth::{GroundTruth, SourceAccuracies, TruthAssignment};
+
+/// Everything a fusion method may look at: the observations, the domain-specific features,
+/// and the training portion of the ground truth (never the held-out labels).
+#[derive(Debug, Clone, Copy)]
+pub struct FusionInput<'a> {
+    /// The observation set `Ω`.
+    pub dataset: &'a Dataset,
+    /// Per-source domain-specific features `F` (may be [`FeatureMatrix::empty`]).
+    pub features: &'a FeatureMatrix,
+    /// The labelled training objects `G` (may be empty for fully unsupervised runs).
+    pub train_truth: &'a GroundTruth,
+}
+
+impl<'a> FusionInput<'a> {
+    /// Bundles the three components of a fusion instance.
+    pub fn new(
+        dataset: &'a Dataset,
+        features: &'a FeatureMatrix,
+        train_truth: &'a GroundTruth,
+    ) -> Self {
+        Self { dataset, features, train_truth }
+    }
+}
+
+/// The result of running a fusion method: predicted object values and (for probabilistic
+/// methods) estimated source accuracies.
+#[derive(Debug, Clone, Default)]
+pub struct FusionOutput {
+    /// Predicted true values, with per-object confidence.
+    pub assignment: TruthAssignment,
+    /// Estimated source accuracies, when the method produces them under probabilistic
+    /// semantics (CATD and SSTF do not, matching the paper's "Omitted Comparison" note).
+    pub source_accuracies: Option<SourceAccuracies>,
+}
+
+impl FusionOutput {
+    /// Creates an output with predictions only.
+    pub fn new(assignment: TruthAssignment) -> Self {
+        Self { assignment, source_accuracies: None }
+    }
+
+    /// Creates an output with predictions and source-accuracy estimates.
+    pub fn with_accuracies(assignment: TruthAssignment, accuracies: SourceAccuracies) -> Self {
+        Self { assignment, source_accuracies: Some(accuracies) }
+    }
+}
+
+/// A data fusion method: consumes a [`FusionInput`] and produces a [`FusionOutput`].
+///
+/// Implementations must not inspect labels outside `input.train_truth`.
+pub trait FusionMethod {
+    /// Short human-readable name used in result tables (e.g. `"SLiMFast"`, `"ACCU"`).
+    fn name(&self) -> &str;
+
+    /// Runs the method on the given fusion instance.
+    fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput;
+}
+
+impl<T: FusionMethod + ?Sized> FusionMethod for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
+        (**self).fuse(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::ids::ObjectId;
+
+    /// A trivial method that predicts the first value in each object's domain.
+    struct FirstValue;
+
+    impl FusionMethod for FirstValue {
+        fn name(&self) -> &str {
+            "FirstValue"
+        }
+
+        fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
+            let mut assignment = TruthAssignment::empty(input.dataset.num_objects());
+            for o in input.dataset.object_ids() {
+                if let Some(&v) = input.dataset.domain(o).first() {
+                    assignment.assign(o, v, 1.0);
+                }
+            }
+            FusionOutput::new(assignment)
+        }
+    }
+
+    #[test]
+    fn trait_objects_work_through_boxes() {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "x").unwrap();
+        b.observe("s1", "o0", "y").unwrap();
+        let d = b.build();
+        let features = FeatureMatrix::empty(d.num_sources());
+        let truth = GroundTruth::empty(d.num_objects());
+        let input = FusionInput::new(&d, &features, &truth);
+
+        let method: Box<dyn FusionMethod> = Box::new(FirstValue);
+        assert_eq!(method.name(), "FirstValue");
+        let out = method.fuse(&input);
+        assert_eq!(out.assignment.get(ObjectId::new(0)), d.value_id("x"));
+        assert!(out.source_accuracies.is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Plain-text import/export of fusion instances.
+//!
+//! Observations, ground truth, and features are exchanged as simple comma-separated files
+//! so simulated datasets can be inspected or re-used outside the Rust toolchain. The format
+//! is deliberately minimal (no quoting; fields may not contain commas) because every name
+//! this workspace generates is comma-free.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::DataError;
+use crate::features::{FeatureMatrix, FeatureMatrixBuilder};
+use crate::truth::GroundTruth;
+
+/// Reads observations from `source,object,value` lines (one observation per line).
+/// Empty lines and lines starting with `#` are ignored.
+pub fn read_observations_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
+    let mut builder = DatasetBuilder::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let (source, object, value) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(s), Some(o), Some(v), None) => (s.trim(), o.trim(), v.trim()),
+            _ => {
+                return Err(DataError::Parse {
+                    line: idx + 1,
+                    message: "expected exactly three comma-separated fields: source,object,value"
+                        .to_string(),
+                })
+            }
+        };
+        builder.observe(source, object, value)?;
+    }
+    Ok(builder.build())
+}
+
+/// Writes observations as `source,object,value` lines. Entities without names are written
+/// using their display handles (`s0`, `o3`, ...).
+pub fn write_observations_csv<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), DataError> {
+    writeln!(writer, "# source,object,value")?;
+    for obs in dataset.observations() {
+        let source = dataset
+            .source_name(obs.source)
+            .map(str::to_owned)
+            .unwrap_or_else(|| obs.source.to_string());
+        let object = dataset
+            .object_name(obs.object)
+            .map(str::to_owned)
+            .unwrap_or_else(|| obs.object.to_string());
+        let value = dataset
+            .value_name(obs.value)
+            .map(str::to_owned)
+            .unwrap_or_else(|| obs.value.to_string());
+        writeln!(writer, "{source},{object},{value}")?;
+    }
+    Ok(())
+}
+
+/// Reads ground truth from `object,value` lines, resolving names against `dataset`.
+/// Unknown objects are rejected; unknown values are interned only if they already appear in
+/// the dataset's vocabulary (single-truth semantics requires some source to claim the value).
+pub fn read_ground_truth_csv<R: Read>(dataset: &Dataset, reader: R) -> Result<GroundTruth, DataError> {
+    let mut truth = GroundTruth::empty(dataset.num_objects());
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let (object, value) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(o), Some(v), None) => (o.trim(), v.trim()),
+            _ => {
+                return Err(DataError::Parse {
+                    line: idx + 1,
+                    message: "expected exactly two comma-separated fields: object,value".to_string(),
+                })
+            }
+        };
+        let o = dataset.object_id(object).ok_or(DataError::Parse {
+            line: idx + 1,
+            message: format!("unknown object '{object}'"),
+        })?;
+        let v = dataset.value_id(value).ok_or(DataError::TruthOutsideDomain { object: o.index() })?;
+        truth.set(o, v);
+    }
+    Ok(truth)
+}
+
+/// Writes ground truth as `object,value` lines.
+pub fn write_ground_truth_csv<W: Write>(
+    dataset: &Dataset,
+    truth: &GroundTruth,
+    mut writer: W,
+) -> Result<(), DataError> {
+    writeln!(writer, "# object,value")?;
+    for (o, v) in truth.labeled() {
+        let object = dataset
+            .object_name(o)
+            .map(str::to_owned)
+            .unwrap_or_else(|| o.to_string());
+        let value = dataset.value_name(v).map(str::to_owned).unwrap_or_else(|| v.to_string());
+        writeln!(writer, "{object},{value}")?;
+    }
+    Ok(())
+}
+
+/// Reads per-source features from `source,feature,value` lines, resolving source names
+/// against `dataset`. The `value` field is optional and defaults to `1` (Boolean flag).
+pub fn read_features_csv<R: Read>(dataset: &Dataset, reader: R) -> Result<FeatureMatrix, DataError> {
+    let mut builder = FeatureMatrixBuilder::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 2 || fields.len() > 3 {
+            return Err(DataError::Parse {
+                line: idx + 1,
+                message: "expected source,feature[,value]".to_string(),
+            });
+        }
+        let s = dataset.source_id(fields[0]).ok_or(DataError::Parse {
+            line: idx + 1,
+            message: format!("unknown source '{}'", fields[0]),
+        })?;
+        let value = if fields.len() == 3 {
+            fields[2].parse::<f64>().map_err(|_| DataError::Parse {
+                line: idx + 1,
+                message: format!("'{}' is not a number", fields[2]),
+            })?
+        } else {
+            1.0
+        };
+        builder.set(s, fields[1], value);
+    }
+    Ok(builder.build(dataset.num_sources()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBS: &str = "# comment\n\
+                       article-1,GIGYF2/Parkinson,false\n\
+                       article-2,GIGYF2/Parkinson,false\n\
+                       article-3,GIGYF2/Parkinson,true\n\
+                       \n\
+                       article-1,GBA/Parkinson,true\n";
+
+    #[test]
+    fn observations_round_trip() {
+        let dataset = read_observations_csv(OBS.as_bytes()).unwrap();
+        assert_eq!(dataset.num_sources(), 3);
+        assert_eq!(dataset.num_objects(), 2);
+        assert_eq!(dataset.num_observations(), 4);
+
+        let mut out = Vec::new();
+        write_observations_csv(&dataset, &mut out).unwrap();
+        let reparsed = read_observations_csv(out.as_slice()).unwrap();
+        assert_eq!(reparsed.num_observations(), dataset.num_observations());
+        assert_eq!(reparsed.num_sources(), dataset.num_sources());
+        assert_eq!(
+            reparsed.value_of(
+                reparsed.source_id("article-3").unwrap(),
+                reparsed.object_id("GIGYF2/Parkinson").unwrap()
+            ),
+            reparsed.value_id("true")
+        );
+    }
+
+    #[test]
+    fn malformed_observation_lines_are_reported_with_line_numbers() {
+        let err = read_observations_csv("a,b,c\nbroken-line\n".as_bytes()).unwrap_err();
+        match err {
+            DataError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ground_truth_round_trip_and_validation() {
+        let dataset = read_observations_csv(OBS.as_bytes()).unwrap();
+        let truth =
+            read_ground_truth_csv(&dataset, "GBA/Parkinson,true\nGIGYF2/Parkinson,false\n".as_bytes())
+                .unwrap();
+        assert_eq!(truth.num_labeled(), 2);
+
+        let mut out = Vec::new();
+        write_ground_truth_csv(&dataset, &truth, &mut out).unwrap();
+        let reparsed = read_ground_truth_csv(&dataset, out.as_slice()).unwrap();
+        assert_eq!(reparsed, truth);
+
+        // Unknown object.
+        assert!(read_ground_truth_csv(&dataset, "nope,true\n".as_bytes()).is_err());
+        // Value never observed by any source violates single-truth semantics.
+        let err = read_ground_truth_csv(&dataset, "GBA/Parkinson,maybe\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::TruthOutsideDomain { .. }));
+    }
+
+    #[test]
+    fn features_parse_with_optional_value() {
+        let dataset = read_observations_csv(OBS.as_bytes()).unwrap();
+        let features = read_features_csv(
+            &dataset,
+            "article-1,PubYear=2009\narticle-1,citations,34\narticle-2,PubYear=2008\n".as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(features.num_features(), 3);
+        let s1 = dataset.source_id("article-1").unwrap();
+        assert_eq!(features.value(s1, features.feature_id("citations").unwrap()), 34.0);
+        assert_eq!(features.value(s1, features.feature_id("PubYear=2009").unwrap()), 1.0);
+        // Unknown source is an error.
+        assert!(read_features_csv(&dataset, "nobody,x\n".as_bytes()).is_err());
+        // Bad number is an error.
+        assert!(read_features_csv(&dataset, "article-1,citations,many\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! # slimfast-data
+//!
+//! Data model substrate for the SLiMFast data-fusion framework.
+//!
+//! This crate defines the vocabulary every other crate in the workspace speaks:
+//!
+//! * [`SourceId`], [`ObjectId`], [`ValueId`], [`FeatureId`] — dense integer handles for the
+//!   entities of a fusion instance, produced by [`Interner`]s that map user-facing string
+//!   names to handles.
+//! * [`Observation`] — a single claim `(source, object, value)`.
+//! * [`Dataset`] — the indexed collection of all observations of a fusion instance, with
+//!   per-object and per-source adjacency, built through [`DatasetBuilder`].
+//! * [`GroundTruth`] — the (possibly partial) set of known true object values, and
+//!   [`TruthAssignment`] — the output of a fusion method.
+//! * [`FeatureMatrix`] — per-source domain-specific features (Section 3.1 of the paper).
+//! * [`Split`] / [`SplitPlan`] — reproducible train/test partitions of the ground truth.
+//! * [`DatasetStats`] — the statistics reported in Table 1 of the paper.
+//! * [`FusionMethod`] / [`FusionOutput`] — the trait implemented by SLiMFast and by every
+//!   baseline, so the evaluation harness can treat them uniformly.
+//!
+//! The crate has no opinion about *how* fusion is performed; it only captures the shape of
+//! the problem: conflicting observations over objects with single-truth semantics.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dataset;
+pub mod error;
+pub mod features;
+pub mod fusion;
+pub mod ids;
+pub mod io;
+pub mod observation;
+pub mod split;
+pub mod stats;
+pub mod truth;
+
+pub use dataset::{Dataset, DatasetBuilder};
+pub use error::DataError;
+pub use features::{FeatureMatrix, FeatureMatrixBuilder, FeatureValue};
+pub use fusion::{FusionInput, FusionMethod, FusionOutput};
+pub use ids::{FeatureId, Interner, ObjectId, SourceId, ValueId};
+pub use io::{
+    read_features_csv, read_ground_truth_csv, read_observations_csv, write_ground_truth_csv,
+    write_observations_csv,
+};
+pub use observation::Observation;
+pub use split::{Split, SplitPlan};
+pub use stats::DatasetStats;
+pub use truth::{GroundTruth, SourceAccuracies, TruthAssignment};

@@ -1,0 +1,174 @@
+//! Summary statistics of a fusion instance — the quantities reported in Table 1 of the
+//! paper and the inputs to SLiMFast's optimizer.
+
+use crate::dataset::Dataset;
+use crate::features::FeatureMatrix;
+use crate::truth::GroundTruth;
+
+/// Dataset statistics mirroring Table 1 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// `# Sources`.
+    pub num_sources: usize,
+    /// `# Objects`.
+    pub num_objects: usize,
+    /// `# Observations`.
+    pub num_observations: usize,
+    /// Fraction of objects carrying a ground-truth label (`Available GrdTruth`).
+    pub ground_truth_coverage: f64,
+    /// `# Domain Features`.
+    pub num_domain_features: usize,
+    /// `# Feature Values` (non-zero entries of the feature matrix).
+    pub num_feature_values: usize,
+    /// `Avg. Src. Acc.` — `None` when sources are too sparse to estimate reliably
+    /// (the paper leaves this blank for Genomics).
+    pub avg_source_accuracy: Option<f64>,
+    /// `Avg. Obsrvs per Obj.`
+    pub avg_observations_per_object: f64,
+    /// `Avg. Obsrvs per Src.`
+    pub avg_observations_per_source: f64,
+    /// Observation density (probability that a given source observes a given object).
+    pub density: f64,
+    /// Number of objects with at least two conflicting values.
+    pub num_conflicting_objects: usize,
+}
+
+impl DatasetStats {
+    /// Minimum number of observations a source must have on labelled objects for its
+    /// empirical accuracy to be considered reliable. The paper notes that for Genomics
+    /// (≈1.1 observations per source) "the true average accuracy of data sources cannot be
+    /// estimated reliably"; we operationalise that as an average below this threshold.
+    pub const MIN_OBS_PER_SOURCE_FOR_ACCURACY: f64 = 2.0;
+
+    /// Computes all statistics of a fusion instance.
+    pub fn compute(dataset: &Dataset, features: &FeatureMatrix, truth: &GroundTruth) -> Self {
+        let coverage = if dataset.num_objects() == 0 {
+            0.0
+        } else {
+            truth.num_labeled() as f64 / dataset.num_objects() as f64
+        };
+        let avg_per_source = dataset.avg_observations_per_source();
+        let avg_source_accuracy = if avg_per_source < Self::MIN_OBS_PER_SOURCE_FOR_ACCURACY {
+            None
+        } else {
+            truth.average_source_accuracy(dataset)
+        };
+        Self {
+            num_sources: dataset.num_sources(),
+            num_objects: dataset.num_objects(),
+            num_observations: dataset.num_observations(),
+            ground_truth_coverage: coverage,
+            num_domain_features: features.num_features(),
+            num_feature_values: features.num_feature_values(),
+            avg_source_accuracy,
+            avg_observations_per_object: dataset.avg_observations_per_object(),
+            avg_observations_per_source: avg_per_source,
+            density: dataset.density(),
+            num_conflicting_objects: dataset.conflicting_objects().count(),
+        }
+    }
+
+    /// Renders the statistics as `(label, value)` rows matching the layout of Table 1.
+    pub fn rows(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("# Sources", self.num_sources.to_string()),
+            ("# Objects", self.num_objects.to_string()),
+            (
+                "Available GrdTruth",
+                format!("{:.0}%", self.ground_truth_coverage * 100.0),
+            ),
+            ("# Observations", self.num_observations.to_string()),
+            ("# Domain Features", self.num_domain_features.to_string()),
+            ("# Feature Values", self.num_feature_values.to_string()),
+            (
+                "Avg. Src. Acc.",
+                self.avg_source_accuracy
+                    .map(|a| format!("{a:.3}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ),
+            (
+                "Avg. Obsrvs per Obj.",
+                format!("{:.3}", self.avg_observations_per_object),
+            ),
+            (
+                "Avg. Obsrvs per Src.",
+                format!("{:.2}", self.avg_observations_per_source),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::features::FeatureMatrixBuilder;
+    use crate::ids::{ObjectId, SourceId};
+
+    fn instance() -> (Dataset, FeatureMatrix, GroundTruth) {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "a").unwrap();
+        b.observe("s1", "o0", "b").unwrap();
+        b.observe("s0", "o1", "a").unwrap();
+        b.observe("s1", "o1", "a").unwrap();
+        b.observe("s0", "o2", "b").unwrap();
+        b.observe("s1", "o2", "b").unwrap();
+        let d = b.build();
+        let mut fb = FeatureMatrixBuilder::new();
+        fb.set_flag(SourceId::new(0), "trusted");
+        fb.set_flag(SourceId::new(1), "recent");
+        fb.set_flag(SourceId::new(1), "trusted");
+        let f = fb.build(d.num_sources());
+        let a = d.value_id("a").unwrap();
+        let b_val = d.value_id("b").unwrap();
+        let truth = GroundTruth::from_pairs(
+            d.num_objects(),
+            [(ObjectId::new(0), a), (ObjectId::new(1), a), (ObjectId::new(2), b_val)],
+        );
+        (d, f, truth)
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let (d, f, t) = instance();
+        let stats = DatasetStats::compute(&d, &f, &t);
+        assert_eq!(stats.num_sources, 2);
+        assert_eq!(stats.num_objects, 3);
+        assert_eq!(stats.num_observations, 6);
+        assert_eq!(stats.ground_truth_coverage, 1.0);
+        assert_eq!(stats.num_domain_features, 2);
+        assert_eq!(stats.num_feature_values, 3);
+        assert_eq!(stats.num_conflicting_objects, 1);
+        assert!((stats.density - 1.0).abs() < 1e-12);
+        assert!((stats.avg_observations_per_object - 2.0).abs() < 1e-12);
+        assert!((stats.avg_observations_per_source - 3.0).abs() < 1e-12);
+        // s0 correct on o0,o1,o2 = a,a,b -> claims a,a,b -> 3/3; s1 claims b,a,b -> 2/3.
+        let acc = stats.avg_source_accuracy.unwrap();
+        assert!((acc - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_sources_suppress_average_accuracy() {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "a").unwrap();
+        b.observe("s1", "o1", "a").unwrap();
+        let d = b.build();
+        let truth = GroundTruth::from_pairs(
+            2,
+            [(ObjectId::new(0), d.value_id("a").unwrap()), (ObjectId::new(1), d.value_id("a").unwrap())],
+        );
+        let stats = DatasetStats::compute(&d, &FeatureMatrix::empty(2), &truth);
+        assert!(stats.avg_source_accuracy.is_none());
+        assert!(stats.avg_observations_per_source < DatasetStats::MIN_OBS_PER_SOURCE_FOR_ACCURACY);
+    }
+
+    #[test]
+    fn rows_render_table1_layout() {
+        let (d, f, t) = instance();
+        let stats = DatasetStats::compute(&d, &f, &t);
+        let rows = stats.rows();
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0], ("# Sources", "2".to_string()));
+        assert_eq!(rows[2].1, "100%");
+    }
+}

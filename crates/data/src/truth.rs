@@ -1,0 +1,343 @@
+//! Ground truth over object values and truth assignments produced by fusion methods.
+
+use std::collections::HashMap;
+
+use crate::dataset::Dataset;
+use crate::ids::{ObjectId, SourceId, ValueId};
+
+/// A (possibly partial) assignment of true values `v*_o` to objects.
+///
+/// In the paper this plays two roles: the full ground truth used for *evaluation*, and the
+/// (usually small) labelled subset `G` handed to the learner for *training*. Both are the
+/// same type here; [`GroundTruth::subset`] carves a training set out of a full labelling.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    values: Vec<Option<ValueId>>,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground truth covering `num_objects` objects with no labels.
+    pub fn empty(num_objects: usize) -> Self {
+        Self { values: vec![None; num_objects] }
+    }
+
+    /// Creates a ground truth from a dense vector of labels.
+    pub fn from_values(values: Vec<Option<ValueId>>) -> Self {
+        Self { values }
+    }
+
+    /// Creates a ground truth from `(object, value)` pairs, covering `num_objects` objects.
+    pub fn from_pairs(num_objects: usize, pairs: impl IntoIterator<Item = (ObjectId, ValueId)>) -> Self {
+        let mut truth = Self::empty(num_objects);
+        for (o, v) in pairs {
+            truth.set(o, v);
+        }
+        truth
+    }
+
+    /// Sets the label for object `o`, growing the underlying storage if needed.
+    pub fn set(&mut self, o: ObjectId, v: ValueId) {
+        if o.index() >= self.values.len() {
+            self.values.resize(o.index() + 1, None);
+        }
+        self.values[o.index()] = Some(v);
+    }
+
+    /// Removes the label for object `o`.
+    pub fn clear(&mut self, o: ObjectId) {
+        if o.index() < self.values.len() {
+            self.values[o.index()] = None;
+        }
+    }
+
+    /// The label of object `o`, if any.
+    pub fn get(&self, o: ObjectId) -> Option<ValueId> {
+        self.values.get(o.index()).copied().flatten()
+    }
+
+    /// Number of objects covered by this labelling (labelled or not).
+    pub fn num_objects(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of labelled objects `|G|`.
+    pub fn num_labeled(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Whether no object carries a label.
+    pub fn is_empty(&self) -> bool {
+        self.num_labeled() == 0
+    }
+
+    /// Iterates over labelled `(object, value)` pairs.
+    pub fn labeled(&self) -> impl Iterator<Item = (ObjectId, ValueId)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (ObjectId::new(i), v)))
+    }
+
+    /// Returns a new ground truth containing only the labels of the listed objects.
+    pub fn subset(&self, objects: &[ObjectId]) -> GroundTruth {
+        let mut sub = GroundTruth::empty(self.values.len());
+        for &o in objects {
+            if let Some(v) = self.get(o) {
+                sub.set(o, v);
+            }
+        }
+        sub
+    }
+
+    /// The *true accuracy* `A*_s` of every source with respect to this labelling: the
+    /// fraction of a source's observations on labelled objects that match the label.
+    /// Sources with no observation on a labelled object get `None`.
+    pub fn source_accuracies(&self, dataset: &Dataset) -> Vec<Option<f64>> {
+        let mut correct = vec![0usize; dataset.num_sources()];
+        let mut total = vec![0usize; dataset.num_sources()];
+        for obs in dataset.observations() {
+            if let Some(truth) = self.get(obs.object) {
+                total[obs.source.index()] += 1;
+                if truth == obs.value {
+                    correct[obs.source.index()] += 1;
+                }
+            }
+        }
+        correct
+            .into_iter()
+            .zip(total)
+            .map(|(c, t)| if t == 0 { None } else { Some(c as f64 / t as f64) })
+            .collect()
+    }
+
+    /// Mean of the per-source true accuracies, weighting each source equally
+    /// (the "Avg. Src. Acc." row of Table 1). `None` if no source can be scored.
+    pub fn average_source_accuracy(&self, dataset: &Dataset) -> Option<f64> {
+        let accs: Vec<f64> = self.source_accuracies(dataset).into_iter().flatten().collect();
+        if accs.is_empty() {
+            None
+        } else {
+            Some(accs.iter().sum::<f64>() / accs.len() as f64)
+        }
+    }
+}
+
+/// The output labelling produced by a fusion method, together with optional per-object
+/// confidence (the MAP posterior probability `P(T_o = v_o | Ω)` for probabilistic methods).
+#[derive(Debug, Clone, Default)]
+pub struct TruthAssignment {
+    values: Vec<Option<ValueId>>,
+    confidence: Vec<f64>,
+}
+
+impl TruthAssignment {
+    /// Creates an assignment covering `num_objects` objects with no predictions.
+    pub fn empty(num_objects: usize) -> Self {
+        Self { values: vec![None; num_objects], confidence: vec![0.0; num_objects] }
+    }
+
+    /// Records the predicted value for object `o` with the given confidence.
+    pub fn assign(&mut self, o: ObjectId, v: ValueId, confidence: f64) {
+        if o.index() >= self.values.len() {
+            self.values.resize(o.index() + 1, None);
+            self.confidence.resize(o.index() + 1, 0.0);
+        }
+        self.values[o.index()] = Some(v);
+        self.confidence[o.index()] = confidence;
+    }
+
+    /// The predicted value for object `o`, if any.
+    pub fn get(&self, o: ObjectId) -> Option<ValueId> {
+        self.values.get(o.index()).copied().flatten()
+    }
+
+    /// The confidence attached to the prediction for object `o` (0.0 when unpredicted).
+    pub fn confidence(&self, o: ObjectId) -> f64 {
+        self.confidence.get(o.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Number of objects covered (predicted or not).
+    pub fn num_objects(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of objects with a prediction.
+    pub fn num_assigned(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Iterates over `(object, value, confidence)` triples for predicted objects.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, ValueId, f64)> + '_ {
+        self.values.iter().enumerate().filter_map(|(i, v)| {
+            v.map(|v| (ObjectId::new(i), v, self.confidence[i]))
+        })
+    }
+
+    /// Converts the assignment into a map, dropping confidences.
+    pub fn to_map(&self) -> HashMap<ObjectId, ValueId> {
+        self.iter().map(|(o, v, _)| (o, v)).collect()
+    }
+
+    /// Fraction of objects in `eval_objects` whose prediction matches `truth`
+    /// (the paper's *Accuracy for True Object Values*). Unpredicted objects count as wrong.
+    pub fn accuracy_against(&self, truth: &GroundTruth, eval_objects: &[ObjectId]) -> f64 {
+        if eval_objects.is_empty() {
+            return 0.0;
+        }
+        let correct = eval_objects
+            .iter()
+            .filter(|&&o| match (self.get(o), truth.get(o)) {
+                (Some(pred), Some(actual)) => pred == actual,
+                _ => false,
+            })
+            .count();
+        correct as f64 / eval_objects.len() as f64
+    }
+}
+
+/// Estimated accuracies of all sources, as produced by a probabilistic fusion method.
+#[derive(Debug, Clone, Default)]
+pub struct SourceAccuracies {
+    accuracies: Vec<f64>,
+}
+
+impl SourceAccuracies {
+    /// Wraps a dense per-source accuracy vector.
+    pub fn new(accuracies: Vec<f64>) -> Self {
+        Self { accuracies }
+    }
+
+    /// The estimated accuracy of source `s`.
+    pub fn get(&self, s: SourceId) -> f64 {
+        self.accuracies.get(s.index()).copied().unwrap_or(0.5)
+    }
+
+    /// Dense access to all accuracies.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.accuracies
+    }
+
+    /// Number of sources covered.
+    pub fn len(&self) -> usize {
+        self.accuracies.len()
+    }
+
+    /// Whether no source is covered.
+    pub fn is_empty(&self) -> bool {
+        self.accuracies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn toy() -> (Dataset, GroundTruth) {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "false").unwrap();
+        b.observe("s1", "o0", "false").unwrap();
+        b.observe("s2", "o0", "true").unwrap();
+        b.observe("s0", "o1", "true").unwrap();
+        b.observe("s2", "o1", "true").unwrap();
+        let d = b.build();
+        let false_v = d.value_id("false").unwrap();
+        let true_v = d.value_id("true").unwrap();
+        let truth = GroundTruth::from_pairs(
+            d.num_objects(),
+            [(d.object_id("o0").unwrap(), false_v), (d.object_id("o1").unwrap(), true_v)],
+        );
+        (d, truth)
+    }
+
+    #[test]
+    fn ground_truth_basic_accessors() {
+        let (d, truth) = toy();
+        assert_eq!(truth.num_objects(), 2);
+        assert_eq!(truth.num_labeled(), 2);
+        assert!(!truth.is_empty());
+        let o0 = d.object_id("o0").unwrap();
+        assert_eq!(truth.get(o0), d.value_id("false"));
+    }
+
+    #[test]
+    fn subset_keeps_only_requested_objects() {
+        let (d, truth) = toy();
+        let o1 = d.object_id("o1").unwrap();
+        let sub = truth.subset(&[o1]);
+        assert_eq!(sub.num_labeled(), 1);
+        assert_eq!(sub.get(o1), d.value_id("true"));
+        assert_eq!(sub.get(d.object_id("o0").unwrap()), None);
+    }
+
+    #[test]
+    fn source_accuracies_match_hand_computation() {
+        let (d, truth) = toy();
+        let accs = truth.source_accuracies(&d);
+        // s0: o0=false (correct), o1=true (correct) -> 1.0
+        // s1: o0=false (correct) -> 1.0
+        // s2: o0=true (wrong), o1=true (correct) -> 0.5
+        assert_eq!(accs[d.source_id("s0").unwrap().index()], Some(1.0));
+        assert_eq!(accs[d.source_id("s1").unwrap().index()], Some(1.0));
+        assert_eq!(accs[d.source_id("s2").unwrap().index()], Some(0.5));
+        let avg = truth.average_source_accuracy(&d).unwrap();
+        assert!((avg - (1.0 + 1.0 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobserved_sources_have_no_accuracy() {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "x").unwrap();
+        b.reserve_sources(2);
+        let d = b.build();
+        let truth = GroundTruth::from_pairs(1, [(ObjectId::new(0), d.value_id("x").unwrap())]);
+        let accs = truth.source_accuracies(&d);
+        assert_eq!(accs.len(), 2);
+        assert_eq!(accs[1], None);
+    }
+
+    #[test]
+    fn assignment_accuracy_counts_missing_as_wrong() {
+        let (d, truth) = toy();
+        let o0 = d.object_id("o0").unwrap();
+        let o1 = d.object_id("o1").unwrap();
+        let mut assignment = TruthAssignment::empty(d.num_objects());
+        assignment.assign(o0, d.value_id("false").unwrap(), 0.9);
+        // o1 left unpredicted.
+        let acc = assignment.accuracy_against(&truth, &[o0, o1]);
+        assert!((acc - 0.5).abs() < 1e-12);
+        assert_eq!(assignment.num_assigned(), 1);
+        assert!((assignment.confidence(o0) - 0.9).abs() < 1e-12);
+        assert_eq!(assignment.confidence(o1), 0.0);
+    }
+
+    #[test]
+    fn assignment_iter_and_map() {
+        let (d, _) = toy();
+        let o0 = d.object_id("o0").unwrap();
+        let mut assignment = TruthAssignment::empty(d.num_objects());
+        assignment.assign(o0, d.value_id("true").unwrap(), 0.7);
+        let map = assignment.to_map();
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[&o0], d.value_id("true").unwrap());
+        assert_eq!(assignment.iter().count(), 1);
+    }
+
+    #[test]
+    fn source_accuracy_container_defaults_to_half() {
+        let accs = SourceAccuracies::new(vec![0.9, 0.2]);
+        assert_eq!(accs.get(SourceId::new(0)), 0.9);
+        assert_eq!(accs.get(SourceId::new(5)), 0.5);
+        assert_eq!(accs.len(), 2);
+        assert!(!accs.is_empty());
+    }
+
+    #[test]
+    fn clearing_a_label_removes_it() {
+        let (d, mut truth) = toy();
+        let o0 = d.object_id("o0").unwrap();
+        truth.clear(o0);
+        assert_eq!(truth.get(o0), None);
+        assert_eq!(truth.num_labeled(), 1);
+    }
+}

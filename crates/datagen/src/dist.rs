@@ -1,0 +1,92 @@
+//! Small sampling helpers kept in-crate to avoid extra dependencies.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples `k` distinct indices from `0..n` (all of `0..n` when `k >= n`).
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    // For small k relative to n, rejection sampling is cheaper than shuffling all of 0..n.
+    if k * 8 < n {
+        let mut chosen = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let candidate = rng.gen_range(0..n);
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        chosen
+    } else {
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(rng);
+        all.truncate(k);
+        all
+    }
+}
+
+/// Samples an integer from a (rough) symmetric triangular distribution on `[low, high]`,
+/// used for per-object observation counts.
+pub fn triangular_count<R: Rng + ?Sized>(rng: &mut R, low: usize, high: usize) -> usize {
+    if high <= low {
+        return low;
+    }
+    let a = rng.gen_range(low..=high);
+    let b = rng.gen_range(low..=high);
+    (a + b) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_samples_have_roughly_correct_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean = {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.15, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (n, k) in [(100, 5), (100, 90), (10, 20)] {
+            let sample = sample_distinct(&mut rng, n, k);
+            let mut dedup = sample.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), sample.len(), "duplicates for n={n}, k={k}");
+            assert_eq!(sample.len(), k.min(n));
+            assert!(sample.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn triangular_count_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let c = triangular_count(&mut rng, 2, 9);
+            assert!((2..=9).contains(&c));
+        }
+        assert_eq!(triangular_count(&mut rng, 5, 5), 5);
+        assert_eq!(triangular_count(&mut rng, 7, 3), 7);
+    }
+}

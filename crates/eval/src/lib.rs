@@ -1,0 +1,26 @@
+//! # slimfast-eval
+//!
+//! The evaluation harness behind every table and figure of the SLiMFast paper:
+//!
+//! * [`metrics`] — the two headline metrics of Section 5.1: *accuracy for true object
+//!   values* and the observation-weighted *error for estimated source accuracies*, plus the
+//!   mean KL divergence used by Theorem 3.
+//! * [`runner`] — the experimental protocol: draw random train/test splits at the paper's
+//!   training fractions, run every method on every split, average over repetitions, and
+//!   record wall-clock time.
+//! * [`lineup`] — the method line-ups of the evaluation (the seven methods of Table 2, the
+//!   probabilistic subset of Table 3, the SLiMFast variants of Table 4).
+//! * [`tables`] — plain-text rendering of result grids in the layout of the paper's tables.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod lineup;
+pub mod metrics;
+pub mod runner;
+pub mod tables;
+
+pub use lineup::{probabilistic_lineup, slimfast_variants, standard_lineup, MethodEntry};
+pub use metrics::{mean_kl_divergence, source_accuracy_error};
+pub use runner::{CellResult, ExperimentProtocol, MethodSummary};
+pub use tables::{format_accuracy_table, format_error_table};

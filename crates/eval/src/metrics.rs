@@ -1,0 +1,118 @@
+//! Evaluation metrics (Section 5.1 of the paper).
+
+use slimfast_data::{Dataset, GroundTruth, SourceAccuracies};
+
+/// Observation-weighted mean absolute error between estimated and true source accuracies
+/// ("Error for Estimated Sources Accuracies" in the paper): each source's absolute error is
+/// weighted by the number of observations it contributes, so mis-estimating a prolific
+/// source costs more than mis-estimating a rare one.
+///
+/// Sources whose true accuracy cannot be computed (no observation on a labelled object)
+/// are skipped. Returns `None` when no source can be scored.
+pub fn source_accuracy_error(
+    dataset: &Dataset,
+    full_truth: &GroundTruth,
+    estimated: &SourceAccuracies,
+) -> Option<f64> {
+    let true_accuracies = full_truth.source_accuracies(dataset);
+    let mut weighted_error = 0.0;
+    let mut total_weight = 0.0;
+    for s in dataset.source_ids() {
+        let Some(true_acc) = true_accuracies[s.index()] else { continue };
+        let weight = dataset.observations_by_source(s).len() as f64;
+        if weight == 0.0 {
+            continue;
+        }
+        weighted_error += weight * (estimated.get(s) - true_acc).abs();
+        total_weight += weight;
+    }
+    if total_weight == 0.0 {
+        None
+    } else {
+        Some(weighted_error / total_weight)
+    }
+}
+
+/// Mean KL divergence `KL(Â_s ‖ A*_s)` between estimated and true source accuracies viewed
+/// as Bernoulli distributions — the quantity Theorem 3 bounds.
+pub fn mean_kl_divergence(
+    dataset: &Dataset,
+    full_truth: &GroundTruth,
+    estimated: &SourceAccuracies,
+) -> Option<f64> {
+    let true_accuracies = full_truth.source_accuracies(dataset);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for s in dataset.source_ids() {
+        let Some(true_acc) = true_accuracies[s.index()] else { continue };
+        let p = estimated.get(s).clamp(1e-6, 1.0 - 1e-6);
+        let q = true_acc.clamp(1e-6, 1.0 - 1e-6);
+        total += p * (p / q).ln() + (1.0 - p) * ((1.0 - p) / (1.0 - q)).ln();
+        count += 1;
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slimfast_data::{DatasetBuilder, ObjectId};
+
+    fn fixture() -> (Dataset, GroundTruth) {
+        let mut b = DatasetBuilder::new();
+        // s0 makes 3 observations (all correct), s1 makes 1 (wrong).
+        b.observe("s0", "o0", "x").unwrap();
+        b.observe("s0", "o1", "x").unwrap();
+        b.observe("s0", "o2", "y").unwrap();
+        b.observe("s1", "o0", "y").unwrap();
+        let d = b.build();
+        let x = d.value_id("x").unwrap();
+        let y = d.value_id("y").unwrap();
+        let truth = GroundTruth::from_pairs(
+            3,
+            [(ObjectId::new(0), x), (ObjectId::new(1), x), (ObjectId::new(2), y)],
+        );
+        (d, truth)
+    }
+
+    #[test]
+    fn error_is_weighted_by_observation_counts() {
+        let (d, truth) = fixture();
+        // True accuracies: s0 = 1.0 (3 obs), s1 = 0.0 (1 obs).
+        let estimated = SourceAccuracies::new(vec![0.9, 0.5]);
+        let error = source_accuracy_error(&d, &truth, &estimated).unwrap();
+        // (3 * |0.9 - 1.0| + 1 * |0.5 - 0.0|) / 4 = (0.3 + 0.5) / 4 = 0.2
+        assert!((error - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_estimates_have_zero_error_and_divergence() {
+        let (d, truth) = fixture();
+        let estimated = SourceAccuracies::new(vec![1.0, 0.0]);
+        assert!(source_accuracy_error(&d, &truth, &estimated).unwrap() < 1e-12);
+        assert!(mean_kl_divergence(&d, &truth, &estimated).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn kl_divergence_grows_with_miscalibration() {
+        let (d, truth) = fixture();
+        let close = SourceAccuracies::new(vec![0.9, 0.1]);
+        let far = SourceAccuracies::new(vec![0.5, 0.9]);
+        let kl_close = mean_kl_divergence(&d, &truth, &close).unwrap();
+        let kl_far = mean_kl_divergence(&d, &truth, &far).unwrap();
+        assert!(kl_far > kl_close);
+    }
+
+    #[test]
+    fn unlabelled_instances_yield_none() {
+        let (d, _) = fixture();
+        let empty = GroundTruth::empty(d.num_objects());
+        let estimated = SourceAccuracies::new(vec![0.5, 0.5]);
+        assert!(source_accuracy_error(&d, &empty, &estimated).is_none());
+        assert!(mean_kl_divergence(&d, &empty, &estimated).is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text rendering of result grids in the layout of the paper's tables.
+
+use crate::runner::MethodSummary;
+
+/// Formats an object-value-accuracy grid (Table 2 style): one row per training fraction,
+/// one column per method.
+pub fn format_accuracy_table(dataset_name: &str, summaries: &[MethodSummary]) -> String {
+    format_metric_table(dataset_name, summaries, "Accuracy for true object values", |cell| {
+        format!("{:.3}", cell.object_accuracy)
+    })
+}
+
+/// Formats a source-accuracy-error grid (Table 3 style).
+pub fn format_error_table(dataset_name: &str, summaries: &[MethodSummary]) -> String {
+    format_metric_table(dataset_name, summaries, "Error for estimated source accuracies", |cell| {
+        cell.source_error.map(|e| format!("{e:.3}")).unwrap_or_else(|| "-".to_string())
+    })
+}
+
+/// Formats a runtime grid (Table 5 style).
+pub fn format_runtime_table(dataset_name: &str, summaries: &[MethodSummary]) -> String {
+    format_metric_table(dataset_name, summaries, "Wall-clock runtime (seconds)", |cell| {
+        format!("{:.2}", cell.runtime_secs)
+    })
+}
+
+fn format_metric_table(
+    dataset_name: &str,
+    summaries: &[MethodSummary],
+    title: &str,
+    render: impl Fn(&crate::runner::CellResult) -> String,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {dataset_name}: {title} ==\n"));
+    if summaries.is_empty() {
+        out.push_str("(no methods)\n");
+        return out;
+    }
+    // Header.
+    out.push_str(&format!("{:>8}", "TD(%)"));
+    for summary in summaries {
+        out.push_str(&format!("{:>14}", summary.method));
+    }
+    out.push('\n');
+    // One row per training fraction (taken from the first method's cells).
+    for (row, cell) in summaries[0].cells.iter().enumerate() {
+        out.push_str(&format!("{:>8.1}", cell.train_fraction * 100.0));
+        for summary in summaries {
+            let value = summary.cells.get(row).map(&render).unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!("{value:>14}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Highlights the best method per training fraction (used by the relative-difference panel
+/// of Table 2): returns, for each row, the name of the method with the highest accuracy.
+pub fn best_method_per_fraction(summaries: &[MethodSummary]) -> Vec<(f64, String)> {
+    if summaries.is_empty() {
+        return Vec::new();
+    }
+    let rows = summaries[0].cells.len();
+    (0..rows)
+        .map(|row| {
+            let fraction = summaries[0].cells[row].train_fraction;
+            let best = summaries
+                .iter()
+                .max_by(|a, b| {
+                    a.cells[row]
+                        .object_accuracy
+                        .partial_cmp(&b.cells[row].object_accuracy)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|s| s.method.clone())
+                .unwrap_or_default();
+            (fraction, best)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CellResult;
+
+    fn summary(name: &str, accuracies: &[f64]) -> MethodSummary {
+        MethodSummary {
+            method: name.to_string(),
+            cells: accuracies
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| CellResult {
+                    method: name.to_string(),
+                    train_fraction: [0.01, 0.1][i],
+                    object_accuracy: a,
+                    source_error: Some(0.05),
+                    runtime_secs: 1.5,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn tables_contain_headers_rows_and_values() {
+        let summaries = vec![summary("SLiMFast", &[0.9, 0.95]), summary("ACCU", &[0.8, 0.85])];
+        let table = format_accuracy_table("Stocks", &summaries);
+        assert!(table.contains("Stocks"));
+        assert!(table.contains("SLiMFast"));
+        assert!(table.contains("0.950"));
+        assert!(table.lines().count() >= 4);
+        let errors = format_error_table("Stocks", &summaries);
+        assert!(errors.contains("0.050"));
+        let runtimes = format_runtime_table("Stocks", &summaries);
+        assert!(runtimes.contains("1.50"));
+    }
+
+    #[test]
+    fn best_method_is_identified_per_row() {
+        let summaries = vec![summary("SLiMFast", &[0.9, 0.85]), summary("ACCU", &[0.8, 0.9])];
+        let best = best_method_per_fraction(&summaries);
+        assert_eq!(best[0].1, "SLiMFast");
+        assert_eq!(best[1].1, "ACCU");
+        assert!(best_method_per_fraction(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_lineup_renders_gracefully() {
+        let table = format_accuracy_table("Empty", &[]);
+        assert!(table.contains("no methods"));
+    }
+}

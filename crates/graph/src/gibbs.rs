@@ -1,0 +1,236 @@
+//! Gibbs sampling over a [`FactorGraph`].
+//!
+//! The sampler mirrors DeepDive's inference step: evidence variables are clamped, latent
+//! variables are resampled in sweeps from their full conditional (a softmax over the local
+//! scores), and marginals are estimated from post-burn-in sample counts. Multiple
+//! independent chains can be run on separate threads and their counts pooled.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{FactorGraph, VariableId};
+
+/// Configuration of a Gibbs run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GibbsConfig {
+    /// Sweeps discarded before counting.
+    pub burn_in: usize,
+    /// Sweeps counted toward the marginals.
+    pub samples: usize,
+    /// Number of independent chains (run on separate threads when greater than one).
+    pub chains: usize,
+    /// Base RNG seed; chain `c` uses `seed + c`.
+    pub seed: u64,
+}
+
+impl Default for GibbsConfig {
+    fn default() -> Self {
+        Self { burn_in: 100, samples: 400, chains: 1, seed: 0 }
+    }
+}
+
+/// Estimated per-variable marginal distributions.
+#[derive(Debug, Clone)]
+pub struct Marginals {
+    per_variable: Vec<Vec<f64>>,
+}
+
+impl Marginals {
+    /// The marginal distribution of a variable.
+    pub fn distribution(&self, variable: VariableId) -> &[f64] {
+        &self.per_variable[variable.index()]
+    }
+
+    /// The MAP value of a variable together with its marginal probability.
+    pub fn map_value(&self, variable: VariableId) -> (usize, f64) {
+        let dist = self.distribution(variable);
+        let mut best = 0;
+        for (i, &p) in dist.iter().enumerate() {
+            if p > dist[best] {
+                best = i;
+            }
+        }
+        (best, dist[best])
+    }
+
+    /// Number of variables covered.
+    pub fn num_variables(&self) -> usize {
+        self.per_variable.len()
+    }
+}
+
+fn initial_assignment(graph: &FactorGraph, rng: &mut StdRng) -> Vec<usize> {
+    (0..graph.num_variables())
+        .map(|i| {
+            let v = VariableId(i as u32);
+            graph
+                .evidence(v)
+                .unwrap_or_else(|| rng.gen_range(0..graph.cardinality(v)))
+        })
+        .collect()
+}
+
+fn sweep(graph: &FactorGraph, assignment: &mut [usize], rng: &mut StdRng) {
+    for v in graph.latent_variables() {
+        let cardinality = graph.cardinality(v);
+        if cardinality == 1 {
+            assignment[v.index()] = 0;
+            continue;
+        }
+        let mut weights: Vec<f64> = (0..cardinality)
+            .map(|value| graph.local_score(v, value, assignment))
+            .collect();
+        // Stable softmax into unnormalized positive weights.
+        let max = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for w in weights.iter_mut() {
+            *w = (*w - max).exp();
+        }
+        let dist = WeightedIndex::new(&weights).expect("softmax weights are positive");
+        assignment[v.index()] = dist.sample(rng);
+    }
+}
+
+fn run_chain(graph: &FactorGraph, config: &GibbsConfig, chain: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(chain));
+    let mut assignment = initial_assignment(graph, &mut rng);
+    let mut counts: Vec<Vec<u64>> = (0..graph.num_variables())
+        .map(|i| vec![0u64; graph.cardinality(VariableId(i as u32))])
+        .collect();
+    for _ in 0..config.burn_in {
+        sweep(graph, &mut assignment, &mut rng);
+    }
+    for _ in 0..config.samples {
+        sweep(graph, &mut assignment, &mut rng);
+        for (i, &value) in assignment.iter().enumerate() {
+            counts[i][value] += 1;
+        }
+    }
+    counts
+}
+
+/// Runs Gibbs sampling and returns the estimated marginals.
+///
+/// Evidence variables get a point-mass marginal on their observed value.
+pub fn sample(graph: &FactorGraph, config: &GibbsConfig) -> Marginals {
+    let chains = config.chains.max(1);
+    let all_counts: Vec<Vec<Vec<u64>>> = if chains == 1 {
+        vec![run_chain(graph, config, 0)]
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..chains)
+                .map(|c| scope.spawn(move |_| run_chain(graph, config, c as u64)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("gibbs chain panicked")).collect()
+        })
+        .expect("gibbs thread scope failed")
+    };
+
+    let mut per_variable = Vec::with_capacity(graph.num_variables());
+    for i in 0..graph.num_variables() {
+        let v = VariableId(i as u32);
+        let cardinality = graph.cardinality(v);
+        if let Some(observed) = graph.evidence(v) {
+            let mut dist = vec![0.0; cardinality];
+            dist[observed] = 1.0;
+            per_variable.push(dist);
+            continue;
+        }
+        let mut totals = vec![0u64; cardinality];
+        for counts in &all_counts {
+            for (value, &count) in counts[i].iter().enumerate() {
+                totals[value] += count;
+            }
+        }
+        let denom: u64 = totals.iter().sum();
+        let dist = if denom == 0 {
+            vec![1.0 / cardinality as f64; cardinality]
+        } else {
+            totals.iter().map(|&c| c as f64 / denom as f64).collect()
+        };
+        per_variable.push(dist);
+    }
+    Marginals { per_variable }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::FactorKind;
+
+    /// A single binary variable with a strong positive weight on value 1 should have a
+    /// marginal close to the logistic of that weight.
+    #[test]
+    fn single_variable_marginal_matches_logistic() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(2);
+        let w = g.add_weight(1.5);
+        g.add_factor(FactorKind::Indicator { variable: v, value: 1 }, w, 1.0);
+        let config = GibbsConfig { burn_in: 200, samples: 4000, chains: 1, seed: 1 };
+        let marginals = sample(&g, &config);
+        let expected = 1.0 / (1.0 + (-1.5f64).exp());
+        let p1 = marginals.distribution(v)[1];
+        assert!((p1 - expected).abs() < 0.03, "p1 = {p1}, expected {expected}");
+        let (map, conf) = marginals.map_value(v);
+        assert_eq!(map, 1);
+        assert!(conf > 0.5);
+    }
+
+    #[test]
+    fn evidence_variables_are_point_masses() {
+        let mut g = FactorGraph::new();
+        let v = g.add_evidence(3, 2);
+        let marginals = sample(&g, &GibbsConfig::default());
+        assert_eq!(marginals.distribution(v), &[0.0, 0.0, 1.0]);
+        assert_eq!(marginals.map_value(v), (2, 1.0));
+    }
+
+    #[test]
+    fn equality_factor_couples_variables() {
+        let mut g = FactorGraph::new();
+        let a = g.add_evidence(2, 1);
+        let b = g.add_variable(2);
+        let w = g.add_weight(3.0);
+        g.add_factor(FactorKind::Equality { a, b }, w, 1.0);
+        let config = GibbsConfig { burn_in: 100, samples: 2000, chains: 1, seed: 3 };
+        let marginals = sample(&g, &config);
+        // b should be dragged toward the evidence value of a.
+        assert!(marginals.distribution(b)[1] > 0.9);
+    }
+
+    #[test]
+    fn multiple_chains_agree_with_single_chain() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(2);
+        let w = g.add_weight(0.8);
+        g.add_factor(FactorKind::Indicator { variable: v, value: 0 }, w, 1.0);
+        let single = sample(&g, &GibbsConfig { burn_in: 100, samples: 3000, chains: 1, seed: 5 });
+        let multi = sample(&g, &GibbsConfig { burn_in: 100, samples: 1000, chains: 4, seed: 5 });
+        let p_single = single.distribution(v)[0];
+        let p_multi = multi.distribution(v)[0];
+        assert!((p_single - p_multi).abs() < 0.05, "{p_single} vs {p_multi}");
+    }
+
+    #[test]
+    fn unconnected_variable_has_uniform_marginal() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(4);
+        let config = GibbsConfig { burn_in: 50, samples: 4000, chains: 1, seed: 9 };
+        let marginals = sample(&g, &config);
+        for &p in marginals.distribution(v) {
+            assert!((p - 0.25).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_a_seed() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(2);
+        let w = g.add_weight(0.3);
+        g.add_factor(FactorKind::Indicator { variable: v, value: 1 }, w, 1.0);
+        let config = GibbsConfig { burn_in: 10, samples: 100, chains: 2, seed: 11 };
+        let a = sample(&g, &config);
+        let b = sample(&g, &config);
+        assert_eq!(a.distribution(v), b.distribution(v));
+    }
+}

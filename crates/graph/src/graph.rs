@@ -1,0 +1,345 @@
+//! Factor-graph representation: categorical variables, log-linear factors, tied weights.
+
+/// Handle of a variable in a [`FactorGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VariableId(pub u32);
+
+/// Handle of a factor in a [`FactorGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactorId(pub u32);
+
+/// Handle of a (possibly tied) weight in a [`FactorGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WeightId(pub u32);
+
+impl VariableId {
+    /// Dense index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FactorId {
+    /// Dense index of the factor.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl WeightId {
+    /// Dense index of the weight.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A categorical variable.
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    /// Number of values the variable ranges over.
+    pub cardinality: usize,
+    /// Observed value when the variable is evidence, `None` when latent.
+    pub evidence: Option<usize>,
+}
+
+/// The functional form of a factor. Factors are log-linear: a factor contributes
+/// `weight * scale * f(assignment)` to the unnormalized log-probability, where `f` is the
+/// 0/1 function described by the kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FactorKind {
+    /// Fires when `variable` takes `value`. This is the building block of SLiMFast's
+    /// logistic-regression factors: one indicator per observation per candidate value,
+    /// tied to the source-indicator or domain-feature weight.
+    Indicator {
+        /// The variable the factor watches.
+        variable: VariableId,
+        /// The value that makes the factor fire.
+        value: usize,
+    },
+    /// Fires when two variables take the same value (used by pairwise extensions such as
+    /// the copying-source model of Appendix D).
+    Equality {
+        /// First variable.
+        a: VariableId,
+        /// Second variable.
+        b: VariableId,
+    },
+}
+
+/// A weighted factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Factor {
+    /// The factor function.
+    pub kind: FactorKind,
+    /// The (tied) weight multiplied into the factor's contribution.
+    pub weight: WeightId,
+    /// A fixed multiplier on the factor's contribution (e.g. a feature value `f_{s,k}`).
+    pub scale: f64,
+}
+
+/// A factor graph over categorical variables with tied, learnable weights.
+#[derive(Debug, Clone, Default)]
+pub struct FactorGraph {
+    pub(crate) variables: Vec<Variable>,
+    pub(crate) factors: Vec<Factor>,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) weight_fixed: Vec<bool>,
+    pub(crate) var_factors: Vec<Vec<FactorId>>,
+}
+
+impl FactorGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a latent categorical variable with the given cardinality.
+    pub fn add_variable(&mut self, cardinality: usize) -> VariableId {
+        assert!(cardinality >= 1, "a categorical variable needs at least one value");
+        let id = VariableId(self.variables.len() as u32);
+        self.variables.push(Variable { cardinality, evidence: None });
+        self.var_factors.push(Vec::new());
+        id
+    }
+
+    /// Adds an evidence variable fixed to `value`.
+    pub fn add_evidence(&mut self, cardinality: usize, value: usize) -> VariableId {
+        let id = self.add_variable(cardinality);
+        self.set_evidence(id, Some(value));
+        id
+    }
+
+    /// Sets or clears the evidence value of a variable.
+    pub fn set_evidence(&mut self, variable: VariableId, value: Option<usize>) {
+        if let Some(v) = value {
+            assert!(
+                v < self.variables[variable.index()].cardinality,
+                "evidence value out of range"
+            );
+        }
+        self.variables[variable.index()].evidence = value;
+    }
+
+    /// Adds a learnable weight with an initial value.
+    pub fn add_weight(&mut self, initial: f64) -> WeightId {
+        let id = WeightId(self.weights.len() as u32);
+        self.weights.push(initial);
+        self.weight_fixed.push(false);
+        id
+    }
+
+    /// Adds a weight whose value is fixed (never updated by learning).
+    pub fn add_fixed_weight(&mut self, value: f64) -> WeightId {
+        let id = self.add_weight(value);
+        self.weight_fixed[id.index()] = true;
+        id
+    }
+
+    /// Adds a factor, wiring it into the adjacency of the variables it touches.
+    pub fn add_factor(&mut self, kind: FactorKind, weight: WeightId, scale: f64) -> FactorId {
+        let id = FactorId(self.factors.len() as u32);
+        self.factors.push(Factor { kind, weight, scale });
+        match kind {
+            FactorKind::Indicator { variable, value } => {
+                assert!(
+                    value < self.variables[variable.index()].cardinality,
+                    "indicator value out of range"
+                );
+                self.var_factors[variable.index()].push(id);
+            }
+            FactorKind::Equality { a, b } => {
+                self.var_factors[a.index()].push(id);
+                self.var_factors[b.index()].push(id);
+            }
+        }
+        id
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of factors.
+    pub fn num_factors(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Number of weights.
+    pub fn num_weights(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Cardinality of a variable.
+    pub fn cardinality(&self, variable: VariableId) -> usize {
+        self.variables[variable.index()].cardinality
+    }
+
+    /// Evidence value of a variable, if it is observed.
+    pub fn evidence(&self, variable: VariableId) -> Option<usize> {
+        self.variables[variable.index()].evidence
+    }
+
+    /// Current value of a weight.
+    pub fn weight(&self, weight: WeightId) -> f64 {
+        self.weights[weight.index()]
+    }
+
+    /// Sets the value of a weight.
+    pub fn set_weight(&mut self, weight: WeightId, value: f64) {
+        self.weights[weight.index()] = value;
+    }
+
+    /// All weight values, indexed by [`WeightId`].
+    pub fn weight_values(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Whether learning may update the weight.
+    pub fn is_weight_learnable(&self, weight: WeightId) -> bool {
+        !self.weight_fixed[weight.index()]
+    }
+
+    /// Factors adjacent to a variable.
+    pub fn factors_of(&self, variable: VariableId) -> &[FactorId] {
+        &self.var_factors[variable.index()]
+    }
+
+    /// Factor lookup.
+    pub fn factor(&self, factor: FactorId) -> &Factor {
+        &self.factors[factor.index()]
+    }
+
+    /// Evaluates the 0/1 factor function under a full assignment.
+    pub fn factor_fires(&self, factor: FactorId, assignment: &[usize]) -> bool {
+        match self.factors[factor.index()].kind {
+            FactorKind::Indicator { variable, value } => assignment[variable.index()] == value,
+            FactorKind::Equality { a, b } => assignment[a.index()] == assignment[b.index()],
+        }
+    }
+
+    /// Unnormalized log-score a single variable's candidate value receives from its
+    /// adjacent factors, holding all other variables at `assignment`.
+    pub fn local_score(&self, variable: VariableId, value: usize, assignment: &[usize]) -> f64 {
+        let mut score = 0.0;
+        for &fid in self.factors_of(variable) {
+            let factor = &self.factors[fid.index()];
+            let fires = match factor.kind {
+                FactorKind::Indicator { variable: v, value: target } => {
+                    debug_assert_eq!(v, variable);
+                    value == target
+                }
+                FactorKind::Equality { a, b } => {
+                    let other = if a == variable { b } else { a };
+                    value == assignment[other.index()]
+                }
+            };
+            if fires {
+                score += self.weights[factor.weight.index()] * factor.scale;
+            }
+        }
+        score
+    }
+
+    /// Iterates over the handles of all latent (non-evidence) variables.
+    pub fn latent_variables(&self) -> impl Iterator<Item = VariableId> + '_ {
+        self.variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.evidence.is_none())
+            .map(|(i, _)| VariableId(i as u32))
+    }
+
+    /// Iterates over the handles of all evidence variables.
+    pub fn evidence_variables(&self) -> impl Iterator<Item = VariableId> + '_ {
+        self.variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.evidence.is_some())
+            .map(|(i, _)| VariableId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_a_graph_tracks_adjacency() {
+        let mut g = FactorGraph::new();
+        let v0 = g.add_variable(2);
+        let v1 = g.add_evidence(3, 1);
+        let w = g.add_weight(0.5);
+        let f0 = g.add_factor(FactorKind::Indicator { variable: v0, value: 1 }, w, 1.0);
+        let f1 = g.add_factor(FactorKind::Equality { a: v0, b: v1 }, w, 2.0);
+        assert_eq!(g.num_variables(), 2);
+        assert_eq!(g.num_factors(), 2);
+        assert_eq!(g.num_weights(), 1);
+        assert_eq!(g.factors_of(v0), &[f0, f1]);
+        assert_eq!(g.factors_of(v1), &[f1]);
+        assert_eq!(g.cardinality(v1), 3);
+        assert_eq!(g.evidence(v1), Some(1));
+        assert_eq!(g.evidence(v0), None);
+        assert_eq!(g.latent_variables().count(), 1);
+        assert_eq!(g.evidence_variables().count(), 1);
+    }
+
+    #[test]
+    fn factor_fires_matches_semantics() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(2);
+        let b = g.add_variable(2);
+        let w = g.add_weight(1.0);
+        let ind = g.add_factor(FactorKind::Indicator { variable: a, value: 0 }, w, 1.0);
+        let eq = g.add_factor(FactorKind::Equality { a, b }, w, 1.0);
+        assert!(g.factor_fires(ind, &[0, 1]));
+        assert!(!g.factor_fires(ind, &[1, 1]));
+        assert!(g.factor_fires(eq, &[1, 1]));
+        assert!(!g.factor_fires(eq, &[0, 1]));
+    }
+
+    #[test]
+    fn local_score_sums_adjacent_firing_factors() {
+        let mut g = FactorGraph::new();
+        let a = g.add_variable(2);
+        let b = g.add_evidence(2, 1);
+        let w1 = g.add_weight(2.0);
+        let w2 = g.add_weight(3.0);
+        g.add_factor(FactorKind::Indicator { variable: a, value: 1 }, w1, 1.0);
+        g.add_factor(FactorKind::Equality { a, b }, w2, 0.5);
+        let assignment = vec![0usize, 1usize];
+        // value 1: indicator fires (2.0) + equality with b=1 fires (3.0 * 0.5).
+        assert!((g.local_score(a, 1, &assignment) - 3.5).abs() < 1e-12);
+        // value 0: nothing fires.
+        assert_eq!(g.local_score(a, 0, &assignment), 0.0);
+    }
+
+    #[test]
+    fn fixed_weights_are_flagged() {
+        let mut g = FactorGraph::new();
+        let w = g.add_weight(0.0);
+        let fixed = g.add_fixed_weight(1.5);
+        assert!(g.is_weight_learnable(w));
+        assert!(!g.is_weight_learnable(fixed));
+        assert_eq!(g.weight(fixed), 1.5);
+        g.set_weight(w, -2.0);
+        assert_eq!(g.weight(w), -2.0);
+        assert_eq!(g.weight_values(), &[-2.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "evidence value out of range")]
+    fn out_of_range_evidence_panics() {
+        let mut g = FactorGraph::new();
+        g.add_evidence(2, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "indicator value out of range")]
+    fn out_of_range_indicator_panics() {
+        let mut g = FactorGraph::new();
+        let v = g.add_variable(2);
+        let w = g.add_weight(0.0);
+        g.add_factor(FactorKind::Indicator { variable: v, value: 7 }, w, 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The lasso path: how L1-regularized model weights evolve as the penalty is relaxed.
+//!
+//! Section 5.3.1 of the paper couples SLiMFast with the lasso path to explain *which*
+//! domain features drive source accuracy: important features activate (become non-zero)
+//! at high penalties and keep growing as the penalty decreases (Figures 6 and 9).
+
+use crate::logistic::{BinaryExample, BinaryLogisticRegression};
+use crate::penalty::Penalty;
+use crate::sgd::SgdConfig;
+
+/// The result of a lasso-path sweep: one fitted weight vector per penalty value.
+#[derive(Debug, Clone)]
+pub struct LassoPath {
+    /// The L1 strengths of the sweep, in the order they were fitted (strongest first).
+    pub lambdas: Vec<f64>,
+    /// `weights[i][k]` is the weight of parameter `k` at penalty `lambdas[i]`.
+    pub weights: Vec<Vec<f64>>,
+}
+
+impl LassoPath {
+    /// Number of parameters tracked by the path.
+    pub fn num_params(&self) -> usize {
+        self.weights.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// The trajectory of one parameter across the sweep (strongest penalty first).
+    pub fn trajectory(&self, param: usize) -> Vec<f64> {
+        self.weights.iter().map(|w| w.get(param).copied().unwrap_or(0.0)).collect()
+    }
+
+    /// The normalized x-axis used in the paper's plots: `μ ∈ [0, 1]`, the L1 norm of the
+    /// solution at each penalty divided by the maximum L1 norm along the path.
+    pub fn normalized_l1(&self) -> Vec<f64> {
+        let norms: Vec<f64> =
+            self.weights.iter().map(|w| w.iter().map(|x| x.abs()).sum()).collect();
+        let max = norms.iter().copied().fold(0.0f64, f64::max);
+        if max == 0.0 {
+            return vec![0.0; norms.len()];
+        }
+        norms.into_iter().map(|n| n / max).collect()
+    }
+
+    /// For each parameter, the position along the path (index into `lambdas`) at which it
+    /// first takes a non-zero weight; `None` if it never activates. Parameters that
+    /// activate earlier (at stronger penalties) are more important.
+    pub fn activation_index(&self, threshold: f64) -> Vec<Option<usize>> {
+        let n = self.num_params();
+        (0..n)
+            .map(|k| self.weights.iter().position(|w| w[k].abs() > threshold))
+            .collect()
+    }
+
+    /// Parameters ranked by importance: earliest activation first, ties broken by the
+    /// magnitude of the final (least-penalized) weight. Never-active parameters come last.
+    pub fn importance_ranking(&self, threshold: f64) -> Vec<usize> {
+        let activations = self.activation_index(threshold);
+        let final_weights = self.weights.last().cloned().unwrap_or_default();
+        let mut order: Vec<usize> = (0..self.num_params()).collect();
+        order.sort_by(|&a, &b| {
+            let key_a = activations[a].unwrap_or(usize::MAX);
+            let key_b = activations[b].unwrap_or(usize::MAX);
+            key_a.cmp(&key_b).then(
+                final_weights[b]
+                    .abs()
+                    .partial_cmp(&final_weights[a].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        order
+    }
+}
+
+/// Sweeps the L1 penalty over `lambdas` (fitted strongest-first with warm starts) and
+/// records the weight vector at each strength.
+///
+/// `base` controls everything except the penalty; its `penalty` field is overridden.
+pub fn lasso_path(
+    examples: &[BinaryExample],
+    num_params: usize,
+    lambdas: &[f64],
+    base: &SgdConfig,
+) -> LassoPath {
+    let mut sorted: Vec<f64> = lambdas.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut weights = Vec::with_capacity(sorted.len());
+    let mut warm: Option<Vec<f64>> = None;
+    for &lambda in &sorted {
+        let config = SgdConfig { penalty: Penalty::L1(lambda), ..*base };
+        let model =
+            BinaryLogisticRegression::fit_warm(examples, num_params, &config, warm.clone());
+        warm = Some(model.weights().to_vec());
+        weights.push(model.weights().to_vec());
+    }
+    LassoPath { lambdas: sorted, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::SparseVec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Data where feature 0 strongly predicts the label, feature 1 weakly, feature 2 not
+    /// at all.
+    fn examples() -> Vec<BinaryExample> {
+        let mut rng = StdRng::seed_from_u64(17);
+        (0..400)
+            .map(|_| {
+                let y = rng.gen_bool(0.5);
+                let strong = if y { 1.0 } else { 0.0 };
+                let weak = if rng.gen_bool(if y { 0.65 } else { 0.35 }) { 1.0 } else { 0.0 };
+                let noise = if rng.gen_bool(0.5) { 1.0 } else { 0.0 };
+                BinaryExample::new(
+                    SparseVec::from_pairs([(0, strong), (1, weak), (2, noise)]),
+                    if y { 1.0 } else { 0.0 },
+                )
+            })
+            .collect()
+    }
+
+    fn path() -> LassoPath {
+        let base = SgdConfig { epochs: 60, tolerance: 0.0, ..SgdConfig::default() };
+        lasso_path(&examples(), 3, &[0.5, 0.1, 0.02, 0.004, 0.0008, 0.0], &base)
+    }
+
+    #[test]
+    fn lambdas_are_sorted_descending() {
+        let p = path();
+        for pair in p.lambdas.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert_eq!(p.weights.len(), p.lambdas.len());
+        assert_eq!(p.num_params(), 3);
+    }
+
+    #[test]
+    fn informative_features_activate_before_noise() {
+        let p = path();
+        let ranking = p.importance_ranking(1e-3);
+        assert_eq!(ranking[0], 0, "the strong feature should be most important: {ranking:?}");
+        let activations = p.activation_index(1e-3);
+        // The strong feature activates no later than the noise feature.
+        match (activations[0], activations[2]) {
+            (Some(a0), Some(a2)) => assert!(a0 <= a2),
+            (Some(_), None) => {}
+            other => panic!("unexpected activations {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalized_l1_is_monotone_in_zero_to_one() {
+        let p = path();
+        let mu = p.normalized_l1();
+        assert_eq!(mu.len(), p.lambdas.len());
+        for &m in &mu {
+            assert!((0.0..=1.0 + 1e-12).contains(&m));
+        }
+        // The least-penalized solution attains the maximum norm.
+        assert!((mu.last().copied().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_has_one_point_per_lambda() {
+        let p = path();
+        assert_eq!(p.trajectory(0).len(), p.lambdas.len());
+        // The strong feature's final weight should be clearly positive.
+        assert!(p.trajectory(0).last().copied().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn empty_path_is_well_formed() {
+        let p = LassoPath { lambdas: Vec::new(), weights: Vec::new() };
+        assert_eq!(p.num_params(), 0);
+        assert!(p.normalized_l1().is_empty());
+        assert!(p.importance_ranking(1e-3).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # slimfast-optim
+//!
+//! Optimization substrate for the SLiMFast workspace.
+//!
+//! The paper learns its discriminative model with stochastic gradient descent (over
+//! DeepDive's DimmWitted sampler); this crate provides the equivalent numerical machinery
+//! in pure Rust:
+//!
+//! * [`sparse::SparseVec`] — sparse feature vectors used by every learner.
+//! * [`schedule::LearningRate`] — step-size schedules for SGD.
+//! * [`penalty::Penalty`] — `L1` / `L2` / elastic-net regularization, including the
+//!   proximal (soft-thresholding) update that makes `L1` produce exactly-sparse weights,
+//!   which Theorem 2's `√(k log|K|)` refinement and the lasso-path analysis rely on.
+//! * [`sgd`] — a small SGD/AdaGrad engine over user-supplied stochastic objectives.
+//! * [`logistic`] — binary and conditional (multiclass, shared-weight) logistic regression
+//!   with hard or fractional targets; the fractional form is what EM's M-step needs.
+//! * [`lasso`] — the lasso path (Section 5.3.1, Figures 6 and 9).
+//! * [`matrix`] — rank-one matrix completion used by the optimizer to estimate the average
+//!   source accuracy from the pairwise agreement matrix (Section 4.3).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod lasso;
+pub mod logistic;
+pub mod matrix;
+pub mod penalty;
+pub mod schedule;
+pub mod sgd;
+pub mod sparse;
+
+pub use lasso::{lasso_path, LassoPath};
+pub use logistic::{
+    log_loss, sigmoid, softmax_in_place, BinaryExample, BinaryLogisticRegression, ConditionalExample,
+    ConditionalLogit, Target,
+};
+pub use matrix::{rank_one_completion, rank_one_factorize, AgreementMatrix};
+pub use penalty::Penalty;
+pub use schedule::LearningRate;
+pub use sgd::{FitResult, SgdConfig, StochasticObjective};
+pub use sparse::SparseVec;

@@ -1,0 +1,459 @@
+//! Binary and conditional (shared-weight multiclass) logistic regression.
+//!
+//! SLiMFast's ERM objective is exactly a conditional logistic regression: for every object
+//! the candidate classes are the distinct values in its domain, the "feature vector" of a
+//! class aggregates the source-indicator and domain features of the sources voting for that
+//! value, and all classes share one weight vector (Equation 4 of the paper). EM's M-step is
+//! the same model with *fractional* targets given by the E-step posterior. The source
+//! accuracy model of Equation 3 is a plain binary logistic regression over source features.
+
+use crate::penalty::Penalty;
+use crate::sgd::{minimize, FitResult, SgdConfig, StochasticObjective};
+use crate::sparse::SparseVec;
+
+/// Numerically stable logistic function `1 / (1 + e^{-x})`.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `log(1 + e^x)`.
+#[inline]
+pub fn log1pexp(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Binary cross-entropy `-(y ln p + (1-y) ln(1-p))` with probability clamping.
+#[inline]
+pub fn log_loss(p: f64, y: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+}
+
+/// In-place stable softmax over a score vector.
+pub fn softmax_in_place(scores: &mut [f64]) {
+    if scores.is_empty() {
+        return;
+    }
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    for s in scores.iter_mut() {
+        *s /= sum;
+    }
+}
+
+/// One (possibly fractionally labelled, weighted) binary training example.
+#[derive(Debug, Clone)]
+pub struct BinaryExample {
+    /// Sparse feature vector.
+    pub features: SparseVec,
+    /// Target in `[0, 1]`; fractional targets express soft labels.
+    pub target: f64,
+    /// Example weight (1.0 for ordinary examples).
+    pub weight: f64,
+}
+
+impl BinaryExample {
+    /// An example with unit weight.
+    pub fn new(features: SparseVec, target: f64) -> Self {
+        Self { features, target, weight: 1.0 }
+    }
+
+    /// An example with an explicit weight.
+    pub fn weighted(features: SparseVec, target: f64, weight: f64) -> Self {
+        Self { features, target, weight }
+    }
+}
+
+struct BinaryObjective<'a> {
+    examples: &'a [BinaryExample],
+    num_params: usize,
+}
+
+impl StochasticObjective for BinaryObjective<'_> {
+    fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    fn num_examples(&self) -> usize {
+        self.examples.len()
+    }
+
+    fn example_loss_grad(&self, w: &[f64], example: usize, grad: &mut SparseVec) -> f64 {
+        let ex = &self.examples[example];
+        let p = sigmoid(ex.features.dot(w));
+        let err = ex.weight * (p - ex.target);
+        for (i, v) in ex.features.iter() {
+            grad.add(i, err * v);
+        }
+        ex.weight * log_loss(p, ex.target)
+    }
+}
+
+/// A fitted binary logistic regression model.
+#[derive(Debug, Clone)]
+pub struct BinaryLogisticRegression {
+    weights: Vec<f64>,
+    fit: Option<FitResult>,
+}
+
+impl BinaryLogisticRegression {
+    /// Wraps an externally produced weight vector.
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        Self { weights, fit: None }
+    }
+
+    /// Fits the model on `examples` over a parameter space of dimension `num_params`.
+    pub fn fit(examples: &[BinaryExample], num_params: usize, config: &SgdConfig) -> Self {
+        Self::fit_warm(examples, num_params, config, None)
+    }
+
+    /// Fits with warm-start weights (used by the lasso path and EM).
+    pub fn fit_warm(
+        examples: &[BinaryExample],
+        num_params: usize,
+        config: &SgdConfig,
+        init: Option<Vec<f64>>,
+    ) -> Self {
+        let objective = BinaryObjective { examples, num_params };
+        let fit = minimize(&objective, init, config);
+        Self { weights: fit.weights.clone(), fit: Some(fit) }
+    }
+
+    /// The learned weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Details of the SGD run, when the model was fitted (as opposed to wrapped).
+    pub fn fit_result(&self) -> Option<&FitResult> {
+        self.fit.as_ref()
+    }
+
+    /// Predicted probability of the positive class for a feature vector.
+    pub fn predict_proba(&self, features: &SparseVec) -> f64 {
+        sigmoid(features.dot(&self.weights))
+    }
+
+    /// Mean log-loss over a set of examples.
+    pub fn mean_log_loss(&self, examples: &[BinaryExample]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = examples
+            .iter()
+            .map(|ex| ex.weight * log_loss(self.predict_proba(&ex.features), ex.target))
+            .sum();
+        total / examples.len() as f64
+    }
+}
+
+/// The target of a conditional (multiclass) example.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// The index of the correct class.
+    Hard(usize),
+    /// A distribution over classes (used by EM's M-step with posterior targets).
+    Soft(Vec<f64>),
+}
+
+/// One conditional logistic-regression example: a set of candidate classes, each with its
+/// own sparse feature vector, sharing a single weight vector.
+#[derive(Debug, Clone)]
+pub struct ConditionalExample {
+    /// Per-class sparse feature vectors.
+    pub classes: Vec<SparseVec>,
+    /// The (hard or soft) target.
+    pub target: Target,
+    /// Example weight.
+    pub weight: f64,
+}
+
+impl ConditionalExample {
+    /// A hard-labelled example with unit weight.
+    pub fn new(classes: Vec<SparseVec>, label: usize) -> Self {
+        Self { classes, target: Target::Hard(label), weight: 1.0 }
+    }
+
+    /// A soft-labelled example with unit weight.
+    pub fn soft(classes: Vec<SparseVec>, distribution: Vec<f64>) -> Self {
+        Self { classes, target: Target::Soft(distribution), weight: 1.0 }
+    }
+
+    fn target_prob(&self, class: usize) -> f64 {
+        match &self.target {
+            Target::Hard(label) => {
+                if class == *label {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Target::Soft(dist) => dist.get(class).copied().unwrap_or(0.0),
+        }
+    }
+}
+
+struct ConditionalObjective<'a> {
+    examples: &'a [ConditionalExample],
+    num_params: usize,
+}
+
+impl StochasticObjective for ConditionalObjective<'_> {
+    fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    fn num_examples(&self) -> usize {
+        self.examples.len()
+    }
+
+    fn example_loss_grad(&self, w: &[f64], example: usize, grad: &mut SparseVec) -> f64 {
+        let ex = &self.examples[example];
+        if ex.classes.is_empty() {
+            return 0.0;
+        }
+        let mut probs: Vec<f64> = ex.classes.iter().map(|x| x.dot(w)).collect();
+        softmax_in_place(&mut probs);
+        let mut loss = 0.0;
+        for (c, x) in ex.classes.iter().enumerate() {
+            let t = ex.target_prob(c);
+            let err = ex.weight * (probs[c] - t);
+            for (i, v) in x.iter() {
+                grad.add(i, err * v);
+            }
+            if t > 0.0 {
+                loss += -t * probs[c].clamp(1e-12, 1.0).ln();
+            }
+        }
+        ex.weight * loss
+    }
+}
+
+/// A fitted conditional logistic regression (multiclass with shared weights).
+#[derive(Debug, Clone)]
+pub struct ConditionalLogit {
+    weights: Vec<f64>,
+    fit: Option<FitResult>,
+}
+
+impl ConditionalLogit {
+    /// Wraps an externally produced weight vector.
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        Self { weights, fit: None }
+    }
+
+    /// Fits the model.
+    pub fn fit(examples: &[ConditionalExample], num_params: usize, config: &SgdConfig) -> Self {
+        Self::fit_warm(examples, num_params, config, None)
+    }
+
+    /// Fits the model starting from `init` weights.
+    pub fn fit_warm(
+        examples: &[ConditionalExample],
+        num_params: usize,
+        config: &SgdConfig,
+        init: Option<Vec<f64>>,
+    ) -> Self {
+        let objective = ConditionalObjective { examples, num_params };
+        let fit = minimize(&objective, init, config);
+        Self { weights: fit.weights.clone(), fit: Some(fit) }
+    }
+
+    /// The learned weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Details of the SGD run, when fitted.
+    pub fn fit_result(&self) -> Option<&FitResult> {
+        self.fit.as_ref()
+    }
+
+    /// Class posterior for a set of candidate classes.
+    pub fn predict_proba(&self, classes: &[SparseVec]) -> Vec<f64> {
+        let mut scores: Vec<f64> = classes.iter().map(|x| x.dot(&self.weights)).collect();
+        softmax_in_place(&mut scores);
+        scores
+    }
+
+    /// Mean negative log-likelihood over a set of examples.
+    pub fn mean_log_loss(&self, examples: &[ConditionalExample]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for ex in examples {
+            let probs = self.predict_proba(&ex.classes);
+            for (c, &p) in probs.iter().enumerate() {
+                let t = ex.target_prob(c);
+                if t > 0.0 {
+                    total += -ex.weight * t * p.clamp(1e-12, 1.0).ln();
+                }
+            }
+        }
+        total / examples.len() as f64
+    }
+}
+
+/// Helper fitting a binary logistic regression with the given penalty; used by callers that
+/// only need a one-liner (source-quality initialization, the optimizer's diagnostics).
+pub fn fit_binary(
+    examples: &[BinaryExample],
+    num_params: usize,
+    penalty: Penalty,
+    epochs: usize,
+    seed: u64,
+) -> BinaryLogisticRegression {
+    let config = SgdConfig { epochs, penalty, seed, ..SgdConfig::default() };
+    BinaryLogisticRegression::fit(examples, num_params, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(800.0) <= 1.0);
+        assert!(sigmoid(-800.0) >= 0.0);
+        for x in [-5.0, -1.0, 0.3, 4.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log1pexp_matches_naive_in_safe_range() {
+        for x in [-10.0f64, -1.0, 0.0, 1.0, 10.0] {
+            let naive = (1.0f64 + x.exp()).ln();
+            assert!((log1pexp(x) - naive).abs() < 1e-9);
+        }
+        assert!((log1pexp(1000.0) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let mut scores = vec![1.0, 3.0, 2.0];
+        softmax_in_place(&mut scores);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(scores[1] > scores[2] && scores[2] > scores[0]);
+        // Extreme scores do not overflow.
+        let mut extreme = vec![1e4, -1e4];
+        softmax_in_place(&mut extreme);
+        assert!(extreme[0] > 0.999 && extreme[1] < 1e-3);
+    }
+
+    fn separable_examples() -> Vec<BinaryExample> {
+        // Positive iff feature 0 is active.
+        let mut examples = Vec::new();
+        for i in 0..200 {
+            let positive = i % 2 == 0;
+            let features = if positive {
+                SparseVec::from_pairs([(0, 1.0), (1, (i % 3) as f64 * 0.1)])
+            } else {
+                SparseVec::from_pairs([(1, (i % 3) as f64 * 0.1), (2, 1.0)])
+            };
+            examples.push(BinaryExample::new(features, if positive { 1.0 } else { 0.0 }));
+        }
+        examples
+    }
+
+    #[test]
+    fn binary_regression_separates_separable_data() {
+        let examples = separable_examples();
+        let config = SgdConfig { epochs: 100, tolerance: 0.0, ..SgdConfig::default() };
+        let model = BinaryLogisticRegression::fit(&examples, 3, &config);
+        let pos = model.predict_proba(&SparseVec::from_pairs([(0, 1.0)]));
+        let neg = model.predict_proba(&SparseVec::from_pairs([(2, 1.0)]));
+        assert!(pos > 0.9, "positive-class probability too low: {pos}");
+        assert!(neg < 0.1, "negative-class probability too high: {neg}");
+        assert!(model.mean_log_loss(&examples) < 0.2);
+    }
+
+    #[test]
+    fn fractional_targets_move_probabilities_to_the_target() {
+        // A single always-on feature and a fractional target of 0.7: the fitted
+        // probability should approach 0.7 (the minimizer of expected log-loss).
+        let examples = vec![BinaryExample::new(SparseVec::from_pairs([(0, 1.0)]), 0.7); 100];
+        let config = SgdConfig { epochs: 300, tolerance: 0.0, ..SgdConfig::default() };
+        let model = BinaryLogisticRegression::fit(&examples, 1, &config);
+        let p = model.predict_proba(&SparseVec::from_pairs([(0, 1.0)]));
+        assert!((p - 0.7).abs() < 0.03, "p = {p}");
+    }
+
+    #[test]
+    fn conditional_logit_learns_class_preferences() {
+        // Two classes; class feature 0 is the signal for the correct class.
+        let mut examples = Vec::new();
+        for i in 0..200 {
+            let correct_first = i % 2 == 0;
+            let strong = SparseVec::from_pairs([(0, 1.0)]);
+            let weak = SparseVec::from_pairs([(1, 1.0)]);
+            let (classes, label) = if correct_first {
+                (vec![strong.clone(), weak.clone()], 0)
+            } else {
+                (vec![weak.clone(), strong.clone()], 1)
+            };
+            examples.push(ConditionalExample::new(classes, label));
+        }
+        let config = SgdConfig { epochs: 100, tolerance: 0.0, ..SgdConfig::default() };
+        let model = ConditionalLogit::fit(&examples, 2, &config);
+        let probs = model.predict_proba(&[
+            SparseVec::from_pairs([(0, 1.0)]),
+            SparseVec::from_pairs([(1, 1.0)]),
+        ]);
+        assert!(probs[0] > 0.9, "probs = {probs:?}");
+        assert!(model.mean_log_loss(&examples) < 0.2);
+    }
+
+    #[test]
+    fn soft_targets_are_respected() {
+        // Single example repeated; soft target [0.8, 0.2] with distinct class features.
+        let classes =
+            vec![SparseVec::from_pairs([(0, 1.0)]), SparseVec::from_pairs([(1, 1.0)])];
+        let examples = vec![ConditionalExample::soft(classes.clone(), vec![0.8, 0.2]); 200];
+        let config = SgdConfig { epochs: 300, tolerance: 0.0, ..SgdConfig::default() };
+        let model = ConditionalLogit::fit(&examples, 2, &config);
+        let probs = model.predict_proba(&classes);
+        assert!((probs[0] - 0.8).abs() < 0.05, "probs = {probs:?}");
+    }
+
+    #[test]
+    fn empty_class_list_contributes_no_loss() {
+        let examples = vec![ConditionalExample::new(Vec::new(), 0)];
+        let config = SgdConfig { epochs: 2, ..SgdConfig::default() };
+        let model = ConditionalLogit::fit(&examples, 3, &config);
+        assert_eq!(model.weights().len(), 3);
+    }
+
+    #[test]
+    fn helper_fit_binary_produces_a_model() {
+        let examples = separable_examples();
+        let model = fit_binary(&examples, 3, Penalty::L2(1e-4), 50, 3);
+        assert!(model.predict_proba(&SparseVec::from_pairs([(0, 1.0)])) > 0.8);
+        assert!(model.fit_result().is_some());
+    }
+
+    #[test]
+    fn log_loss_clamps_probabilities() {
+        assert!(log_loss(0.0, 1.0).is_finite());
+        assert!(log_loss(1.0, 0.0).is_finite());
+        assert!(log_loss(0.5, 1.0) > 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Rank-one matrix completion over the pairwise source-agreement matrix.
+//!
+//! SLiMFast's optimizer (Section 4.3) estimates the *average* source accuracy from the
+//! agreement rates of source pairs: with all sources at accuracy `A` and `μ = 2A − 1`, the
+//! expected agreement-rate entry is `E[X_ij] = μ²`, so `μ̂ = sqrt(mean(X_ij))` is the
+//! closed-form solution of `min ½‖X − μ²‖²`. The paper also notes the setup extends to a
+//! per-source accuracy via a general rank-one completion `X_ij ≈ μ_i μ_j`, which
+//! [`rank_one_factorize`] solves with SGD.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A symmetric matrix of observed pairwise agreement scores with missing entries.
+///
+/// Entry `(i, j)` holds the signed agreement rate of sources `i` and `j` over the objects
+/// they both observe: `+1` for full agreement, `−1` for full disagreement, `None` when the
+/// pair shares no object.
+#[derive(Debug, Clone)]
+pub struct AgreementMatrix {
+    n: usize,
+    entries: Vec<Option<f64>>,
+}
+
+impl AgreementMatrix {
+    /// Creates an `n × n` matrix with every entry missing.
+    pub fn new(n: usize) -> Self {
+        Self { n, entries: vec![None; n * n] }
+    }
+
+    /// Matrix dimension (number of sources).
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.n + j
+    }
+
+    /// Sets the symmetric entry `(i, j)` / `(j, i)`.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "agreement index out of bounds");
+        let a = self.idx(i, j);
+        let b = self.idx(j, i);
+        self.entries[a] = Some(value);
+        self.entries[b] = Some(value);
+    }
+
+    /// Reads entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        self.entries.get(self.idx(i, j)).copied().flatten()
+    }
+
+    /// Iterates over observed off-diagonal entries `(i, j, value)` with `i < j`.
+    pub fn observed(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            ((i + 1)..self.n).filter_map(move |j| self.get(i, j).map(|v| (i, j, v)))
+        })
+    }
+
+    /// Number of observed off-diagonal pairs.
+    pub fn num_observed(&self) -> usize {
+        self.observed().count()
+    }
+
+    /// Mean of observed off-diagonal entries, `None` when nothing is observed.
+    pub fn mean_off_diagonal(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (_, _, v) in self.observed() {
+            sum += v;
+            count += 1;
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+}
+
+/// Closed-form rank-one completion under a shared accuracy: returns `μ̂ = sqrt(mean X_ij)`
+/// clamped into `[0, 1]`. Returns `None` when no pair of sources overlaps.
+pub fn rank_one_completion(matrix: &AgreementMatrix) -> Option<f64> {
+    matrix.mean_off_diagonal().map(|mean| mean.max(0.0).sqrt().min(1.0))
+}
+
+/// General rank-one completion `X_ij ≈ μ_i μ_j` solved by SGD, returning one `μ_s` per
+/// source clamped into `[0, 1]` (so `A_s = (μ_s + 1) / 2` is a valid accuracy).
+///
+/// Sources with no observed pair keep the shared estimate from
+/// [`rank_one_completion`] (or `0.0` when that is unavailable).
+pub fn rank_one_factorize(
+    matrix: &AgreementMatrix,
+    epochs: usize,
+    learning_rate: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let n = matrix.dimension();
+    let shared = rank_one_completion(matrix).unwrap_or(0.0);
+    let mut mu = vec![shared.max(0.05); n];
+    let pairs: Vec<(usize, usize, f64)> = matrix.observed().collect();
+    if pairs.is_empty() {
+        return vec![shared; n];
+    }
+    let mut observed_mask = vec![false; n];
+    for &(i, j, _) in &pairs {
+        observed_mask[i] = true;
+        observed_mask[j] = true;
+    }
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for epoch in 0..epochs {
+        order.shuffle(&mut rng);
+        let eta = learning_rate / (1.0 + epoch as f64).sqrt();
+        for &p in &order {
+            let (i, j, x) = pairs[p];
+            let err = mu[i] * mu[j] - x;
+            let gi = err * mu[j];
+            let gj = err * mu[i];
+            mu[i] = (mu[i] - eta * gi).clamp(0.0, 1.0);
+            mu[j] = (mu[j] - eta * gj).clamp(0.0, 1.0);
+        }
+    }
+    for (s, observed) in observed_mask.iter().enumerate() {
+        if !observed {
+            mu[s] = shared;
+        }
+    }
+    mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_matrix(mu: &[f64]) -> AgreementMatrix {
+        let mut m = AgreementMatrix::new(mu.len());
+        for i in 0..mu.len() {
+            for j in (i + 1)..mu.len() {
+                m.set(i, j, mu[i] * mu[j]);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn set_get_is_symmetric() {
+        let mut m = AgreementMatrix::new(3);
+        m.set(0, 2, 0.5);
+        assert_eq!(m.get(0, 2), Some(0.5));
+        assert_eq!(m.get(2, 0), Some(0.5));
+        assert_eq!(m.get(1, 2), None);
+        assert_eq!(m.num_observed(), 1);
+    }
+
+    #[test]
+    fn closed_form_recovers_shared_mu() {
+        // All sources share accuracy 0.8 => mu = 0.6, entries = 0.36.
+        let m = full_matrix(&[0.6, 0.6, 0.6, 0.6]);
+        let mu_hat = rank_one_completion(&m).unwrap();
+        assert!((mu_hat - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_form_clamps_negative_means_to_zero() {
+        let mut m = AgreementMatrix::new(2);
+        m.set(0, 1, -0.3);
+        assert_eq!(rank_one_completion(&m), Some(0.0));
+    }
+
+    #[test]
+    fn empty_matrix_has_no_estimate() {
+        let m = AgreementMatrix::new(5);
+        assert_eq!(rank_one_completion(&m), None);
+        assert_eq!(m.mean_off_diagonal(), None);
+        let mu = rank_one_factorize(&m, 10, 0.1, 0);
+        assert_eq!(mu, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn factorization_recovers_heterogeneous_mu() {
+        let truth = [0.9, 0.7, 0.5, 0.3, 0.8, 0.6];
+        let m = full_matrix(&truth);
+        let mu = rank_one_factorize(&m, 500, 0.5, 42);
+        for (est, actual) in mu.iter().zip(truth.iter()) {
+            assert!((est - actual).abs() < 0.1, "estimated {est}, wanted {actual}");
+        }
+    }
+
+    #[test]
+    fn factorization_falls_back_for_isolated_sources() {
+        // Source 2 never overlaps with anyone.
+        let mut m = AgreementMatrix::new(3);
+        m.set(0, 1, 0.36);
+        let mu = rank_one_factorize(&m, 100, 0.5, 1);
+        assert!((mu[2] - 0.6).abs() < 1e-9, "isolated source should use the shared estimate");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_set_panics() {
+        let mut m = AgreementMatrix::new(2);
+        m.set(0, 5, 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Step-size schedules for stochastic gradient descent.
+
+/// A learning-rate schedule mapping the (0-based) update counter to a step size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LearningRate {
+    /// A constant step size.
+    Constant(f64),
+    /// `eta0 / (1 + t)^power` — the classical Robbins–Monro decay (use `power = 1.0` for
+    /// guaranteed convergence on strongly convex objectives, `0.5` for a gentler decay).
+    InvScaling {
+        /// Initial step size.
+        eta0: f64,
+        /// Decay exponent.
+        power: f64,
+    },
+    /// `eta0 / sqrt(1 + t)` — the schedule typically paired with averaged SGD on convex
+    /// losses such as SLiMFast's ERM objective.
+    InvSqrt(
+        /// Initial step size.
+        f64,
+    ),
+}
+
+impl LearningRate {
+    /// Step size for update `t` (0-based).
+    pub fn rate(&self, t: usize) -> f64 {
+        match *self {
+            LearningRate::Constant(eta) => eta,
+            LearningRate::InvScaling { eta0, power } => eta0 / (1.0 + t as f64).powf(power),
+            LearningRate::InvSqrt(eta0) => eta0 / (1.0 + t as f64).sqrt(),
+        }
+    }
+}
+
+impl Default for LearningRate {
+    fn default() -> Self {
+        LearningRate::InvSqrt(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_stays_constant() {
+        let lr = LearningRate::Constant(0.1);
+        assert_eq!(lr.rate(0), 0.1);
+        assert_eq!(lr.rate(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn schedules_decay_monotonically() {
+        for lr in [
+            LearningRate::InvScaling { eta0: 1.0, power: 1.0 },
+            LearningRate::InvSqrt(1.0),
+        ] {
+            let mut prev = f64::INFINITY;
+            for t in 0..100 {
+                let r = lr.rate(t);
+                assert!(r > 0.0);
+                assert!(r <= prev, "rate must be non-increasing");
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn inv_sqrt_matches_formula() {
+        let lr = LearningRate::InvSqrt(2.0);
+        assert!((lr.rate(3) - 2.0 / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! Sparse vectors over a dense parameter space.
+
+/// A sparse vector stored as `(index, value)` pairs.
+///
+/// SLiMFast's model has one parameter per source plus one per domain feature; any single
+/// observation touches only a handful of them, so gradients and feature vectors are sparse.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(usize, f64)>,
+}
+
+impl SparseVec {
+    /// Creates an empty sparse vector.
+    pub fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Creates a sparse vector from raw `(index, value)` pairs.
+    /// Later duplicates of an index accumulate into the earlier entry.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, f64)>) -> Self {
+        let mut v = Self::new();
+        for (i, x) in pairs {
+            v.add(i, x);
+        }
+        v
+    }
+
+    /// Adds `value` to the coefficient at `index`.
+    pub fn add(&mut self, index: usize, value: f64) {
+        if value == 0.0 {
+            return;
+        }
+        if let Some(slot) = self.entries.iter_mut().find(|(i, _)| *i == index) {
+            slot.1 += value;
+        } else {
+            self.entries.push((index, value));
+        }
+    }
+
+    /// Iterates over `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dot product against a dense weight vector. Out-of-range indices contribute zero.
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(i, x)| dense.get(i).copied().unwrap_or(0.0) * x)
+            .sum()
+    }
+
+    /// Adds `scale * self` into a dense accumulator, growing it if needed.
+    pub fn add_scaled_into(&self, scale: f64, dense: &mut Vec<f64>) {
+        for &(i, x) in &self.entries {
+            if i >= dense.len() {
+                dense.resize(i + 1, 0.0);
+            }
+            dense[i] += scale * x;
+        }
+    }
+
+    /// Largest index referenced plus one (0 for an empty vector).
+    pub fn dimension(&self) -> usize {
+        self.entries.iter().map(|&(i, _)| i + 1).max().unwrap_or(0)
+    }
+}
+
+impl FromIterator<(usize, f64)> for SparseVec {
+    fn from_iter<T: IntoIterator<Item = (usize, f64)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_accumulate_and_zeros_are_dropped() {
+        let v = SparseVec::from_pairs([(3, 1.0), (3, 2.0), (1, 0.0)]);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.iter().next(), Some((3, 3.0)));
+        assert_eq!(v.dimension(), 4);
+    }
+
+    #[test]
+    fn dot_ignores_out_of_range_indices() {
+        let v = SparseVec::from_pairs([(0, 2.0), (5, 3.0)]);
+        let dense = vec![1.0, 0.0, 0.0];
+        assert_eq!(v.dot(&dense), 2.0);
+    }
+
+    #[test]
+    fn add_scaled_grows_the_accumulator() {
+        let v = SparseVec::from_pairs([(2, 1.5)]);
+        let mut acc = vec![0.0; 1];
+        v.add_scaled_into(2.0, &mut acc);
+        assert_eq!(acc, vec![0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_vector_behaves() {
+        let v = SparseVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.dot(&[1.0, 2.0]), 0.0);
+        assert_eq!(v.dimension(), 0);
+    }
+}

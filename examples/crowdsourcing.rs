@@ -1,0 +1,64 @@
+//! Crowdsourced label aggregation: 102 workers judge the sentiment of ~1,000 tweets
+//! (exactly 20 judgements per tweet). Shows the full method line-up of the paper, the
+//! optimizer's ERM/EM crossover as ground truth grows, and which worker features predict
+//! worker accuracy.
+//!
+//! Run with: `cargo run --release --example crowdsourcing`
+
+use slimfast::core::explain::{default_lambda_grid, feature_lasso_path};
+use slimfast::eval::runner::run_grid;
+use slimfast::eval::tables::format_accuracy_table;
+use slimfast::prelude::*;
+
+fn main() {
+    let instance = DatasetKind::Crowd.generate(11);
+    println!(
+        "Crowd-style instance: {} workers, {} tweets, {} judgements",
+        instance.dataset.num_sources(),
+        instance.dataset.num_objects(),
+        instance.dataset.num_observations()
+    );
+
+    // Compare the paper's method line-up across training fractions (reduced protocol so the
+    // example finishes quickly).
+    let config = SlimFastConfig { erm_epochs: 40, ..Default::default() };
+    let protocol = ExperimentProtocol {
+        train_fractions: vec![0.001, 0.01, 0.10],
+        repetitions: 2,
+        seed: 7,
+    };
+    let lineup = standard_lineup(&config);
+    let summaries = run_grid(&instance, &lineup, &protocol);
+    println!("\n{}", format_accuracy_table("Crowd", &summaries));
+
+    // Optimizer behaviour: at tiny amounts of ground truth EM wins (redundancy of 20
+    // workers per tweet); once enough labels are available it switches to ERM.
+    println!("Optimizer decisions as ground truth grows:");
+    for fraction in [0.001, 0.01, 0.05, 0.20] {
+        let split = SplitPlan::new(fraction, 3).draw(&instance.truth, 0).unwrap();
+        let train = split.train_truth(&instance.truth);
+        let report = SlimFast::new(config.clone())
+            .plan(&FusionInput::new(&instance.dataset, &instance.features, &train));
+        println!(
+            "  {:>5.1}% labels -> {:?} (ERM units {:.1}, EM units {:.1})",
+            fraction * 100.0,
+            report.decision,
+            report.erm_units,
+            report.em_units
+        );
+    }
+
+    // Which worker attributes predict accuracy? (Figure 9's analysis.)
+    let path = feature_lasso_path(
+        &instance.dataset,
+        &instance.features,
+        &instance.truth,
+        &default_lambda_grid(),
+        40,
+        1,
+    );
+    println!("\nWorker features most predictive of answer accuracy:");
+    for (name, trajectory) in path.ranked_features().into_iter().take(6) {
+        println!("  {name:<24} final weight {:+.2}", trajectory.last().copied().unwrap_or(0.0));
+    }
+}

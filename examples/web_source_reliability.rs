@@ -1,0 +1,73 @@
+//! Web-source reliability: fuse stock-volume reports from dense, mostly unreliable web
+//! sources, detect copying news domains on a second instance, and estimate the accuracy of
+//! sources we have never observed (source-quality initialization, Section 5.3.2).
+//!
+//! Run with: `cargo run --release --example web_source_reliability`
+
+use slimfast::core::copying::{add_copy_features, detect_copy_candidates};
+use slimfast::core::erm::train_erm;
+use slimfast::core::source_init::{predict_unseen_accuracies, unseen_accuracy_error};
+use slimfast::prelude::*;
+
+fn main() {
+    // --- Part 1: dense, low-accuracy stock sources. -------------------------------------
+    let stocks = DatasetKind::Stocks.generate(3);
+    let split = SplitPlan::new(0.05, 1).draw(&stocks.truth, 0).unwrap();
+    let train = split.train_truth(&stocks.truth);
+    let config = SlimFastConfig::default();
+    let output = SlimFast::new(config.clone())
+        .fuse(&FusionInput::new(&stocks.dataset, &stocks.features, &train));
+    println!(
+        "Stocks: held-out accuracy {:.3} with 5% training data ({} sources, avg source accuracy {:.2})",
+        output.assignment.accuracy_against(&stocks.truth, &split.test),
+        stocks.dataset.num_sources(),
+        stocks.mean_true_accuracy(),
+    );
+
+    // --- Part 2: copying news domains (Appendix D). -------------------------------------
+    let demos = DatasetKind::Demonstrations.generate(3);
+    let candidates = detect_copy_candidates(&demos.dataset, 8, 0.85);
+    println!(
+        "\nDemonstrations: {} candidate copier pairs detected (planted: {})",
+        candidates.len(),
+        demos.copier_pairs.len()
+    );
+    let no_features = FeatureMatrix::empty(demos.dataset.num_sources());
+    let (copy_features, _) = add_copy_features(&demos.dataset, &no_features, &candidates);
+    let split = SplitPlan::new(0.05, 1).draw(&demos.truth, 0).unwrap();
+    let train = split.train_truth(&demos.truth);
+    let plain = SlimFast::em(config.clone())
+        .fuse(&FusionInput::new(&demos.dataset, &no_features, &train))
+        .assignment
+        .accuracy_against(&demos.truth, &split.test);
+    let with_copy = SlimFast::em(config.clone())
+        .fuse(&FusionInput::new(&demos.dataset, &copy_features, &train))
+        .assignment
+        .accuracy_against(&demos.truth, &split.test);
+    println!("  accuracy without copy features: {plain:.3}");
+    println!("  accuracy with    copy features: {with_copy:.3}");
+
+    // --- Part 3: source-quality initialization for unseen sources. ----------------------
+    let crowd = DatasetKind::Crowd.generate(3);
+    let num_sources = crowd.dataset.num_sources();
+    let cutoff = num_sources / 2;
+    let seen: Vec<SourceId> = (0..cutoff).map(SourceId::new).collect();
+    let unseen: Vec<SourceId> = (cutoff..num_sources).map(SourceId::new).collect();
+    let (train_dataset, kept) = crowd.dataset.restrict_sources(&seen);
+    let train_features = crowd.features.restrict_sources(&kept);
+    let label_split = SplitPlan::new(0.5, 2).draw(&crowd.truth, 0).unwrap();
+    let model = train_erm(
+        &train_dataset,
+        &train_features,
+        &label_split.train_truth(&crowd.truth),
+        &config,
+    );
+    let predicted = predict_unseen_accuracies(&model, &crowd.features, &unseen);
+    let actual: Vec<f64> = unseen.iter().map(|s| crowd.true_accuracies[s.index()]).collect();
+    println!(
+        "\nCrowd: predicted the accuracy of {} never-before-seen workers from their features \
+         with mean absolute error {:.3}",
+        unseen.len(),
+        unseen_accuracy_error(&predicted, &actual)
+    );
+}

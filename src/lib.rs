@@ -1,0 +1,80 @@
+//! # SLiMFast
+//!
+//! A Rust implementation of *SLiMFast: Guaranteed Results for Data Fusion and Source
+//! Reliability* (Joglekar, Rekatsinas, Garcia-Molina, Parameswaran, Ré — SIGMOD 2017).
+//!
+//! Data fusion unifies conflicting claims from many data sources into a single answer by
+//! estimating how trustworthy each source is. SLiMFast expresses the problem as learning
+//! and inference over a *discriminative* probabilistic model (a logistic regression over
+//! source claims and domain-specific source features), which brings two things generative
+//! approaches lack: the ability to fold arbitrary domain knowledge about sources into the
+//! model, and statistical-learning-theory guarantees on both the recovered object values
+//! and the estimated source accuracies.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`data`] — the fusion data model (sources, objects, observations, features, splits).
+//! * [`core`] — the SLiMFast model, ERM/EM learners, the ERM-vs-EM optimizer, guarantees,
+//!   the copying extension, the lasso-path explainer, and source-quality initialization.
+//! * [`baselines`] — MajorityVote, Counts, ACCU, CATD, SSTF, TruthFinder.
+//! * [`datagen`] — synthetic instance generators and the four simulated evaluation
+//!   datasets of the paper (Stocks, Demonstrations, Crowd, Genomics).
+//! * [`eval`] — metrics, the split/repetition protocol, and table formatting.
+//! * [`optim`] / [`graph`] — the optimization and factor-graph substrates.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use slimfast::prelude::*;
+//!
+//! // Three articles make conflicting claims about gene–disease associations.
+//! let mut builder = DatasetBuilder::new();
+//! builder.observe("article-1", "GIGYF2/Parkinson", "false").unwrap();
+//! builder.observe("article-2", "GIGYF2/Parkinson", "false").unwrap();
+//! builder.observe("article-3", "GIGYF2/Parkinson", "true").unwrap();
+//! builder.observe("article-1", "GBA/Parkinson", "true").unwrap();
+//! builder.observe("article-3", "GBA/Parkinson", "true").unwrap();
+//! let dataset = builder.build();
+//!
+//! // Limited ground truth: we know GBA is truly associated with Parkinson's.
+//! let mut truth = GroundTruth::empty(dataset.num_objects());
+//! truth.set(dataset.object_id("GBA/Parkinson").unwrap(), dataset.value_id("true").unwrap());
+//!
+//! // Domain knowledge about the sources (publication metadata).
+//! let mut features = FeatureMatrixBuilder::new();
+//! features.set_flag(dataset.source_id("article-1").unwrap(), "Citations=High");
+//! features.set_flag(dataset.source_id("article-3").unwrap(), "Citations=High");
+//! features.set_flag(dataset.source_id("article-2").unwrap(), "Study=GWAS");
+//! let features = features.build(dataset.num_sources());
+//!
+//! let input = FusionInput::new(&dataset, &features, &truth);
+//! let output = SlimFast::new(SlimFastConfig::default()).fuse(&input);
+//! let gigyf2 = dataset.object_id("GIGYF2/Parkinson").unwrap();
+//! assert!(output.assignment.get(gigyf2).is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use slimfast_baselines as baselines;
+pub use slimfast_core as core;
+pub use slimfast_data as data;
+pub use slimfast_datagen as datagen;
+pub use slimfast_eval as eval;
+pub use slimfast_graph as graph;
+pub use slimfast_optim as optim;
+
+/// The most commonly used types, re-exported for `use slimfast::prelude::*`.
+pub mod prelude {
+    pub use slimfast_baselines::{Accu, Catd, Counts, MajorityVote, Sstf, TruthFinder};
+    pub use slimfast_core::{
+        LearnerChoice, OptimizerDecision, ParameterSpace, SlimFast, SlimFastConfig, SlimFastModel,
+    };
+    pub use slimfast_data::{
+        Dataset, DatasetBuilder, DatasetStats, FeatureMatrix, FeatureMatrixBuilder, FusionInput,
+        FusionMethod, FusionOutput, GroundTruth, ObjectId, SourceAccuracies, SourceId, Split,
+        SplitPlan, TruthAssignment, ValueId,
+    };
+    pub use slimfast_datagen::{DatasetKind, SyntheticConfig, SyntheticInstance};
+    pub use slimfast_eval::{standard_lineup, ExperimentProtocol};
+}

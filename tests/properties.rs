@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) over the core data structures and model invariants.
+
+use proptest::prelude::*;
+
+use slimfast::optim::{sigmoid, softmax_in_place, Penalty, SparseVec};
+use slimfast::prelude::*;
+
+/// Strategy producing a small random fusion instance as raw claims plus a latent truth.
+fn claims_strategy() -> impl Strategy<Value = (usize, usize, usize, Vec<(usize, usize, usize)>)> {
+    // (num_sources, num_objects, domain_size, claims)
+    (2usize..8, 1usize..10, 2usize..4).prop_flat_map(|(s, o, d)| {
+        let claims = proptest::collection::vec((0..s, 0..o, 0..d), 1..60);
+        (Just(s), Just(o), Just(d), claims)
+    })
+}
+
+fn build_dataset(
+    num_sources: usize,
+    num_objects: usize,
+    domain: usize,
+    claims: &[(usize, usize, usize)],
+) -> Dataset {
+    let mut builder = DatasetBuilder::new();
+    builder.reserve_sources(num_sources);
+    builder.reserve_objects(num_objects);
+    for d in 0..domain {
+        builder.intern_value(&format!("v{d}"));
+    }
+    for &(s, o, v) in claims {
+        // Later conflicting claims by the same source are ignored (first claim wins).
+        let _ = builder.observe_ids(SourceId::new(s), ObjectId::new(o), ValueId::new(v));
+    }
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The model posterior is always a probability distribution over the object's domain,
+    /// for arbitrary weights and arbitrary observation patterns.
+    #[test]
+    fn posteriors_are_distributions(
+        (s, o, d, claims) in claims_strategy(),
+        weights in proptest::collection::vec(-3.0f64..3.0, 0..20),
+    ) {
+        let dataset = build_dataset(s, o, d, &claims);
+        let features = FeatureMatrix::empty(dataset.num_sources());
+        let space = ParameterSpace::new(&dataset, &features);
+        let mut padded = weights;
+        padded.resize(space.len(), 0.0);
+        let model = SlimFastModel::new(space, padded);
+        for object in dataset.object_ids() {
+            let posterior = model.posterior(&dataset, &features, object);
+            prop_assert_eq!(posterior.len(), dataset.domain(object).len());
+            if !posterior.is_empty() {
+                let sum: f64 = posterior.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+                prop_assert!(posterior.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+
+    /// Estimated source accuracies always lie in (0, 1) and MAP predictions always pick a
+    /// value some source actually claimed (single-truth / closed-world semantics).
+    #[test]
+    fn predictions_stay_inside_the_observed_domain(
+        (s, o, d, claims) in claims_strategy(),
+        weights in proptest::collection::vec(-5.0f64..5.0, 0..20),
+    ) {
+        let dataset = build_dataset(s, o, d, &claims);
+        let features = FeatureMatrix::empty(dataset.num_sources());
+        let space = ParameterSpace::new(&dataset, &features);
+        let mut padded = weights;
+        padded.resize(space.len(), 0.0);
+        let model = SlimFastModel::new(space, padded);
+        for source in dataset.source_ids() {
+            let a = model.source_accuracy(source, &features);
+            prop_assert!(a > 0.0 && a < 1.0);
+        }
+        let assignment = model.predict(&dataset, &features);
+        for (object, value, confidence) in assignment.iter() {
+            prop_assert!(dataset.domain(object).contains(&value));
+            prop_assert!((0.0..=1.0).contains(&confidence));
+        }
+    }
+
+    /// Majority vote always predicts a claimed value, and on unanimous objects it predicts
+    /// the unanimous value with full confidence.
+    #[test]
+    fn majority_vote_respects_unanimity((s, o, d, claims) in claims_strategy()) {
+        let dataset = build_dataset(s, o, d, &claims);
+        let features = FeatureMatrix::empty(dataset.num_sources());
+        let truth = GroundTruth::empty(dataset.num_objects());
+        let output = MajorityVote.fuse(&FusionInput::new(&dataset, &features, &truth));
+        for object in dataset.object_ids() {
+            let domain = dataset.domain(object);
+            match output.assignment.get(object) {
+                Some(value) => {
+                    prop_assert!(domain.contains(&value));
+                    if domain.len() == 1 {
+                        prop_assert!((output.assignment.confidence(object) - 1.0).abs() < 1e-9);
+                    }
+                }
+                None => prop_assert!(domain.is_empty()),
+            }
+        }
+    }
+
+    /// Splits partition the labelled objects for every fraction and repetition.
+    #[test]
+    fn splits_partition_labels(
+        num_objects in 1usize..200,
+        fraction in 0.0f64..1.0,
+        rep in 0u64..5,
+        seed in 0u64..1000,
+    ) {
+        let truth = GroundTruth::from_pairs(
+            num_objects,
+            (0..num_objects).map(|i| (ObjectId::new(i), ValueId::new(0))),
+        );
+        let split = SplitPlan::new(fraction, seed).draw(&truth, rep).unwrap();
+        let mut all: Vec<ObjectId> = split.train.iter().chain(split.test.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), num_objects);
+        if fraction > 0.0 {
+            prop_assert!(!split.train.is_empty());
+        }
+    }
+
+    /// Sparse-vector dot products are linear and consistent with dense accumulation.
+    #[test]
+    fn sparse_vector_dot_is_linear(
+        pairs in proptest::collection::vec((0usize..16, -10.0f64..10.0), 0..12),
+        dense in proptest::collection::vec(-10.0f64..10.0, 16),
+        scale in -3.0f64..3.0,
+    ) {
+        let v = SparseVec::from_pairs(pairs.clone());
+        let mut accumulated = vec![0.0; 16];
+        v.add_scaled_into(1.0, &mut accumulated);
+        let dot_direct = v.dot(&dense);
+        let dot_via_dense: f64 = accumulated.iter().zip(&dense).map(|(a, b)| a * b).sum();
+        prop_assert!((dot_direct - dot_via_dense).abs() < 1e-6);
+        // Scaling the accumulator scales the dot product.
+        let mut scaled = vec![0.0; 16];
+        v.add_scaled_into(scale, &mut scaled);
+        let dot_scaled: f64 = scaled.iter().zip(&dense).map(|(a, b)| a * b).sum();
+        prop_assert!((dot_scaled - scale * dot_direct).abs() < 1e-6);
+    }
+
+    /// The logistic function and softmax stay numerically sane on arbitrary inputs, and the
+    /// L1 proximal operator never increases a weight's magnitude.
+    #[test]
+    fn numerical_primitives_are_stable(
+        x in -1e6f64..1e6,
+        scores in proptest::collection::vec(-100.0f64..100.0, 1..6),
+        weight in -50.0f64..50.0,
+        step in 0.0f64..5.0,
+        lambda in 0.0f64..5.0,
+    ) {
+        let s = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let mut soft = scores;
+        softmax_in_place(&mut soft);
+        let sum: f64 = soft.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let shrunk = Penalty::L1(lambda).proximal(weight, step);
+        prop_assert!(shrunk.abs() <= weight.abs() + 1e-12);
+        prop_assert!(shrunk * weight >= 0.0, "soft thresholding must not flip signs");
+    }
+
+    /// Ground-truth accuracy bookkeeping: per-source accuracies derived from a labelling
+    /// are always in [0, 1] and the assignment accuracy of the truth itself is 1.
+    #[test]
+    fn ground_truth_bookkeeping_is_consistent((s, o, d, claims) in claims_strategy()) {
+        let dataset = build_dataset(s, o, d, &claims);
+        // Label every observed object with its first observed value.
+        let mut truth = GroundTruth::empty(dataset.num_objects());
+        let mut assignment = TruthAssignment::empty(dataset.num_objects());
+        let mut labelled = Vec::new();
+        for object in dataset.object_ids() {
+            if let Some(&value) = dataset.domain(object).first() {
+                truth.set(object, value);
+                assignment.assign(object, value, 1.0);
+                labelled.push(object);
+            }
+        }
+        for acc in dataset.source_ids().map(|src| truth.source_accuracies(&dataset)[src.index()]) {
+            if let Some(a) = acc {
+                prop_assert!((0.0..=1.0).contains(&a));
+            }
+        }
+        if !labelled.is_empty() {
+            prop_assert!((assignment.accuracy_against(&truth, &labelled) - 1.0).abs() < 1e-12);
+        }
+    }
+}
