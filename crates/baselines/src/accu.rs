@@ -8,9 +8,7 @@
 //! prescribed in the paper's "Different Methods and Ground Truth" paragraph) and those
 //! labelled objects stay clamped during the iterations.
 
-use slimfast_data::{
-    FusionInput, FusionMethod, FusionOutput, SourceAccuracies, TruthAssignment,
-};
+use slimfast_data::{FusionInput, FusionMethod, FusionOutput, SourceAccuracies, TruthAssignment};
 
 /// The ACCU baseline.
 #[derive(Debug, Clone, Copy)]
@@ -25,7 +23,11 @@ pub struct Accu {
 
 impl Default for Accu {
     fn default() -> Self {
-        Self { max_iterations: 30, tolerance: 1e-4, initial_accuracy: 0.8 }
+        Self {
+            max_iterations: 30,
+            tolerance: 1e-4,
+            initial_accuracy: 0.8,
+        }
     }
 }
 
@@ -155,7 +157,10 @@ mod tests {
             num_objects: 300,
             domain_size: 3,
             pattern: ObservationPattern::PerObjectExact(10),
-            accuracy: AccuracyModel { mean: 0.7, spread: 0.15 },
+            accuracy: AccuracyModel {
+                mean: 0.7,
+                spread: 0.15,
+            },
             features: FeatureModel::default(),
             copying: None,
             seed,
@@ -197,7 +202,11 @@ mod tests {
         let f = FeatureMatrix::empty(inst.dataset.num_sources());
         let out = Accu::default().fuse(&FusionInput::new(&inst.dataset, &f, &train));
         for &o in &split.train {
-            assert_eq!(out.assignment.get(o), inst.truth.get(o), "labelled object re-decided");
+            assert_eq!(
+                out.assignment.get(o),
+                inst.truth.get(o),
+                "labelled object re-decided"
+            );
         }
     }
 }

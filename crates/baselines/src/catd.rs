@@ -22,7 +22,10 @@ pub struct Catd {
 
 impl Default for Catd {
     fn default() -> Self {
-        Self { alpha: 0.05, max_iterations: 20 }
+        Self {
+            alpha: 0.05,
+            max_iterations: 20,
+        }
     }
 }
 
@@ -54,7 +57,11 @@ impl FusionMethod for Catd {
                         counts[idx] += 1;
                     }
                 }
-                counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i)
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(i, _)| i)
             })
             .collect();
 
@@ -120,7 +127,9 @@ impl FusionMethod for Catd {
         let mut assignment = TruthAssignment::empty(dataset.num_objects());
         for o in dataset.object_ids() {
             let domain = dataset.domain(o);
-            let Some(best) = estimates[o.index()] else { continue };
+            let Some(best) = estimates[o.index()] else {
+                continue;
+            };
             let mut scores = vec![0.0f64; domain.len()];
             for &(s, v) in dataset.observations_for_object(o) {
                 if let Some(idx) = domain.iter().position(|&d| d == v) {
@@ -128,7 +137,11 @@ impl FusionMethod for Catd {
                 }
             }
             let total: f64 = scores.iter().sum();
-            let confidence = if total > 0.0 { scores[best] / total } else { 0.0 };
+            let confidence = if total > 0.0 {
+                scores[best] / total
+            } else {
+                0.0
+            };
             assignment.assign(o, domain[best], confidence);
         }
         FusionOutput::new(assignment)
@@ -150,7 +163,10 @@ mod tests {
             num_objects: 300,
             domain_size: 2,
             pattern: ObservationPattern::PerObjectRange { min: 3, max: 8 },
-            accuracy: AccuracyModel { mean: 0.72, spread: 0.15 },
+            accuracy: AccuracyModel {
+                mean: 0.72,
+                spread: 0.15,
+            },
             features: FeatureModel::default(),
             copying: None,
             seed: 1,
@@ -174,13 +190,18 @@ mod tests {
             num_objects: 100,
             domain_size: 2,
             pattern: ObservationPattern::PerObjectExact(6),
-            accuracy: AccuracyModel { mean: 0.6, spread: 0.1 },
+            accuracy: AccuracyModel {
+                mean: 0.6,
+                spread: 0.1,
+            },
             features: FeatureModel::default(),
             copying: None,
             seed: 2,
         }
         .generate();
-        let split = slimfast_data::SplitPlan::new(0.3, 1).draw(&inst.truth, 0).unwrap();
+        let split = slimfast_data::SplitPlan::new(0.3, 1)
+            .draw(&inst.truth, 0)
+            .unwrap();
         let train = split.train_truth(&inst.truth);
         let f = FeatureMatrix::empty(inst.dataset.num_sources());
         let out = Catd::default().fuse(&FusionInput::new(&inst.dataset, &f, &train));

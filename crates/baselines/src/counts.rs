@@ -4,9 +4,7 @@
 //! value for an object in ground truth"; objects are then resolved by Naive Bayes, i.e.
 //! assuming source observations are conditionally independent given the true value.
 
-use slimfast_data::{
-    FusionInput, FusionMethod, FusionOutput, SourceAccuracies, TruthAssignment,
-};
+use slimfast_data::{FusionInput, FusionMethod, FusionOutput, SourceAccuracies, TruthAssignment};
 
 /// Naive Bayes data fusion with accuracies estimated from the labelled objects.
 #[derive(Debug, Clone, Copy)]
@@ -20,7 +18,10 @@ pub struct Counts {
 
 impl Default for Counts {
     fn default() -> Self {
-        Self { smoothing: 1.0, prior_accuracy: 0.7 }
+        Self {
+            smoothing: 1.0,
+            prior_accuracy: 0.7,
+        }
     }
 }
 
@@ -47,9 +48,7 @@ impl FusionMethod for Counts {
         let accuracies: Vec<f64> = correct
             .iter()
             .zip(&total)
-            .map(|(c, t)| {
-                (c + self.smoothing * self.prior_accuracy) / (t + self.smoothing)
-            })
+            .map(|(c, t)| (c + self.smoothing * self.prior_accuracy) / (t + self.smoothing))
             .map(|a| a.clamp(0.01, 0.99))
             .collect();
 
@@ -116,9 +115,14 @@ mod tests {
         let (d, f, truth) = fixture();
         let out = Counts::default().fuse(&FusionInput::new(&d, &f, &truth));
         // The contested object goes to the source that was right on the labelled ones.
-        assert_eq!(out.assignment.get(d.object_id("o2").unwrap()), d.value_id("x"));
+        assert_eq!(
+            out.assignment.get(d.object_id("o2").unwrap()),
+            d.value_id("x")
+        );
         let accs = out.source_accuracies.unwrap();
-        assert!(accs.get(d.source_id("reliable").unwrap()) > accs.get(d.source_id("sloppy").unwrap()));
+        assert!(
+            accs.get(d.source_id("reliable").unwrap()) > accs.get(d.source_id("sloppy").unwrap())
+        );
     }
 
     #[test]
@@ -139,7 +143,11 @@ mod tests {
     #[test]
     fn accuracies_stay_within_bounds() {
         let (d, f, truth) = fixture();
-        let out = Counts { smoothing: 0.0, prior_accuracy: 0.5 }.fuse(&FusionInput::new(&d, &f, &truth));
+        let out = Counts {
+            smoothing: 0.0,
+            prior_accuracy: 0.5,
+        }
+        .fuse(&FusionInput::new(&d, &f, &truth));
         let accs = out.source_accuracies.unwrap();
         for s in 0..d.num_sources() {
             let a = accs.get(SourceId::new(s));

@@ -39,7 +39,7 @@ pub use truthfinder::TruthFinder;
 /// evaluation harness.
 pub fn all_baselines() -> Vec<Box<dyn slimfast_data::FusionMethod>> {
     vec![
-        Box::new(MajorityVote::default()),
+        Box::new(MajorityVote),
         Box::new(Counts::default()),
         Box::new(Accu::default()),
         Box::new(Catd::default()),
@@ -63,7 +63,10 @@ mod tests {
             num_objects: 300,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.2),
-            accuracy: AccuracyModel { mean: 0.75, spread: 0.1 },
+            accuracy: AccuracyModel {
+                mean: 0.75,
+                spread: 0.1,
+            },
             features: FeatureModel::default(),
             copying: None,
             seed: 3,
@@ -93,7 +96,10 @@ mod tests {
             num_objects: 120,
             domain_size: 3,
             pattern: ObservationPattern::PerObjectExact(8),
-            accuracy: AccuracyModel { mean: 0.6, spread: 0.1 },
+            accuracy: AccuracyModel {
+                mean: 0.6,
+                spread: 0.1,
+            },
             features: FeatureModel::default(),
             copying: None,
             seed: 5,

@@ -58,8 +58,14 @@ mod tests {
         let f = FeatureMatrix::empty(d.num_sources());
         let truth = GroundTruth::empty(d.num_objects());
         let out = MajorityVote.fuse(&FusionInput::new(&d, &f, &truth));
-        assert_eq!(out.assignment.get(d.object_id("o0").unwrap()), d.value_id("x"));
-        assert_eq!(out.assignment.get(d.object_id("o1").unwrap()), d.value_id("y"));
+        assert_eq!(
+            out.assignment.get(d.object_id("o0").unwrap()),
+            d.value_id("x")
+        );
+        assert_eq!(
+            out.assignment.get(d.object_id("o1").unwrap()),
+            d.value_id("y")
+        );
         assert!((out.assignment.confidence(d.object_id("o0").unwrap()) - 2.0 / 3.0).abs() < 1e-12);
         assert!(out.source_accuracies.is_none());
     }

@@ -26,7 +26,12 @@ pub struct Sstf {
 
 impl Default for Sstf {
     fn default() -> Self {
-        Self { initial_trust: 0.7, dampening: 0.3, max_iterations: 25, tolerance: 1e-4 }
+        Self {
+            initial_trust: 0.7,
+            dampening: 0.3,
+            max_iterations: 25,
+            tolerance: 1e-4,
+        }
     }
 }
 
@@ -140,7 +145,10 @@ mod tests {
             num_objects: 250,
             domain_size: 2,
             pattern: ObservationPattern::PerObjectExact(8),
-            accuracy: AccuracyModel { mean: 0.65, spread: 0.15 },
+            accuracy: AccuracyModel {
+                mean: 0.65,
+                spread: 0.15,
+            },
             features: FeatureModel::default(),
             copying: None,
             seed,
@@ -156,7 +164,11 @@ mod tests {
         let f = FeatureMatrix::empty(inst.dataset.num_sources());
         let out = Sstf::default().fuse(&FusionInput::new(&inst.dataset, &f, &train));
         for &o in &split.train {
-            assert_eq!(out.assignment.get(o), inst.truth.get(o), "labelled claim not clamped");
+            assert_eq!(
+                out.assignment.get(o),
+                inst.truth.get(o),
+                "labelled claim not clamped"
+            );
         }
         let accuracy = out.assignment.accuracy_against(&inst.truth, &split.test);
         assert!(accuracy > 0.7, "SSTF held-out accuracy {accuracy:.3}");

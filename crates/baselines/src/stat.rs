@@ -4,12 +4,15 @@
 /// Quantile (inverse CDF) of the standard normal distribution, via the Acklam rational
 /// approximation (relative error below 1.15e-9 over the open unit interval).
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal quantile requires p in (0, 1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal quantile requires p in (0, 1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];

@@ -6,9 +6,7 @@
 //! `1 − Π (1 − t_s)`, computed in log space (`τ_s = −ln(1 − t_s)`) with a dampening factor
 //! and a logistic adjustment to keep scores in `(0, 1)`.
 
-use slimfast_data::{
-    FusionInput, FusionMethod, FusionOutput, SourceAccuracies, TruthAssignment,
-};
+use slimfast_data::{FusionInput, FusionMethod, FusionOutput, SourceAccuracies, TruthAssignment};
 
 /// The TruthFinder baseline.
 #[derive(Debug, Clone, Copy)]
@@ -25,7 +23,12 @@ pub struct TruthFinder {
 
 impl Default for TruthFinder {
     fn default() -> Self {
-        Self { initial_trust: 0.8, dampening: 0.3, max_iterations: 20, tolerance: 1e-4 }
+        Self {
+            initial_trust: 0.8,
+            dampening: 0.3,
+            max_iterations: 20,
+            tolerance: 1e-4,
+        }
     }
 }
 
@@ -120,7 +123,10 @@ mod tests {
             num_objects: 250,
             domain_size: 2,
             pattern: ObservationPattern::PerObjectExact(9),
-            accuracy: AccuracyModel { mean: 0.7, spread: 0.15 },
+            accuracy: AccuracyModel {
+                mean: 0.7,
+                spread: 0.15,
+            },
             features: FeatureModel::default(),
             copying: None,
             seed: 4,
@@ -137,11 +143,16 @@ mod tests {
         let mut indexed: Vec<(usize, f64)> =
             inst.true_accuracies.iter().copied().enumerate().collect();
         indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let worst_trust: f64 =
-            indexed[..5].iter().map(|&(s, _)| accs.get(SourceId::new(s))).sum::<f64>() / 5.0;
-        let best_trust: f64 =
-            indexed[indexed.len() - 5..].iter().map(|&(s, _)| accs.get(SourceId::new(s))).sum::<f64>()
-                / 5.0;
+        let worst_trust: f64 = indexed[..5]
+            .iter()
+            .map(|&(s, _)| accs.get(SourceId::new(s)))
+            .sum::<f64>()
+            / 5.0;
+        let best_trust: f64 = indexed[indexed.len() - 5..]
+            .iter()
+            .map(|&(s, _)| accs.get(SourceId::new(s)))
+            .sum::<f64>()
+            / 5.0;
         assert!(
             best_trust > worst_trust,
             "trust should rank accurate sources above inaccurate ones ({best_trust:.3} vs {worst_trust:.3})"

@@ -21,8 +21,15 @@ fn noisy_feature_instance() -> slimfast_datagen::SyntheticInstance {
         num_objects: 300,
         domain_size: 2,
         pattern: ObservationPattern::Bernoulli(0.06),
-        accuracy: AccuracyModel { mean: 0.68, spread: 0.05 },
-        features: FeatureModel { num_predictive: 2, num_noise: 20, predictive_strength: 0.35 },
+        accuracy: AccuracyModel {
+            mean: 0.68,
+            spread: 0.05,
+        },
+        features: FeatureModel {
+            num_predictive: 2,
+            num_noise: 20,
+            predictive_strength: 0.35,
+        },
         copying: None,
         seed: 5,
     }
@@ -41,7 +48,11 @@ fn regularization(c: &mut Criterion) {
         ("l1", Penalty::L1(1e-3)),
         ("none", Penalty::None),
     ] {
-        let config = SlimFastConfig { erm_epochs: 40, penalty, ..Default::default() };
+        let config = SlimFastConfig {
+            erm_epochs: 40,
+            penalty,
+            ..Default::default()
+        };
         group.bench_function(label, |b| {
             b.iter(|| train_erm(&instance.dataset, &instance.features, &train, &config));
         });
@@ -54,7 +65,10 @@ fn features_vs_sources_only(c: &mut Criterion) {
     let split = SplitPlan::new(0.1, 1).draw(&instance.truth, 0).unwrap();
     let train = split.train_truth(&instance.truth);
     let empty = FeatureMatrix::empty(instance.dataset.num_sources());
-    let config = SlimFastConfig { erm_epochs: 40, ..Default::default() };
+    let config = SlimFastConfig {
+        erm_epochs: 40,
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("ablation_features");
     group.sample_size(10);
@@ -75,7 +89,10 @@ fn inference_paths(c: &mut Criterion) {
     let instance = noisy_feature_instance();
     let split = SplitPlan::new(0.2, 1).draw(&instance.truth, 0).unwrap();
     let train = split.train_truth(&instance.truth);
-    let config = SlimFastConfig { erm_epochs: 40, ..Default::default() };
+    let config = SlimFastConfig {
+        erm_epochs: 40,
+        ..Default::default()
+    };
     let input = FusionInput::new(&instance.dataset, &instance.features, &train);
     let (model, _) = SlimFast::erm(config).train(&input);
     let mut compiled = compile(&instance.dataset, &instance.features, &train);
@@ -87,11 +104,21 @@ fn inference_paths(c: &mut Criterion) {
         b.iter(|| model.predict(&instance.dataset, &instance.features));
     });
     group.bench_function("gibbs_sampling", |b| {
-        let gibbs = GibbsConfig { burn_in: 20, samples: 100, chains: 1, seed: 1 };
+        let gibbs = GibbsConfig {
+            burn_in: 20,
+            samples: 100,
+            chains: 1,
+            seed: 1,
+        };
         b.iter(|| compiled.infer(&instance.dataset, &gibbs));
     });
     group.finish();
 }
 
-criterion_group!(benches, regularization, features_vs_sources_only, inference_paths);
+criterion_group!(
+    benches,
+    regularization,
+    features_vs_sources_only,
+    inference_paths
+);
 criterion_main!(benches);

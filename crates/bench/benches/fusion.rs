@@ -15,8 +15,15 @@ fn bench_instance() -> slimfast_datagen::SyntheticInstance {
         num_objects: 400,
         domain_size: 2,
         pattern: ObservationPattern::Bernoulli(0.08),
-        accuracy: AccuracyModel { mean: 0.7, spread: 0.15 },
-        features: FeatureModel { num_predictive: 3, num_noise: 3, predictive_strength: 0.2 },
+        accuracy: AccuracyModel {
+            mean: 0.7,
+            spread: 0.15,
+        },
+        features: FeatureModel {
+            num_predictive: 3,
+            num_noise: 3,
+            predictive_strength: 0.2,
+        },
         copying: None,
         seed: 1,
     }
@@ -28,12 +35,19 @@ fn fusion_methods(c: &mut Criterion) {
     let split = SplitPlan::new(0.1, 1).draw(&instance.truth, 0).unwrap();
     let train = split.train_truth(&instance.truth);
     let empty_features = FeatureMatrix::empty(instance.dataset.num_sources());
-    let config = SlimFastConfig { erm_epochs: 30, ..Default::default() };
+    let config = SlimFastConfig {
+        erm_epochs: 30,
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("fusion_methods");
     group.sample_size(10);
     for entry in standard_lineup(&config) {
-        let features = if entry.use_features { &instance.features } else { &empty_features };
+        let features = if entry.use_features {
+            &instance.features
+        } else {
+            &empty_features
+        };
         let input = FusionInput::new(&instance.dataset, features, &train);
         group.bench_function(entry.name().to_string(), |b| {
             b.iter(|| entry.method.fuse(&input));
@@ -46,7 +60,10 @@ fn inference_only(c: &mut Criterion) {
     let instance = bench_instance();
     let split = SplitPlan::new(0.2, 1).draw(&instance.truth, 0).unwrap();
     let train = split.train_truth(&instance.truth);
-    let config = SlimFastConfig { erm_epochs: 30, ..Default::default() };
+    let config = SlimFastConfig {
+        erm_epochs: 30,
+        ..Default::default()
+    };
     let input = FusionInput::new(&instance.dataset, &instance.features, &train);
     let (model, _) = SlimFast::erm(config).train(&input);
 

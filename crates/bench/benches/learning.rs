@@ -20,8 +20,15 @@ fn bench_instance() -> slimfast_datagen::SyntheticInstance {
         num_objects: 300,
         domain_size: 2,
         pattern: ObservationPattern::Bernoulli(0.08),
-        accuracy: AccuracyModel { mean: 0.7, spread: 0.15 },
-        features: FeatureModel { num_predictive: 3, num_noise: 3, predictive_strength: 0.2 },
+        accuracy: AccuracyModel {
+            mean: 0.7,
+            spread: 0.15,
+        },
+        features: FeatureModel {
+            num_predictive: 3,
+            num_noise: 3,
+            predictive_strength: 0.2,
+        },
         copying: None,
         seed: 2,
     }
@@ -34,7 +41,11 @@ fn learners(c: &mut Criterion) {
     let train = split.train_truth(&instance.truth);
     let config = SlimFastConfig {
         erm_epochs: 30,
-        em: slimfast_core::config::EmConfig { max_iterations: 5, m_step_epochs: 5, ..Default::default() },
+        em: slimfast_core::config::EmConfig {
+            max_iterations: 5,
+            m_step_epochs: 5,
+            ..Default::default()
+        },
         ..Default::default()
     };
 
@@ -65,12 +76,20 @@ fn factor_graph(c: &mut Criterion) {
     group.bench_function("learn_weights", |b| {
         b.iter(|| {
             let mut compiled = compile(&instance.dataset, &instance.features, &train);
-            compiled.learn(&LearningConfig { epochs: 10, ..Default::default() })
+            compiled.learn(&LearningConfig {
+                epochs: 10,
+                ..Default::default()
+            })
         });
     });
     group.bench_function("gibbs_inference", |b| {
         let compiled = compile(&instance.dataset, &instance.features, &train);
-        let config = GibbsConfig { burn_in: 20, samples: 100, chains: 1, seed: 3 };
+        let config = GibbsConfig {
+            burn_in: 20,
+            samples: 100,
+            chains: 1,
+            seed: 3,
+        };
         b.iter(|| compiled.infer(&instance.dataset, &config));
     });
     group.finish();

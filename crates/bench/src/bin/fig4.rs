@@ -19,11 +19,16 @@ fn accuracy_of(
     let mut total = 0.0;
     let mut runs = 0usize;
     for rep in 0..reps {
-        let Ok(split) = plan.draw(&instance.truth, rep) else { continue };
+        let Ok(split) = plan.draw(&instance.truth, rep) else {
+            continue;
+        };
         let train = split.train_truth(&instance.truth);
         // Figure 4 uses the feature-free Sources-ERM / Sources-EM variants (footnote 4).
         let input = FusionInput::new(&instance.dataset, &empty_features, &train);
-        total += variant.fuse(&input).assignment.accuracy_against(&instance.truth, &split.test);
+        total += variant
+            .fuse(&input)
+            .assignment
+            .accuracy_against(&instance.truth, &split.test);
         runs += 1;
     }
     total / runs.max(1) as f64
@@ -41,8 +46,15 @@ fn instance(
         num_objects,
         domain_size: 2,
         pattern: ObservationPattern::Bernoulli(density),
-        accuracy: AccuracyModel { mean: accuracy, spread: 0.1 },
-        features: FeatureModel { num_predictive: 0, num_noise: 0, predictive_strength: 0.0 },
+        accuracy: AccuracyModel {
+            mean: accuracy,
+            spread: 0.1,
+        },
+        features: FeatureModel {
+            num_predictive: 0,
+            num_noise: 0,
+            predictive_strength: 0.0,
+        },
         copying: None,
         seed,
     }
@@ -61,7 +73,10 @@ fn main() {
     };
     let erm = SlimFast::erm(config.clone()).with_name("Sources-ERM");
     let em = SlimFast::em(config).with_name("Sources-EM");
-    println!("Figure 4 (scale: {scale:?}, {} sources x {} objects)\n", size.0, size.1);
+    println!(
+        "Figure 4 (scale: {scale:?}, {} sources x {} objects)\n",
+        size.0, size.1
+    );
 
     // (a) Varying training data; avg accuracy 0.7, density 0.01.
     println!("(a) Varying training data (avg accuracy 0.7, density 0.01)");
@@ -70,7 +85,12 @@ fn main() {
     for fraction in [0.01, 0.10, 0.20, 0.40, 0.60] {
         let erm_acc = accuracy_of(&erm, &inst, fraction, reps);
         let em_acc = accuracy_of(&em, &inst, fraction, reps);
-        println!("{:>12.0}{:>10.3}{:>10.3}", fraction * 100.0, em_acc, erm_acc);
+        println!(
+            "{:>12.0}{:>10.3}{:>10.3}",
+            fraction * 100.0,
+            em_acc,
+            erm_acc
+        );
     }
 
     // (b) Varying density; avg accuracy 0.6, ~5% training data.

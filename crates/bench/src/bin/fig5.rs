@@ -31,7 +31,10 @@ fn main() {
                     num_objects: size,
                     domain_size: 2,
                     pattern: ObservationPattern::Bernoulli(density),
-                    accuracy: AccuracyModel { mean: accuracy, spread: 0.08 },
+                    accuracy: AccuracyModel {
+                        mean: accuracy,
+                        spread: 0.08,
+                    },
                     features: FeatureModel {
                         num_predictive: 2,
                         num_noise: 2,

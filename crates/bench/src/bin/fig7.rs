@@ -10,9 +10,16 @@ use slimfast_datagen::DatasetKind;
 fn main() {
     let scale = scale_from_env();
     println!("Figure 7 (scale: {scale:?}): accuracy error for unseen sources\n");
-    println!("{:<18}{:>10}{:>10}{:>10}{:>10}", "Dataset", "25%", "40%", "50%", "75%");
+    println!(
+        "{:<18}{:>10}{:>10}{:>10}{:>10}",
+        "Dataset", "25%", "40%", "50%", "75%"
+    );
 
-    for kind in [DatasetKind::Stocks, DatasetKind::Demonstrations, DatasetKind::Crowd] {
+    for kind in [
+        DatasetKind::Stocks,
+        DatasetKind::Demonstrations,
+        DatasetKind::Crowd,
+    ] {
         let instance = kind.generate(HARNESS_SEED);
         eprintln!("[fig7] running {} ...", instance.name);
         print!("{:<18}", instance.name);
@@ -31,11 +38,14 @@ fn main() {
             // accuracy model on the seen sources.
             let split = SplitPlan::new(0.5, 1).draw(&instance.truth, 0).unwrap();
             let train_truth = split.train_truth(&instance.truth);
-            let model = FeatureAccuracyModel::fit(&train_dataset, &train_features, &train_truth, 60, 1);
+            let model =
+                FeatureAccuracyModel::fit(&train_dataset, &train_features, &train_truth, 60, 1);
             let predicted = model.predict_many(&instance.features, &unseen);
             // True accuracies of the unseen sources: planted values from the simulator.
-            let actual: Vec<f64> =
-                unseen.iter().map(|s| instance.true_accuracies[s.index()]).collect();
+            let actual: Vec<f64> = unseen
+                .iter()
+                .map(|s| instance.true_accuracies[s.index()])
+                .collect();
             let error = unseen_accuracy_error(&predicted, &actual);
             print!("{error:>10.3}");
         }

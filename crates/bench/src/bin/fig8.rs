@@ -17,12 +17,16 @@ fn main() {
     // matrix and add only the pairwise copy indicators.
     let no_features = FeatureMatrix::empty(instance.dataset.num_sources());
     let candidates = detect_copy_candidates(&instance.dataset, 8, 0.8);
-    let (copy_features, copy_names) = add_copy_features(&instance.dataset, &no_features, &candidates);
+    let (copy_features, copy_names) =
+        add_copy_features(&instance.dataset, &no_features, &candidates);
     println!(
         "Figure 8 (scale: {scale:?}): Demonstrations, {} candidate copier pairs detected\n",
         candidates.len()
     );
-    println!("{:>12}{:>16}{:>16}", "Training(%)", "w.o. Copying", "w. Copying");
+    println!(
+        "{:>12}{:>16}{:>16}",
+        "Training(%)", "w.o. Copying", "w. Copying"
+    );
 
     for &fraction in &[0.01, 0.05, 0.10, 0.20] {
         let plan = SplitPlan::new(fraction, protocol.seed);
@@ -30,7 +34,9 @@ fn main() {
         let mut copy_sum = 0.0;
         let mut runs = 0usize;
         for rep in 0..protocol.repetitions {
-            let Ok(split) = plan.draw(&instance.truth, rep) else { continue };
+            let Ok(split) = plan.draw(&instance.truth, rep) else {
+                continue;
+            };
             let train = split.train_truth(&instance.truth);
             let plain = SlimFast::em(config.clone())
                 .fuse(&FusionInput::new(&instance.dataset, &no_features, &train))
@@ -55,10 +61,12 @@ fn main() {
 
     // Examples of correlated sources: learned weights of the copy features.
     println!("\nExamples of correlated sources (learned copy-feature weights, 5% training):");
-    let split = SplitPlan::new(0.05, protocol.seed).draw(&instance.truth, 0).unwrap();
+    let split = SplitPlan::new(0.05, protocol.seed)
+        .draw(&instance.truth, 0)
+        .unwrap();
     let train = split.train_truth(&instance.truth);
-    let (model, _) = SlimFast::em(config)
-        .train(&FusionInput::new(&instance.dataset, &copy_features, &train));
+    let (model, _) =
+        SlimFast::em(config).train(&FusionInput::new(&instance.dataset, &copy_features, &train));
     let mut weighted: Vec<(String, f64)> = copy_names
         .iter()
         .filter_map(|name| {
@@ -66,7 +74,11 @@ fn main() {
             Some((name.clone(), model.feature_weights()[k.index()]))
         })
         .collect();
-    weighted.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap_or(std::cmp::Ordering::Equal));
+    weighted.sort_by(|a, b| {
+        b.1.abs()
+            .partial_cmp(&a.1.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     for (name, weight) in weighted.into_iter().take(6) {
         println!("  {name:<60}{weight:>10.3}");
     }

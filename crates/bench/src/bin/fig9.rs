@@ -33,10 +33,12 @@ fn main() {
 
     println!("\nFinal |weight| aggregated per feature family (least-penalized solution):");
     let final_weights = result.path.weights.last().cloned().unwrap_or_default();
-    let mut family_weight: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    let mut family_weight: std::collections::BTreeMap<String, f64> =
+        std::collections::BTreeMap::new();
     for (k, name) in result.feature_names.iter().enumerate() {
         let family = name.split('=').next().unwrap_or(name).to_string();
-        *family_weight.entry(family).or_insert(0.0) += final_weights.get(k).copied().unwrap_or(0.0).abs();
+        *family_weight.entry(family).or_insert(0.0) +=
+            final_weights.get(k).copied().unwrap_or(0.0).abs();
     }
     let mut ranked: Vec<_> = family_weight.into_iter().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));

@@ -8,7 +8,10 @@ fn main() {
     let stats: Vec<(String, DatasetStats)> = datasets
         .iter()
         .map(|inst| {
-            (inst.name.clone(), DatasetStats::compute(&inst.dataset, &inst.features, &inst.truth))
+            (
+                inst.name.clone(),
+                DatasetStats::compute(&inst.dataset, &inst.features, &inst.truth),
+            )
         })
         .collect();
 

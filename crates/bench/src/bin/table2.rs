@@ -2,10 +2,12 @@
 //! training-data fractions (Panel A), plus the average relative difference between
 //! SLiMFast and every other method (Panel B).
 
-use slimfast_bench::{all_datasets, protocol_for, scale_from_env, slimfast_config_for, HARNESS_SEED};
+use slimfast_bench::{
+    all_datasets, protocol_for, scale_from_env, slimfast_config_for, HARNESS_SEED,
+};
 use slimfast_eval::runner::{run_grid, MethodSummary};
-use slimfast_eval::tables::{best_method_per_fraction, format_accuracy_table};
 use slimfast_eval::standard_lineup;
+use slimfast_eval::tables::{best_method_per_fraction, format_accuracy_table};
 
 fn main() {
     let scale = scale_from_env();
@@ -32,8 +34,7 @@ fn main() {
     // Panel B: average accuracy across datasets per training fraction, and the relative
     // difference of every method against SLiMFast.
     println!("Panel B: relative difference (%) between SLiMFast and other methods, averaged across datasets");
-    let method_names: Vec<String> =
-        per_dataset[0].1.iter().map(|s| s.method.clone()).collect();
+    let method_names: Vec<String> = per_dataset[0].1.iter().map(|s| s.method.clone()).collect();
     let num_fractions = protocol.train_fractions.len();
     print!("{:>8}", "TD(%)");
     for name in &method_names {

@@ -17,7 +17,11 @@ fn main() {
         protocol.repetitions
     );
 
-    for kind in [DatasetKind::Stocks, DatasetKind::Demonstrations, DatasetKind::Crowd] {
+    for kind in [
+        DatasetKind::Stocks,
+        DatasetKind::Demonstrations,
+        DatasetKind::Crowd,
+    ] {
         let instance = kind.generate(HARNESS_SEED);
         eprintln!("[table3] running {} ...", instance.name);
         let lineup = probabilistic_lineup(&config);
@@ -25,5 +29,7 @@ fn main() {
         println!("{}", format_error_table(&instance.name, &summaries));
         println!();
     }
-    println!("(Genomics omitted: its sources average ~1.1 observations, matching the paper's omission)");
+    println!(
+        "(Genomics omitted: its sources average ~1.1 observations, matching the paper's omission)"
+    );
 }

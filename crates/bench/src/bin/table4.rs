@@ -2,7 +2,9 @@
 //! report the accuracy of SLiMFast-ERM and SLiMFast-EM, which the optimizer picked, whether
 //! the pick was correct, and the relative difference. A τ-robustness sweep follows.
 
-use slimfast_bench::{all_datasets, protocol_for, scale_from_env, slimfast_config_for, HARNESS_SEED};
+use slimfast_bench::{
+    all_datasets, protocol_for, scale_from_env, slimfast_config_for, HARNESS_SEED,
+};
 use slimfast_core::{OptimizerDecision, SlimFast};
 use slimfast_data::{FeatureMatrix, FusionInput, FusionMethod, SplitPlan};
 
@@ -31,13 +33,17 @@ fn main() {
             let mut decisions_em = 0usize;
             let mut reps = 0usize;
             for rep in 0..protocol.repetitions {
-                let Ok(split) = plan.draw(&instance.truth, rep) else { continue };
+                let Ok(split) = plan.draw(&instance.truth, rep) else {
+                    continue;
+                };
                 let train = split.train_truth(&instance.truth);
                 let input = FusionInput::new(&instance.dataset, &instance.features, &train);
 
                 let erm = SlimFast::erm(config.clone()).fuse(&input);
                 let em = SlimFast::em(config.clone()).fuse(&input);
-                erm_sum += erm.assignment.accuracy_against(&instance.truth, &split.test);
+                erm_sum += erm
+                    .assignment
+                    .accuracy_against(&instance.truth, &split.test);
                 em_sum += em.assignment.accuracy_against(&instance.truth, &split.test);
                 let report = SlimFast::new(config.clone()).plan(&input);
                 if report.decision == OptimizerDecision::Em {
@@ -48,7 +54,11 @@ fn main() {
             let reps_f = reps.max(1) as f64;
             let erm_acc = erm_sum / reps_f;
             let em_acc = em_sum / reps_f;
-            let decision = if decisions_em * 2 > reps { OptimizerDecision::Em } else { OptimizerDecision::Erm };
+            let decision = if decisions_em * 2 > reps {
+                OptimizerDecision::Em
+            } else {
+                OptimizerDecision::Erm
+            };
             let best_is_em = em_acc > erm_acc;
             let chosen_em = decision == OptimizerDecision::Em;
             let diff = (erm_acc - em_acc).abs() / erm_acc.min(em_acc).max(1e-9) * 100.0;
@@ -83,13 +93,18 @@ fn main() {
     println!();
     for instance in all_datasets(HARNESS_SEED) {
         print!("{:<16}", instance.name);
-        let split = SplitPlan::new(0.05, protocol.seed).draw(&instance.truth, 0).unwrap();
+        let split = SplitPlan::new(0.05, protocol.seed)
+            .draw(&instance.truth, 0)
+            .unwrap();
         let train = split.train_truth(&instance.truth);
         for tau in taus {
             let mut tau_config = config.clone();
             tau_config.optimizer_threshold = tau;
-            let report = SlimFast::new(tau_config)
-                .plan(&FusionInput::new(&instance.dataset, &instance.features, &train));
+            let report = SlimFast::new(tau_config).plan(&FusionInput::new(
+                &instance.dataset,
+                &instance.features,
+                &train,
+            ));
             print!(
                 "{:>12}",
                 match report.decision {

@@ -3,7 +3,9 @@
 //! non-iterative generative methods fastest, EM-based discriminative learning slowest —
 //! are the reproducible part.
 
-use slimfast_bench::{all_datasets, protocol_for, scale_from_env, slimfast_config_for, HARNESS_SEED};
+use slimfast_bench::{
+    all_datasets, protocol_for, scale_from_env, slimfast_config_for, HARNESS_SEED,
+};
 use slimfast_eval::runner::run_grid;
 use slimfast_eval::standard_lineup;
 use slimfast_eval::tables::format_runtime_table;

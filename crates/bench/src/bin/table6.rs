@@ -7,8 +7,8 @@ use std::time::Instant;
 
 use slimfast_bench::{protocol_for, scale_from_env, HARNESS_SEED};
 use slimfast_core::compile::compile;
-use slimfast_datagen::DatasetKind;
 use slimfast_data::SplitPlan;
+use slimfast_datagen::DatasetKind;
 use slimfast_graph::{GibbsConfig, LearningConfig};
 
 fn main() {
@@ -21,10 +21,20 @@ fn main() {
         "TD(%)", "End-to-end (s)", "Learn+Inference only (s)", "Compile (s)"
     );
 
-    let learn_config = LearningConfig { epochs: 20, ..Default::default() };
-    let gibbs_config = GibbsConfig { burn_in: 50, samples: 200, chains: 1, seed: 7 };
+    let learn_config = LearningConfig {
+        epochs: 20,
+        ..Default::default()
+    };
+    let gibbs_config = GibbsConfig {
+        burn_in: 50,
+        samples: 200,
+        chains: 1,
+        seed: 7,
+    };
     for &fraction in &protocol.train_fractions {
-        let split = SplitPlan::new(fraction, protocol.seed).draw(&instance.truth, 0).unwrap();
+        let split = SplitPlan::new(fraction, protocol.seed)
+            .draw(&instance.truth, 0)
+            .unwrap();
         let train = split.train_truth(&instance.truth);
 
         let start = Instant::now();

@@ -43,7 +43,11 @@ pub enum Scale {
 
 /// Reads the scale from the `SLIMFAST_SCALE` environment variable (`quick`/`full`).
 pub fn scale_from_env() -> Scale {
-    match std::env::var("SLIMFAST_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("SLIMFAST_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "full" => Scale::Full,
         _ => Scale::Quick,
     }
@@ -80,7 +84,10 @@ pub fn slimfast_config_for(scale: Scale) -> SlimFastConfig {
 
 /// Generates all four simulated evaluation datasets with the harness seed.
 pub fn all_datasets(seed: u64) -> Vec<SyntheticInstance> {
-    DatasetKind::all().iter().map(|kind| kind.generate(seed)).collect()
+    DatasetKind::all()
+        .iter()
+        .map(|kind| kind.generate(seed))
+        .collect()
 }
 
 /// Standard seed used by the experiment binaries so results are reproducible run to run.

@@ -56,7 +56,11 @@ pub fn em_rate(
 
 /// The number of labelled objects needed for [`erm_rate`] to fall below `target`.
 /// Returns `None` if no achievable `|G|` up to `max_labeled` reaches the target.
-pub fn labels_needed_for_erm(num_features: usize, target: f64, max_labeled: usize) -> Option<usize> {
+pub fn labels_needed_for_erm(
+    num_features: usize,
+    target: f64,
+    max_labeled: usize,
+) -> Option<usize> {
     (1..=max_labeled).find(|&g| erm_rate(num_features, g) <= target)
 }
 
@@ -83,10 +87,22 @@ mod tests {
     #[test]
     fn em_rate_improves_with_density_accuracy_and_scale() {
         let base = em_rate(10, 1000, 1000, 0.01, 0.2);
-        assert!(em_rate(10, 1000, 1000, 0.02, 0.2) < base, "denser instances help EM");
-        assert!(em_rate(10, 1000, 1000, 0.01, 0.4) < base, "more accurate sources help EM");
-        assert!(em_rate(10, 2000, 1000, 0.01, 0.2) < base, "more sources help EM");
-        assert!(em_rate(40, 1000, 1000, 0.01, 0.2) > base, "more features hurt EM");
+        assert!(
+            em_rate(10, 1000, 1000, 0.02, 0.2) < base,
+            "denser instances help EM"
+        );
+        assert!(
+            em_rate(10, 1000, 1000, 0.01, 0.4) < base,
+            "more accurate sources help EM"
+        );
+        assert!(
+            em_rate(10, 2000, 1000, 0.01, 0.2) < base,
+            "more sources help EM"
+        );
+        assert!(
+            em_rate(40, 1000, 1000, 0.01, 0.2) > base,
+            "more features hurt EM"
+        );
         assert!(em_rate(10, 0, 1000, 0.01, 0.2).is_infinite());
         assert!(em_rate(10, 1000, 1000, 0.0, 0.2).is_infinite());
     }

@@ -38,10 +38,12 @@ pub fn compile(dataset: &Dataset, features: &FeatureMatrix, truth: &GroundTruth)
     let space = ParameterSpace::new(dataset, features);
     let mut graph = FactorGraph::new();
 
-    let source_weights: Vec<WeightId> =
-        (0..space.num_sources).map(|_| graph.add_weight(0.0)).collect();
-    let feature_weights: Vec<WeightId> =
-        (0..space.num_features).map(|_| graph.add_weight(0.0)).collect();
+    let source_weights: Vec<WeightId> = (0..space.num_sources)
+        .map(|_| graph.add_weight(0.0))
+        .collect();
+    let feature_weights: Vec<WeightId> = (0..space.num_features)
+        .map(|_| graph.add_weight(0.0))
+        .collect();
 
     let mut object_variables = Vec::with_capacity(dataset.num_objects());
     for o in dataset.object_ids() {
@@ -60,17 +62,25 @@ pub fn compile(dataset: &Dataset, features: &FeatureMatrix, truth: &GroundTruth)
         object_variables.push(Some(variable));
 
         for &(s, value) in dataset.observations_for_object(o) {
-            let Some(value_idx) = domain.iter().position(|&d| d == value) else { continue };
+            let Some(value_idx) = domain.iter().position(|&d| d == value) else {
+                continue;
+            };
             // Source-indicator factor: fires with weight w_s when T_o takes the claimed value.
             graph.add_factor(
-                FactorKind::Indicator { variable, value: value_idx },
+                FactorKind::Indicator {
+                    variable,
+                    value: value_idx,
+                },
                 source_weights[s.index()],
                 1.0,
             );
             // One factor per feature of the claiming source, scaled by the feature value.
             for (k, fv) in features.features_of(s) {
                 graph.add_factor(
-                    FactorKind::Indicator { variable, value: value_idx },
+                    FactorKind::Indicator {
+                        variable,
+                        value: value_idx,
+                    },
                     feature_weights[k.index()],
                     *fv,
                 );
@@ -78,7 +88,13 @@ pub fn compile(dataset: &Dataset, features: &FeatureMatrix, truth: &GroundTruth)
         }
     }
 
-    CompiledGraph { graph, object_variables, source_weights, feature_weights, space }
+    CompiledGraph {
+        graph,
+        object_variables,
+        source_weights,
+        feature_weights,
+        space,
+    }
 }
 
 impl CompiledGraph {
@@ -101,7 +117,8 @@ impl CompiledGraph {
             self.graph.set_weight(*w, model.weights()[s]);
         }
         for (k, w) in self.feature_weights.iter().enumerate() {
-            self.graph.set_weight(*w, model.weights()[self.space.num_sources + k]);
+            self.graph
+                .set_weight(*w, model.weights()[self.space.num_sources + k]);
         }
     }
 
@@ -113,7 +130,11 @@ impl CompiledGraph {
 
     /// Runs Gibbs sampling and converts the per-variable MAP values back into a
     /// [`TruthAssignment`] over objects.
-    pub fn infer(&self, dataset: &Dataset, config: &slimfast_graph::GibbsConfig) -> TruthAssignment {
+    pub fn infer(
+        &self,
+        dataset: &Dataset,
+        config: &slimfast_graph::GibbsConfig,
+    ) -> TruthAssignment {
         let marginals = slimfast_graph::gibbs::sample(&self.graph, config);
         let mut assignment = TruthAssignment::empty(dataset.num_objects());
         for (o_idx, variable) in self.object_variables.iter().enumerate() {
@@ -146,8 +167,15 @@ mod tests {
             num_objects: 150,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.2),
-            accuracy: AccuracyModel { mean: 0.75, spread: 0.1 },
-            features: FeatureModel { num_predictive: 2, num_noise: 1, predictive_strength: 0.2 },
+            accuracy: AccuracyModel {
+                mean: 0.75,
+                spread: 0.1,
+            },
+            features: FeatureModel {
+                num_predictive: 2,
+                num_noise: 1,
+                predictive_strength: 0.2,
+            },
             copying: None,
             seed,
         }
@@ -177,12 +205,22 @@ mod tests {
         let train = split.train_truth(&inst.truth);
 
         // Train with the closed-form ERM learner, then run Gibbs with those weights.
-        let model = train_erm(&inst.dataset, &inst.features, &train, &SlimFastConfig::default());
+        let model = train_erm(
+            &inst.dataset,
+            &inst.features,
+            &train,
+            &SlimFastConfig::default(),
+        );
         let mut compiled = compile(&inst.dataset, &inst.features, &train);
         compiled.load_model(&model);
         let gibbs = compiled.infer(
             &inst.dataset,
-            &GibbsConfig { burn_in: 100, samples: 800, chains: 1, seed: 5 },
+            &GibbsConfig {
+                burn_in: 100,
+                samples: 800,
+                chains: 1,
+                seed: 5,
+            },
         );
         let closed_form = model.predict(&inst.dataset, &inst.features);
 
@@ -198,7 +236,10 @@ mod tests {
         }
         assert!(total > 0);
         let agreement = agree as f64 / total as f64;
-        assert!(agreement > 0.9, "Gibbs and closed-form MAP agree on only {agreement:.3}");
+        assert!(
+            agreement > 0.9,
+            "Gibbs and closed-form MAP agree on only {agreement:.3}"
+        );
     }
 
     #[test]
@@ -207,7 +248,10 @@ mod tests {
         let split = SplitPlan::new(0.4, 7).draw(&inst.truth, 0).unwrap();
         let train = split.train_truth(&inst.truth);
         let mut compiled = compile(&inst.dataset, &inst.features, &train);
-        let history = compiled.learn(&LearningConfig { epochs: 40, ..Default::default() });
+        let history = compiled.learn(&LearningConfig {
+            epochs: 40,
+            ..Default::default()
+        });
         assert!(history.last().unwrap() < history.first().unwrap());
         let model = compiled.to_model();
         let accuracy = model

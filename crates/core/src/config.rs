@@ -28,7 +28,11 @@ pub struct EmConfig {
 
 impl Default for EmConfig {
     fn default() -> Self {
-        Self { max_iterations: 25, m_step_epochs: 10, tolerance: 1e-3 }
+        Self {
+            max_iterations: 25,
+            m_step_epochs: 10,
+            tolerance: 1e-3,
+        }
     }
 }
 
@@ -123,7 +127,11 @@ mod tests {
 
     #[test]
     fn sgd_configs_reflect_the_settings() {
-        let config = SlimFastConfig { erm_epochs: 7, seed: 11, ..Default::default() };
+        let config = SlimFastConfig {
+            erm_epochs: 7,
+            seed: 11,
+            ..Default::default()
+        };
         assert_eq!(config.erm_sgd().epochs, 7);
         assert_eq!(config.erm_sgd().seed, 11);
         assert_eq!(config.m_step_sgd().epochs, config.em.m_step_epochs);
@@ -134,6 +142,9 @@ mod tests {
         let config = SlimFastConfig::default().with_erm().with_seed(5);
         assert_eq!(config.learner, LearnerChoice::Erm);
         assert_eq!(config.seed, 5);
-        assert_eq!(SlimFastConfig::default().with_em().learner, LearnerChoice::Em);
+        assert_eq!(
+            SlimFastConfig::default().with_em().learner,
+            LearnerChoice::Em
+        );
     }
 }

@@ -120,9 +120,20 @@ mod tests {
             num_objects: 400,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.12),
-            accuracy: AccuracyModel { mean: 0.62, spread: 0.1 },
-            features: FeatureModel { num_predictive: 0, num_noise: 0, predictive_strength: 0.0 },
-            copying: Some(CopyingModel { num_groups: 6, group_size: 3, copy_probability: 0.95 }),
+            accuracy: AccuracyModel {
+                mean: 0.62,
+                spread: 0.1,
+            },
+            features: FeatureModel {
+                num_predictive: 0,
+                num_noise: 0,
+                predictive_strength: 0.0,
+            },
+            copying: Some(CopyingModel {
+                num_groups: 6,
+                group_size: 3,
+                copy_probability: 0.95,
+            }),
             seed,
         }
         .generate()
@@ -140,7 +151,10 @@ mod tests {
             .collect();
         let mut found = 0;
         for &(copier, leader) in &inst.copier_pairs {
-            let key = (copier.index().min(leader.index()), copier.index().max(leader.index()));
+            let key = (
+                copier.index().min(leader.index()),
+                copier.index().max(leader.index()),
+            );
             if detected.contains(&key) {
                 found += 1;
             }
@@ -160,7 +174,10 @@ mod tests {
             num_objects: 400,
             domain_size: 4,
             pattern: ObservationPattern::Bernoulli(0.12),
-            accuracy: AccuracyModel { mean: 0.6, spread: 0.1 },
+            accuracy: AccuracyModel {
+                mean: 0.6,
+                spread: 0.1,
+            },
             features: FeatureModel::default(),
             copying: None,
             seed: 3,
@@ -180,7 +197,10 @@ mod tests {
         let candidates = detect_copy_candidates(&inst.dataset, 10, 0.85);
         let (augmented, names) = add_copy_features(&inst.dataset, &inst.features, &candidates);
         assert_eq!(names.len(), candidates.len());
-        assert_eq!(augmented.num_features(), inst.features.num_features() + names.len());
+        assert_eq!(
+            augmented.num_features(),
+            inst.features.num_features() + names.len()
+        );
         for (candidate, name) in candidates.iter().zip(&names) {
             let k = augmented.feature_id(name).unwrap();
             assert_eq!(augmented.value(candidate.a, k), 1.0);

@@ -6,18 +6,22 @@
 //! * **E-step** — with the current weights, compute the posterior of every unlabelled
 //!   object's value (labelled objects stay clamped to their ground-truth value, making the
 //!   procedure semi-supervised exactly as the paper describes);
-//! * **M-step** — refit the weights by SGD against those posteriors (soft targets), warm
-//!   starting from the previous iterate.
+//! * **M-step** — refit the *accuracy model* of Equation 3 by SGD: every observation
+//!   `(s, o, v)` becomes one binary example "source `s` was correct on `o`" whose
+//!   fractional target is the posterior probability that `T_o = v`, and whose features are
+//!   the source indicator plus the source's domain features. (Fitting the conditional
+//!   object-level logit against its own posteriors would be a no-op: its gradient vanishes
+//!   identically at the current weights, because the targets *are* the model output.)
 //!
 //! The objective is non-convex; Theorem 3 bounds the error of the resulting accuracy
 //! estimates in terms of the source accuracies (`δ`) and the observation density (`p`).
 
-use slimfast_optim::{ConditionalExample, ConditionalLogit, Target};
+use slimfast_optim::{BinaryExample, BinaryLogisticRegression, SparseVec};
 
 use slimfast_data::{Dataset, FeatureMatrix, GroundTruth};
 
 use crate::config::SlimFastConfig;
-use crate::erm::{object_example, train_erm};
+use crate::erm::train_erm;
 use crate::model::{ParameterSpace, SlimFastModel};
 
 /// Diagnostics of an EM run.
@@ -70,15 +74,41 @@ pub fn train_em_traced(
         fitted
     };
 
-    // Pre-build the per-object class structure once; only the targets change per iteration.
+    // Pre-build the per-observation examples once; only the targets change per iteration.
+    // Each observation (s, o, v) yields one binary "source s was correct on o" example
+    // whose features are the source indicator plus the source's domain features, and whose
+    // target is overwritten by the E-step. Labelled objects clamp the target to 0/1.
     let mut objects = Vec::new();
+    // Parallel to `examples`: which object's posterior, and which domain position, feeds
+    // each example's target.
+    let mut targets_from = Vec::new();
+    let mut examples = Vec::new();
     for o in dataset.object_ids() {
-        if let Some(classes) = object_example(dataset, features, &space, o) {
-            let label = truth
-                .get(o)
-                .and_then(|v| dataset.domain(o).iter().position(|&d| d == v));
-            objects.push((o, classes, label));
+        let domain = dataset.domain(o);
+        if domain.is_empty() {
+            continue;
         }
+        let label = truth
+            .get(o)
+            .and_then(|v| domain.iter().position(|&d| d == v));
+        let object_slot = objects.len();
+        for &(s, value) in dataset.observations_for_object(o) {
+            let Some(class) = domain.iter().position(|&d| d == value) else {
+                continue;
+            };
+            let mut x = SparseVec::new();
+            x.add(space.source_param(s), 1.0);
+            for (k, fv) in features.features_of(s) {
+                x.add(space.feature_param(*k), *fv);
+            }
+            targets_from.push((object_slot, class));
+            examples.push(BinaryExample {
+                features: x,
+                target: 0.0,
+                weight: 1.0,
+            });
+        }
+        objects.push((o, label));
     }
 
     let mut deltas = Vec::new();
@@ -86,24 +116,33 @@ pub fn train_em_traced(
     let mut iterations = 0;
     for iteration in 0..config.em.max_iterations {
         iterations = iteration + 1;
-        // --- E-step: posterior targets for every object. -----------------------------
-        let examples: Vec<ConditionalExample> = objects
+        // --- E-step: posterior over every object's value (clamped on labelled ones). --
+        let posteriors: Vec<Vec<f64>> = objects
             .iter()
-            .map(|(o, classes, label)| {
-                let target = match label {
-                    Some(idx) => Target::Hard(*idx),
-                    None => Target::Soft(model.posterior(dataset, features, *o)),
-                };
-                ConditionalExample { classes: classes.clone(), target, weight: 1.0 }
+            .map(|&(o, label)| match label {
+                Some(idx) => {
+                    let mut point = vec![0.0; dataset.domain(o).len()];
+                    point[idx] = 1.0;
+                    point
+                }
+                None => model.posterior(dataset, features, o),
             })
             .collect();
 
-        // --- M-step: weighted refit, warm-started from the current weights. ----------
+        // --- M-step: refit the accuracy model against the posterior correctness targets,
+        //     warm-started from the current weights. -----------------------------------
+        for (example, &(object_slot, class)) in examples.iter_mut().zip(&targets_from) {
+            example.target = posteriors[object_slot].get(class).copied().unwrap_or(0.0);
+        }
         let mut sgd = config.m_step_sgd();
         // Vary the shuffle order across iterations while staying deterministic overall.
         sgd.seed = config.seed.wrapping_add(iteration as u64);
-        let fit =
-            ConditionalLogit::fit_warm(&examples, space.len(), &sgd, Some(model.weights().to_vec()));
+        let fit = BinaryLogisticRegression::fit_warm(
+            &examples,
+            space.len(),
+            &sgd,
+            Some(model.weights().to_vec()),
+        );
         let delta = fit
             .weights()
             .iter()
@@ -118,7 +157,14 @@ pub fn train_em_traced(
         }
     }
 
-    (model, EmTrace { iterations, weight_deltas: deltas, converged })
+    (
+        model,
+        EmTrace {
+            iterations,
+            weight_deltas: deltas,
+            converged,
+        },
+    )
 }
 
 /// Trains a SLiMFast model with EM, discarding the trace.
@@ -146,8 +192,15 @@ mod tests {
             num_objects: 300,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(density),
-            accuracy: AccuracyModel { mean: mean_accuracy, spread: 0.15 },
-            features: FeatureModel { num_predictive: 3, num_noise: 2, predictive_strength: 0.2 },
+            accuracy: AccuracyModel {
+                mean: mean_accuracy,
+                spread: 0.15,
+            },
+            features: FeatureModel {
+                num_predictive: 3,
+                num_noise: 2,
+                predictive_strength: 0.2,
+            },
             copying: None,
             seed,
         }
@@ -179,7 +232,12 @@ mod tests {
     fn em_source_accuracies_track_planted_accuracies_without_labels() {
         let inst = instance(0.75, 0.25, 2);
         let empty = GroundTruth::empty(inst.dataset.num_objects());
-        let model = train_em(&inst.dataset, &inst.features, &empty, &SlimFastConfig::default());
+        let model = train_em(
+            &inst.dataset,
+            &inst.features,
+            &empty,
+            &SlimFastConfig::default(),
+        );
         let mut err = 0.0;
         for (s, &true_acc) in inst.true_accuracies.iter().enumerate() {
             err += (model.source_accuracy(SourceId::new(s), &inst.features) - true_acc).abs();
@@ -195,8 +253,12 @@ mod tests {
         let train = split.train_truth(&inst.truth);
         let config = SlimFastConfig::default();
         let semi = train_em(&inst.dataset, &inst.features, &train, &config);
-        let unsup =
-            train_em(&inst.dataset, &inst.features, &GroundTruth::empty(inst.dataset.num_objects()), &config);
+        let unsup = train_em(
+            &inst.dataset,
+            &inst.features,
+            &GroundTruth::empty(inst.dataset.num_objects()),
+            &config,
+        );
         let semi_acc = semi
             .predict(&inst.dataset, &inst.features)
             .accuracy_against(&inst.truth, &split.test);
@@ -214,14 +276,24 @@ mod tests {
     fn em_converges_and_reports_a_trace() {
         let inst = instance(0.7, 0.15, 4);
         let empty = GroundTruth::empty(inst.dataset.num_objects());
-        let config = SlimFastConfig { em: crate::config::EmConfig { max_iterations: 40, ..Default::default() }, ..Default::default() };
+        let config = SlimFastConfig {
+            em: crate::config::EmConfig {
+                max_iterations: 40,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let (_, trace) = train_em_traced(&inst.dataset, &inst.features, &empty, &config);
         assert_eq!(trace.weight_deltas.len(), trace.iterations);
         // Weight changes should shrink over the run.
         if trace.iterations >= 3 {
             let first = trace.weight_deltas[0];
             let last = *trace.weight_deltas.last().unwrap();
-            assert!(last <= first, "EM deltas should not grow: {:?}", trace.weight_deltas);
+            assert!(
+                last <= first,
+                "EM deltas should not grow: {:?}",
+                trace.weight_deltas
+            );
         }
     }
 

@@ -27,7 +27,9 @@ pub(crate) fn object_example(
     }
     let mut classes: Vec<SparseVec> = vec![SparseVec::new(); domain.len()];
     for &(s, value) in dataset.observations_for_object(o) {
-        let Some(idx) = domain.iter().position(|&d| d == value) else { continue };
+        let Some(idx) = domain.iter().position(|&d| d == value) else {
+            continue;
+        };
         classes[idx].add(space.source_param(s), 1.0);
         for (k, fv) in features.features_of(s) {
             classes[idx].add(space.feature_param(*k), *fv);
@@ -46,9 +48,17 @@ pub(crate) fn labeled_examples(
 ) -> Vec<ConditionalExample> {
     let mut examples = Vec::with_capacity(truth.num_labeled());
     for (o, v) in truth.labeled() {
-        let Some(classes) = object_example(dataset, features, space, o) else { continue };
-        let Some(label) = dataset.domain(o).iter().position(|&d| d == v) else { continue };
-        examples.push(ConditionalExample { classes, target: Target::Hard(label), weight: 1.0 });
+        let Some(classes) = object_example(dataset, features, space, o) else {
+            continue;
+        };
+        let Some(label) = dataset.domain(o).iter().position(|&d| d == v) else {
+            continue;
+        };
+        examples.push(ConditionalExample {
+            classes,
+            target: Target::Hard(label),
+            weight: 1.0,
+        });
     }
     examples
 }
@@ -88,8 +98,15 @@ mod tests {
             num_objects: 400,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.15),
-            accuracy: AccuracyModel { mean: 0.7, spread: 0.2 },
-            features: FeatureModel { num_predictive: 3, num_noise: 3, predictive_strength: 0.25 },
+            accuracy: AccuracyModel {
+                mean: 0.7,
+                spread: 0.2,
+            },
+            features: FeatureModel {
+                num_predictive: 3,
+                num_noise: 3,
+                predictive_strength: 0.25,
+            },
             copying: None,
             seed,
         }
@@ -107,10 +124,12 @@ mod tests {
         let model = train_erm(&inst.dataset, &inst.features, &train, &config);
         let zero = SlimFastModel::zeros(model.space());
 
-        let trained_acc =
-            model.predict(&inst.dataset, &inst.features).accuracy_against(&inst.truth, &split.test);
-        let zero_acc =
-            zero.predict(&inst.dataset, &inst.features).accuracy_against(&inst.truth, &split.test);
+        let trained_acc = model
+            .predict(&inst.dataset, &inst.features)
+            .accuracy_against(&inst.truth, &split.test);
+        let zero_acc = zero
+            .predict(&inst.dataset, &inst.features)
+            .accuracy_against(&inst.truth, &split.test);
         assert!(
             trained_acc > zero_acc + 0.05,
             "ERM ({trained_acc:.3}) should clearly beat the uninformed model ({zero_acc:.3})"
@@ -137,7 +156,12 @@ mod tests {
     fn empty_ground_truth_returns_the_zero_model() {
         let inst = instance(3);
         let empty = GroundTruth::empty(inst.dataset.num_objects());
-        let model = train_erm(&inst.dataset, &inst.features, &empty, &SlimFastConfig::default());
+        let model = train_erm(
+            &inst.dataset,
+            &inst.features,
+            &empty,
+            &SlimFastConfig::default(),
+        );
         assert!(model.weights().iter().all(|&w| w == 0.0));
     }
 

@@ -40,7 +40,9 @@ pub fn correctness_examples(
 ) -> Vec<BinaryExample> {
     let mut examples = Vec::new();
     for obs in dataset.observations() {
-        let Some(label) = truth.get(obs.object) else { continue };
+        let Some(label) = truth.get(obs.object) else {
+            continue;
+        };
         let mut x = SparseVec::new();
         for (k, v) in features.features_of(obs.source) {
             x.add(k.index(), *v);
@@ -65,13 +67,21 @@ pub fn feature_lasso_path(
     seed: u64,
 ) -> FeatureLassoPath {
     let examples = correctness_examples(dataset, features, truth);
-    let base = SgdConfig { epochs, seed, tolerance: 0.0, ..SgdConfig::default() };
+    let base = SgdConfig {
+        epochs,
+        seed,
+        tolerance: 0.0,
+        ..SgdConfig::default()
+    };
     let path = lasso_path(&examples, features.num_features(), lambdas, &base);
     let mut feature_names = vec![String::new(); features.num_features()];
     for (k, name) in features.feature_names() {
         feature_names[k.index()] = name.to_string();
     }
-    FeatureLassoPath { path, feature_names }
+    FeatureLassoPath {
+        path,
+        feature_names,
+    }
 }
 
 /// A convenient default penalty grid spanning strong to (almost) no regularization.
@@ -91,8 +101,15 @@ mod tests {
             num_objects: 400,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.08),
-            accuracy: AccuracyModel { mean: 0.65, spread: 0.05 },
-            features: FeatureModel { num_predictive: 2, num_noise: 3, predictive_strength: 0.45 },
+            accuracy: AccuracyModel {
+                mean: 0.65,
+                spread: 0.05,
+            },
+            features: FeatureModel {
+                num_predictive: 2,
+                num_noise: 3,
+                predictive_strength: 0.45,
+            },
             copying: None,
             seed: 23,
         }

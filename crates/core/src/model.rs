@@ -20,7 +20,10 @@ pub struct ParameterSpace {
 impl ParameterSpace {
     /// Derives the parameter space from a fusion instance.
     pub fn new(dataset: &Dataset, features: &FeatureMatrix) -> Self {
-        Self { num_sources: dataset.num_sources(), num_features: features.num_features() }
+        Self {
+            num_sources: dataset.num_sources(),
+            num_features: features.num_features(),
+        }
     }
 
     /// Total number of parameters.
@@ -102,9 +105,16 @@ impl SlimFastModel {
     }
 
     /// Estimated accuracies of all sources.
-    pub fn source_accuracies(&self, dataset: &Dataset, features: &FeatureMatrix) -> SourceAccuracies {
+    pub fn source_accuracies(
+        &self,
+        dataset: &Dataset,
+        features: &FeatureMatrix,
+    ) -> SourceAccuracies {
         SourceAccuracies::new(
-            dataset.source_ids().map(|s| self.source_accuracy(s, features)).collect(),
+            dataset
+                .source_ids()
+                .map(|s| self.source_accuracy(s, features))
+                .collect(),
         )
     }
 
@@ -120,10 +130,19 @@ impl SlimFastModel {
 
     /// Predicted accuracy of a source described only by its features (no per-source
     /// indicator), as used for source-quality initialization of unseen sources.
-    pub fn accuracy_from_features(&self, feature_values: &[(slimfast_data::FeatureId, f64)]) -> f64 {
+    pub fn accuracy_from_features(
+        &self,
+        feature_values: &[(slimfast_data::FeatureId, f64)],
+    ) -> f64 {
         let score: f64 = feature_values
             .iter()
-            .map(|(k, v)| self.feature_weights().get(k.index()).copied().unwrap_or(0.0) * v)
+            .map(|(k, v)| {
+                self.feature_weights()
+                    .get(k.index())
+                    .copied()
+                    .unwrap_or(0.0)
+                    * v
+            })
             .sum();
         sigmoid(score)
     }
@@ -188,7 +207,9 @@ impl SlimFastModel {
         let mut count = 0usize;
         for (o, v) in truth.labeled() {
             let domain = dataset.domain(o);
-            let Some(idx) = domain.iter().position(|&d| d == v) else { continue };
+            let Some(idx) = domain.iter().position(|&d| d == v) else {
+                continue;
+            };
             let posterior = self.posterior(dataset, features, o);
             total += -posterior[idx].clamp(1e-12, 1.0).ln();
             count += 1;

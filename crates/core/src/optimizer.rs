@@ -78,14 +78,14 @@ pub struct OptimizerReport {
 fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients (g = 7, n = 9).
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -286,7 +286,10 @@ mod tests {
     fn ln_gamma_matches_factorials() {
         for n in 1..10u64 {
             let expected: f64 = (1..n).map(|i| (i as f64).ln()).sum();
-            assert!((ln_gamma(n as f64) - expected).abs() < 1e-9, "ln_gamma({n})");
+            assert!(
+                (ln_gamma(n as f64) - expected).abs() < 1e-9,
+                "ln_gamma({n})"
+            );
         }
     }
 
@@ -337,8 +340,15 @@ mod tests {
                 num_objects: 400,
                 domain_size: 2,
                 pattern: ObservationPattern::Bernoulli(0.2),
-                accuracy: AccuracyModel { mean: target, spread: 0.05 },
-                features: FeatureModel { num_predictive: 0, num_noise: 0, predictive_strength: 0.0 },
+                accuracy: AccuracyModel {
+                    mean: target,
+                    spread: 0.05,
+                },
+                features: FeatureModel {
+                    num_predictive: 0,
+                    num_noise: 0,
+                    predictive_strength: 0.0,
+                },
                 copying: None,
                 seed: 3,
                 name: "acc".into(),
@@ -369,7 +379,10 @@ mod tests {
                 num_objects: 200,
                 domain_size: 2,
                 pattern: ObservationPattern::Bernoulli(density),
-                accuracy: AccuracyModel { mean: 0.7, spread: 0.05 },
+                accuracy: AccuracyModel {
+                    mean: 0.7,
+                    spread: 0.05,
+                },
                 features: FeatureModel::default(),
                 copying: None,
                 seed,
@@ -381,7 +394,10 @@ mod tests {
         let dense = build(0.15, 1);
         let sparse_units = em_units(&sparse.dataset, 0.7, UnitsConvention::PerObject);
         let dense_units = em_units(&dense.dataset, 0.7, UnitsConvention::PerObject);
-        assert!(dense_units > sparse_units, "{dense_units} vs {sparse_units}");
+        assert!(
+            dense_units > sparse_units,
+            "{dense_units} vs {sparse_units}"
+        );
         // Higher assumed accuracy also increases the units on the same instance.
         let low_acc = em_units(&dense.dataset, 0.55, UnitsConvention::PerObject);
         let high_acc = em_units(&dense.dataset, 0.85, UnitsConvention::PerObject);
@@ -395,8 +411,15 @@ mod tests {
             num_objects: 300,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.05),
-            accuracy: AccuracyModel { mean: 0.7, spread: 0.1 },
-            features: FeatureModel { num_predictive: 2, num_noise: 2, predictive_strength: 0.2 },
+            accuracy: AccuracyModel {
+                mean: 0.7,
+                spread: 0.1,
+            },
+            features: FeatureModel {
+                num_predictive: 2,
+                num_noise: 2,
+                predictive_strength: 0.2,
+            },
             copying: None,
             seed: 7,
             name: "opt".into(),
@@ -424,8 +447,15 @@ mod tests {
             num_objects: 2000,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.05),
-            accuracy: AccuracyModel { mean: 0.7, spread: 0.1 },
-            features: FeatureModel { num_predictive: 1, num_noise: 0, predictive_strength: 0.2 },
+            accuracy: AccuracyModel {
+                mean: 0.7,
+                spread: 0.1,
+            },
+            features: FeatureModel {
+                num_predictive: 1,
+                num_noise: 0,
+                predictive_strength: 0.2,
+            },
             copying: None,
             seed: 9,
             name: "shortcut".into(),
@@ -433,7 +463,10 @@ mod tests {
         .generate();
         // |K| ~ 2 indicators, |G| = 2000 ⇒ bound ≈ sqrt(2/2000)*ln(2000) ≈ 0.24; use a
         // looser τ so the shortcut fires.
-        let config = SlimFastConfig { optimizer_threshold: 0.5, ..Default::default() };
+        let config = SlimFastConfig {
+            optimizer_threshold: 0.5,
+            ..Default::default()
+        };
         let report = decide(&inst.dataset, &inst.features, &inst.truth, &config);
         assert!(report.threshold_shortcut);
         assert_eq!(report.decision, OptimizerDecision::Erm);
@@ -446,8 +479,15 @@ mod tests {
             num_objects: 500,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.2),
-            accuracy: AccuracyModel { mean: 0.8, spread: 0.05 },
-            features: FeatureModel { num_predictive: 4, num_noise: 4, predictive_strength: 0.1 },
+            accuracy: AccuracyModel {
+                mean: 0.8,
+                spread: 0.05,
+            },
+            features: FeatureModel {
+                num_predictive: 4,
+                num_noise: 4,
+                predictive_strength: 0.1,
+            },
             copying: None,
             seed: 11,
             name: "dense".into(),
@@ -455,7 +495,12 @@ mod tests {
         .generate();
         let split = SplitPlan::new(0.01, 1).draw(&inst.truth, 0).unwrap();
         let train = split.train_truth(&inst.truth);
-        let report = decide(&inst.dataset, &inst.features, &train, &SlimFastConfig::default());
+        let report = decide(
+            &inst.dataset,
+            &inst.features,
+            &train,
+            &SlimFastConfig::default(),
+        );
         assert_eq!(report.decision, OptimizerDecision::Em);
         assert!(report.estimated_avg_accuracy.unwrap() > 0.7);
     }
@@ -465,10 +510,14 @@ mod tests {
         let mut b = DatasetBuilder::new();
         for s in 0..6 {
             b.observe(&format!("s{s}"), "o0", "x").unwrap();
-            b.observe(&format!("s{s}"), "o1", if s < 3 { "x" } else { "y" }).unwrap();
+            b.observe(&format!("s{s}"), "o1", if s < 3 { "x" } else { "y" })
+                .unwrap();
         }
         let d = b.build();
-        let truth = GroundTruth::from_pairs(2, [(slimfast_data::ObjectId::new(0), d.value_id("x").unwrap())]);
+        let truth = GroundTruth::from_pairs(
+            2,
+            [(slimfast_data::ObjectId::new(0), d.value_id("x").unwrap())],
+        );
         let per_object = erm_units(&d, &truth, UnitsConvention::PerObject);
         let per_obs = erm_units(&d, &truth, UnitsConvention::PerObservation);
         assert_eq!(per_object, 1.0);

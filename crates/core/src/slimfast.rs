@@ -33,7 +33,10 @@ impl SlimFast {
             LearnerChoice::Erm => "SLiMFast-ERM",
             LearnerChoice::Em => "SLiMFast-EM",
         };
-        Self { config, name: name.to_string() }
+        Self {
+            config,
+            name: name.to_string(),
+        }
     }
 
     /// SLiMFast that always learns with ERM.
@@ -60,7 +63,12 @@ impl SlimFast {
 
     /// Runs the optimizer only (no learning), returning its report.
     pub fn plan(&self, input: &FusionInput<'_>) -> OptimizerReport {
-        decide(input.dataset, input.features, input.train_truth, &self.config)
+        decide(
+            input.dataset,
+            input.features,
+            input.train_truth,
+            &self.config,
+        )
     }
 
     /// Trains a model on the given input, resolving `Auto` through the optimizer, and
@@ -72,12 +80,18 @@ impl SlimFast {
             LearnerChoice::Auto => self.plan(input).decision,
         };
         let model = match decision {
-            OptimizerDecision::Erm => {
-                train_erm(input.dataset, input.features, input.train_truth, &self.config)
-            }
-            OptimizerDecision::Em => {
-                train_em(input.dataset, input.features, input.train_truth, &self.config)
-            }
+            OptimizerDecision::Erm => train_erm(
+                input.dataset,
+                input.features,
+                input.train_truth,
+                &self.config,
+            ),
+            OptimizerDecision::Em => train_em(
+                input.dataset,
+                input.features,
+                input.train_truth,
+                &self.config,
+            ),
         };
         (model, decision)
     }
@@ -109,8 +123,15 @@ mod tests {
             num_objects: 300,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.1),
-            accuracy: AccuracyModel { mean: 0.7, spread: 0.15 },
-            features: FeatureModel { num_predictive: 3, num_noise: 3, predictive_strength: 0.25 },
+            accuracy: AccuracyModel {
+                mean: 0.7,
+                spread: 0.15,
+            },
+            features: FeatureModel {
+                num_predictive: 3,
+                num_noise: 3,
+                predictive_strength: 0.25,
+            },
             copying: None,
             seed,
         }
@@ -120,10 +141,18 @@ mod tests {
     #[test]
     fn names_reflect_the_learner_choice() {
         assert_eq!(SlimFast::new(SlimFastConfig::default()).name(), "SLiMFast");
-        assert_eq!(SlimFast::erm(SlimFastConfig::default()).name(), "SLiMFast-ERM");
-        assert_eq!(SlimFast::em(SlimFastConfig::default()).name(), "SLiMFast-EM");
         assert_eq!(
-            SlimFast::erm(SlimFastConfig::default()).with_name("Sources-ERM").name(),
+            SlimFast::erm(SlimFastConfig::default()).name(),
+            "SLiMFast-ERM"
+        );
+        assert_eq!(
+            SlimFast::em(SlimFastConfig::default()).name(),
+            "SLiMFast-EM"
+        );
+        assert_eq!(
+            SlimFast::erm(SlimFastConfig::default())
+                .with_name("Sources-ERM")
+                .name(),
             "Sources-ERM"
         );
     }
@@ -136,7 +165,9 @@ mod tests {
         let input = FusionInput::new(&inst.dataset, &inst.features, &train);
         let output = SlimFast::new(SlimFastConfig::default()).fuse(&input);
         assert_eq!(output.assignment.num_assigned(), inst.dataset.num_objects());
-        let accuracies = output.source_accuracies.expect("SLiMFast reports source accuracies");
+        let accuracies = output
+            .source_accuracies
+            .expect("SLiMFast reports source accuracies");
         assert_eq!(accuracies.len(), inst.dataset.num_sources());
         let accuracy = output.assignment.accuracy_against(&inst.truth, &split.test);
         assert!(accuracy > 0.75, "held-out accuracy {accuracy:.3}");
@@ -152,8 +183,15 @@ mod tests {
             num_objects: 250,
             domain_size: 2,
             pattern: ObservationPattern::PerObjectRange { min: 2, max: 5 },
-            accuracy: AccuracyModel { mean: 0.65, spread: 0.02 },
-            features: FeatureModel { num_predictive: 4, num_noise: 2, predictive_strength: 0.5 },
+            accuracy: AccuracyModel {
+                mean: 0.65,
+                spread: 0.02,
+            },
+            features: FeatureModel {
+                num_predictive: 4,
+                num_noise: 2,
+                predictive_strength: 0.5,
+            },
             copying: None,
             seed: 5,
         }

@@ -47,14 +47,23 @@ impl FeatureAccuracyModel {
         seed: u64,
     ) -> Self {
         let examples = correctness_examples(dataset, features, truth);
-        let model = fit_binary(&examples, features.num_features(), Penalty::L2(1e-3), epochs, seed);
+        let model = fit_binary(
+            &examples,
+            features.num_features(),
+            Penalty::L2(1e-3),
+            epochs,
+            seed,
+        );
         Self { model }
     }
 
     /// Predicted accuracy of a source given only its feature vector.
     pub fn predict(&self, features: &FeatureMatrix, source: SourceId) -> f64 {
-        let x: SparseVec =
-            features.features_of(source).iter().map(|(k, v)| (k.index(), *v)).collect();
+        let x: SparseVec = features
+            .features_of(source)
+            .iter()
+            .map(|(k, v)| (k.index(), *v))
+            .collect();
         self.model.predict_proba(&x)
     }
 
@@ -67,7 +76,11 @@ impl FeatureAccuracyModel {
 /// Mean absolute error between predicted and true accuracies of unseen sources — the
 /// quantity plotted on the y-axis of Figure 7.
 pub fn unseen_accuracy_error(predicted: &[f64], actual: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), actual.len(), "prediction/truth length mismatch");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction/truth length mismatch"
+    );
     if predicted.is_empty() {
         return 0.0;
     }
@@ -98,8 +111,15 @@ mod tests {
             num_objects: 500,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.1),
-            accuracy: AccuracyModel { mean: 0.65, spread: 0.03 },
-            features: FeatureModel { num_predictive: 4, num_noise: 2, predictive_strength: 0.4 },
+            accuracy: AccuracyModel {
+                mean: 0.65,
+                spread: 0.03,
+            },
+            features: FeatureModel {
+                num_predictive: 4,
+                num_noise: 2,
+                predictive_strength: 0.4,
+            },
             copying: None,
             seed: 11,
         }
@@ -112,17 +132,30 @@ mod tests {
         let split = SplitPlan::new(0.5, 1).draw(&inst.truth, 0).unwrap();
         let train_truth = split.train_truth(&inst.truth);
 
-        let model =
-            train_erm(&train_dataset, &train_features, &train_truth, &SlimFastConfig::default());
+        let model = train_erm(
+            &train_dataset,
+            &train_features,
+            &train_truth,
+            &SlimFastConfig::default(),
+        );
         let predicted = predict_unseen_accuracies(&model, &inst.features, &unseen);
-        let actual: Vec<f64> = unseen.iter().map(|s| inst.true_accuracies[s.index()]).collect();
+        let actual: Vec<f64> = unseen
+            .iter()
+            .map(|s| inst.true_accuracies[s.index()])
+            .collect();
         let error = unseen_accuracy_error(&predicted, &actual);
-        assert!(error < 0.2, "unseen-source accuracy error too high: {error:.3}");
+        assert!(
+            error < 0.2,
+            "unseen-source accuracy error too high: {error:.3}"
+        );
 
         // A model that never saw features (uniform 0.5 prediction) should do worse or equal.
         let uniform: Vec<f64> = vec![0.5; unseen.len()];
         let uniform_error = unseen_accuracy_error(&uniform, &actual);
-        assert!(error <= uniform_error + 0.02, "features should beat the 0.5 prior");
+        assert!(
+            error <= uniform_error + 0.02,
+            "features should beat the 0.5 prior"
+        );
     }
 
     #[test]
@@ -133,8 +166,15 @@ mod tests {
             num_objects: 400,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.08),
-            accuracy: AccuracyModel { mean: 0.65, spread: 0.03 },
-            features: FeatureModel { num_predictive: 4, num_noise: 2, predictive_strength: 0.4 },
+            accuracy: AccuracyModel {
+                mean: 0.65,
+                spread: 0.03,
+            },
+            features: FeatureModel {
+                num_predictive: 4,
+                num_noise: 2,
+                predictive_strength: 0.4,
+            },
             copying: None,
             seed: 29,
         }
@@ -152,9 +192,15 @@ mod tests {
             1,
         );
         let predicted = model.predict_many(&inst.features, &unseen);
-        let actual: Vec<f64> = unseen.iter().map(|s| inst.true_accuracies[s.index()]).collect();
+        let actual: Vec<f64> = unseen
+            .iter()
+            .map(|s| inst.true_accuracies[s.index()])
+            .collect();
         let error = unseen_accuracy_error(&predicted, &actual);
-        assert!(error < 0.15, "feature-only transfer error too high: {error:.3}");
+        assert!(
+            error < 0.15,
+            "feature-only transfer error too high: {error:.3}"
+        );
     }
 
     #[test]

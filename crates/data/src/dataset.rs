@@ -59,7 +59,11 @@ impl Dataset {
     }
 
     fn max_value_index_plus_one(&self) -> usize {
-        self.observations.iter().map(|o| o.value.index() + 1).max().unwrap_or(0)
+        self.observations
+            .iter()
+            .map(|o| o.value.index() + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of observations `|Ω|`.

@@ -44,7 +44,10 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::IndexOutOfBounds { entity, index, len } => {
-                write!(f, "{entity} index {index} out of bounds (dataset has {len})")
+                write!(
+                    f,
+                    "{entity} index {index} out of bounds (dataset has {len})"
+                )
             }
             DataError::ConflictingObservation { source, object } => write!(
                 f,
@@ -56,7 +59,9 @@ impl fmt::Display for DataError {
                 "ground-truth value for object {object} was never reported by any source, \
                  which violates single-truth (closed-world) semantics"
             ),
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             DataError::Io(msg) => write!(f, "I/O error: {msg}"),
             DataError::Invalid(msg) => write!(f, "invalid request: {msg}"),
         }
@@ -77,11 +82,21 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = DataError::IndexOutOfBounds { entity: "source", index: 7, len: 3 };
+        let err = DataError::IndexOutOfBounds {
+            entity: "source",
+            index: 7,
+            len: 3,
+        };
         assert!(err.to_string().contains("source index 7"));
-        let err = DataError::ConflictingObservation { source: 1, object: 2 };
+        let err = DataError::ConflictingObservation {
+            source: 1,
+            object: 2,
+        };
         assert!(err.to_string().contains("source 1"));
-        let err = DataError::Parse { line: 10, message: "expected 3 fields".into() };
+        let err = DataError::Parse {
+            line: 10,
+            message: "expected 3 fields".into(),
+        };
         assert!(err.to_string().contains("line 10"));
     }
 

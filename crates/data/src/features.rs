@@ -35,7 +35,10 @@ impl FeatureMatrix {
     /// A feature matrix with no features for `num_sources` sources (the "Sources-only"
     /// configuration of the paper).
     pub fn empty(num_sources: usize) -> Self {
-        Self { rows: vec![Vec::new(); num_sources], features: Interner::new() }
+        Self {
+            rows: vec![Vec::new(); num_sources],
+            features: Interner::new(),
+        }
     }
 
     /// Number of distinct features `|K|`.
@@ -95,7 +98,10 @@ impl FeatureMatrix {
     /// given. Companion of [`crate::Dataset::restrict_sources`].
     pub fn restrict_sources(&self, keep: &[SourceId]) -> FeatureMatrix {
         let rows = keep.iter().map(|s| self.features_of(*s).to_vec()).collect();
-        FeatureMatrix { rows, features: self.features.clone() }
+        FeatureMatrix {
+            rows,
+            features: self.features.clone(),
+        }
     }
 }
 
@@ -168,7 +174,10 @@ impl FeatureMatrixBuilder {
         if self.rows.len() < num_sources {
             self.rows.resize(num_sources, Vec::new());
         }
-        FeatureMatrix { rows: self.rows, features: self.features }
+        FeatureMatrix {
+            rows: self.rows,
+            features: self.features,
+        }
     }
 }
 
@@ -223,9 +232,18 @@ mod tests {
         b.set_bucketed(SourceId::new(1), "Citations", 50.0, &thresholds, "High");
         b.set_bucketed(SourceId::new(2), "Citations", 500.0, &thresholds, "High");
         let m = b.build(3);
-        assert_eq!(m.value(SourceId::new(0), m.feature_id("Citations=Low").unwrap()), 1.0);
-        assert_eq!(m.value(SourceId::new(1), m.feature_id("Citations=Medium").unwrap()), 1.0);
-        assert_eq!(m.value(SourceId::new(2), m.feature_id("Citations=High").unwrap()), 1.0);
+        assert_eq!(
+            m.value(SourceId::new(0), m.feature_id("Citations=Low").unwrap()),
+            1.0
+        );
+        assert_eq!(
+            m.value(SourceId::new(1), m.feature_id("Citations=Medium").unwrap()),
+            1.0
+        );
+        assert_eq!(
+            m.value(SourceId::new(2), m.feature_id("Citations=High").unwrap()),
+            1.0
+        );
     }
 
     #[test]

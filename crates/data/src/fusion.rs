@@ -24,7 +24,11 @@ impl<'a> FusionInput<'a> {
         features: &'a FeatureMatrix,
         train_truth: &'a GroundTruth,
     ) -> Self {
-        Self { dataset, features, train_truth }
+        Self {
+            dataset,
+            features,
+            train_truth,
+        }
     }
 }
 
@@ -42,12 +46,18 @@ pub struct FusionOutput {
 impl FusionOutput {
     /// Creates an output with predictions only.
     pub fn new(assignment: TruthAssignment) -> Self {
-        Self { assignment, source_accuracies: None }
+        Self {
+            assignment,
+            source_accuracies: None,
+        }
     }
 
     /// Creates an output with predictions and source-accuracy estimates.
     pub fn with_accuracies(assignment: TruthAssignment, accuracies: SourceAccuracies) -> Self {
-        Self { assignment, source_accuracies: Some(accuracies) }
+        Self {
+            assignment,
+            source_accuracies: Some(accuracies),
+        }
     }
 }
 

@@ -91,7 +91,11 @@ pub struct Interner<Id> {
 
 impl<Id> Default for Interner<Id> {
     fn default() -> Self {
-        Self { names: Vec::new(), lookup: HashMap::new(), _marker: std::marker::PhantomData }
+        Self {
+            names: Vec::new(),
+            lookup: HashMap::new(),
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -102,7 +106,11 @@ where
 {
     /// Creates an empty interner.
     pub fn new() -> Self {
-        Self { names: Vec::new(), lookup: HashMap::new(), _marker: std::marker::PhantomData }
+        Self {
+            names: Vec::new(),
+            lookup: HashMap::new(),
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Interns `name`, returning the existing handle if it was seen before.
@@ -138,7 +146,10 @@ where
 
     /// Iterates over `(handle, name)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (Id, &str)> + '_ {
-        self.names.iter().enumerate().map(|(i, n)| (Id::from(i), n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Id::from(i), n.as_str()))
     }
 }
 
@@ -177,7 +188,10 @@ mod tests {
     fn distinct_id_types_do_not_compare() {
         // Compile-time property: SourceId and ObjectId are distinct types. We only check
         // their formatting prefixes differ at runtime.
-        assert_ne!(format!("{}", SourceId::new(1)), format!("{}", ObjectId::new(1)));
+        assert_ne!(
+            format!("{}", SourceId::new(1)),
+            format!("{}", ObjectId::new(1))
+        );
     }
 
     #[test]
@@ -199,10 +213,17 @@ mod tests {
         for name in ["a", "b", "c"] {
             objects.intern(name);
         }
-        let collected: Vec<_> = objects.iter().map(|(id, n)| (id.index(), n.to_owned())).collect();
+        let collected: Vec<_> = objects
+            .iter()
+            .map(|(id, n)| (id.index(), n.to_owned()))
+            .collect();
         assert_eq!(
             collected,
-            vec![(0, "a".to_owned()), (1, "b".to_owned()), (2, "c".to_owned())]
+            vec![
+                (0, "a".to_owned()),
+                (1, "b".to_owned()),
+                (2, "c".to_owned())
+            ]
         );
     }
 

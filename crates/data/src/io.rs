@@ -23,7 +23,8 @@ pub fn read_observations_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
             continue;
         }
         let mut parts = trimmed.split(',');
-        let (source, object, value) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        let (source, object, value) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
             (Some(s), Some(o), Some(v), None) => (s.trim(), o.trim(), v.trim()),
             _ => {
                 return Err(DataError::Parse {
@@ -40,22 +41,30 @@ pub fn read_observations_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
 
 /// Writes observations as `source,object,value` lines. Entities without names are written
 /// using their display handles (`s0`, `o3`, ...).
+///
+/// Lines are grouped by object in handle order (within an object, claims keep their
+/// insertion order). Because [`read_observations_csv`] interns names in order of first
+/// appearance, this canonical order makes a write→read round trip assign every object the
+/// same handle it had in the original dataset — seeded [`crate::SplitPlan`] draws
+/// therefore select the same objects on both datasets.
 pub fn write_observations_csv<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), DataError> {
     writeln!(writer, "# source,object,value")?;
-    for obs in dataset.observations() {
-        let source = dataset
-            .source_name(obs.source)
-            .map(str::to_owned)
-            .unwrap_or_else(|| obs.source.to_string());
+    for o in dataset.object_ids() {
         let object = dataset
-            .object_name(obs.object)
+            .object_name(o)
             .map(str::to_owned)
-            .unwrap_or_else(|| obs.object.to_string());
-        let value = dataset
-            .value_name(obs.value)
-            .map(str::to_owned)
-            .unwrap_or_else(|| obs.value.to_string());
-        writeln!(writer, "{source},{object},{value}")?;
+            .unwrap_or_else(|| o.to_string());
+        for &(s, v) in dataset.observations_for_object(o) {
+            let source = dataset
+                .source_name(s)
+                .map(str::to_owned)
+                .unwrap_or_else(|| s.to_string());
+            let value = dataset
+                .value_name(v)
+                .map(str::to_owned)
+                .unwrap_or_else(|| v.to_string());
+            writeln!(writer, "{source},{object},{value}")?;
+        }
     }
     Ok(())
 }
@@ -63,7 +72,10 @@ pub fn write_observations_csv<W: Write>(dataset: &Dataset, mut writer: W) -> Res
 /// Reads ground truth from `object,value` lines, resolving names against `dataset`.
 /// Unknown objects are rejected; unknown values are interned only if they already appear in
 /// the dataset's vocabulary (single-truth semantics requires some source to claim the value).
-pub fn read_ground_truth_csv<R: Read>(dataset: &Dataset, reader: R) -> Result<GroundTruth, DataError> {
+pub fn read_ground_truth_csv<R: Read>(
+    dataset: &Dataset,
+    reader: R,
+) -> Result<GroundTruth, DataError> {
     let mut truth = GroundTruth::empty(dataset.num_objects());
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line = line?;
@@ -77,7 +89,8 @@ pub fn read_ground_truth_csv<R: Read>(dataset: &Dataset, reader: R) -> Result<Gr
             _ => {
                 return Err(DataError::Parse {
                     line: idx + 1,
-                    message: "expected exactly two comma-separated fields: object,value".to_string(),
+                    message: "expected exactly two comma-separated fields: object,value"
+                        .to_string(),
                 })
             }
         };
@@ -85,7 +98,9 @@ pub fn read_ground_truth_csv<R: Read>(dataset: &Dataset, reader: R) -> Result<Gr
             line: idx + 1,
             message: format!("unknown object '{object}'"),
         })?;
-        let v = dataset.value_id(value).ok_or(DataError::TruthOutsideDomain { object: o.index() })?;
+        let v = dataset
+            .value_id(value)
+            .ok_or(DataError::TruthOutsideDomain { object: o.index() })?;
         truth.set(o, v);
     }
     Ok(truth)
@@ -103,7 +118,10 @@ pub fn write_ground_truth_csv<W: Write>(
             .object_name(o)
             .map(str::to_owned)
             .unwrap_or_else(|| o.to_string());
-        let value = dataset.value_name(v).map(str::to_owned).unwrap_or_else(|| v.to_string());
+        let value = dataset
+            .value_name(v)
+            .map(str::to_owned)
+            .unwrap_or_else(|| v.to_string());
         writeln!(writer, "{object},{value}")?;
     }
     Ok(())
@@ -111,7 +129,10 @@ pub fn write_ground_truth_csv<W: Write>(
 
 /// Reads per-source features from `source,feature,value` lines, resolving source names
 /// against `dataset`. The `value` field is optional and defaults to `1` (Boolean flag).
-pub fn read_features_csv<R: Read>(dataset: &Dataset, reader: R) -> Result<FeatureMatrix, DataError> {
+pub fn read_features_csv<R: Read>(
+    dataset: &Dataset,
+    reader: R,
+) -> Result<FeatureMatrix, DataError> {
     let mut builder = FeatureMatrixBuilder::new();
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line = line?;
@@ -187,9 +208,11 @@ mod tests {
     #[test]
     fn ground_truth_round_trip_and_validation() {
         let dataset = read_observations_csv(OBS.as_bytes()).unwrap();
-        let truth =
-            read_ground_truth_csv(&dataset, "GBA/Parkinson,true\nGIGYF2/Parkinson,false\n".as_bytes())
-                .unwrap();
+        let truth = read_ground_truth_csv(
+            &dataset,
+            "GBA/Parkinson,true\nGIGYF2/Parkinson,false\n".as_bytes(),
+        )
+        .unwrap();
         assert_eq!(truth.num_labeled(), 2);
 
         let mut out = Vec::new();
@@ -214,8 +237,14 @@ mod tests {
         .unwrap();
         assert_eq!(features.num_features(), 3);
         let s1 = dataset.source_id("article-1").unwrap();
-        assert_eq!(features.value(s1, features.feature_id("citations").unwrap()), 34.0);
-        assert_eq!(features.value(s1, features.feature_id("PubYear=2009").unwrap()), 1.0);
+        assert_eq!(
+            features.value(s1, features.feature_id("citations").unwrap()),
+            34.0
+        );
+        assert_eq!(
+            features.value(s1, features.feature_id("PubYear=2009").unwrap()),
+            1.0
+        );
         // Unknown source is an error.
         assert!(read_features_csv(&dataset, "nobody,x\n".as_bytes()).is_err());
         // Bad number is an error.

@@ -18,7 +18,11 @@ pub struct Observation {
 impl Observation {
     /// Creates an observation from its three components.
     pub fn new(source: SourceId, object: ObjectId, value: ValueId) -> Self {
-        Self { source, object, value }
+        Self {
+            source,
+            object,
+            value,
+        }
     }
 }
 

@@ -62,7 +62,10 @@ pub struct SplitPlan {
 impl SplitPlan {
     /// Creates a plan placing `train_fraction` of the labelled objects in the training set.
     pub fn new(train_fraction: f64, seed: u64) -> Self {
-        Self { train_fraction, seed }
+        Self {
+            train_fraction,
+            seed,
+        }
     }
 
     /// The configured training fraction.
@@ -81,9 +84,15 @@ impl SplitPlan {
         }
         let mut labeled: Vec<ObjectId> = truth.labeled().map(|(o, _)| o).collect();
         if labeled.is_empty() {
-            return Err(DataError::Invalid("cannot split an unlabeled ground truth".into()));
+            return Err(DataError::Invalid(
+                "cannot split an unlabeled ground truth".into(),
+            ));
         }
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(rep));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(rep),
+        );
         labeled.shuffle(&mut rng);
         // Round to the nearest count but keep at least one training example when the
         // fraction is non-zero (the paper's 0.1% settings on ~1k-object datasets rely on
@@ -154,7 +163,12 @@ mod tests {
         let t = truth(100);
         let plan = SplitPlan::new(0.25, 9);
         for split in plan.draw_many(&t, 5).unwrap() {
-            let mut all: Vec<_> = split.train.iter().chain(split.test.iter()).copied().collect();
+            let mut all: Vec<_> = split
+                .train
+                .iter()
+                .chain(split.test.iter())
+                .copied()
+                .collect();
             all.sort_unstable();
             all.dedup();
             assert_eq!(all.len(), 100);

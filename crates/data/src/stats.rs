@@ -123,7 +123,11 @@ mod tests {
         let b_val = d.value_id("b").unwrap();
         let truth = GroundTruth::from_pairs(
             d.num_objects(),
-            [(ObjectId::new(0), a), (ObjectId::new(1), a), (ObjectId::new(2), b_val)],
+            [
+                (ObjectId::new(0), a),
+                (ObjectId::new(1), a),
+                (ObjectId::new(2), b_val),
+            ],
         );
         (d, f, truth)
     }
@@ -155,7 +159,10 @@ mod tests {
         let d = b.build();
         let truth = GroundTruth::from_pairs(
             2,
-            [(ObjectId::new(0), d.value_id("a").unwrap()), (ObjectId::new(1), d.value_id("a").unwrap())],
+            [
+                (ObjectId::new(0), d.value_id("a").unwrap()),
+                (ObjectId::new(1), d.value_id("a").unwrap()),
+            ],
         );
         let stats = DatasetStats::compute(&d, &FeatureMatrix::empty(2), &truth);
         assert!(stats.avg_source_accuracy.is_none());

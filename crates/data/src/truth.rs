@@ -18,7 +18,9 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Creates an empty ground truth covering `num_objects` objects with no labels.
     pub fn empty(num_objects: usize) -> Self {
-        Self { values: vec![None; num_objects] }
+        Self {
+            values: vec![None; num_objects],
+        }
     }
 
     /// Creates a ground truth from a dense vector of labels.
@@ -27,7 +29,10 @@ impl GroundTruth {
     }
 
     /// Creates a ground truth from `(object, value)` pairs, covering `num_objects` objects.
-    pub fn from_pairs(num_objects: usize, pairs: impl IntoIterator<Item = (ObjectId, ValueId)>) -> Self {
+    pub fn from_pairs(
+        num_objects: usize,
+        pairs: impl IntoIterator<Item = (ObjectId, ValueId)>,
+    ) -> Self {
         let mut truth = Self::empty(num_objects);
         for (o, v) in pairs {
             truth.set(o, v);
@@ -106,14 +111,24 @@ impl GroundTruth {
         correct
             .into_iter()
             .zip(total)
-            .map(|(c, t)| if t == 0 { None } else { Some(c as f64 / t as f64) })
+            .map(|(c, t)| {
+                if t == 0 {
+                    None
+                } else {
+                    Some(c as f64 / t as f64)
+                }
+            })
             .collect()
     }
 
     /// Mean of the per-source true accuracies, weighting each source equally
     /// (the "Avg. Src. Acc." row of Table 1). `None` if no source can be scored.
     pub fn average_source_accuracy(&self, dataset: &Dataset) -> Option<f64> {
-        let accs: Vec<f64> = self.source_accuracies(dataset).into_iter().flatten().collect();
+        let accs: Vec<f64> = self
+            .source_accuracies(dataset)
+            .into_iter()
+            .flatten()
+            .collect();
         if accs.is_empty() {
             None
         } else {
@@ -133,7 +148,10 @@ pub struct TruthAssignment {
 impl TruthAssignment {
     /// Creates an assignment covering `num_objects` objects with no predictions.
     pub fn empty(num_objects: usize) -> Self {
-        Self { values: vec![None; num_objects], confidence: vec![0.0; num_objects] }
+        Self {
+            values: vec![None; num_objects],
+            confidence: vec![0.0; num_objects],
+        }
     }
 
     /// Records the predicted value for object `o` with the given confidence.
@@ -168,9 +186,10 @@ impl TruthAssignment {
 
     /// Iterates over `(object, value, confidence)` triples for predicted objects.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, ValueId, f64)> + '_ {
-        self.values.iter().enumerate().filter_map(|(i, v)| {
-            v.map(|v| (ObjectId::new(i), v, self.confidence[i]))
-        })
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (ObjectId::new(i), v, self.confidence[i])))
     }
 
     /// Converts the assignment into a map, dropping confidences.
@@ -245,7 +264,10 @@ mod tests {
         let true_v = d.value_id("true").unwrap();
         let truth = GroundTruth::from_pairs(
             d.num_objects(),
-            [(d.object_id("o0").unwrap(), false_v), (d.object_id("o1").unwrap(), true_v)],
+            [
+                (d.object_id("o0").unwrap(), false_v),
+                (d.object_id("o1").unwrap(), true_v),
+            ],
         );
         (d, truth)
     }

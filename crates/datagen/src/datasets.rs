@@ -42,7 +42,12 @@ pub enum DatasetKind {
 impl DatasetKind {
     /// All four datasets in the order the paper reports them.
     pub fn all() -> [DatasetKind; 4] {
-        [DatasetKind::Stocks, DatasetKind::Demonstrations, DatasetKind::Crowd, DatasetKind::Genomics]
+        [
+            DatasetKind::Stocks,
+            DatasetKind::Demonstrations,
+            DatasetKind::Crowd,
+            DatasetKind::Genomics,
+        ]
     }
 
     /// Human-readable dataset name.
@@ -84,11 +89,23 @@ struct FeatureFamily {
 
 impl FeatureFamily {
     const fn ordered(name: &'static str, levels: usize, strength: f64) -> Self {
-        Self { name, levels, strength, ordered: true, flags_per_source: 1 }
+        Self {
+            name,
+            levels,
+            strength,
+            ordered: true,
+            flags_per_source: 1,
+        }
     }
 
     const fn unordered(name: &'static str, levels: usize, strength: f64) -> Self {
-        Self { name, levels, strength, ordered: false, flags_per_source: 1 }
+        Self {
+            name,
+            levels,
+            strength,
+            ordered: false,
+            flags_per_source: 1,
+        }
     }
 
     fn label(&self, level: usize) -> String {
@@ -137,7 +154,11 @@ fn generate_domain(spec: &DomainSpec, seed: u64) -> SyntheticInstance {
     let coefficients: Vec<Vec<f64>> = spec
         .families
         .iter()
-        .map(|family| (0..family.levels).map(|l| family.coefficient(l, &mut rng)).collect())
+        .map(|family| {
+            (0..family.levels)
+                .map(|l| family.coefficient(l, &mut rng))
+                .collect()
+        })
         .collect();
 
     // Assign levels to sources, accumulate accuracy shifts, and build named indicators.
@@ -241,7 +262,11 @@ pub fn demonstrations(seed: u64) -> SyntheticInstance {
             FeatureFamily::unordered("Language", 48, 0.0),
             FeatureFamily::ordered("SiteAge", 48, 0.10),
         ],
-        copying: Some(CopyingModel { num_groups: 40, group_size: 4, copy_probability: 0.85 }),
+        copying: Some(CopyingModel {
+            num_groups: 40,
+            group_size: 4,
+            copy_probability: 0.85,
+        }),
     };
     generate_domain(&spec, seed)
 }
@@ -316,10 +341,17 @@ mod tests {
         assert_eq!(s.num_sources, 34);
         assert_eq!(s.num_objects, 907);
         // ~30.7k observations at density ~0.99.
-        assert!(s.num_observations > 29_000 && s.num_observations < 31_000, "{}", s.num_observations);
+        assert!(
+            s.num_observations > 29_000 && s.num_observations < 31_000,
+            "{}",
+            s.num_observations
+        );
         assert!(s.density > 0.98);
         // Average accuracy below 0.5 (multi-valued domain).
-        let acc = instance.truth.average_source_accuracy(&instance.dataset).unwrap();
+        let acc = instance
+            .truth
+            .average_source_accuracy(&instance.dataset)
+            .unwrap();
         assert!(acc < 0.55, "avg accuracy {acc}");
         // 7 base families expanding into ~70 indicators.
         assert_eq!(instance.num_base_features, 7);
@@ -337,7 +369,10 @@ mod tests {
             "{}",
             s.num_observations
         );
-        let acc = instance.truth.average_source_accuracy(&instance.dataset).unwrap();
+        let acc = instance
+            .truth
+            .average_source_accuracy(&instance.dataset)
+            .unwrap();
         assert!((acc - 0.604).abs() < 0.06, "avg accuracy {acc}");
         assert_eq!(instance.num_base_features, 7);
         assert!(!instance.copier_pairs.is_empty());
@@ -351,7 +386,10 @@ mod tests {
         assert_eq!(s.num_objects, 992);
         assert_eq!(s.num_observations, 992 * 20);
         assert!((s.avg_observations_per_object - 20.0).abs() < 1e-9);
-        let acc = instance.truth.average_source_accuracy(&instance.dataset).unwrap();
+        let acc = instance
+            .truth
+            .average_source_accuracy(&instance.dataset)
+            .unwrap();
         assert!((acc - 0.54).abs() < 0.06, "avg accuracy {acc}");
         assert_eq!(instance.num_base_features, 4);
         assert!(s.num_domain_features >= 140 && s.num_domain_features <= 171);
@@ -363,7 +401,11 @@ mod tests {
         let s = stats(&instance);
         assert_eq!(s.num_sources, 2750);
         assert_eq!(s.num_objects, 571);
-        assert!(s.num_observations > 2_400 && s.num_observations < 3_800, "{}", s.num_observations);
+        assert!(
+            s.num_observations > 2_400 && s.num_observations < 3_800,
+            "{}",
+            s.num_observations
+        );
         assert!(s.avg_observations_per_source < 1.5);
         // Too sparse to estimate source accuracies reliably, exactly as Table 1 notes.
         assert!(s.avg_source_accuracy.is_none());
@@ -377,7 +419,12 @@ mod tests {
         for kind in DatasetKind::all() {
             let a = kind.generate(9);
             let b = kind.generate(9);
-            assert_eq!(a.dataset.num_observations(), b.dataset.num_observations(), "{}", kind.name());
+            assert_eq!(
+                a.dataset.num_observations(),
+                b.dataset.num_observations(),
+                "{}",
+                kind.name()
+            );
             assert_eq!(a.true_accuracies, b.true_accuracies, "{}", kind.name());
             assert_eq!(a.name, kind.name());
         }
@@ -404,11 +451,17 @@ mod tests {
             if members.len() < 2 {
                 continue;
             }
-            let avg: f64 = members.iter().map(|&s| instance.true_accuracies[s]).sum::<f64>()
+            let avg: f64 = members
+                .iter()
+                .map(|&s| instance.true_accuracies[s])
+                .sum::<f64>()
                 / members.len() as f64;
             best = best.max(avg);
             worst = worst.min(avg);
         }
-        assert!(best - worst > 0.1, "channel effect too weak: best {best}, worst {worst}");
+        assert!(
+            best - worst > 0.1,
+            "channel effect too weak: best {best}, worst {worst}"
+        );
     }
 }

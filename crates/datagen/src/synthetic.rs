@@ -33,7 +33,10 @@ pub struct AccuracyModel {
 
 impl Default for AccuracyModel {
     fn default() -> Self {
-        Self { mean: 0.7, spread: 0.15 }
+        Self {
+            mean: 0.7,
+            spread: 0.15,
+        }
     }
 }
 
@@ -50,7 +53,11 @@ pub struct FeatureModel {
 
 impl Default for FeatureModel {
     fn default() -> Self {
-        Self { num_predictive: 4, num_noise: 4, predictive_strength: 0.15 }
+        Self {
+            num_predictive: 4,
+            num_noise: 4,
+            predictive_strength: 0.15,
+        }
     }
 }
 
@@ -181,28 +188,39 @@ pub fn generate_claims(
     rng: &mut StdRng,
 ) -> (Dataset, GroundTruth, Vec<(SourceId, SourceId)>) {
     let num_sources = spec.true_accuracies.len();
-    assert!(spec.domain_size >= 2, "a fusion instance needs at least two candidate values");
-    assert!(num_sources >= 2, "a fusion instance needs at least two sources");
-    assert!(spec.num_objects >= 1, "a fusion instance needs at least one object");
+    assert!(
+        spec.domain_size >= 2,
+        "a fusion instance needs at least two candidate values"
+    );
+    assert!(
+        num_sources >= 2,
+        "a fusion instance needs at least two sources"
+    );
+    assert!(
+        spec.num_objects >= 1,
+        "a fusion instance needs at least one object"
+    );
 
-    let truth_values: Vec<usize> =
-        (0..spec.num_objects).map(|_| rng.gen_range(0..spec.domain_size)).collect();
+    let truth_values: Vec<usize> = (0..spec.num_objects)
+        .map(|_| rng.gen_range(0..spec.domain_size))
+        .collect();
 
     let mut claims: HashMap<(usize, usize), usize> = HashMap::new();
-    let observe = |rng: &mut StdRng, claims: &mut HashMap<(usize, usize), usize>, s: usize, o: usize| {
-        let correct = rng.gen_bool(spec.true_accuracies[s].clamp(0.0, 1.0));
-        let value = if correct {
-            truth_values[o]
-        } else {
-            // A uniformly chosen wrong value.
-            let mut v = rng.gen_range(0..spec.domain_size - 1);
-            if v >= truth_values[o] {
-                v += 1;
-            }
-            v
+    let observe =
+        |rng: &mut StdRng, claims: &mut HashMap<(usize, usize), usize>, s: usize, o: usize| {
+            let correct = rng.gen_bool(spec.true_accuracies[s].clamp(0.0, 1.0));
+            let value = if correct {
+                truth_values[o]
+            } else {
+                // A uniformly chosen wrong value.
+                let mut v = rng.gen_range(0..spec.domain_size - 1);
+                if v >= truth_values[o] {
+                    v += 1;
+                }
+                v
+            };
+            claims.insert((s, o), value);
         };
-        claims.insert((s, o), value);
-    };
     match spec.pattern {
         ObservationPattern::Bernoulli(p) => {
             for o in 0..spec.num_objects {
@@ -232,21 +250,29 @@ pub fn generate_claims(
 
     // Guarantee at least one observation per object (single-truth semantics needs a
     // claimant), and that the true value is claimed by at least one source.
-    for o in 0..spec.num_objects {
-        let observers: Vec<usize> =
-            claims.keys().filter(|(_, obj)| *obj == o).map(|(s, _)| *s).collect();
+    for (o, &true_value) in truth_values.iter().enumerate() {
+        let observers: Vec<usize> = claims
+            .keys()
+            .filter(|(_, obj)| *obj == o)
+            .map(|(s, _)| *s)
+            .collect();
         if observers.is_empty() {
             let s = rng.gen_range(0..num_sources);
             observe(rng, &mut claims, s, o);
         }
-        let has_truth = claims.iter().any(|((_, obj), &v)| *obj == o && v == truth_values[o]);
+        let has_truth = claims
+            .iter()
+            .any(|((_, obj), &v)| *obj == o && v == true_value);
         if !has_truth {
             // Sort for determinism: HashMap iteration order varies between runs.
-            let mut observers: Vec<usize> =
-                claims.keys().filter(|(_, obj)| *obj == o).map(|(s, _)| *s).collect();
+            let mut observers: Vec<usize> = claims
+                .keys()
+                .filter(|(_, obj)| *obj == o)
+                .map(|(s, _)| *s)
+                .collect();
             observers.sort_unstable();
             let s = observers[rng.gen_range(0..observers.len())];
-            claims.insert((s, o), truth_values[o]);
+            claims.insert((s, o), true_value);
         }
     }
 
@@ -300,7 +326,10 @@ pub fn generate_claims(
 
     let truth = GroundTruth::from_pairs(
         spec.num_objects,
-        truth_values.iter().enumerate().map(|(o, &v)| (ObjectId::new(o), ValueId::new(v))),
+        truth_values
+            .iter()
+            .enumerate()
+            .map(|(o, &v)| (ObjectId::new(o), ValueId::new(v))),
     );
 
     (dataset, truth, copier_pairs)
@@ -330,7 +359,8 @@ impl SyntheticConfig {
             .collect();
         let true_accuracies: Vec<f64> = (0..self.num_sources)
             .map(|s| {
-                let base = self.accuracy.mean + self.accuracy.spread * (rng.gen::<f64>() * 2.0 - 1.0);
+                let base =
+                    self.accuracy.mean + self.accuracy.spread * (rng.gen::<f64>() * 2.0 - 1.0);
                 let feature_shift: f64 = feature_flags[s]
                     .iter()
                     .zip(&coefficients)
@@ -387,8 +417,15 @@ mod tests {
             num_objects: 200,
             domain_size: 2,
             pattern: ObservationPattern::Bernoulli(0.1),
-            accuracy: AccuracyModel { mean: 0.7, spread: 0.1 },
-            features: FeatureModel { num_predictive: 2, num_noise: 2, predictive_strength: 0.2 },
+            accuracy: AccuracyModel {
+                mean: 0.7,
+                spread: 0.1,
+            },
+            features: FeatureModel {
+                num_predictive: 2,
+                num_noise: 2,
+                predictive_strength: 0.2,
+            },
             copying: None,
             seed: 7,
         }
@@ -462,8 +499,15 @@ mod tests {
     fn mean_accuracy_tracks_target() {
         for target in [0.5, 0.65, 0.8] {
             let config = SyntheticConfig {
-                accuracy: AccuracyModel { mean: target, spread: 0.05 },
-                features: FeatureModel { num_predictive: 2, num_noise: 0, predictive_strength: 0.1 },
+                accuracy: AccuracyModel {
+                    mean: target,
+                    spread: 0.05,
+                },
+                features: FeatureModel {
+                    num_predictive: 2,
+                    num_noise: 0,
+                    predictive_strength: 0.1,
+                },
                 num_sources: 400,
                 ..small_config()
             };
@@ -520,7 +564,11 @@ mod tests {
             num_sources: 60,
             num_objects: 300,
             pattern: ObservationPattern::Bernoulli(0.2),
-            copying: Some(CopyingModel { num_groups: 3, group_size: 3, copy_probability: 0.9 }),
+            copying: Some(CopyingModel {
+                num_groups: 3,
+                group_size: 3,
+                copy_probability: 0.9,
+            }),
             ..small_config()
         };
         let instance = config.generate();
@@ -556,7 +604,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two candidate values")]
     fn degenerate_domain_is_rejected() {
-        let config = SyntheticConfig { domain_size: 1, ..small_config() };
+        let config = SyntheticConfig {
+            domain_size: 1,
+            ..small_config()
+        };
         config.generate();
     }
 }

@@ -16,12 +16,18 @@ pub struct MethodEntry {
 impl MethodEntry {
     /// A method that sees the domain features.
     pub fn with_features(method: impl FusionMethod + 'static) -> Self {
-        Self { method: Box::new(method), use_features: true }
+        Self {
+            method: Box::new(method),
+            use_features: true,
+        }
     }
 
     /// A method that runs without domain features.
     pub fn without_features(method: impl FusionMethod + 'static) -> Self {
-        Self { method: Box::new(method), use_features: false }
+        Self {
+            method: Box::new(method),
+            use_features: false,
+        }
     }
 
     /// The method's display name.
@@ -78,7 +84,15 @@ mod tests {
         let names: Vec<&str> = standard.iter().map(MethodEntry::name).collect();
         assert_eq!(
             names,
-            vec!["SLiMFast", "Sources-ERM", "Sources-EM", "Counts", "ACCU", "CATD", "SSTF"]
+            vec![
+                "SLiMFast",
+                "Sources-ERM",
+                "Sources-EM",
+                "Counts",
+                "ACCU",
+                "CATD",
+                "SSTF"
+            ]
         );
         assert!(standard[0].use_features);
         assert!(!standard[1].use_features);

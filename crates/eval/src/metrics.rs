@@ -18,7 +18,9 @@ pub fn source_accuracy_error(
     let mut weighted_error = 0.0;
     let mut total_weight = 0.0;
     for s in dataset.source_ids() {
-        let Some(true_acc) = true_accuracies[s.index()] else { continue };
+        let Some(true_acc) = true_accuracies[s.index()] else {
+            continue;
+        };
         let weight = dataset.observations_by_source(s).len() as f64;
         if weight == 0.0 {
             continue;
@@ -44,7 +46,9 @@ pub fn mean_kl_divergence(
     let mut total = 0.0;
     let mut count = 0usize;
     for s in dataset.source_ids() {
-        let Some(true_acc) = true_accuracies[s.index()] else { continue };
+        let Some(true_acc) = true_accuracies[s.index()] else {
+            continue;
+        };
         let p = estimated.get(s).clamp(1e-6, 1.0 - 1e-6);
         let q = true_acc.clamp(1e-6, 1.0 - 1e-6);
         total += p * (p / q).ln() + (1.0 - p) * ((1.0 - p) / (1.0 - q)).ln();
@@ -74,7 +78,11 @@ mod tests {
         let y = d.value_id("y").unwrap();
         let truth = GroundTruth::from_pairs(
             3,
-            [(ObjectId::new(0), x), (ObjectId::new(1), x), (ObjectId::new(2), y)],
+            [
+                (ObjectId::new(0), x),
+                (ObjectId::new(1), x),
+                (ObjectId::new(2), y),
+            ],
         );
         (d, truth)
     }

@@ -35,12 +35,19 @@ impl Default for ExperimentProtocol {
 impl ExperimentProtocol {
     /// A faster protocol for tests and smoke runs.
     pub fn quick() -> Self {
-        Self { train_fractions: vec![0.01, 0.10], repetitions: 2, seed: 42 }
+        Self {
+            train_fractions: vec![0.01, 0.10],
+            repetitions: 2,
+            seed: 42,
+        }
     }
 
     /// The paper's training-data percentages as display strings.
     pub fn fraction_labels(&self) -> Vec<String> {
-        self.train_fractions.iter().map(|f| format!("{:.4}", f * 100.0)).collect()
+        self.train_fractions
+            .iter()
+            .map(|f| format!("{:.4}", f * 100.0))
+            .collect()
     }
 }
 
@@ -77,13 +84,19 @@ pub fn run_once(
     split: &Split,
     empty_features: &FeatureMatrix,
 ) -> (f64, Option<f64>, f64) {
-    let features = if entry.use_features { &instance.features } else { empty_features };
+    let features = if entry.use_features {
+        &instance.features
+    } else {
+        empty_features
+    };
     let train_truth = split.train_truth(&instance.truth);
     let input = FusionInput::new(&instance.dataset, features, &train_truth);
     let start = Instant::now();
     let output = entry.method.fuse(&input);
     let elapsed = start.elapsed().as_secs_f64();
-    let accuracy = output.assignment.accuracy_against(&instance.truth, &split.test);
+    let accuracy = output
+        .assignment
+        .accuracy_against(&instance.truth, &split.test);
     let source_error = output
         .source_accuracies
         .as_ref()
@@ -104,11 +117,12 @@ pub fn run_grid(
             let cells = protocol
                 .train_fractions
                 .iter()
-                .map(|&fraction| {
-                    run_cell(instance, entry, fraction, protocol, &empty_features)
-                })
+                .map(|&fraction| run_cell(instance, entry, fraction, protocol, &empty_features))
                 .collect();
-            MethodSummary { method: entry.name().to_string(), cells }
+            MethodSummary {
+                method: entry.name().to_string(),
+                cells,
+            }
         })
         .collect()
 }
@@ -128,7 +142,9 @@ pub fn run_cell(
     let mut time_sum = 0.0;
     let mut runs = 0usize;
     for rep in 0..protocol.repetitions {
-        let Ok(split) = plan.draw(&instance.truth, rep) else { continue };
+        let Ok(split) = plan.draw(&instance.truth, rep) else {
+            continue;
+        };
         let (accuracy, source_error, seconds) = run_once(instance, entry, &split, empty_features);
         accuracy_sum += accuracy;
         if let Some(err) = source_error {
@@ -168,8 +184,15 @@ mod tests {
             num_objects: 150,
             domain_size: 2,
             pattern: ObservationPattern::PerObjectExact(8),
-            accuracy: AccuracyModel { mean: 0.7, spread: 0.1 },
-            features: FeatureModel { num_predictive: 2, num_noise: 2, predictive_strength: 0.2 },
+            accuracy: AccuracyModel {
+                mean: 0.7,
+                spread: 0.1,
+            },
+            features: FeatureModel {
+                num_predictive: 2,
+                num_noise: 2,
+                predictive_strength: 0.2,
+            },
             copying: None,
             seed: 1,
         }
@@ -180,27 +203,44 @@ mod tests {
     fn run_cell_averages_over_repetitions() {
         let inst = instance();
         let entry = MethodEntry::without_features(MajorityVote);
-        let protocol = ExperimentProtocol { repetitions: 3, ..ExperimentProtocol::quick() };
+        let protocol = ExperimentProtocol {
+            repetitions: 3,
+            ..ExperimentProtocol::quick()
+        };
         let empty = FeatureMatrix::empty(inst.dataset.num_sources());
         let cell = run_cell(&inst, &entry, 0.1, &protocol, &empty);
         assert_eq!(cell.method, "MajorityVote");
         assert!(cell.object_accuracy > 0.6 && cell.object_accuracy <= 1.0);
-        assert!(cell.source_error.is_none(), "majority vote reports no accuracies");
+        assert!(
+            cell.source_error.is_none(),
+            "majority vote reports no accuracies"
+        );
         assert!(cell.runtime_secs >= 0.0);
     }
 
     #[test]
     fn grid_covers_every_method_and_fraction() {
         let inst = instance();
-        let config = SlimFastConfig { erm_epochs: 20, ..Default::default() };
+        let config = SlimFastConfig {
+            erm_epochs: 20,
+            ..Default::default()
+        };
         let lineup = standard_lineup(&config);
-        let protocol = ExperimentProtocol { repetitions: 1, ..ExperimentProtocol::quick() };
+        let protocol = ExperimentProtocol {
+            repetitions: 1,
+            ..ExperimentProtocol::quick()
+        };
         let summaries = run_grid(&inst, &lineup, &protocol);
         assert_eq!(summaries.len(), 7);
         for summary in &summaries {
             assert_eq!(summary.cells.len(), protocol.train_fractions.len());
             for cell in &summary.cells {
-                assert!(cell.object_accuracy > 0.4, "{} too weak: {}", cell.method, cell.object_accuracy);
+                assert!(
+                    cell.object_accuracy > 0.4,
+                    "{} too weak: {}",
+                    cell.method,
+                    cell.object_accuracy
+                );
             }
         }
         // Probabilistic methods report a source error; CATD and SSTF do not.

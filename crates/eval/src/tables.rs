@@ -5,23 +5,36 @@ use crate::runner::MethodSummary;
 /// Formats an object-value-accuracy grid (Table 2 style): one row per training fraction,
 /// one column per method.
 pub fn format_accuracy_table(dataset_name: &str, summaries: &[MethodSummary]) -> String {
-    format_metric_table(dataset_name, summaries, "Accuracy for true object values", |cell| {
-        format!("{:.3}", cell.object_accuracy)
-    })
+    format_metric_table(
+        dataset_name,
+        summaries,
+        "Accuracy for true object values",
+        |cell| format!("{:.3}", cell.object_accuracy),
+    )
 }
 
 /// Formats a source-accuracy-error grid (Table 3 style).
 pub fn format_error_table(dataset_name: &str, summaries: &[MethodSummary]) -> String {
-    format_metric_table(dataset_name, summaries, "Error for estimated source accuracies", |cell| {
-        cell.source_error.map(|e| format!("{e:.3}")).unwrap_or_else(|| "-".to_string())
-    })
+    format_metric_table(
+        dataset_name,
+        summaries,
+        "Error for estimated source accuracies",
+        |cell| {
+            cell.source_error
+                .map(|e| format!("{e:.3}"))
+                .unwrap_or_else(|| "-".to_string())
+        },
+    )
 }
 
 /// Formats a runtime grid (Table 5 style).
 pub fn format_runtime_table(dataset_name: &str, summaries: &[MethodSummary]) -> String {
-    format_metric_table(dataset_name, summaries, "Wall-clock runtime (seconds)", |cell| {
-        format!("{:.2}", cell.runtime_secs)
-    })
+    format_metric_table(
+        dataset_name,
+        summaries,
+        "Wall-clock runtime (seconds)",
+        |cell| format!("{:.2}", cell.runtime_secs),
+    )
 }
 
 fn format_metric_table(
@@ -46,7 +59,11 @@ fn format_metric_table(
     for (row, cell) in summaries[0].cells.iter().enumerate() {
         out.push_str(&format!("{:>8.1}", cell.train_fraction * 100.0));
         for summary in summaries {
-            let value = summary.cells.get(row).map(&render).unwrap_or_else(|| "-".to_string());
+            let value = summary
+                .cells
+                .get(row)
+                .map(&render)
+                .unwrap_or_else(|| "-".to_string());
             out.push_str(&format!("{value:>14}"));
         }
         out.push('\n');
@@ -103,7 +120,10 @@ mod tests {
 
     #[test]
     fn tables_contain_headers_rows_and_values() {
-        let summaries = vec![summary("SLiMFast", &[0.9, 0.95]), summary("ACCU", &[0.8, 0.85])];
+        let summaries = vec![
+            summary("SLiMFast", &[0.9, 0.95]),
+            summary("ACCU", &[0.8, 0.85]),
+        ];
         let table = format_accuracy_table("Stocks", &summaries);
         assert!(table.contains("Stocks"));
         assert!(table.contains("SLiMFast"));
@@ -117,7 +137,10 @@ mod tests {
 
     #[test]
     fn best_method_is_identified_per_row() {
-        let summaries = vec![summary("SLiMFast", &[0.9, 0.85]), summary("ACCU", &[0.8, 0.9])];
+        let summaries = vec![
+            summary("SLiMFast", &[0.9, 0.85]),
+            summary("ACCU", &[0.8, 0.9]),
+        ];
         let best = best_method_per_fraction(&summaries);
         assert_eq!(best[0].1, "SLiMFast");
         assert_eq!(best[1].1, "ACCU");

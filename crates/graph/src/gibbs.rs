@@ -26,7 +26,12 @@ pub struct GibbsConfig {
 
 impl Default for GibbsConfig {
     fn default() -> Self {
-        Self { burn_in: 100, samples: 400, chains: 1, seed: 0 }
+        Self {
+            burn_in: 100,
+            samples: 400,
+            chains: 1,
+            seed: 0,
+        }
     }
 }
 
@@ -117,13 +122,15 @@ pub fn sample(graph: &FactorGraph, config: &GibbsConfig) -> Marginals {
     let all_counts: Vec<Vec<Vec<u64>>> = if chains == 1 {
         vec![run_chain(graph, config, 0)]
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..chains)
-                .map(|c| scope.spawn(move |_| run_chain(graph, config, c as u64)))
+                .map(|c| scope.spawn(move || run_chain(graph, config, c as u64)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("gibbs chain panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("gibbs chain panicked"))
+                .collect()
         })
-        .expect("gibbs thread scope failed")
     };
 
     let mut per_variable = Vec::with_capacity(graph.num_variables());
@@ -165,12 +172,27 @@ mod tests {
         let mut g = FactorGraph::new();
         let v = g.add_variable(2);
         let w = g.add_weight(1.5);
-        g.add_factor(FactorKind::Indicator { variable: v, value: 1 }, w, 1.0);
-        let config = GibbsConfig { burn_in: 200, samples: 4000, chains: 1, seed: 1 };
+        g.add_factor(
+            FactorKind::Indicator {
+                variable: v,
+                value: 1,
+            },
+            w,
+            1.0,
+        );
+        let config = GibbsConfig {
+            burn_in: 200,
+            samples: 4000,
+            chains: 1,
+            seed: 1,
+        };
         let marginals = sample(&g, &config);
         let expected = 1.0 / (1.0 + (-1.5f64).exp());
         let p1 = marginals.distribution(v)[1];
-        assert!((p1 - expected).abs() < 0.03, "p1 = {p1}, expected {expected}");
+        assert!(
+            (p1 - expected).abs() < 0.03,
+            "p1 = {p1}, expected {expected}"
+        );
         let (map, conf) = marginals.map_value(v);
         assert_eq!(map, 1);
         assert!(conf > 0.5);
@@ -192,7 +214,12 @@ mod tests {
         let b = g.add_variable(2);
         let w = g.add_weight(3.0);
         g.add_factor(FactorKind::Equality { a, b }, w, 1.0);
-        let config = GibbsConfig { burn_in: 100, samples: 2000, chains: 1, seed: 3 };
+        let config = GibbsConfig {
+            burn_in: 100,
+            samples: 2000,
+            chains: 1,
+            seed: 3,
+        };
         let marginals = sample(&g, &config);
         // b should be dragged toward the evidence value of a.
         assert!(marginals.distribution(b)[1] > 0.9);
@@ -203,9 +230,32 @@ mod tests {
         let mut g = FactorGraph::new();
         let v = g.add_variable(2);
         let w = g.add_weight(0.8);
-        g.add_factor(FactorKind::Indicator { variable: v, value: 0 }, w, 1.0);
-        let single = sample(&g, &GibbsConfig { burn_in: 100, samples: 3000, chains: 1, seed: 5 });
-        let multi = sample(&g, &GibbsConfig { burn_in: 100, samples: 1000, chains: 4, seed: 5 });
+        g.add_factor(
+            FactorKind::Indicator {
+                variable: v,
+                value: 0,
+            },
+            w,
+            1.0,
+        );
+        let single = sample(
+            &g,
+            &GibbsConfig {
+                burn_in: 100,
+                samples: 3000,
+                chains: 1,
+                seed: 5,
+            },
+        );
+        let multi = sample(
+            &g,
+            &GibbsConfig {
+                burn_in: 100,
+                samples: 1000,
+                chains: 4,
+                seed: 5,
+            },
+        );
         let p_single = single.distribution(v)[0];
         let p_multi = multi.distribution(v)[0];
         assert!((p_single - p_multi).abs() < 0.05, "{p_single} vs {p_multi}");
@@ -215,7 +265,12 @@ mod tests {
     fn unconnected_variable_has_uniform_marginal() {
         let mut g = FactorGraph::new();
         let v = g.add_variable(4);
-        let config = GibbsConfig { burn_in: 50, samples: 4000, chains: 1, seed: 9 };
+        let config = GibbsConfig {
+            burn_in: 50,
+            samples: 4000,
+            chains: 1,
+            seed: 9,
+        };
         let marginals = sample(&g, &config);
         for &p in marginals.distribution(v) {
             assert!((p - 0.25).abs() < 0.05);
@@ -227,8 +282,20 @@ mod tests {
         let mut g = FactorGraph::new();
         let v = g.add_variable(2);
         let w = g.add_weight(0.3);
-        g.add_factor(FactorKind::Indicator { variable: v, value: 1 }, w, 1.0);
-        let config = GibbsConfig { burn_in: 10, samples: 100, chains: 2, seed: 11 };
+        g.add_factor(
+            FactorKind::Indicator {
+                variable: v,
+                value: 1,
+            },
+            w,
+            1.0,
+        );
+        let config = GibbsConfig {
+            burn_in: 10,
+            samples: 100,
+            chains: 2,
+            seed: 11,
+        };
         let a = sample(&g, &config);
         let b = sample(&g, &config);
         assert_eq!(a.distribution(v), b.distribution(v));

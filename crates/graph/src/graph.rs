@@ -95,9 +95,15 @@ impl FactorGraph {
 
     /// Adds a latent categorical variable with the given cardinality.
     pub fn add_variable(&mut self, cardinality: usize) -> VariableId {
-        assert!(cardinality >= 1, "a categorical variable needs at least one value");
+        assert!(
+            cardinality >= 1,
+            "a categorical variable needs at least one value"
+        );
         let id = VariableId(self.variables.len() as u32);
-        self.variables.push(Variable { cardinality, evidence: None });
+        self.variables.push(Variable {
+            cardinality,
+            evidence: None,
+        });
         self.var_factors.push(Vec::new());
         id
     }
@@ -138,7 +144,11 @@ impl FactorGraph {
     /// Adds a factor, wiring it into the adjacency of the variables it touches.
     pub fn add_factor(&mut self, kind: FactorKind, weight: WeightId, scale: f64) -> FactorId {
         let id = FactorId(self.factors.len() as u32);
-        self.factors.push(Factor { kind, weight, scale });
+        self.factors.push(Factor {
+            kind,
+            weight,
+            scale,
+        });
         match kind {
             FactorKind::Indicator { variable, value } => {
                 assert!(
@@ -225,7 +235,10 @@ impl FactorGraph {
         for &fid in self.factors_of(variable) {
             let factor = &self.factors[fid.index()];
             let fires = match factor.kind {
-                FactorKind::Indicator { variable: v, value: target } => {
+                FactorKind::Indicator {
+                    variable: v,
+                    value: target,
+                } => {
                     debug_assert_eq!(v, variable);
                     value == target
                 }
@@ -270,7 +283,14 @@ mod tests {
         let v0 = g.add_variable(2);
         let v1 = g.add_evidence(3, 1);
         let w = g.add_weight(0.5);
-        let f0 = g.add_factor(FactorKind::Indicator { variable: v0, value: 1 }, w, 1.0);
+        let f0 = g.add_factor(
+            FactorKind::Indicator {
+                variable: v0,
+                value: 1,
+            },
+            w,
+            1.0,
+        );
         let f1 = g.add_factor(FactorKind::Equality { a: v0, b: v1 }, w, 2.0);
         assert_eq!(g.num_variables(), 2);
         assert_eq!(g.num_factors(), 2);
@@ -290,7 +310,14 @@ mod tests {
         let a = g.add_variable(2);
         let b = g.add_variable(2);
         let w = g.add_weight(1.0);
-        let ind = g.add_factor(FactorKind::Indicator { variable: a, value: 0 }, w, 1.0);
+        let ind = g.add_factor(
+            FactorKind::Indicator {
+                variable: a,
+                value: 0,
+            },
+            w,
+            1.0,
+        );
         let eq = g.add_factor(FactorKind::Equality { a, b }, w, 1.0);
         assert!(g.factor_fires(ind, &[0, 1]));
         assert!(!g.factor_fires(ind, &[1, 1]));
@@ -305,7 +332,14 @@ mod tests {
         let b = g.add_evidence(2, 1);
         let w1 = g.add_weight(2.0);
         let w2 = g.add_weight(3.0);
-        g.add_factor(FactorKind::Indicator { variable: a, value: 1 }, w1, 1.0);
+        g.add_factor(
+            FactorKind::Indicator {
+                variable: a,
+                value: 1,
+            },
+            w1,
+            1.0,
+        );
         g.add_factor(FactorKind::Equality { a, b }, w2, 0.5);
         let assignment = vec![0usize, 1usize];
         // value 1: indicator fires (2.0) + equality with b=1 fires (3.0 * 0.5).
@@ -340,6 +374,13 @@ mod tests {
         let mut g = FactorGraph::new();
         let v = g.add_variable(2);
         let w = g.add_weight(0.0);
-        g.add_factor(FactorKind::Indicator { variable: v, value: 7 }, w, 1.0);
+        g.add_factor(
+            FactorKind::Indicator {
+                variable: v,
+                value: 7,
+            },
+            w,
+            1.0,
+        );
     }
 }

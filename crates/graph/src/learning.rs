@@ -30,7 +30,12 @@ pub struct LearningConfig {
 
 impl Default for LearningConfig {
     fn default() -> Self {
-        Self { epochs: 30, learning_rate: 0.1, l2: 1e-4, seed: 0 }
+        Self {
+            epochs: 30,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            seed: 0,
+        }
     }
 }
 
@@ -60,8 +65,9 @@ pub fn learn_weights(graph: &mut FactorGraph, config: &LearningConfig) -> Vec<f6
             let observed = graph.evidence(v).expect("evidence variable lost its value");
             let cardinality = graph.cardinality(v);
             // Conditional distribution over this variable's values.
-            let mut scores: Vec<f64> =
-                (0..cardinality).map(|value| graph.local_score(v, value, &assignment)).collect();
+            let mut scores: Vec<f64> = (0..cardinality)
+                .map(|value| graph.local_score(v, value, &assignment))
+                .collect();
             let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let mut probs: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
             let z: f64 = probs.iter().sum();
@@ -73,8 +79,11 @@ pub fn learn_weights(graph: &mut FactorGraph, config: &LearningConfig) -> Vec<f6
 
             // Gradient step on every adjacent learnable weight:
             //   d(-log p(observed)) / dw = E_p[f_w] - f_w(observed), scaled by the factor.
-            let adjacent: Vec<crate::graph::Factor> =
-                graph.factors_of(v).iter().map(|&fid| *graph.factor(fid)).collect();
+            let adjacent: Vec<crate::graph::Factor> = graph
+                .factors_of(v)
+                .iter()
+                .map(|&fid| *graph.factor(fid))
+                .collect();
             for factor in adjacent {
                 if !graph.is_weight_learnable(factor.weight) {
                     continue;
@@ -93,7 +102,11 @@ pub fn learn_weights(graph: &mut FactorGraph, config: &LearningConfig) -> Vec<f6
                     }
                 };
                 let expected = firing_value.map(|value| probs[value]).unwrap_or(0.0);
-                let actual = if firing_value == Some(observed) { 1.0 } else { 0.0 };
+                let actual = if firing_value == Some(observed) {
+                    1.0
+                } else {
+                    0.0
+                };
                 let gradient =
                     factor.scale * (expected - actual) + config.l2 * graph.weight(factor.weight);
                 let updated = graph.weight(factor.weight) - eta * gradient;
@@ -122,11 +135,31 @@ mod tests {
         // them; the bad source votes 1 on 20 and 0 on 20.
         for i in 0..40 {
             let v = g.add_evidence(2, 1);
-            g.add_factor(FactorKind::Indicator { variable: v, value: 1 }, w_good, 1.0);
+            g.add_factor(
+                FactorKind::Indicator {
+                    variable: v,
+                    value: 1,
+                },
+                w_good,
+                1.0,
+            );
             let bad_vote = if i % 2 == 0 { 1 } else { 0 };
-            g.add_factor(FactorKind::Indicator { variable: v, value: bad_vote }, w_bad, 1.0);
+            g.add_factor(
+                FactorKind::Indicator {
+                    variable: v,
+                    value: bad_vote,
+                },
+                w_bad,
+                1.0,
+            );
         }
-        let history = learn_weights(&mut g, &LearningConfig { epochs: 50, ..Default::default() });
+        let history = learn_weights(
+            &mut g,
+            &LearningConfig {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
         assert!(!history.is_empty());
         assert!(
             history.last().unwrap() < history.first().unwrap(),
@@ -147,14 +180,42 @@ mod tests {
         // Evidence: 30 objects where the factor votes for the observed value.
         for _ in 0..30 {
             let v = g.add_evidence(2, 1);
-            g.add_factor(FactorKind::Indicator { variable: v, value: 1 }, w, 1.0);
+            g.add_factor(
+                FactorKind::Indicator {
+                    variable: v,
+                    value: 1,
+                },
+                w,
+                1.0,
+            );
         }
         // One latent object with the same kind of factor.
         let latent = g.add_variable(2);
-        g.add_factor(FactorKind::Indicator { variable: latent, value: 1 }, w, 1.0);
-        learn_weights(&mut g, &LearningConfig { epochs: 60, ..Default::default() });
+        g.add_factor(
+            FactorKind::Indicator {
+                variable: latent,
+                value: 1,
+            },
+            w,
+            1.0,
+        );
+        learn_weights(
+            &mut g,
+            &LearningConfig {
+                epochs: 60,
+                ..Default::default()
+            },
+        );
         assert!(g.weight(w) > 0.5, "weight = {}", g.weight(w));
-        let marginals = sample(&g, &GibbsConfig { burn_in: 100, samples: 2000, chains: 1, seed: 2 });
+        let marginals = sample(
+            &g,
+            &GibbsConfig {
+                burn_in: 100,
+                samples: 2000,
+                chains: 1,
+                seed: 2,
+            },
+        );
         assert!(marginals.distribution(latent)[1] > 0.6);
     }
 
@@ -163,7 +224,14 @@ mod tests {
         let mut g = FactorGraph::new();
         let fixed = g.add_fixed_weight(0.7);
         let v = g.add_evidence(2, 0);
-        g.add_factor(FactorKind::Indicator { variable: v, value: 1 }, fixed, 1.0);
+        g.add_factor(
+            FactorKind::Indicator {
+                variable: v,
+                value: 1,
+            },
+            fixed,
+            1.0,
+        );
         learn_weights(&mut g, &LearningConfig::default());
         assert_eq!(g.weight(fixed), 0.7);
     }
@@ -173,7 +241,14 @@ mod tests {
         let mut g = FactorGraph::new();
         let w = g.add_weight(0.2);
         let v = g.add_variable(2);
-        g.add_factor(FactorKind::Indicator { variable: v, value: 1 }, w, 1.0);
+        g.add_factor(
+            FactorKind::Indicator {
+                variable: v,
+                value: 1,
+            },
+            w,
+            1.0,
+        );
         let history = learn_weights(&mut g, &LearningConfig::default());
         assert!(history.is_empty());
         assert_eq!(g.weight(w), 0.2);
@@ -186,13 +261,24 @@ mod tests {
             let w = g.add_weight(0.0);
             for i in 0..20 {
                 let v = g.add_evidence(2, (i % 2) as usize);
-                g.add_factor(FactorKind::Indicator { variable: v, value: 1 }, w, 1.0);
+                g.add_factor(
+                    FactorKind::Indicator {
+                        variable: v,
+                        value: 1,
+                    },
+                    w,
+                    1.0,
+                );
             }
             (g, w)
         };
         let (mut g1, w1) = build();
         let (mut g2, w2) = build();
-        let config = LearningConfig { epochs: 10, seed: 42, ..Default::default() };
+        let config = LearningConfig {
+            epochs: 10,
+            seed: 42,
+            ..Default::default()
+        };
         learn_weights(&mut g1, &config);
         learn_weights(&mut g2, &config);
         assert_eq!(g1.weight(w1), g2.weight(w2));

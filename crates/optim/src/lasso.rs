@@ -25,14 +25,20 @@ impl LassoPath {
 
     /// The trajectory of one parameter across the sweep (strongest penalty first).
     pub fn trajectory(&self, param: usize) -> Vec<f64> {
-        self.weights.iter().map(|w| w.get(param).copied().unwrap_or(0.0)).collect()
+        self.weights
+            .iter()
+            .map(|w| w.get(param).copied().unwrap_or(0.0))
+            .collect()
     }
 
     /// The normalized x-axis used in the paper's plots: `μ ∈ [0, 1]`, the L1 norm of the
     /// solution at each penalty divided by the maximum L1 norm along the path.
     pub fn normalized_l1(&self) -> Vec<f64> {
-        let norms: Vec<f64> =
-            self.weights.iter().map(|w| w.iter().map(|x| x.abs()).sum()).collect();
+        let norms: Vec<f64> = self
+            .weights
+            .iter()
+            .map(|w| w.iter().map(|x| x.abs()).sum())
+            .collect();
         let max = norms.iter().copied().fold(0.0f64, f64::max);
         if max == 0.0 {
             return vec![0.0; norms.len()];
@@ -85,13 +91,18 @@ pub fn lasso_path(
     let mut weights = Vec::with_capacity(sorted.len());
     let mut warm: Option<Vec<f64>> = None;
     for &lambda in &sorted {
-        let config = SgdConfig { penalty: Penalty::L1(lambda), ..*base };
-        let model =
-            BinaryLogisticRegression::fit_warm(examples, num_params, &config, warm.clone());
+        let config = SgdConfig {
+            penalty: Penalty::L1(lambda),
+            ..*base
+        };
+        let model = BinaryLogisticRegression::fit_warm(examples, num_params, &config, warm.clone());
         warm = Some(model.weights().to_vec());
         weights.push(model.weights().to_vec());
     }
-    LassoPath { lambdas: sorted, weights }
+    LassoPath {
+        lambdas: sorted,
+        weights,
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +120,11 @@ mod tests {
             .map(|_| {
                 let y = rng.gen_bool(0.5);
                 let strong = if y { 1.0 } else { 0.0 };
-                let weak = if rng.gen_bool(if y { 0.65 } else { 0.35 }) { 1.0 } else { 0.0 };
+                let weak = if rng.gen_bool(if y { 0.65 } else { 0.35 }) {
+                    1.0
+                } else {
+                    0.0
+                };
                 let noise = if rng.gen_bool(0.5) { 1.0 } else { 0.0 };
                 BinaryExample::new(
                     SparseVec::from_pairs([(0, strong), (1, weak), (2, noise)]),
@@ -120,7 +135,11 @@ mod tests {
     }
 
     fn path() -> LassoPath {
-        let base = SgdConfig { epochs: 60, tolerance: 0.0, ..SgdConfig::default() };
+        let base = SgdConfig {
+            epochs: 60,
+            tolerance: 0.0,
+            ..SgdConfig::default()
+        };
         lasso_path(&examples(), 3, &[0.5, 0.1, 0.02, 0.004, 0.0008, 0.0], &base)
     }
 
@@ -138,7 +157,10 @@ mod tests {
     fn informative_features_activate_before_noise() {
         let p = path();
         let ranking = p.importance_ranking(1e-3);
-        assert_eq!(ranking[0], 0, "the strong feature should be most important: {ranking:?}");
+        assert_eq!(
+            ranking[0], 0,
+            "the strong feature should be most important: {ranking:?}"
+        );
         let activations = p.activation_index(1e-3);
         // The strong feature activates no later than the noise feature.
         match (activations[0], activations[2]) {
@@ -170,7 +192,10 @@ mod tests {
 
     #[test]
     fn empty_path_is_well_formed() {
-        let p = LassoPath { lambdas: Vec::new(), weights: Vec::new() };
+        let p = LassoPath {
+            lambdas: Vec::new(),
+            weights: Vec::new(),
+        };
         assert_eq!(p.num_params(), 0);
         assert!(p.normalized_l1().is_empty());
         assert!(p.importance_ranking(1e-3).is_empty());

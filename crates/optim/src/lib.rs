@@ -31,8 +31,8 @@ pub mod sparse;
 
 pub use lasso::{lasso_path, LassoPath};
 pub use logistic::{
-    log_loss, sigmoid, softmax_in_place, BinaryExample, BinaryLogisticRegression, ConditionalExample,
-    ConditionalLogit, Target,
+    log_loss, sigmoid, softmax_in_place, BinaryExample, BinaryLogisticRegression,
+    ConditionalExample, ConditionalLogit, Target,
 };
 pub use matrix::{rank_one_completion, rank_one_factorize, AgreementMatrix};
 pub use penalty::Penalty;

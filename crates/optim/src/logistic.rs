@@ -71,12 +71,20 @@ pub struct BinaryExample {
 impl BinaryExample {
     /// An example with unit weight.
     pub fn new(features: SparseVec, target: f64) -> Self {
-        Self { features, target, weight: 1.0 }
+        Self {
+            features,
+            target,
+            weight: 1.0,
+        }
     }
 
     /// An example with an explicit weight.
     pub fn weighted(features: SparseVec, target: f64, weight: f64) -> Self {
-        Self { features, target, weight }
+        Self {
+            features,
+            target,
+            weight,
+        }
     }
 }
 
@@ -130,9 +138,15 @@ impl BinaryLogisticRegression {
         config: &SgdConfig,
         init: Option<Vec<f64>>,
     ) -> Self {
-        let objective = BinaryObjective { examples, num_params };
+        let objective = BinaryObjective {
+            examples,
+            num_params,
+        };
         let fit = minimize(&objective, init, config);
-        Self { weights: fit.weights.clone(), fit: Some(fit) }
+        Self {
+            weights: fit.weights.clone(),
+            fit: Some(fit),
+        }
     }
 
     /// The learned weight vector.
@@ -187,12 +201,20 @@ pub struct ConditionalExample {
 impl ConditionalExample {
     /// A hard-labelled example with unit weight.
     pub fn new(classes: Vec<SparseVec>, label: usize) -> Self {
-        Self { classes, target: Target::Hard(label), weight: 1.0 }
+        Self {
+            classes,
+            target: Target::Hard(label),
+            weight: 1.0,
+        }
     }
 
     /// A soft-labelled example with unit weight.
     pub fn soft(classes: Vec<SparseVec>, distribution: Vec<f64>) -> Self {
-        Self { classes, target: Target::Soft(distribution), weight: 1.0 }
+        Self {
+            classes,
+            target: Target::Soft(distribution),
+            weight: 1.0,
+        }
     }
 
     fn target_prob(&self, class: usize) -> f64 {
@@ -270,9 +292,15 @@ impl ConditionalLogit {
         config: &SgdConfig,
         init: Option<Vec<f64>>,
     ) -> Self {
-        let objective = ConditionalObjective { examples, num_params };
+        let objective = ConditionalObjective {
+            examples,
+            num_params,
+        };
         let fit = minimize(&objective, init, config);
-        Self { weights: fit.weights.clone(), fit: Some(fit) }
+        Self {
+            weights: fit.weights.clone(),
+            fit: Some(fit),
+        }
     }
 
     /// The learned weight vector.
@@ -320,7 +348,12 @@ pub fn fit_binary(
     epochs: usize,
     seed: u64,
 ) -> BinaryLogisticRegression {
-    let config = SgdConfig { epochs, penalty, seed, ..SgdConfig::default() };
+    let config = SgdConfig {
+        epochs,
+        penalty,
+        seed,
+        ..SgdConfig::default()
+    };
     BinaryLogisticRegression::fit(examples, num_params, &config)
 }
 
@@ -369,7 +402,10 @@ mod tests {
             } else {
                 SparseVec::from_pairs([(1, (i % 3) as f64 * 0.1), (2, 1.0)])
             };
-            examples.push(BinaryExample::new(features, if positive { 1.0 } else { 0.0 }));
+            examples.push(BinaryExample::new(
+                features,
+                if positive { 1.0 } else { 0.0 },
+            ));
         }
         examples
     }
@@ -377,7 +413,11 @@ mod tests {
     #[test]
     fn binary_regression_separates_separable_data() {
         let examples = separable_examples();
-        let config = SgdConfig { epochs: 100, tolerance: 0.0, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 100,
+            tolerance: 0.0,
+            ..SgdConfig::default()
+        };
         let model = BinaryLogisticRegression::fit(&examples, 3, &config);
         let pos = model.predict_proba(&SparseVec::from_pairs([(0, 1.0)]));
         let neg = model.predict_proba(&SparseVec::from_pairs([(2, 1.0)]));
@@ -391,7 +431,11 @@ mod tests {
         // A single always-on feature and a fractional target of 0.7: the fitted
         // probability should approach 0.7 (the minimizer of expected log-loss).
         let examples = vec![BinaryExample::new(SparseVec::from_pairs([(0, 1.0)]), 0.7); 100];
-        let config = SgdConfig { epochs: 300, tolerance: 0.0, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 300,
+            tolerance: 0.0,
+            ..SgdConfig::default()
+        };
         let model = BinaryLogisticRegression::fit(&examples, 1, &config);
         let p = model.predict_proba(&SparseVec::from_pairs([(0, 1.0)]));
         assert!((p - 0.7).abs() < 0.03, "p = {p}");
@@ -412,7 +456,11 @@ mod tests {
             };
             examples.push(ConditionalExample::new(classes, label));
         }
-        let config = SgdConfig { epochs: 100, tolerance: 0.0, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 100,
+            tolerance: 0.0,
+            ..SgdConfig::default()
+        };
         let model = ConditionalLogit::fit(&examples, 2, &config);
         let probs = model.predict_proba(&[
             SparseVec::from_pairs([(0, 1.0)]),
@@ -425,10 +473,16 @@ mod tests {
     #[test]
     fn soft_targets_are_respected() {
         // Single example repeated; soft target [0.8, 0.2] with distinct class features.
-        let classes =
-            vec![SparseVec::from_pairs([(0, 1.0)]), SparseVec::from_pairs([(1, 1.0)])];
+        let classes = vec![
+            SparseVec::from_pairs([(0, 1.0)]),
+            SparseVec::from_pairs([(1, 1.0)]),
+        ];
         let examples = vec![ConditionalExample::soft(classes.clone(), vec![0.8, 0.2]); 200];
-        let config = SgdConfig { epochs: 300, tolerance: 0.0, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 300,
+            tolerance: 0.0,
+            ..SgdConfig::default()
+        };
         let model = ConditionalLogit::fit(&examples, 2, &config);
         let probs = model.predict_proba(&classes);
         assert!((probs[0] - 0.8).abs() < 0.05, "probs = {probs:?}");
@@ -437,7 +491,10 @@ mod tests {
     #[test]
     fn empty_class_list_contributes_no_loss() {
         let examples = vec![ConditionalExample::new(Vec::new(), 0)];
-        let config = SgdConfig { epochs: 2, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 2,
+            ..SgdConfig::default()
+        };
         let model = ConditionalLogit::fit(&examples, 3, &config);
         assert_eq!(model.weights().len(), 3);
     }

@@ -25,7 +25,10 @@ pub struct AgreementMatrix {
 impl AgreementMatrix {
     /// Creates an `n × n` matrix with every entry missing.
     pub fn new(n: usize) -> Self {
-        Self { n, entries: vec![None; n * n] }
+        Self {
+            n,
+            entries: vec![None; n * n],
+        }
     }
 
     /// Matrix dimension (number of sources).
@@ -83,7 +86,9 @@ impl AgreementMatrix {
 /// Closed-form rank-one completion under a shared accuracy: returns `μ̂ = sqrt(mean X_ij)`
 /// clamped into `[0, 1]`. Returns `None` when no pair of sources overlaps.
 pub fn rank_one_completion(matrix: &AgreementMatrix) -> Option<f64> {
-    matrix.mean_off_diagonal().map(|mean| mean.max(0.0).sqrt().min(1.0))
+    matrix
+        .mean_off_diagonal()
+        .map(|mean| mean.max(0.0).sqrt().min(1.0))
 }
 
 /// General rank-one completion `X_ij ≈ μ_i μ_j` solved by SGD, returning one `μ_s` per
@@ -185,7 +190,10 @@ mod tests {
         let m = full_matrix(&truth);
         let mu = rank_one_factorize(&m, 500, 0.5, 42);
         for (est, actual) in mu.iter().zip(truth.iter()) {
-            assert!((est - actual).abs() < 0.1, "estimated {est}, wanted {actual}");
+            assert!(
+                (est - actual).abs() < 0.1,
+                "estimated {est}, wanted {actual}"
+            );
         }
     }
 
@@ -195,7 +203,10 @@ mod tests {
         let mut m = AgreementMatrix::new(3);
         m.set(0, 1, 0.36);
         let mu = rank_one_factorize(&m, 100, 0.5, 1);
-        assert!((mu[2] - 0.6).abs() < 1e-9, "isolated source should use the shared estimate");
+        assert!(
+            (mu[2] - 0.6).abs() < 1e-9,
+            "isolated source should use the shared estimate"
+        );
     }
 
     #[test]

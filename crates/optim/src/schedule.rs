@@ -52,7 +52,10 @@ mod tests {
     #[test]
     fn schedules_decay_monotonically() {
         for lr in [
-            LearningRate::InvScaling { eta0: 1.0, power: 1.0 },
+            LearningRate::InvScaling {
+                eta0: 1.0,
+                power: 1.0,
+            },
             LearningRate::InvSqrt(1.0),
         ] {
             let mut prev = f64::INFINITY;

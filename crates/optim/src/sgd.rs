@@ -61,7 +61,10 @@ impl Default for SgdConfig {
 impl SgdConfig {
     /// Convenience constructor fixing the number of epochs.
     pub fn with_epochs(epochs: usize) -> Self {
-        Self { epochs, ..Self::default() }
+        Self {
+            epochs,
+            ..Self::default()
+        }
     }
 
     /// Returns a copy with the given penalty.
@@ -115,7 +118,12 @@ pub fn minimize<O: StochasticObjective>(
         None => vec![0.0; n_params],
     };
     if n_examples == 0 || n_params == 0 {
-        return FitResult { weights, loss_history: Vec::new(), converged: true, epochs_run: 0 };
+        return FitResult {
+            weights,
+            loss_history: Vec::new(),
+            converged: true,
+            epochs_run: 0,
+        };
     }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -164,12 +172,22 @@ pub fn minimize<O: StochasticObjective>(
             if ((prev - avg_loss) / denom).abs() < config.tolerance {
                 loss_history.push(avg_loss);
                 converged = true;
-                return FitResult { weights, loss_history, converged, epochs_run: epoch + 1 };
+                return FitResult {
+                    weights,
+                    loss_history,
+                    converged,
+                    epochs_run: epoch + 1,
+                };
             }
         }
         loss_history.push(avg_loss);
     }
-    FitResult { weights, loss_history, converged, epochs_run: config.epochs }
+    FitResult {
+        weights,
+        loss_history,
+        converged,
+        epochs_run: config.epochs,
+    }
 }
 
 #[cfg(test)]
@@ -219,16 +237,32 @@ mod tests {
     #[test]
     fn sgd_recovers_linear_coefficients() {
         let obj = toy_regression();
-        let config = SgdConfig { epochs: 300, tolerance: 0.0, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 300,
+            tolerance: 0.0,
+            ..SgdConfig::default()
+        };
         let fit = minimize(&obj, None, &config);
-        assert!((fit.weights[0] - 2.0).abs() < 0.05, "w0 = {}", fit.weights[0]);
-        assert!((fit.weights[1] + 1.0).abs() < 0.05, "w1 = {}", fit.weights[1]);
+        assert!(
+            (fit.weights[0] - 2.0).abs() < 0.05,
+            "w0 = {}",
+            fit.weights[0]
+        );
+        assert!(
+            (fit.weights[1] + 1.0).abs() < 0.05,
+            "w1 = {}",
+            fit.weights[1]
+        );
     }
 
     #[test]
     fn loss_history_is_roughly_decreasing() {
         let obj = toy_regression();
-        let config = SgdConfig { epochs: 50, tolerance: 0.0, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 50,
+            tolerance: 0.0,
+            ..SgdConfig::default()
+        };
         let fit = minimize(&obj, None, &config);
         let first = fit.loss_history.first().copied().unwrap();
         let last = fit.final_loss().unwrap();
@@ -238,7 +272,11 @@ mod tests {
     #[test]
     fn convergence_criterion_stops_early() {
         let obj = toy_regression();
-        let config = SgdConfig { epochs: 10_000, tolerance: 1e-9, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 10_000,
+            tolerance: 1e-9,
+            ..SgdConfig::default()
+        };
         let fit = minimize(&obj, None, &config);
         assert!(fit.converged);
         assert!(fit.epochs_run < 10_000);
@@ -261,9 +299,20 @@ mod tests {
         let fit = minimize(&obj, None, &strong_l1);
         // With a strong L1 penalty the redundant coordinate is driven to (essentially) zero,
         // while an unpenalized fit leaves it clearly non-zero.
-        let unpenalized =
-            minimize(&obj, None, &SgdConfig { epochs: 200, tolerance: 0.0, ..SgdConfig::default() });
-        assert!(fit.weights[1].abs() < 0.01, "penalized w1 = {}", fit.weights[1]);
+        let unpenalized = minimize(
+            &obj,
+            None,
+            &SgdConfig {
+                epochs: 200,
+                tolerance: 0.0,
+                ..SgdConfig::default()
+            },
+        );
+        assert!(
+            fit.weights[1].abs() < 0.01,
+            "penalized w1 = {}",
+            fit.weights[1]
+        );
         // Shrinkage: the penalized solution has a strictly smaller L1 norm than the
         // unpenalized one.
         let norm = |w: &[f64]| w.iter().map(|x| x.abs()).sum::<f64>();
@@ -273,7 +322,12 @@ mod tests {
     #[test]
     fn runs_are_deterministic_given_a_seed() {
         let obj = toy_regression();
-        let config = SgdConfig { epochs: 20, tolerance: 0.0, seed: 7, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 20,
+            tolerance: 0.0,
+            seed: 7,
+            ..SgdConfig::default()
+        };
         let a = minimize(&obj, None, &config);
         let b = minimize(&obj, None, &config);
         assert_eq!(a.weights, b.weights);
@@ -302,7 +356,11 @@ mod tests {
     #[test]
     fn warm_start_is_respected() {
         let obj = toy_regression();
-        let config = SgdConfig { epochs: 1, tolerance: 0.0, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 1,
+            tolerance: 0.0,
+            ..SgdConfig::default()
+        };
         let fit = minimize(&obj, Some(vec![2.0, -1.0]), &config);
         // Starting at the optimum, a single epoch keeps us very close to it.
         assert!((fit.weights[0] - 2.0).abs() < 0.2);

@@ -12,7 +12,9 @@ pub struct SparseVec {
 impl SparseVec {
     /// Creates an empty sparse vector.
     pub fn new() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates a sparse vector from raw `(index, value)` pairs.

@@ -21,7 +21,10 @@ fn main() {
 
     // Compare the paper's method line-up across training fractions (reduced protocol so the
     // example finishes quickly).
-    let config = SlimFastConfig { erm_epochs: 40, ..Default::default() };
+    let config = SlimFastConfig {
+        erm_epochs: 40,
+        ..Default::default()
+    };
     let protocol = ExperimentProtocol {
         train_fractions: vec![0.001, 0.01, 0.10],
         repetitions: 2,
@@ -35,10 +38,15 @@ fn main() {
     // workers per tweet); once enough labels are available it switches to ERM.
     println!("Optimizer decisions as ground truth grows:");
     for fraction in [0.001, 0.01, 0.05, 0.20] {
-        let split = SplitPlan::new(fraction, 3).draw(&instance.truth, 0).unwrap();
+        let split = SplitPlan::new(fraction, 3)
+            .draw(&instance.truth, 0)
+            .unwrap();
         let train = split.train_truth(&instance.truth);
-        let report = SlimFast::new(config.clone())
-            .plan(&FusionInput::new(&instance.dataset, &instance.features, &train));
+        let report = SlimFast::new(config.clone()).plan(&FusionInput::new(
+            &instance.dataset,
+            &instance.features,
+            &train,
+        ));
         println!(
             "  {:>5.1}% labels -> {:?} (ERM units {:.1}, EM units {:.1})",
             fraction * 100.0,
@@ -59,6 +67,9 @@ fn main() {
     );
     println!("\nWorker features most predictive of answer accuracy:");
     for (name, trajectory) in path.ranked_features().into_iter().take(6) {
-        println!("  {name:<24} final weight {:+.2}", trajectory.last().copied().unwrap_or(0.0));
+        println!(
+            "  {name:<24} final weight {:+.2}",
+            trajectory.last().copied().unwrap_or(0.0)
+        );
     }
 }

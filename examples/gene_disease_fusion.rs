@@ -12,7 +12,10 @@ fn main() {
     let stats = DatasetStats::compute(&instance.dataset, &instance.features, &instance.truth);
     println!(
         "Genomics-style instance: {} sources, {} objects, {} observations (avg {:.2} per source)",
-        stats.num_sources, stats.num_objects, stats.num_observations, stats.avg_observations_per_source
+        stats.num_sources,
+        stats.num_objects,
+        stats.num_observations,
+        stats.avg_observations_per_source
     );
 
     // Reveal 10% of the labels for training; evaluate on the rest.
@@ -24,13 +27,19 @@ fn main() {
     let contenders: Vec<(&str, FusionOutput)> = vec![
         (
             "SLiMFast (features)",
-            SlimFast::new(config.clone())
-                .fuse(&FusionInput::new(&instance.dataset, &instance.features, &train)),
+            SlimFast::new(config.clone()).fuse(&FusionInput::new(
+                &instance.dataset,
+                &instance.features,
+                &train,
+            )),
         ),
         (
             "Sources-only (no features)",
-            SlimFast::new(config.clone())
-                .fuse(&FusionInput::new(&instance.dataset, &no_features, &train)),
+            SlimFast::new(config.clone()).fuse(&FusionInput::new(
+                &instance.dataset,
+                &no_features,
+                &train,
+            )),
         ),
         (
             "MajorityVote",
@@ -38,15 +47,23 @@ fn main() {
         ),
     ];
 
-    println!("\nHeld-out accuracy for true object values ({} test objects):", split.test.len());
+    println!(
+        "\nHeld-out accuracy for true object values ({} test objects):",
+        split.test.len()
+    );
     for (name, output) in &contenders {
-        let accuracy = output.assignment.accuracy_against(&instance.truth, &split.test);
+        let accuracy = output
+            .assignment
+            .accuracy_against(&instance.truth, &split.test);
         println!("  {name:<30} {accuracy:.3}");
     }
 
     // Which publication-metadata features did SLiMFast find informative?
-    let (model, decision) = SlimFast::new(config)
-        .train(&FusionInput::new(&instance.dataset, &instance.features, &train));
+    let (model, decision) = SlimFast::new(config).train(&FusionInput::new(
+        &instance.dataset,
+        &instance.features,
+        &train,
+    ));
     println!("\nLearning algorithm chosen by the optimizer: {decision:?}");
     let mut weighted: Vec<(String, f64)> = instance
         .features

@@ -9,12 +9,24 @@ use slimfast::prelude::*;
 fn main() {
     // --- Source observations (the extracted (gene, disease, associated) triples). -------
     let mut builder = DatasetBuilder::new();
-    builder.observe("article-1", "GIGYF2/Parkinson", "false").unwrap();
-    builder.observe("article-2", "GIGYF2/Parkinson", "false").unwrap();
-    builder.observe("article-3", "GIGYF2/Parkinson", "true").unwrap();
-    builder.observe("article-1", "GBA/Parkinson", "true").unwrap();
-    builder.observe("article-3", "GBA/Parkinson", "true").unwrap();
-    builder.observe("article-2", "GBA/Parkinson", "false").unwrap();
+    builder
+        .observe("article-1", "GIGYF2/Parkinson", "false")
+        .unwrap();
+    builder
+        .observe("article-2", "GIGYF2/Parkinson", "false")
+        .unwrap();
+    builder
+        .observe("article-3", "GIGYF2/Parkinson", "true")
+        .unwrap();
+    builder
+        .observe("article-1", "GBA/Parkinson", "true")
+        .unwrap();
+    builder
+        .observe("article-3", "GBA/Parkinson", "true")
+        .unwrap();
+    builder
+        .observe("article-2", "GBA/Parkinson", "false")
+        .unwrap();
     let dataset = builder.build();
 
     // --- Limited ground truth: GBA is truly associated with Parkinson's disease. --------
@@ -61,6 +73,10 @@ fn main() {
     println!("\nEstimated source accuracies:");
     let accuracies = output.source_accuracies.unwrap();
     for s in dataset.source_ids() {
-        println!("  {:<12} A = {:.2}", dataset.source_name(s).unwrap(), accuracies.get(s));
+        println!(
+            "  {:<12} A = {:.2}",
+            dataset.source_name(s).unwrap(),
+            accuracies.get(s)
+        );
     }
 }

@@ -15,8 +15,11 @@ fn main() {
     let split = SplitPlan::new(0.05, 1).draw(&stocks.truth, 0).unwrap();
     let train = split.train_truth(&stocks.truth);
     let config = SlimFastConfig::default();
-    let output = SlimFast::new(config.clone())
-        .fuse(&FusionInput::new(&stocks.dataset, &stocks.features, &train));
+    let output = SlimFast::new(config.clone()).fuse(&FusionInput::new(
+        &stocks.dataset,
+        &stocks.features,
+        &train,
+    ));
     println!(
         "Stocks: held-out accuracy {:.3} with 5% training data ({} sources, avg source accuracy {:.2})",
         output.assignment.accuracy_against(&stocks.truth, &split.test),
@@ -63,7 +66,10 @@ fn main() {
         &config,
     );
     let predicted = predict_unseen_accuracies(&model, &crowd.features, &unseen);
-    let actual: Vec<f64> = unseen.iter().map(|s| crowd.true_accuracies[s.index()]).collect();
+    let actual: Vec<f64> = unseen
+        .iter()
+        .map(|s| crowd.true_accuracies[s.index()])
+        .collect();
     println!(
         "\nCrowd: predicted the accuracy of {} never-before-seen workers from their features \
          with mean absolute error {:.3}",

@@ -15,7 +15,10 @@ fn csv_round_trip_preserves_fusion_results() {
         num_objects: 80,
         domain_size: 2,
         pattern: slimfast::datagen::ObservationPattern::PerObjectExact(6),
-        accuracy: slimfast::datagen::AccuracyModel { mean: 0.7, spread: 0.1 },
+        accuracy: slimfast::datagen::AccuracyModel {
+            mean: 0.7,
+            spread: 0.1,
+        },
         features: slimfast::datagen::FeatureModel {
             num_predictive: 2,
             num_noise: 1,
@@ -46,26 +49,41 @@ fn csv_round_trip_preserves_fusion_results() {
 
     // --- Re-import. ----------------------------------------------------------------------
     let dataset = read_observations_csv(obs_csv.as_slice()).unwrap();
-    assert_eq!(dataset.num_observations(), instance.dataset.num_observations());
+    assert_eq!(
+        dataset.num_observations(),
+        instance.dataset.num_observations()
+    );
     assert_eq!(dataset.num_sources(), instance.dataset.num_sources());
     let truth = read_ground_truth_csv(&dataset, truth_csv.as_slice()).unwrap();
     assert_eq!(truth.num_labeled(), instance.truth.num_labeled());
     let features = read_features_csv(&dataset, feat_csv.as_bytes()).unwrap();
     assert_eq!(features.num_features(), instance.features.num_features());
-    assert_eq!(features.num_feature_values(), instance.features.num_feature_values());
+    assert_eq!(
+        features.num_feature_values(),
+        instance.features.num_feature_values()
+    );
 
     // --- Fuse both versions with the same configuration and compare decisions. -----------
-    let config = SlimFastConfig { erm_epochs: 30, ..Default::default() };
+    let config = SlimFastConfig {
+        erm_epochs: 30,
+        ..Default::default()
+    };
     let split = SplitPlan::new(0.2, 1).draw(&truth, 0).unwrap();
     let train_roundtrip = split.train_truth(&truth);
-    let output_roundtrip = SlimFast::erm(config.clone())
-        .fuse(&FusionInput::new(&dataset, &features, &train_roundtrip));
+    let output_roundtrip = SlimFast::erm(config.clone()).fuse(&FusionInput::new(
+        &dataset,
+        &features,
+        &train_roundtrip,
+    ));
 
     // The same objects by name must get the same predicted value by name.
     let original_split = SplitPlan::new(0.2, 1).draw(&instance.truth, 0).unwrap();
     let train_original = original_split.train_truth(&instance.truth);
-    let output_original = SlimFast::erm(config)
-        .fuse(&FusionInput::new(&instance.dataset, &instance.features, &train_original));
+    let output_original = SlimFast::erm(config).fuse(&FusionInput::new(
+        &instance.dataset,
+        &instance.features,
+        &train_original,
+    ));
 
     let mut compared = 0usize;
     let mut agreements = 0usize;
@@ -76,8 +94,10 @@ fn csv_round_trip_preserves_fusion_results() {
             .assignment
             .get(o)
             .and_then(|v| instance.dataset.value_name(v));
-        let roundtrip_value =
-            output_roundtrip.assignment.get(reparsed_o).and_then(|v| dataset.value_name(v));
+        let roundtrip_value = output_roundtrip
+            .assignment
+            .get(reparsed_o)
+            .and_then(|v| dataset.value_name(v));
         if let (Some(a), Some(b)) = (original_value, roundtrip_value) {
             compared += 1;
             if a == b {

@@ -8,7 +8,11 @@ use slimfast::prelude::*;
 fn fast_config() -> SlimFastConfig {
     SlimFastConfig {
         erm_epochs: 30,
-        em: slimfast::core::config::EmConfig { max_iterations: 8, m_step_epochs: 5, ..Default::default() },
+        em: slimfast::core::config::EmConfig {
+            max_iterations: 8,
+            m_step_epochs: 5,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -25,7 +29,10 @@ fn small_instance(
         num_objects: 200,
         domain_size: 2,
         pattern: slimfast::datagen::ObservationPattern::Bernoulli(density),
-        accuracy: slimfast::datagen::AccuracyModel { mean: mean_accuracy, spread: 0.1 },
+        accuracy: slimfast::datagen::AccuracyModel {
+            mean: mean_accuracy,
+            spread: 0.1,
+        },
         features: slimfast::datagen::FeatureModel {
             num_predictive: 3,
             num_noise: 3,
@@ -56,7 +63,10 @@ fn full_pipeline_beats_majority_vote_with_scarce_labels() {
         slimfast_acc >= majority_acc - 0.02,
         "SLiMFast ({slimfast_acc:.3}) should not trail majority vote ({majority_acc:.3})"
     );
-    assert!(slimfast_acc > 0.7, "absolute accuracy too low: {slimfast_acc:.3}");
+    assert!(
+        slimfast_acc > 0.7,
+        "absolute accuracy too low: {slimfast_acc:.3}"
+    );
 }
 
 #[test]
@@ -68,7 +78,10 @@ fn domain_features_help_most_when_observations_are_sparse() {
         num_objects: 200,
         domain_size: 2,
         pattern: slimfast::datagen::ObservationPattern::PerObjectRange { min: 2, max: 5 },
-        accuracy: slimfast::datagen::AccuracyModel { mean: 0.62, spread: 0.02 },
+        accuracy: slimfast::datagen::AccuracyModel {
+            mean: 0.62,
+            spread: 0.02,
+        },
         features: slimfast::datagen::FeatureModel {
             num_predictive: 4,
             num_noise: 2,
@@ -84,7 +97,11 @@ fn domain_features_help_most_when_observations_are_sparse() {
     let config = fast_config();
 
     let with_features = SlimFast::erm(config.clone())
-        .fuse(&FusionInput::new(&instance.dataset, &instance.features, &train))
+        .fuse(&FusionInput::new(
+            &instance.dataset,
+            &instance.features,
+            &train,
+        ))
         .assignment
         .accuracy_against(&instance.truth, &split.test);
     let without_features = SlimFast::erm(config)
@@ -126,7 +143,10 @@ fn em_improves_with_density_while_erm_depends_on_labels() {
         em_gain > erm_gain - 0.05,
         "EM should benefit from density at least as much as ERM (EM gain {em_gain:.3}, ERM gain {erm_gain:.3})"
     );
-    assert!(em_gain > 0.0, "denser observations should improve EM (gain {em_gain:.3})");
+    assert!(
+        em_gain > 0.0,
+        "denser observations should improve EM (gain {em_gain:.3})"
+    );
 }
 
 #[test]
@@ -172,7 +192,10 @@ fn simulated_datasets_expose_their_documented_shape() {
     // Use the smaller two simulators to keep the debug-build runtime reasonable.
     let stocks = DatasetKind::Stocks.generate(1);
     assert!(stocks.dataset.density() > 0.9, "Stocks must be dense");
-    assert!(stocks.mean_true_accuracy() < 0.55, "Stocks sources are mostly unreliable");
+    assert!(
+        stocks.mean_true_accuracy() < 0.55,
+        "Stocks sources are mostly unreliable"
+    );
     let crowd = DatasetKind::Crowd.generate(1);
     for o in crowd.dataset.object_ids().take(50) {
         assert_eq!(crowd.dataset.observations_for_object(o).len(), 20);

@@ -38,7 +38,6 @@ proptest! {
 
     /// The model posterior is always a probability distribution over the object's domain,
     /// for arbitrary weights and arbitrary observation patterns.
-    #[test]
     fn posteriors_are_distributions(
         (s, o, d, claims) in claims_strategy(),
         weights in proptest::collection::vec(-3.0f64..3.0, 0..20),
@@ -62,7 +61,6 @@ proptest! {
 
     /// Estimated source accuracies always lie in (0, 1) and MAP predictions always pick a
     /// value some source actually claimed (single-truth / closed-world semantics).
-    #[test]
     fn predictions_stay_inside_the_observed_domain(
         (s, o, d, claims) in claims_strategy(),
         weights in proptest::collection::vec(-5.0f64..5.0, 0..20),
@@ -86,7 +84,6 @@ proptest! {
 
     /// Majority vote always predicts a claimed value, and on unanimous objects it predicts
     /// the unanimous value with full confidence.
-    #[test]
     fn majority_vote_respects_unanimity((s, o, d, claims) in claims_strategy()) {
         let dataset = build_dataset(s, o, d, &claims);
         let features = FeatureMatrix::empty(dataset.num_sources());
@@ -107,7 +104,6 @@ proptest! {
     }
 
     /// Splits partition the labelled objects for every fraction and repetition.
-    #[test]
     fn splits_partition_labels(
         num_objects in 1usize..200,
         fraction in 0.0f64..1.0,
@@ -129,7 +125,6 @@ proptest! {
     }
 
     /// Sparse-vector dot products are linear and consistent with dense accumulation.
-    #[test]
     fn sparse_vector_dot_is_linear(
         pairs in proptest::collection::vec((0usize..16, -10.0f64..10.0), 0..12),
         dense in proptest::collection::vec(-10.0f64..10.0, 16),
@@ -150,7 +145,6 @@ proptest! {
 
     /// The logistic function and softmax stay numerically sane on arbitrary inputs, and the
     /// L1 proximal operator never increases a weight's magnitude.
-    #[test]
     fn numerical_primitives_are_stable(
         x in -1e6f64..1e6,
         scores in proptest::collection::vec(-100.0f64..100.0, 1..6),
@@ -171,7 +165,6 @@ proptest! {
 
     /// Ground-truth accuracy bookkeeping: per-source accuracies derived from a labelling
     /// are always in [0, 1] and the assignment accuracy of the truth itself is 1.
-    #[test]
     fn ground_truth_bookkeeping_is_consistent((s, o, d, claims) in claims_strategy()) {
         let dataset = build_dataset(s, o, d, &claims);
         // Label every observed object with its first observed value.
@@ -185,10 +178,8 @@ proptest! {
                 labelled.push(object);
             }
         }
-        for acc in dataset.source_ids().map(|src| truth.source_accuracies(&dataset)[src.index()]) {
-            if let Some(a) = acc {
-                prop_assert!((0.0..=1.0).contains(&a));
-            }
+        for a in dataset.source_ids().filter_map(|src| truth.source_accuracies(&dataset)[src.index()]) {
+            prop_assert!((0.0..=1.0).contains(&a));
         }
         if !labelled.is_empty() {
             prop_assert!((assignment.accuracy_against(&truth, &labelled) - 1.0).abs() < 1e-12);
