@@ -7,8 +7,16 @@
 //! values it claimed. Ground truth, when available, initializes the accuracy estimates (as
 //! prescribed in the paper's "Different Methods and Ground Truth" paragraph) and those
 //! labelled objects stay clamped during the iterations.
+//!
+//! Under the fit→predict split, fitting runs the alternating refinement to convergence
+//! and keeps the final accuracies; prediction is a single weighted-vote inference pass
+//! with those accuracies (labelled objects stay clamped), so it can serve datasets that
+//! grew by a delta of new claims.
 
-use slimfast_data::{FusionInput, FusionMethod, FusionOutput, SourceAccuracies, TruthAssignment};
+use slimfast_data::{
+    Dataset, FeatureMatrix, FittedFusion, FusionEstimator, FusionInput, GroundTruth, ObjectId,
+    SourceAccuracies, SourceId, TruthAssignment,
+};
 
 /// The ACCU baseline.
 #[derive(Debug, Clone, Copy)]
@@ -31,12 +39,97 @@ impl Default for Accu {
     }
 }
 
-impl FusionMethod for Accu {
+/// A fitted ACCU model: converged source accuracies plus the training labels (which stay
+/// clamped at prediction time). Sources that appeared after fitting vote with the
+/// configured initial accuracy.
+#[derive(Debug, Clone)]
+pub struct FittedAccu {
+    accuracies: SourceAccuracies,
+    initial_accuracy: f64,
+    clamps: GroundTruth,
+}
+
+impl FittedAccu {
+    fn accuracy_of(&self, s: SourceId) -> f64 {
+        let a = if s.index() < self.accuracies.len() {
+            self.accuracies.get(s)
+        } else {
+            self.initial_accuracy
+        };
+        a.clamp(0.05, 0.95)
+    }
+
+    /// One weighted-vote inference pass over the domain of `o`; labelled objects are
+    /// clamped to a one-hot distribution.
+    fn vote_posterior(&self, dataset: &Dataset, o: ObjectId) -> Vec<f64> {
+        let domain = dataset.domain(o);
+        if domain.is_empty() {
+            return Vec::new();
+        }
+        if let Some(label) = self.clamps.get(o) {
+            if let Some(idx) = domain.iter().position(|&d| d == label) {
+                let mut dist = vec![0.0; domain.len()];
+                dist[idx] = 1.0;
+                return dist;
+            }
+        }
+        let n = (domain.len() as f64 - 1.0).max(1.0);
+        let mut scores = vec![0.0f64; domain.len()];
+        for &(s, v) in dataset.observations_for_object(o) {
+            let a = self.accuracy_of(s);
+            if let Some(idx) = domain.iter().position(|&d| d == v) {
+                scores[idx] += (n * a / (1.0 - a)).ln();
+            }
+        }
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut probs: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+        let z: f64 = probs.iter().sum();
+        for p in probs.iter_mut() {
+            *p /= z;
+        }
+        probs
+    }
+}
+
+impl FittedFusion for FittedAccu {
     fn name(&self) -> &str {
         "ACCU"
     }
 
-    fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
+    fn predict(&self, dataset: &Dataset, _features: &FeatureMatrix) -> TruthAssignment {
+        let mut assignment = TruthAssignment::empty(dataset.num_objects());
+        for o in dataset.object_ids() {
+            let domain = dataset.domain(o);
+            let probs = self.vote_posterior(dataset, o);
+            if domain.is_empty() || probs.is_empty() {
+                continue;
+            }
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            assignment.assign(o, domain[best], probs[best]);
+        }
+        assignment
+    }
+
+    fn source_accuracies(&self) -> Option<&SourceAccuracies> {
+        Some(&self.accuracies)
+    }
+
+    fn posterior(&self, dataset: &Dataset, _features: &FeatureMatrix, o: ObjectId) -> Vec<f64> {
+        self.vote_posterior(dataset, o)
+    }
+}
+
+impl FusionEstimator for Accu {
+    fn name(&self) -> &str {
+        "ACCU"
+    }
+
+    fn fit(&self, input: &FusionInput<'_>) -> Box<dyn FittedFusion> {
         let dataset = input.dataset;
         let truth = input.train_truth;
 
@@ -52,7 +145,7 @@ impl FusionMethod for Accu {
                 }
             }
         }
-        let mut accuracies: Vec<f64> = (0..dataset.num_sources())
+        let accuracies: Vec<f64> = (0..dataset.num_sources())
             .map(|s| {
                 if labelled[s] > 0.0 {
                     (correct[s] / labelled[s]).clamp(0.05, 0.95)
@@ -62,39 +155,19 @@ impl FusionMethod for Accu {
             })
             .collect();
 
-        let mut posteriors: Vec<Vec<f64>> = vec![Vec::new(); dataset.num_objects()];
+        // The artifact under construction doubles as the per-iteration scorer, so the
+        // label clamps are cloned exactly once.
+        let mut fitted = FittedAccu {
+            accuracies: SourceAccuracies::new(accuracies),
+            initial_accuracy: self.initial_accuracy,
+            clamps: truth.clone(),
+        };
         for _ in 0..self.max_iterations {
             // --- Truth inference given accuracies. ---------------------------------
-            for o in dataset.object_ids() {
-                let domain = dataset.domain(o);
-                if domain.is_empty() {
-                    continue;
-                }
-                // Clamp labelled objects.
-                if let Some(label) = truth.get(o) {
-                    let mut dist = vec![0.0; domain.len()];
-                    if let Some(idx) = domain.iter().position(|&d| d == label) {
-                        dist[idx] = 1.0;
-                        posteriors[o.index()] = dist;
-                        continue;
-                    }
-                }
-                let n = (domain.len() as f64 - 1.0).max(1.0);
-                let mut scores = vec![0.0f64; domain.len()];
-                for &(s, v) in dataset.observations_for_object(o) {
-                    let a = accuracies[s.index()].clamp(0.05, 0.95);
-                    if let Some(idx) = domain.iter().position(|&d| d == v) {
-                        scores[idx] += (n * a / (1.0 - a)).ln();
-                    }
-                }
-                let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let mut probs: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
-                let z: f64 = probs.iter().sum();
-                for p in probs.iter_mut() {
-                    *p /= z;
-                }
-                posteriors[o.index()] = probs;
-            }
+            let posteriors: Vec<Vec<f64>> = dataset
+                .object_ids()
+                .map(|o| fitted.vote_posterior(dataset, o))
+                .collect();
 
             // --- Accuracy re-estimation given posteriors. --------------------------
             let mut new_accuracies = vec![self.initial_accuracy; dataset.num_sources()];
@@ -113,41 +186,27 @@ impl FusionMethod for Accu {
                 new_accuracies[s.index()] = (sum / observations.len() as f64).clamp(0.05, 0.95);
             }
 
-            let delta = accuracies
+            let delta = fitted
+                .accuracies
+                .as_slice()
                 .iter()
                 .zip(&new_accuracies)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max);
-            accuracies = new_accuracies;
+            fitted.accuracies = SourceAccuracies::new(new_accuracies);
             if delta < self.tolerance {
                 break;
             }
         }
 
-        // Final assignment from the posteriors.
-        let mut assignment = TruthAssignment::empty(dataset.num_objects());
-        for o in dataset.object_ids() {
-            let domain = dataset.domain(o);
-            let probs = &posteriors[o.index()];
-            if domain.is_empty() || probs.is_empty() {
-                continue;
-            }
-            let best = probs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            assignment.assign(o, domain[best], probs[best]);
-        }
-        FusionOutput::with_accuracies(assignment, SourceAccuracies::new(accuracies))
+        Box::new(fitted)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimfast_data::{FeatureMatrix, GroundTruth, SourceId, SplitPlan};
+    use slimfast_data::{FusionMethod, SplitPlan};
     use slimfast_datagen::{AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig};
 
     fn instance(seed: u64) -> slimfast_datagen::SyntheticInstance {
@@ -208,5 +267,24 @@ mod tests {
                 "labelled object re-decided"
             );
         }
+    }
+
+    #[test]
+    fn fitted_model_serves_deltas_with_converged_accuracies() {
+        let inst = instance(4);
+        let empty = GroundTruth::empty(inst.dataset.num_objects());
+        let f = FeatureMatrix::empty(inst.dataset.num_sources());
+        let fitted = Accu::default().fit(&FusionInput::new(&inst.dataset, &f, &empty));
+
+        let mut delta = inst.dataset.to_builder();
+        delta.observe("latecomer", "fresh-object", "a").unwrap();
+        delta.observe("latecomer-2", "fresh-object", "b").unwrap();
+        let grown = delta.build();
+        let fresh = grown.object_id("fresh-object").unwrap();
+        let posterior = fitted.posterior(&grown, &f, fresh);
+        // Two unseen sources with equal prior accuracy split the posterior evenly.
+        assert_eq!(posterior.len(), 2);
+        assert!((posterior[0] - 0.5).abs() < 1e-9);
+        assert!(fitted.predict(&grown, &f).get(fresh).is_some());
     }
 }

@@ -6,8 +6,16 @@
 //! weighted vote; source weights and truths are refined alternately. CATD does not follow
 //! probabilistic semantics, so (matching the paper's "Omitted Comparison" note) it reports
 //! no source accuracies.
+//!
+//! Under the fit→predict split, fitting runs the alternating refinement and keeps the
+//! final source weights; prediction is one weighted vote with those weights (labelled
+//! objects stay clamped). Sources that appear after fitting carry weight zero — the
+//! most conservative choice CATD's confidence-interval rationale admits.
 
-use slimfast_data::{FusionInput, FusionMethod, FusionOutput, TruthAssignment};
+use slimfast_data::{
+    Dataset, FeatureMatrix, FittedFusion, FusionEstimator, FusionInput, GroundTruth, ObjectId,
+    SourceAccuracies, SourceId, TruthAssignment,
+};
 
 use crate::stat::chi_squared_quantile;
 
@@ -29,12 +37,103 @@ impl Default for Catd {
     }
 }
 
-impl FusionMethod for Catd {
+/// A fitted CATD model: normalized per-source vote weights plus the training labels.
+#[derive(Debug, Clone)]
+pub struct FittedCatd {
+    weights: Vec<f64>,
+    clamps: GroundTruth,
+}
+
+impl FittedCatd {
+    fn weight_of(&self, s: SourceId) -> f64 {
+        self.weights.get(s.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Weighted vote scores over the domain of `o`.
+    fn scores(&self, dataset: &Dataset, o: ObjectId) -> Vec<f64> {
+        let domain = dataset.domain(o);
+        let mut scores = vec![0.0f64; domain.len()];
+        for &(s, v) in dataset.observations_for_object(o) {
+            if let Some(idx) = domain.iter().position(|&d| d == v) {
+                scores[idx] += self.weight_of(s);
+            }
+        }
+        scores
+    }
+
+    /// Index of the winning domain value for `o` given its precomputed vote scores:
+    /// the clamped label when present, otherwise the weighted-vote argmax. `None` for
+    /// unobserved objects.
+    fn decide_from(&self, dataset: &Dataset, o: ObjectId, scores: &[f64]) -> Option<usize> {
+        let domain = dataset.domain(o);
+        if domain.is_empty() {
+            return None;
+        }
+        if let Some(label) = self.clamps.get(o) {
+            if let Some(idx) = domain.iter().position(|&d| d == label) {
+                return Some(idx);
+            }
+        }
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+    }
+
+    /// [`FittedCatd::decide_from`] with the scores computed on the spot.
+    fn decide(&self, dataset: &Dataset, o: ObjectId) -> Option<usize> {
+        self.decide_from(dataset, o, &self.scores(dataset, o))
+    }
+}
+
+impl FittedFusion for FittedCatd {
     fn name(&self) -> &str {
         "CATD"
     }
 
-    fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
+    fn predict(&self, dataset: &Dataset, _features: &FeatureMatrix) -> TruthAssignment {
+        let mut assignment = TruthAssignment::empty(dataset.num_objects());
+        for o in dataset.object_ids() {
+            let domain = dataset.domain(o);
+            let scores = self.scores(dataset, o);
+            let Some(best) = self.decide_from(dataset, o, &scores) else {
+                continue;
+            };
+            let total: f64 = scores.iter().sum();
+            let confidence = if total > 0.0 {
+                scores[best] / total
+            } else {
+                0.0
+            };
+            assignment.assign(o, domain[best], confidence);
+        }
+        assignment
+    }
+
+    fn source_accuracies(&self) -> Option<&SourceAccuracies> {
+        // CATD's weights are not probabilistic accuracies (the paper's "Omitted
+        // Comparison" note), so the fitted model reports none.
+        None
+    }
+
+    fn posterior(&self, dataset: &Dataset, _features: &FeatureMatrix, o: ObjectId) -> Vec<f64> {
+        // Normalized vote scores: a score profile, not a calibrated posterior.
+        let scores = self.scores(dataset, o);
+        let total: f64 = scores.iter().sum();
+        if total <= 0.0 {
+            return scores;
+        }
+        scores.iter().map(|s| s / total).collect()
+    }
+}
+
+impl FusionEstimator for Catd {
+    fn name(&self) -> &str {
+        "CATD"
+    }
+
+    fn fit(&self, input: &FusionInput<'_>) -> Box<dyn FittedFusion> {
         let dataset = input.dataset;
         let truth = input.train_truth;
 
@@ -65,13 +164,18 @@ impl FusionMethod for Catd {
             })
             .collect();
 
-        let mut weights = vec![1.0f64; dataset.num_sources()];
+        // The artifact under construction doubles as the per-iteration voter, so the
+        // label clamps are cloned exactly once and weights are refined in place.
+        let mut voter = FittedCatd {
+            weights: vec![1.0f64; dataset.num_sources()],
+            clamps: truth.clone(),
+        };
         for _ in 0..self.max_iterations {
             // --- Source weights from the chi-squared upper confidence limit. ----------
             for s in dataset.source_ids() {
                 let observations = dataset.observations_by_source(s);
                 if observations.is_empty() {
-                    weights[s.index()] = 0.0;
+                    voter.weights[s.index()] = 0.0;
                     continue;
                 }
                 let mut errors = 0.0f64;
@@ -87,11 +191,16 @@ impl FusionMethod for Catd {
                 }
                 let df = 2.0 * observations.len() as f64;
                 let quantile = chi_squared_quantile(self.alpha / 2.0, df);
-                weights[s.index()] = quantile / (errors + 1e-6);
+                voter.weights[s.index()] = quantile / (errors + 1e-6);
             }
             // Normalize weights to keep the vote scores in a stable range.
-            let max_weight = weights.iter().copied().fold(0.0f64, f64::max).max(1e-12);
-            for w in weights.iter_mut() {
+            let max_weight = voter
+                .weights
+                .iter()
+                .copied()
+                .fold(0.0f64, f64::max)
+                .max(1e-12);
+            for w in voter.weights.iter_mut() {
                 *w /= max_weight;
             }
 
@@ -102,17 +211,7 @@ impl FusionMethod for Catd {
                 if domain.is_empty() || truth.get(o).is_some() {
                     continue;
                 }
-                let mut scores = vec![0.0f64; domain.len()];
-                for &(s, v) in dataset.observations_for_object(o) {
-                    if let Some(idx) = domain.iter().position(|&d| d == v) {
-                        scores[idx] += weights[s.index()];
-                    }
-                }
-                let best = scores
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(i, _)| i);
+                let best = voter.decide(dataset, o);
                 if best != estimates[o.index()] {
                     estimates[o.index()] = best;
                     changed = true;
@@ -123,35 +222,14 @@ impl FusionMethod for Catd {
             }
         }
 
-        // Final assignment with normalized-vote confidence.
-        let mut assignment = TruthAssignment::empty(dataset.num_objects());
-        for o in dataset.object_ids() {
-            let domain = dataset.domain(o);
-            let Some(best) = estimates[o.index()] else {
-                continue;
-            };
-            let mut scores = vec![0.0f64; domain.len()];
-            for &(s, v) in dataset.observations_for_object(o) {
-                if let Some(idx) = domain.iter().position(|&d| d == v) {
-                    scores[idx] += weights[s.index()];
-                }
-            }
-            let total: f64 = scores.iter().sum();
-            let confidence = if total > 0.0 {
-                scores[best] / total
-            } else {
-                0.0
-            };
-            assignment.assign(o, domain[best], confidence);
-        }
-        FusionOutput::new(assignment)
+        Box::new(voter)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimfast_data::{FeatureMatrix, GroundTruth};
+    use slimfast_data::FusionMethod;
     use slimfast_datagen::{AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig};
 
     #[test]
@@ -208,5 +286,47 @@ mod tests {
         for &o in &split.train {
             assert_eq!(out.assignment.get(o), inst.truth.get(o));
         }
+    }
+
+    #[test]
+    fn unseen_sources_carry_zero_weight() {
+        let inst = SyntheticConfig {
+            name: "catd-delta".into(),
+            num_sources: 50,
+            num_objects: 80,
+            domain_size: 2,
+            pattern: ObservationPattern::PerObjectExact(5),
+            accuracy: AccuracyModel {
+                mean: 0.7,
+                spread: 0.1,
+            },
+            features: FeatureModel::default(),
+            copying: None,
+            seed: 3,
+        }
+        .generate();
+        let empty = GroundTruth::empty(inst.dataset.num_objects());
+        let f = FeatureMatrix::empty(inst.dataset.num_sources());
+        let fitted = Catd::default().fit(&FusionInput::new(&inst.dataset, &f, &empty));
+        let before = fitted.predict(&inst.dataset, &f);
+
+        // A lone unseen source cannot overturn any established decision.
+        let mut delta = inst.dataset.to_builder();
+        let flipped = inst
+            .dataset
+            .object_name(ObjectId::new(0))
+            .unwrap()
+            .to_string();
+        delta.observe("intruder", &flipped, "v0").unwrap();
+        delta.observe("intruder", "intruder-only", "v0").unwrap();
+        let grown = delta.build();
+        let after = fitted.predict(&grown, &f);
+        for o in inst.dataset.object_ids() {
+            assert_eq!(before.get(o), after.get(o));
+        }
+        // An object seen only by zero-weight sources gets a zero-confidence guess.
+        let lonely = grown.object_id("intruder-only").unwrap();
+        assert!(after.get(lonely).is_some());
+        assert_eq!(after.confidence(lonely), 0.0);
     }
 }

@@ -4,7 +4,10 @@
 //! value for an object in ground truth"; objects are then resolved by Naive Bayes, i.e.
 //! assuming source observations are conditionally independent given the true value.
 
-use slimfast_data::{FusionInput, FusionMethod, FusionOutput, SourceAccuracies, TruthAssignment};
+use slimfast_data::{
+    Dataset, FeatureMatrix, FittedFusion, FusionEstimator, FusionInput, ObjectId, SourceAccuracies,
+    SourceId, TruthAssignment,
+};
 
 /// Naive Bayes data fusion with accuracies estimated from the labelled objects.
 #[derive(Debug, Clone, Copy)]
@@ -25,12 +28,88 @@ impl Default for Counts {
     }
 }
 
-impl FusionMethod for Counts {
+/// A fitted Counts model: the supervised per-source accuracy estimates. Inference is a
+/// Naive Bayes pass over whatever dataset is queried; sources that appeared after
+/// fitting fall back to the prior accuracy.
+#[derive(Debug, Clone)]
+pub struct FittedCounts {
+    accuracies: SourceAccuracies,
+    prior_accuracy: f64,
+}
+
+impl FittedCounts {
+    fn accuracy_of(&self, s: SourceId) -> f64 {
+        if s.index() < self.accuracies.len() {
+            self.accuracies.get(s)
+        } else {
+            self.prior_accuracy.clamp(0.01, 0.99)
+        }
+    }
+
+    /// Naive Bayes posterior over the domain of `o`.
+    fn naive_bayes(&self, dataset: &Dataset, o: ObjectId) -> Vec<f64> {
+        let domain = dataset.domain(o);
+        if domain.is_empty() {
+            return Vec::new();
+        }
+        let wrong_values = (domain.len() as f64 - 1.0).max(1.0);
+        let mut log_scores = vec![0.0f64; domain.len()];
+        for &(s, v) in dataset.observations_for_object(o) {
+            let a = self.accuracy_of(s);
+            for (idx, &d) in domain.iter().enumerate() {
+                let p = if v == d { a } else { (1.0 - a) / wrong_values };
+                log_scores[idx] += p.max(1e-12).ln();
+            }
+        }
+        let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut probs: Vec<f64> = log_scores.iter().map(|l| (l - max).exp()).collect();
+        let z: f64 = probs.iter().sum();
+        for p in probs.iter_mut() {
+            *p /= z;
+        }
+        probs
+    }
+}
+
+impl FittedFusion for FittedCounts {
     fn name(&self) -> &str {
         "Counts"
     }
 
-    fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
+    fn predict(&self, dataset: &Dataset, _features: &FeatureMatrix) -> TruthAssignment {
+        let mut assignment = TruthAssignment::empty(dataset.num_objects());
+        for o in dataset.object_ids() {
+            let domain = dataset.domain(o);
+            if domain.is_empty() {
+                continue;
+            }
+            let probs = self.naive_bayes(dataset, o);
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            assignment.assign(o, domain[best], probs[best]);
+        }
+        assignment
+    }
+
+    fn source_accuracies(&self) -> Option<&SourceAccuracies> {
+        Some(&self.accuracies)
+    }
+
+    fn posterior(&self, dataset: &Dataset, _features: &FeatureMatrix, o: ObjectId) -> Vec<f64> {
+        self.naive_bayes(dataset, o)
+    }
+}
+
+impl FusionEstimator for Counts {
+    fn name(&self) -> &str {
+        "Counts"
+    }
+
+    fn fit(&self, input: &FusionInput<'_>) -> Box<dyn FittedFusion> {
         let dataset = input.dataset;
         let truth = input.train_truth;
 
@@ -51,46 +130,17 @@ impl FusionMethod for Counts {
             .map(|(c, t)| (c + self.smoothing * self.prior_accuracy) / (t + self.smoothing))
             .map(|a| a.clamp(0.01, 0.99))
             .collect();
-
-        // Naive Bayes inference over each object's observed domain.
-        let mut assignment = TruthAssignment::empty(dataset.num_objects());
-        for o in dataset.object_ids() {
-            let domain = dataset.domain(o);
-            if domain.is_empty() {
-                continue;
-            }
-            let wrong_values = (domain.len() as f64 - 1.0).max(1.0);
-            let mut log_scores = vec![0.0f64; domain.len()];
-            for &(s, v) in dataset.observations_for_object(o) {
-                let a = accuracies[s.index()];
-                for (idx, &d) in domain.iter().enumerate() {
-                    let p = if v == d { a } else { (1.0 - a) / wrong_values };
-                    log_scores[idx] += p.max(1e-12).ln();
-                }
-            }
-            let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let mut probs: Vec<f64> = log_scores.iter().map(|l| (l - max).exp()).collect();
-            let z: f64 = probs.iter().sum();
-            for p in probs.iter_mut() {
-                *p /= z;
-            }
-            let best = probs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            assignment.assign(o, domain[best], probs[best]);
-        }
-
-        FusionOutput::with_accuracies(assignment, SourceAccuracies::new(accuracies))
+        Box::new(FittedCounts {
+            accuracies: SourceAccuracies::new(accuracies),
+            prior_accuracy: self.prior_accuracy,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimfast_data::{DatasetBuilder, FeatureMatrix, GroundTruth, SourceId};
+    use slimfast_data::{DatasetBuilder, FusionMethod, GroundTruth};
 
     fn fixture() -> (slimfast_data::Dataset, FeatureMatrix, GroundTruth) {
         let mut b = DatasetBuilder::new();
@@ -153,5 +203,21 @@ mod tests {
             let a = accs.get(SourceId::new(s));
             assert!((0.01..=0.99).contains(&a));
         }
+    }
+
+    #[test]
+    fn unseen_sources_vote_with_the_prior_accuracy() {
+        let (d, f, truth) = fixture();
+        let fitted = Counts::default().fit(&FusionInput::new(&d, &f, &truth));
+        // A new source outvotes "sloppy" on a fresh object because both carry the same
+        // (prior vs learned-low) accuracy asymmetry.
+        let mut delta = d.to_builder();
+        delta.observe("newcomer", "o3", "x").unwrap();
+        delta.observe("sloppy", "o3", "y").unwrap();
+        let grown = delta.build();
+        let o3 = grown.object_id("o3").unwrap();
+        assert_eq!(fitted.predict(&grown, &f).get(o3), grown.value_id("x"));
+        let posterior = fitted.posterior(&grown, &f, o3);
+        assert!(posterior[0] > 0.5);
     }
 }

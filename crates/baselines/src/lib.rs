@@ -1,7 +1,9 @@
 //! # slimfast-baselines
 //!
 //! Every data-fusion method SLiMFast is compared against in Section 5 of the paper, all
-//! implementing [`slimfast_data::FusionMethod`] so the evaluation harness can run them
+//! implementing the two-phase [`slimfast_data::FusionEstimator`] contract (fit once,
+//! predict many times) — and therefore also the one-shot
+//! [`slimfast_data::FusionMethod`] shim — so the evaluation harness can run them
 //! interchangeably:
 //!
 //! | Method | Paper label | Family |
@@ -10,12 +12,17 @@
 //! | [`Counts`] | Counts | generative (Naive Bayes, supervised accuracy estimates) |
 //! | [`Accu`] | ACCU (Dong et al. 2009, no copying) | generative (Bayesian, iterative) |
 //! | [`Catd`] | CATD (Li et al. 2014) | iterative optimization with confidence intervals |
-//! | [`TruthFinder`] | (Yin et al. 2007, reference [39]) | iterative |
+//! | [`TruthFinder`] | (Yin et al. 2007, reference \[39\]) | iterative |
 //! | [`Sstf`] | SSTF (Yin & Tan 2011) | semi-supervised graph propagation |
 //!
 //! Ground truth, when provided, is used exactly as the paper prescribes per method: Counts
 //! estimates accuracies from it, ACCU/CATD use it to initialize source trust, SSTF clamps
 //! the labelled facts, MajorityVote and TruthFinder ignore it.
+//!
+//! Fitting captures each method's learned state (accuracies, vote weights, trust) in a
+//! `Fitted*` artifact whose `predict` replays only the method's inference step, so the
+//! artifact serves datasets that grew by a delta of new claims without re-running the
+//! iterative refinement; sources unseen at fit time fall back to the method's prior.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -28,16 +35,17 @@ pub mod sstf;
 pub mod stat;
 pub mod truthfinder;
 
-pub use accu::Accu;
-pub use catd::Catd;
-pub use counts::Counts;
-pub use majority::MajorityVote;
-pub use sstf::Sstf;
-pub use truthfinder::TruthFinder;
+pub use accu::{Accu, FittedAccu};
+pub use catd::{Catd, FittedCatd};
+pub use counts::{Counts, FittedCounts};
+pub use majority::{FittedMajorityVote, MajorityVote};
+pub use sstf::{FittedSstf, Sstf};
+pub use truthfinder::{FittedTruthFinder, TruthFinder};
 
 /// All baselines with their default configurations, boxed for uniform iteration by the
-/// evaluation harness.
-pub fn all_baselines() -> Vec<Box<dyn slimfast_data::FusionMethod>> {
+/// evaluation harness (each also answers the one-shot [`slimfast_data::FusionMethod`]
+/// interface through the blanket shim).
+pub fn all_baselines() -> Vec<Box<dyn slimfast_data::FusionEstimator>> {
     vec![
         Box::new(MajorityVote),
         Box::new(Counts::default()),

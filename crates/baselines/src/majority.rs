@@ -1,49 +1,89 @@
 //! Majority vote — the simple conflict-resolution strategy of Section 2.
 
-use slimfast_data::{FusionInput, FusionMethod, FusionOutput, TruthAssignment};
+use slimfast_data::{
+    Dataset, FeatureMatrix, FittedFusion, FusionEstimator, FusionInput, ObjectId, SourceAccuracies,
+    TruthAssignment,
+};
 
 /// Predicts, for each object, the value claimed by the largest number of sources (ties are
 /// broken toward the value observed first, which keeps the method deterministic).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MajorityVote;
 
-impl FusionMethod for MajorityVote {
+/// The "fitted" majority-vote model. Majority voting learns nothing, so the artifact is
+/// stateless: every query simply counts votes in the dataset it is given — which also
+/// means it serves deltas of new observations natively.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FittedMajorityVote;
+
+impl FittedMajorityVote {
+    /// Vote counts over the domain of `o`, in domain order.
+    fn counts(dataset: &Dataset, o: ObjectId) -> Vec<usize> {
+        let domain = dataset.domain(o);
+        let mut counts = vec![0usize; domain.len()];
+        for &(_, v) in dataset.observations_for_object(o) {
+            if let Some(idx) = domain.iter().position(|&d| d == v) {
+                counts[idx] += 1;
+            }
+        }
+        counts
+    }
+}
+
+impl FittedFusion for FittedMajorityVote {
     fn name(&self) -> &str {
         "MajorityVote"
     }
 
-    fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
-        let dataset = input.dataset;
+    fn predict(&self, dataset: &Dataset, _features: &FeatureMatrix) -> TruthAssignment {
         let mut assignment = TruthAssignment::empty(dataset.num_objects());
         for o in dataset.object_ids() {
             let domain = dataset.domain(o);
             if domain.is_empty() {
                 continue;
             }
-            let observations = dataset.observations_for_object(o);
-            let mut counts = vec![0usize; domain.len()];
-            for &(_, v) in observations {
-                if let Some(idx) = domain.iter().position(|&d| d == v) {
-                    counts[idx] += 1;
-                }
-            }
+            let counts = Self::counts(dataset, o);
             let best = counts
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
-            let confidence = counts[best] as f64 / observations.len().max(1) as f64;
+            let total = dataset.observations_for_object(o).len().max(1);
+            let confidence = counts[best] as f64 / total as f64;
             assignment.assign(o, domain[best], confidence);
         }
-        FusionOutput::new(assignment)
+        assignment
+    }
+
+    fn source_accuracies(&self) -> Option<&SourceAccuracies> {
+        None
+    }
+
+    fn posterior(&self, dataset: &Dataset, _features: &FeatureMatrix, o: ObjectId) -> Vec<f64> {
+        let counts = Self::counts(dataset, o);
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; counts.len()];
+        }
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+}
+
+impl FusionEstimator for MajorityVote {
+    fn name(&self) -> &str {
+        "MajorityVote"
+    }
+
+    fn fit(&self, _input: &FusionInput<'_>) -> Box<dyn FittedFusion> {
+        Box::new(FittedMajorityVote)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimfast_data::{DatasetBuilder, FeatureMatrix, GroundTruth};
+    use slimfast_data::{DatasetBuilder, FusionMethod, GroundTruth};
 
     #[test]
     fn majority_wins_and_ties_break_to_the_first_seen_value() {
@@ -68,5 +108,25 @@ mod tests {
         );
         assert!((out.assignment.confidence(d.object_id("o0").unwrap()) - 2.0 / 3.0).abs() < 1e-12);
         assert!(out.source_accuracies.is_none());
+    }
+
+    #[test]
+    fn fitted_model_recounts_votes_on_grown_datasets() {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "x").unwrap();
+        b.observe("s1", "o0", "y").unwrap();
+        let d = b.build();
+        let f = FeatureMatrix::empty(d.num_sources());
+        let truth = GroundTruth::empty(d.num_objects());
+        let fitted = MajorityVote.fit(&FusionInput::new(&d, &f, &truth));
+
+        // A new vote breaks the tie after fitting.
+        let mut delta = d.to_builder();
+        delta.observe("s2", "o0", "y").unwrap();
+        let grown = delta.build();
+        let o0 = grown.object_id("o0").unwrap();
+        assert_eq!(fitted.predict(&grown, &f).get(o0), grown.value_id("y"));
+        let posterior = fitted.posterior(&grown, &f, o0);
+        assert!((posterior[1] - 2.0 / 3.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,109 @@
+//! Amortized inference under the fit→predict split: one `fit` followed by N `predict`
+//! calls versus N full `fuse` calls (each of which retrains from scratch), plus the
+//! marginal cost of a single predict and of serving a posterior query through the
+//! incremental engine. The acceptance bar for the API redesign is amortized predict at
+//! least 5× faster than repeated fuse on the default synthetic instance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use slimfast_core::{FusionEngine, RefitPolicy, SlimFast, SlimFastConfig};
+use slimfast_data::{FusionEstimator, FusionInput, FusionMethod, SplitPlan};
+use slimfast_datagen::{AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig};
+
+/// How many inference requests each serving round answers per training opportunity.
+const REQUESTS_PER_FIT: usize = 20;
+
+fn bench_instance() -> slimfast_datagen::SyntheticInstance {
+    SyntheticConfig {
+        name: "fit-vs-predict".into(),
+        num_sources: 100,
+        num_objects: 400,
+        domain_size: 2,
+        pattern: ObservationPattern::Bernoulli(0.08),
+        accuracy: AccuracyModel {
+            mean: 0.7,
+            spread: 0.15,
+        },
+        features: FeatureModel {
+            num_predictive: 3,
+            num_noise: 3,
+            predictive_strength: 0.2,
+        },
+        copying: None,
+        seed: 1,
+    }
+    .generate()
+}
+
+fn fit_vs_predict(c: &mut Criterion) {
+    let instance = bench_instance();
+    let split = SplitPlan::new(0.2, 1).draw(&instance.truth, 0).unwrap();
+    let train = split.train_truth(&instance.truth);
+    let config = SlimFastConfig {
+        erm_epochs: 30,
+        ..Default::default()
+    };
+    let estimator = SlimFast::erm(config);
+    let input = FusionInput::new(&instance.dataset, &instance.features, &train);
+
+    let mut group = c.benchmark_group("fit_vs_predict");
+    group.sample_size(10);
+    group.bench_function(format!("{REQUESTS_PER_FIT}_full_fuse_calls"), |b| {
+        b.iter(|| {
+            for _ in 0..REQUESTS_PER_FIT {
+                black_box(estimator.fuse(&input));
+            }
+        });
+    });
+    group.bench_function(format!("one_fit_{REQUESTS_PER_FIT}_predicts"), |b| {
+        b.iter(|| {
+            let fitted = estimator.fit(&input);
+            for _ in 0..REQUESTS_PER_FIT {
+                black_box(fitted.predict(&instance.dataset, &instance.features));
+            }
+        });
+    });
+    let fitted = estimator.fit(&input);
+    group.bench_function("single_predict", |b| {
+        b.iter(|| black_box(fitted.predict(&instance.dataset, &instance.features)));
+    });
+    group.finish();
+}
+
+fn engine_serving(c: &mut Criterion) {
+    let instance = bench_instance();
+    let split = SplitPlan::new(0.2, 1).draw(&instance.truth, 0).unwrap();
+    let train = split.train_truth(&instance.truth);
+    let config = SlimFastConfig {
+        erm_epochs: 30,
+        ..Default::default()
+    };
+    let mut engine = FusionEngine::fit(
+        SlimFast::erm(config),
+        instance.dataset.clone(),
+        instance.features.clone(),
+        train,
+        RefitPolicy::Never,
+    );
+    // A standing delta so queries exercise the grown-dataset path.
+    engine.observe("bench-src", "bench-object", "v0").unwrap();
+
+    let mut group = c.benchmark_group("engine_serving");
+    group.sample_size(20);
+    group.bench_function("posterior_query", |b| {
+        b.iter(|| black_box(engine.posterior("bench-object")));
+    });
+    group.bench_function("ingest_and_posterior", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let object = format!("hot-object-{i}");
+            engine.observe("bench-src", &object, "v0").unwrap();
+            black_box(engine.posterior(&object))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fit_vs_predict, engine_serving);
+criterion_main!(benches);

@@ -54,6 +54,49 @@ pub fn em_rate(
     o.ln().max(1.0) / (s * delta) + (k / (o * s * density)).sqrt() * log_so * log_so / delta
 }
 
+/// The Section 4.2 rate that governs a *fitted* model's guarantee, dispatching on the
+/// learning algorithm that produced it: [`erm_rate`] for ERM (Theorems 1–2, driven by
+/// the amount of ground truth) and [`em_rate`] for EM (Theorem 3, driven by instance
+/// scale, density, and the accuracy margin `δ`).
+///
+/// The serving engine evaluates this once at fit time and again as claims stream in;
+/// [`relative_drift`] between the two readings is its retraining signal.
+#[allow(clippy::too_many_arguments)]
+pub fn model_rate(
+    used_em: bool,
+    num_features: usize,
+    num_labeled: usize,
+    num_sources: usize,
+    num_objects: usize,
+    density: f64,
+    delta: f64,
+) -> f64 {
+    if used_em {
+        em_rate(num_features, num_sources, num_objects, density, delta)
+    } else {
+        erm_rate(num_features, num_labeled)
+    }
+}
+
+/// Relative change between a rate observed at fit time and the rate now:
+/// `|now − at_fit| / at_fit`.
+///
+/// Conventions for the degenerate regimes: two infinite rates have not drifted (the
+/// bound was vacuous before and still is), a finite→infinite transition is infinite
+/// drift, and a zero baseline reports the absolute change.
+pub fn relative_drift(at_fit: f64, now: f64) -> f64 {
+    if at_fit.is_infinite() && now.is_infinite() {
+        return 0.0;
+    }
+    if at_fit.is_infinite() || now.is_infinite() {
+        return f64::INFINITY;
+    }
+    if at_fit == 0.0 {
+        return now.abs();
+    }
+    (now - at_fit).abs() / at_fit
+}
+
 /// The number of labelled objects needed for [`erm_rate`] to fall below `target`.
 /// Returns `None` if no achievable `|G|` up to `max_labeled` reaches the target.
 pub fn labels_needed_for_erm(
@@ -105,6 +148,30 @@ mod tests {
         );
         assert!(em_rate(10, 0, 1000, 0.01, 0.2).is_infinite());
         assert!(em_rate(10, 1000, 1000, 0.0, 0.2).is_infinite());
+    }
+
+    #[test]
+    fn model_rate_dispatches_on_the_learning_algorithm() {
+        let erm = model_rate(false, 10, 500, 1000, 1000, 0.01, 0.2);
+        assert!((erm - erm_rate(10, 500)).abs() < 1e-12);
+        let em = model_rate(true, 10, 500, 1000, 1000, 0.01, 0.2);
+        assert!((em - em_rate(10, 1000, 1000, 0.01, 0.2)).abs() < 1e-12);
+        // The EM rate ignores |G|; the ERM rate ignores density.
+        assert_eq!(
+            model_rate(true, 10, 0, 1000, 1000, 0.01, 0.2),
+            model_rate(true, 10, 9999, 1000, 1000, 0.01, 0.2)
+        );
+    }
+
+    #[test]
+    fn relative_drift_handles_finite_and_degenerate_rates() {
+        assert!((relative_drift(2.0, 2.2) - 0.1).abs() < 1e-12);
+        assert!((relative_drift(2.0, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_drift(2.0, 2.0), 0.0);
+        assert_eq!(relative_drift(f64::INFINITY, f64::INFINITY), 0.0);
+        assert_eq!(relative_drift(2.0, f64::INFINITY), f64::INFINITY);
+        assert_eq!(relative_drift(f64::INFINITY, 2.0), f64::INFINITY);
+        assert_eq!(relative_drift(0.0, 3.0), 3.0);
     }
 
     #[test]

@@ -36,6 +36,39 @@ impl Default for EmConfig {
     }
 }
 
+/// When the incremental serving engine ([`crate::engine::FusionEngine`]) retrains its
+/// model as new claims stream in.
+///
+/// Inference against a fitted model stays valid as the dataset grows — the engine only
+/// needs to retrain when the accumulated delta has moved the instance far enough from
+/// the one the model was fitted on. The policies trade freshness against amortized cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefitPolicy {
+    /// Never retrain automatically; the caller refits explicitly.
+    Never,
+    /// Retrain after every ingested claim (maximal freshness, no amortization).
+    Always,
+    /// Retrain once `n` claims have accumulated since the last fit.
+    EveryNClaims(usize),
+    /// Retrain when the relative change in the Section 4.2 error rate of the fitted
+    /// model (Theorem 1/2 for ERM, Theorem 3 for EM — see [`crate::bounds`]) since fit
+    /// time exceeds this threshold. A threshold of `0.1` refits whenever the bound
+    /// drifted by more than 10%.
+    ///
+    /// Note the asymmetry inherited from the theorems: the EM rate moves with every
+    /// claim (scale and density change), but the ERM rate depends only on `|K|` and
+    /// `|G|`, so for an ERM-fitted model this policy reacts to new *labels* and not to
+    /// unlabelled claims — pair it with [`RefitPolicy::EveryNClaims`]-style manual
+    /// refits if unlabelled volume alone should trigger retraining.
+    DriftThreshold(f64),
+}
+
+impl Default for RefitPolicy {
+    fn default() -> Self {
+        Self::EveryNClaims(1024)
+    }
+}
+
 /// Full configuration of a SLiMFast run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlimFastConfig {

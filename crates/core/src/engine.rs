@@ -1,0 +1,544 @@
+//! The incremental serving engine: a fitted SLiMFast model plus a live dataset that
+//! grows by deltas of new claims, serving posterior queries without retraining.
+//!
+//! The paper's Figure 3 pipeline trains once and then answers inference queries; this
+//! module extends that split across *time*, in the spirit of sliding-window fusion
+//! (Lillis et al.) and the batch-update view of Dong et al.: new observations, objects,
+//! sources, and labels stream in after the model was fitted, every query is answered
+//! from the current data under the fitted parameters, and a [`RefitPolicy`] decides when
+//! the accumulated delta justifies paying the training cost again — including a policy
+//! driven by the drift of the Section 4.2 error bound ([`crate::bounds`]).
+
+use slimfast_data::{
+    DataError, Dataset, DatasetBuilder, FeatureMatrix, FusionInput, GroundTruth, NamedObservation,
+    ObjectId, SourceAccuracies, TruthAssignment, ValueId,
+};
+
+use crate::bounds::{model_rate, relative_drift};
+use crate::config::RefitPolicy;
+use crate::model::SlimFastModel;
+use crate::optimizer::OptimizerDecision;
+use crate::slimfast::SlimFast;
+
+/// Smallest accuracy margin `δ` assumed when estimating the Theorem 3 rate; prevents a
+/// model whose accuracies sit at 0.5 from reporting an unusable infinite bound.
+const MIN_ACCURACY_MARGIN: f64 = 0.05;
+
+/// A serving engine around one fitted SLiMFast model.
+///
+/// The engine owns the live fusion instance (observations, features, labels) and the
+/// model fitted on it. Claims arrive through [`FusionEngine::observe`] /
+/// [`FusionEngine::ingest`], labels through [`FusionEngine::label`]; queries
+/// ([`FusionEngine::posterior`], [`FusionEngine::predict`], ...) always see the current
+/// data but are answered under the fitted parameters — new sources fall back to the
+/// model's uninformed prior until the next refit. Retraining happens explicitly via
+/// [`FusionEngine::refit`] or automatically per the configured [`RefitPolicy`].
+///
+/// The engine is a single-writer structure: queries take `&mut self` because they
+/// lazily rebuild the indexed dataset after ingests. For lock-free multi-threaded read
+/// serving, clone the fitted [`SlimFastModel`] (or a
+/// [`crate::slimfast::FittedSlimFast`]) and share *that* across threads, keeping one
+/// engine as the ingest/retrain loop.
+///
+/// ```
+/// use slimfast_core::{FusionEngine, RefitPolicy, SlimFast, SlimFastConfig};
+/// use slimfast_data::{DatasetBuilder, FeatureMatrix, GroundTruth};
+///
+/// let mut builder = DatasetBuilder::new();
+/// builder.observe("alice", "sky", "blue").unwrap();
+/// builder.observe("bob", "sky", "green").unwrap();
+/// builder.observe("alice", "grass", "green").unwrap();
+/// let dataset = builder.build();
+/// let features = FeatureMatrix::empty(dataset.num_sources());
+/// let mut truth = GroundTruth::empty(dataset.num_objects());
+/// truth.set(
+///     dataset.object_id("grass").unwrap(),
+///     dataset.value_id("green").unwrap(),
+/// );
+///
+/// let mut engine = FusionEngine::fit(
+///     SlimFast::new(SlimFastConfig::default()),
+///     dataset,
+///     features,
+///     truth,
+///     RefitPolicy::Never,
+/// );
+/// // A new claim about a new object is served with zero retraining.
+/// engine.observe("carol", "ocean", "blue").unwrap();
+/// assert_eq!(engine.posterior("ocean").unwrap().len(), 1);
+/// assert_eq!(engine.refit_count(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FusionEngine {
+    estimator: SlimFast,
+    policy: RefitPolicy,
+    builder: DatasetBuilder,
+    dataset: Dataset,
+    dirty: bool,
+    features: FeatureMatrix,
+    truth: GroundTruth,
+    model: SlimFastModel,
+    decision: OptimizerDecision,
+    rate_at_fit: f64,
+    claims_since_fit: usize,
+    refits: usize,
+}
+
+impl FusionEngine {
+    /// Trains `estimator` on the given instance and wraps the fitted model in an engine.
+    pub fn fit(
+        estimator: SlimFast,
+        dataset: Dataset,
+        features: FeatureMatrix,
+        truth: GroundTruth,
+        policy: RefitPolicy,
+    ) -> Self {
+        let (model, decision) = {
+            let input = FusionInput::new(&dataset, &features, &truth);
+            estimator.train(&input)
+        };
+        Self::assemble(estimator, dataset, features, truth, policy, model, decision)
+    }
+
+    /// Revives an already-trained model — typically one deserialized with
+    /// [`SlimFastModel::from_bytes`] — into a serving engine without retraining.
+    ///
+    /// `decision` records which learner produced the model, so the drift policy can
+    /// track the matching Section 4.2 rate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_model(
+        estimator: SlimFast,
+        model: SlimFastModel,
+        decision: OptimizerDecision,
+        dataset: Dataset,
+        features: FeatureMatrix,
+        truth: GroundTruth,
+        policy: RefitPolicy,
+    ) -> Self {
+        Self::assemble(estimator, dataset, features, truth, policy, model, decision)
+    }
+
+    fn assemble(
+        estimator: SlimFast,
+        dataset: Dataset,
+        features: FeatureMatrix,
+        truth: GroundTruth,
+        policy: RefitPolicy,
+        model: SlimFastModel,
+        decision: OptimizerDecision,
+    ) -> Self {
+        let mut engine = Self {
+            estimator,
+            policy,
+            builder: dataset.to_builder(),
+            dataset,
+            dirty: false,
+            features,
+            truth,
+            model,
+            decision,
+            rate_at_fit: f64::INFINITY,
+            claims_since_fit: 0,
+            refits: 0,
+        };
+        engine.rate_at_fit = engine.current_rate();
+        engine
+    }
+
+    /// Ingests one claim, interning any new source/object/value names, and applies the
+    /// refit policy. Returns whether the engine retrained.
+    ///
+    /// Fails with [`DataError::ConflictingObservation`] when the source already asserted
+    /// a different value for the object; the engine state is unchanged in that case.
+    pub fn observe(&mut self, source: &str, object: &str, value: &str) -> Result<bool, DataError> {
+        let before = self.builder.len();
+        self.builder.observe(source, object, value)?;
+        if self.builder.len() == before {
+            // Idempotent duplicate: nothing changed, so no rebuild and no refit.
+            return Ok(false);
+        }
+        self.dirty = true;
+        self.claims_since_fit += 1;
+        Ok(self.apply_policy())
+    }
+
+    /// Ingests a batch of claims, applying the refit policy once at the end so a large
+    /// delta triggers at most one retrain. Returns whether the engine retrained.
+    ///
+    /// Fails fast on the first conflicting claim; earlier claims of the batch stay
+    /// ingested.
+    pub fn ingest(&mut self, claims: &[NamedObservation]) -> Result<bool, DataError> {
+        for claim in claims {
+            let before = self.builder.len();
+            self.builder
+                .observe(&claim.source, &claim.object, &claim.value)?;
+            if self.builder.len() == before {
+                continue;
+            }
+            self.dirty = true;
+            self.claims_since_fit += 1;
+        }
+        Ok(self.apply_policy())
+    }
+
+    /// Records a ground-truth label (e.g. from a late human verification), interning the
+    /// names if new, and applies the refit policy. Returns whether the engine retrained.
+    pub fn label(&mut self, object: &str, value: &str) -> bool {
+        let o = self.builder.intern_object(object);
+        let v = self.builder.intern_value(value);
+        self.truth.set(o, v);
+        self.dirty = true;
+        self.apply_policy()
+    }
+
+    /// Retrains the model on the current data, resetting the delta counters and the
+    /// drift baseline.
+    pub fn refit(&mut self) {
+        self.refresh();
+        let (model, decision) = {
+            let input = FusionInput::new(&self.dataset, &self.features, &self.truth);
+            self.estimator.train(&input)
+        };
+        self.model = model;
+        self.decision = decision;
+        self.claims_since_fit = 0;
+        self.refits += 1;
+        self.rate_at_fit = self.current_rate();
+    }
+
+    /// The posterior over the candidate values of the named object (order of
+    /// [`Dataset::domain`]), served from the fitted model with zero retraining.
+    /// `None` for objects the engine has never heard of.
+    pub fn posterior(&mut self, object: &str) -> Option<Vec<f64>> {
+        self.refresh();
+        let o = self.dataset.object_id(object)?;
+        Some(self.model.posterior(&self.dataset, &self.features, o))
+    }
+
+    /// The posterior over the candidate values of an object handle.
+    pub fn posterior_by_id(&mut self, o: ObjectId) -> Vec<f64> {
+        self.refresh();
+        self.model.posterior(&self.dataset, &self.features, o)
+    }
+
+    /// MAP value and posterior probability for the named object; `None` for unknown or
+    /// unobserved objects.
+    pub fn map_value(&mut self, object: &str) -> Option<(ValueId, f64)> {
+        self.refresh();
+        let o = self.dataset.object_id(object)?;
+        self.model.map_value(&self.dataset, &self.features, o)
+    }
+
+    /// MAP assignment over every object currently known to the engine.
+    pub fn predict(&mut self) -> TruthAssignment {
+        self.refresh();
+        self.model.predict(&self.dataset, &self.features)
+    }
+
+    /// Estimated accuracy of the named source under the fitted model; sources that
+    /// arrived after the last fit sit at the uninformed prior of `0.5` (plus any feature
+    /// contribution). `None` for sources the engine has never heard of.
+    pub fn source_accuracy(&mut self, source: &str) -> Option<f64> {
+        self.refresh();
+        let s = self.dataset.source_id(source)?;
+        Some(self.model.source_accuracy(s, &self.features))
+    }
+
+    /// Estimated accuracies of every source currently known to the engine.
+    pub fn source_accuracies(&mut self) -> SourceAccuracies {
+        self.refresh();
+        self.model.source_accuracies(&self.dataset, &self.features)
+    }
+
+    /// The current dataset, including every ingested delta.
+    pub fn dataset(&mut self) -> &Dataset {
+        self.refresh();
+        &self.dataset
+    }
+
+    /// The fitted model currently serving queries.
+    pub fn model(&self) -> &SlimFastModel {
+        &self.model
+    }
+
+    /// Serializes the serving model (see [`SlimFastModel::to_bytes`]).
+    pub fn export_model(&self) -> Vec<u8> {
+        self.model.to_bytes()
+    }
+
+    /// Which learner produced the serving model.
+    pub fn decision(&self) -> OptimizerDecision {
+        self.decision
+    }
+
+    /// The configured refit policy.
+    pub fn policy(&self) -> RefitPolicy {
+        self.policy
+    }
+
+    /// Claims ingested since the model was last (re)trained.
+    pub fn claims_since_fit(&self) -> usize {
+        self.claims_since_fit
+    }
+
+    /// Number of automatic or explicit retrains since construction.
+    pub fn refit_count(&self) -> usize {
+        self.refits
+    }
+
+    /// Relative drift of the Section 4.2 rate since the last fit (the quantity the
+    /// [`RefitPolicy::DriftThreshold`] policy thresholds).
+    ///
+    /// Computed from the builder's running counters, so checking drift on every
+    /// ingested claim never rebuilds the indexed dataset.
+    pub fn drift(&self) -> f64 {
+        relative_drift(self.rate_at_fit, self.current_rate())
+    }
+
+    /// Rebuilds the indexed dataset from the builder after ingests.
+    ///
+    /// Queries pay this once per accumulated delta (lazy rebuild), which favours
+    /// batchy ingest→query patterns; an ingest between every query degenerates to a
+    /// rebuild per query.
+    fn refresh(&mut self) {
+        if self.dirty {
+            self.dataset = self.builder.clone().build();
+            self.dirty = false;
+        }
+    }
+
+    /// The Section 4.2 rate of the serving model on the *current* instance, from the
+    /// builder's running counters (cheap: no dataset rebuild).
+    ///
+    /// For EM-fitted models the accuracy margin `δ` of Theorem 3 is estimated from the
+    /// model's own accuracy estimates (mean `|2·A_s − 1|`, floored at a small constant).
+    fn current_rate(&self) -> f64 {
+        let num_sources = self.builder.num_sources();
+        let num_objects = self.builder.num_objects();
+        let cells = num_sources * num_objects;
+        let density = if cells == 0 {
+            0.0
+        } else {
+            self.builder.len() as f64 / cells as f64
+        };
+        let used_em = self.decision == OptimizerDecision::Em;
+        let delta = if used_em {
+            self.accuracy_margin(num_sources)
+        } else {
+            MIN_ACCURACY_MARGIN
+        };
+        model_rate(
+            used_em,
+            self.features.num_features(),
+            self.truth.num_labeled(),
+            num_sources,
+            num_objects,
+            density,
+            delta,
+        )
+    }
+
+    /// Mean accuracy margin `|2·A_s − 1|` of the fitted model over the current sources.
+    fn accuracy_margin(&self, num_sources: usize) -> f64 {
+        if num_sources == 0 {
+            return MIN_ACCURACY_MARGIN;
+        }
+        let sum: f64 = (0..num_sources)
+            .map(|s| {
+                (2.0 * self
+                    .model
+                    .source_accuracy(slimfast_data::SourceId::new(s), &self.features)
+                    - 1.0)
+                    .abs()
+            })
+            .sum();
+        (sum / num_sources as f64).max(MIN_ACCURACY_MARGIN)
+    }
+
+    /// Evaluates the refit policy after a mutation; retrains and reports `true` when it
+    /// fires.
+    fn apply_policy(&mut self) -> bool {
+        let should = match self.policy {
+            RefitPolicy::Never => false,
+            RefitPolicy::Always => true,
+            RefitPolicy::EveryNClaims(n) => self.claims_since_fit >= n.max(1),
+            RefitPolicy::DriftThreshold(threshold) => self.drift() > threshold,
+        };
+        if should {
+            self.refit();
+        }
+        should
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlimFastConfig;
+    use slimfast_datagen::{AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig};
+
+    fn engine_with(policy: RefitPolicy) -> FusionEngine {
+        let inst = SyntheticConfig {
+            name: "engine".into(),
+            num_sources: 40,
+            num_objects: 150,
+            domain_size: 2,
+            pattern: ObservationPattern::PerObjectExact(6),
+            accuracy: AccuracyModel {
+                mean: 0.72,
+                spread: 0.1,
+            },
+            features: FeatureModel::default(),
+            copying: None,
+            seed: 7,
+        }
+        .generate();
+        let truth = {
+            let mut t = GroundTruth::empty(inst.dataset.num_objects());
+            // Label a handful of objects so ERM is viable.
+            for (i, (o, v)) in inst.truth.labeled().enumerate() {
+                if i % 10 == 0 {
+                    t.set(o, v);
+                }
+            }
+            t
+        };
+        let features = FeatureMatrix::empty(inst.dataset.num_sources());
+        FusionEngine::fit(
+            SlimFast::em(SlimFastConfig::default()),
+            inst.dataset,
+            features,
+            truth,
+            policy,
+        )
+    }
+
+    #[test]
+    fn deltas_are_served_with_zero_retraining_under_never() {
+        let mut engine = engine_with(RefitPolicy::Never);
+        let objects_before = engine.dataset().num_objects();
+        assert!(!engine.observe("new-source", "new-object", "v1").unwrap());
+        assert!(!engine.observe("s0", "new-object", "v2").unwrap());
+        assert_eq!(engine.refit_count(), 0);
+        assert_eq!(engine.claims_since_fit(), 2);
+        assert_eq!(engine.dataset().num_objects(), objects_before + 1);
+
+        let posterior = engine.posterior("new-object").unwrap();
+        assert_eq!(posterior.len(), 2);
+        let total: f64 = posterior.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // The unseen source sits at the uninformed prior.
+        let acc = engine.source_accuracy("new-source").unwrap();
+        assert!((acc - 0.5).abs() < 1e-9);
+        assert!(engine.map_value("new-object").is_some());
+        assert!(engine.posterior("never-mentioned").is_none());
+    }
+
+    #[test]
+    fn every_n_claims_refits_exactly_on_the_boundary() {
+        let mut engine = engine_with(RefitPolicy::EveryNClaims(3));
+        assert!(!engine.observe("a", "x", "1").unwrap());
+        assert!(!engine.observe("b", "x", "1").unwrap());
+        assert!(engine.observe("c", "x", "2").unwrap());
+        assert_eq!(engine.refit_count(), 1);
+        assert_eq!(engine.claims_since_fit(), 0);
+        // After the refit the new sources have learned indicator weights.
+        assert_eq!(
+            engine.model().space().num_sources,
+            engine.dataset().num_sources()
+        );
+    }
+
+    #[test]
+    fn always_refits_on_every_claim_and_batches_amortize() {
+        let mut engine = engine_with(RefitPolicy::Always);
+        assert!(engine.observe("a", "x", "1").unwrap());
+        assert!(engine.observe("b", "x", "1").unwrap());
+        assert_eq!(engine.refit_count(), 2);
+
+        let mut batch_engine = engine_with(RefitPolicy::EveryNClaims(1));
+        let batch: Vec<NamedObservation> = (0..5)
+            .map(|i| NamedObservation::new(format!("s{i}"), "batched", "v"))
+            .collect();
+        assert!(batch_engine.ingest(&batch).unwrap());
+        // One retrain for the whole batch, not five.
+        assert_eq!(batch_engine.refit_count(), 1);
+    }
+
+    #[test]
+    fn conflicting_claims_are_rejected_without_corrupting_state() {
+        let mut engine = engine_with(RefitPolicy::Never);
+        engine.observe("dup", "obj", "x").unwrap();
+        let before = engine.claims_since_fit();
+        let err = engine.observe("dup", "obj", "y").unwrap_err();
+        assert!(matches!(err, DataError::ConflictingObservation { .. }));
+        assert_eq!(engine.claims_since_fit(), before);
+        // The idempotent duplicate is accepted silently and is not counted as a claim
+        // (so it can never trigger a refit).
+        assert!(!engine.observe("dup", "obj", "x").unwrap());
+        assert_eq!(engine.claims_since_fit(), before);
+    }
+
+    #[test]
+    fn drift_policy_tracks_the_section_42_bound() {
+        let mut engine = engine_with(RefitPolicy::DriftThreshold(0.05));
+        assert_eq!(engine.drift(), 0.0);
+        // Stream claims until the density/scale change moves the Theorem 3 rate by more
+        // than 5%; the engine must eventually notice and retrain on its own.
+        let mut refitted = false;
+        for i in 0..400 {
+            refitted |= engine
+                .observe(
+                    &format!("drift-src-{}", i % 25),
+                    &format!("drift-obj-{i}"),
+                    "v",
+                )
+                .unwrap();
+            if refitted {
+                break;
+            }
+        }
+        assert!(refitted, "drift policy never fired");
+        assert_eq!(engine.claims_since_fit(), 0);
+        assert!(engine.refit_count() >= 1);
+        assert!(engine.drift() < 0.05);
+    }
+
+    #[test]
+    fn labels_feed_the_truth_and_can_trigger_refits() {
+        let mut engine = engine_with(RefitPolicy::Never);
+        engine.observe("s-label", "labelled-late", "yes").unwrap();
+        engine.label("labelled-late", "yes");
+        engine.refit();
+        // After refitting, the labelled object is clamped to a confident posterior.
+        let (value, _) = engine.map_value("labelled-late").unwrap();
+        assert_eq!(engine.dataset().value_name(value), Some("yes"));
+    }
+
+    #[test]
+    fn exported_models_revive_into_equivalent_engines() {
+        let mut engine = engine_with(RefitPolicy::Never);
+        engine.observe("late", "obj", "x").unwrap();
+        let bytes = engine.export_model();
+        let model = SlimFastModel::from_bytes(&bytes).unwrap();
+        assert_eq!(model.weights(), engine.model().weights());
+
+        let dataset = engine.dataset().clone();
+        let features = FeatureMatrix::empty(dataset.num_sources());
+        let mut revived = FusionEngine::from_model(
+            SlimFast::em(SlimFastConfig::default()),
+            model,
+            engine.decision(),
+            dataset,
+            features,
+            GroundTruth::empty(0),
+            RefitPolicy::Never,
+        );
+        assert_eq!(revived.refit_count(), 0);
+        let a = engine.predict();
+        let b = revived.predict();
+        for o in revived.dataset().object_ids() {
+            assert_eq!(a.get(o), b.get(o));
+        }
+    }
+}

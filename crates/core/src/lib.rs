@@ -28,9 +28,22 @@
 //!   ERM and EM by comparing information units, estimating the average source accuracy
 //!   from the pairwise agreement matrix via rank-one matrix completion.
 //!
-//! The top-level entry point is [`slimfast::SlimFast`], which implements
-//! [`slimfast_data::FusionMethod`] and wires compilation, the optimizer, learning, and
-//! inference together exactly as Figure 3 of the paper describes.
+//! The top-level entry point is [`slimfast::SlimFast`], which implements the two-phase
+//! [`slimfast_data::FusionEstimator`] contract — [`slimfast_data::FusionEstimator::fit`]
+//! wires compilation, the optimizer, and learning together exactly as Figure 3 of the
+//! paper describes, and the returned [`slimfast::FittedSlimFast`] artifact serves
+//! predictions, posteriors, and source accuracies. The one-shot
+//! [`slimfast_data::FusionMethod`] interface (`fuse = fit + predict`) comes for free
+//! through a blanket impl.
+//!
+//! ## Serving
+//!
+//! * [`model::SlimFastModel::to_bytes`] / [`model::SlimFastModel::from_bytes`] —
+//!   dependency-free versioned binary persistence of fitted models.
+//! * [`engine::FusionEngine`] — an incremental serving engine that holds a fitted
+//!   model, ingests deltas of new claims and labels, answers posterior queries without
+//!   retraining, and refits per a [`config::RefitPolicy`] (always / every-N-claims /
+//!   drift of the Section 4.2 bound).
 //!
 //! ## Extensions
 //!
@@ -52,6 +65,7 @@ pub mod compile;
 pub mod config;
 pub mod copying;
 pub mod em;
+pub mod engine;
 pub mod erm;
 pub mod explain;
 pub mod model;
@@ -59,7 +73,8 @@ pub mod optimizer;
 pub mod slimfast;
 pub mod source_init;
 
-pub use config::{LearnerChoice, SlimFastConfig};
-pub use model::{ParameterSpace, SlimFastModel};
+pub use config::{LearnerChoice, RefitPolicy, SlimFastConfig};
+pub use engine::FusionEngine;
+pub use model::{ParameterSpace, SlimFastModel, MODEL_FORMAT_VERSION};
 pub use optimizer::{OptimizerDecision, OptimizerReport};
-pub use slimfast::SlimFast;
+pub use slimfast::{FittedSlimFast, SlimFast};

@@ -1,11 +1,34 @@
 //! The SLiMFast parameter space and model: posterior over object values (Eq. 4) and the
-//! source-accuracy model (Eq. 3).
+//! source-accuracy model (Eq. 3), plus dependency-free binary persistence so fitted
+//! models can be shipped to serving processes.
 
 use slimfast_optim::{sigmoid, softmax_in_place, SparseVec};
 
 use slimfast_data::{
-    Dataset, FeatureMatrix, ObjectId, SourceAccuracies, SourceId, TruthAssignment, ValueId,
+    DataError, Dataset, FeatureMatrix, ObjectId, SourceAccuracies, SourceId, TruthAssignment,
+    ValueId,
 };
+
+/// Leading magic of a serialized [`SlimFastModel`] blob.
+const MODEL_MAGIC: [u8; 4] = *b"SLMF";
+
+/// Current version of the serialized model format. Bump on any layout change; readers
+/// reject blobs written by a newer version with
+/// [`DataError::UnsupportedModelVersion`].
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+
+/// Bytes in the fixed header: magic, version, `num_sources`, `num_features`.
+const MODEL_HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// FNV-1a 64-bit hash, used as the integrity checksum of serialized models.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// Layout of SLiMFast's parameter vector: one source-indicator weight `w_s` per source
 /// followed by one weight `w_k` per domain feature.
@@ -95,8 +118,15 @@ impl SlimFastModel {
     }
 
     /// The trustworthiness score `σ_s = w_s + Σ_k w_k f_{s,k}` of a source (Eq. 2/3).
+    ///
+    /// Sources that appeared after the model was fitted (their handle lies beyond the
+    /// parameter space) have no learned indicator weight and contribute only their
+    /// feature term — for feature-less sources that is a score of `0.0`, i.e. the
+    /// uninformed accuracy of `0.5`. This is what lets a fitted model serve datasets
+    /// that grew by a delta of new sources without retraining.
     pub fn trust_score(&self, s: SourceId, features: &FeatureMatrix) -> f64 {
-        self.weights[self.space.source_param(s)] + features.dot(s, self.feature_weights())
+        let indicator = self.source_weights().get(s.index()).copied().unwrap_or(0.0);
+        indicator + features.dot(s, self.feature_weights())
     }
 
     /// The estimated accuracy `A_s = logistic(σ_s)` of a source (Eq. 3).
@@ -193,6 +223,90 @@ impl SlimFastModel {
             }
         }
         assignment
+    }
+
+    /// Serializes the model into a self-describing binary blob.
+    ///
+    /// Layout (all integers little-endian):
+    ///
+    /// ```text
+    /// magic "SLMF" (4) | version u32 (4) | num_sources u64 (8) | num_features u64 (8)
+    /// | weights f64 × (num_sources + num_features) | fnv1a-64 checksum u64 (8)
+    /// ```
+    ///
+    /// The checksum covers everything before it. Weights are written bit-exactly, so a
+    /// round trip through [`SlimFastModel::from_bytes`] reproduces predictions and
+    /// accuracies bit-for-bit. The format is hand-rolled and dependency-free.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(MODEL_HEADER_LEN + 8 * self.weights.len() + 8);
+        bytes.extend_from_slice(&MODEL_MAGIC);
+        bytes.extend_from_slice(&MODEL_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(self.space.num_sources as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.space.num_features as u64).to_le_bytes());
+        for w in &self.weights {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        bytes.extend_from_slice(&fnv1a(&bytes).to_le_bytes());
+        bytes
+    }
+
+    /// Deserializes a model previously written by [`SlimFastModel::to_bytes`].
+    ///
+    /// Fails with [`DataError::CorruptModel`] on wrong magic, truncation, length
+    /// mismatches, or a checksum failure, and with
+    /// [`DataError::UnsupportedModelVersion`] when the blob was written by a newer
+    /// format version.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DataError> {
+        let corrupt = |message: &str| DataError::CorruptModel {
+            message: message.to_string(),
+        };
+        if bytes.len() < MODEL_HEADER_LEN + 8 {
+            return Err(corrupt("blob shorter than the fixed header"));
+        }
+        if bytes[..4] != MODEL_MAGIC {
+            return Err(corrupt("missing \"SLMF\" magic"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+        if version != MODEL_FORMAT_VERSION {
+            return Err(DataError::UnsupportedModelVersion {
+                found: version,
+                supported: MODEL_FORMAT_VERSION,
+            });
+        }
+        let num_sources = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+        let num_features = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
+        let Some(len) = num_sources
+            .checked_add(num_features)
+            .and_then(|n| usize::try_from(n).ok())
+        else {
+            return Err(corrupt("declared parameter count overflows"));
+        };
+        let expected = MODEL_HEADER_LEN
+            .checked_add(
+                len.checked_mul(8)
+                    .ok_or_else(|| corrupt("payload overflows"))?,
+            )
+            .and_then(|n| n.checked_add(8))
+            .ok_or_else(|| corrupt("payload overflows"))?;
+        if bytes.len() != expected {
+            return Err(corrupt("payload length does not match the declared sizes"));
+        }
+        let payload_end = bytes.len() - 8;
+        let stored = u64::from_le_bytes(bytes[payload_end..].try_into().expect("8-byte slice"));
+        if fnv1a(&bytes[..payload_end]) != stored {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let weights = bytes[MODEL_HEADER_LEN..payload_end]
+            .chunks_exact(8)
+            .map(|chunk| f64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+            .collect();
+        Ok(Self {
+            space: ParameterSpace {
+                num_sources: num_sources as usize,
+                num_features: num_features as usize,
+            },
+            weights,
+        })
     }
 
     /// Average negative log-likelihood of a labelled set of objects under the model (the
@@ -345,6 +459,67 @@ mod tests {
             good_model.mean_log_loss(&d, &f, &truth) < zero.mean_log_loss(&d, &f, &truth),
             "trusting the accurate source should reduce the empirical risk"
         );
+    }
+
+    #[test]
+    fn serialization_round_trips_bit_for_bit() {
+        let (d, f) = instance();
+        let space = ParameterSpace::new(&d, &f);
+        let mut weights = vec![0.25, -1.5, 3.125, 0.0];
+        weights.truncate(space.len());
+        let model = SlimFastModel::new(space, weights);
+        let bytes = model.to_bytes();
+        let restored = SlimFastModel::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.space(), model.space());
+        assert_eq!(restored.weights(), model.weights());
+        for o in d.object_ids() {
+            assert_eq!(restored.posterior(&d, &f, o), model.posterior(&d, &f, o));
+        }
+    }
+
+    #[test]
+    fn deserialization_rejects_corruption_and_future_versions() {
+        let (d, f) = instance();
+        let model = SlimFastModel::zeros(ParameterSpace::new(&d, &f));
+        let good = model.to_bytes();
+
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            SlimFastModel::from_bytes(&bad),
+            Err(slimfast_data::DataError::CorruptModel { .. })
+        ));
+        // Future format version.
+        let mut bad = good.clone();
+        bad[4..8].copy_from_slice(&(MODEL_FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            SlimFastModel::from_bytes(&bad),
+            Err(slimfast_data::DataError::UnsupportedModelVersion { found, supported })
+                if found == MODEL_FORMAT_VERSION + 1 && supported == MODEL_FORMAT_VERSION
+        ));
+        // Truncation and payload corruption.
+        assert!(SlimFastModel::from_bytes(&good[..good.len() - 1]).is_err());
+        let mut bad = good.clone();
+        let mid = MODEL_HEADER_LEN + 3;
+        bad[mid] ^= 0xff;
+        assert!(matches!(
+            SlimFastModel::from_bytes(&bad),
+            Err(slimfast_data::DataError::CorruptModel { message }) if message.contains("checksum")
+        ));
+        // Empty blob.
+        assert!(SlimFastModel::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn unseen_sources_score_at_the_uninformed_prior() {
+        let (d, f) = instance();
+        let space = ParameterSpace::new(&d, &f);
+        let model = SlimFastModel::new(space, vec![2.0, -1.0, 0.5, 0.5]);
+        // A source handle beyond the fitted space has no indicator weight.
+        let unseen = SourceId::new(17);
+        assert_eq!(model.trust_score(unseen, &f), 0.0);
+        assert!((model.source_accuracy(unseen, &f) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,7 +1,12 @@
 //! The top-level SLiMFast fusion method: compilation → optimizer → learning → inference
-//! (Figure 3 of the paper), packaged behind [`slimfast_data::FusionMethod`].
+//! (Figure 3 of the paper), packaged behind the two-phase
+//! [`slimfast_data::FusionEstimator`] contract (and therefore also behind the one-shot
+//! [`slimfast_data::FusionMethod`] shim).
 
-use slimfast_data::{FusionInput, FusionMethod, FusionOutput};
+use slimfast_data::{
+    Dataset, FeatureMatrix, FittedFusion, FusionEstimator, FusionInput, ObjectId, SourceAccuracies,
+    TruthAssignment,
+};
 
 use crate::config::{LearnerChoice, SlimFastConfig};
 use crate::em::train_em;
@@ -97,24 +102,99 @@ impl SlimFast {
     }
 }
 
-impl FusionMethod for SlimFast {
+/// A fitted SLiMFast model: the learned weights plus fit-time metadata, ready to serve
+/// predictions and posterior queries on the training dataset *or* on any dataset that
+/// grew from it by a delta of new observations, objects, or sources.
+#[derive(Debug, Clone)]
+pub struct FittedSlimFast {
+    name: String,
+    model: SlimFastModel,
+    decision: OptimizerDecision,
+    accuracies: SourceAccuracies,
+}
+
+impl FittedSlimFast {
+    /// Wraps an already-trained model, computing its fit-time source accuracies against
+    /// the given training view. Used both by [`FusionEstimator::fit`] and to revive a
+    /// model deserialized with [`SlimFastModel::from_bytes`].
+    pub fn from_model(
+        name: impl Into<String>,
+        model: SlimFastModel,
+        decision: OptimizerDecision,
+        dataset: &Dataset,
+        features: &FeatureMatrix,
+    ) -> Self {
+        let accuracies = model.source_accuracies(dataset, features);
+        Self {
+            name: name.into(),
+            model,
+            decision,
+            accuracies,
+        }
+    }
+
+    /// The learned model (weights plus parameter space).
+    pub fn model(&self) -> &SlimFastModel {
+        &self.model
+    }
+
+    /// Consumes the artifact, returning the learned model (e.g. for serialization).
+    pub fn into_model(self) -> SlimFastModel {
+        self.model
+    }
+
+    /// Which learning algorithm the optimizer selected (or was forced to use).
+    pub fn decision(&self) -> OptimizerDecision {
+        self.decision
+    }
+}
+
+impl FittedFusion for FittedSlimFast {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
-        let (model, _) = self.train(input);
-        let assignment = model.predict(input.dataset, input.features);
-        let accuracies = model.source_accuracies(input.dataset, input.features);
-        FusionOutput::with_accuracies(assignment, accuracies)
+    fn predict(&self, dataset: &Dataset, features: &FeatureMatrix) -> TruthAssignment {
+        self.model.predict(dataset, features)
+    }
+
+    fn source_accuracies(&self) -> Option<&SourceAccuracies> {
+        Some(&self.accuracies)
+    }
+
+    fn posterior(&self, dataset: &Dataset, features: &FeatureMatrix, o: ObjectId) -> Vec<f64> {
+        self.model.posterior(dataset, features, o)
+    }
+}
+
+impl FusionEstimator for SlimFast {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fit(&self, input: &FusionInput<'_>) -> Box<dyn FittedFusion> {
+        let (model, decision) = self.train(input);
+        Box::new(FittedSlimFast::from_model(
+            self.name.clone(),
+            model,
+            decision,
+            input.dataset,
+            input.features,
+        ))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slimfast_data::{FeatureMatrix, GroundTruth, SplitPlan};
+    use slimfast_data::{FusionMethod, GroundTruth, SplitPlan};
     use slimfast_datagen::{AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig};
+
+    /// Disambiguates between `FusionEstimator::name` and the blanket
+    /// `FusionMethod::name` (both apply to every estimator and always agree).
+    fn name_of(estimator: &impl FusionEstimator) -> &str {
+        FusionEstimator::name(estimator)
+    }
 
     fn instance(seed: u64) -> slimfast_datagen::SyntheticInstance {
         SyntheticConfig {
@@ -140,19 +220,20 @@ mod tests {
 
     #[test]
     fn names_reflect_the_learner_choice() {
-        assert_eq!(SlimFast::new(SlimFastConfig::default()).name(), "SLiMFast");
         assert_eq!(
-            SlimFast::erm(SlimFastConfig::default()).name(),
+            name_of(&SlimFast::new(SlimFastConfig::default())),
+            "SLiMFast"
+        );
+        assert_eq!(
+            name_of(&SlimFast::erm(SlimFastConfig::default())),
             "SLiMFast-ERM"
         );
         assert_eq!(
-            SlimFast::em(SlimFastConfig::default()).name(),
+            name_of(&SlimFast::em(SlimFastConfig::default())),
             "SLiMFast-EM"
         );
         assert_eq!(
-            SlimFast::erm(SlimFastConfig::default())
-                .with_name("Sources-ERM")
-                .name(),
+            name_of(&SlimFast::erm(SlimFastConfig::default()).with_name("Sources-ERM")),
             "Sources-ERM"
         );
     }
@@ -229,6 +310,41 @@ mod tests {
         };
         let (forced_model, _) = forced.train(&input);
         assert_eq!(model.weights(), forced_model.weights());
+    }
+
+    #[test]
+    fn fitted_model_serves_a_delta_of_new_observations_without_retraining() {
+        let inst = instance(21);
+        let split = SplitPlan::new(0.1, 5).draw(&inst.truth, 0).unwrap();
+        let train = split.train_truth(&inst.truth);
+        let input = FusionInput::new(&inst.dataset, &inst.features, &train);
+        let estimator = SlimFast::erm(SlimFastConfig::default());
+        let fitted = estimator.fit(&input);
+
+        // Fuse and fit+predict are the same computation through the blanket shim.
+        let fused = estimator.fuse(&input);
+        let predicted = fitted.predict(&inst.dataset, &inst.features);
+        for o in inst.dataset.object_ids() {
+            assert_eq!(fused.assignment.get(o), predicted.get(o));
+        }
+
+        // Grow the dataset: a brand-new source claims values for a brand-new object.
+        let mut delta = inst.dataset.to_builder();
+        delta
+            .observe("late-source", "late-object", "fresh")
+            .unwrap();
+        let grown = delta.build();
+        let assignment = fitted.predict(&grown, &inst.features);
+        let late = grown.object_id("late-object").unwrap();
+        assert_eq!(assignment.get(late), grown.value_id("fresh"));
+        // Every original object keeps its prediction.
+        for o in inst.dataset.object_ids() {
+            assert_eq!(assignment.get(o), predicted.get(o));
+        }
+        // The posterior over the new object is well-formed.
+        let posterior = fitted.posterior(&grown, &inst.features, late);
+        assert_eq!(posterior.len(), 1);
+        assert!((posterior[0] - 1.0).abs() < 1e-9);
     }
 
     #[test]

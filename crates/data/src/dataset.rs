@@ -174,6 +174,29 @@ impl Dataset {
         self.values.get(name)
     }
 
+    /// Reopens the dataset as a [`DatasetBuilder`] that already contains every
+    /// observation and the full source/object/value vocabulary, so new claims can be
+    /// appended as a *delta* without disturbing existing handles.
+    ///
+    /// This is the ingestion path of the incremental serving engine: a model fitted on
+    /// this dataset keeps answering queries on the grown dataset because every handle it
+    /// learned remains valid.
+    pub fn to_builder(&self) -> DatasetBuilder {
+        let mut builder = DatasetBuilder::with_capacity(self.num_observations());
+        builder.sources = self.sources.clone();
+        builder.objects = self.objects.clone();
+        builder.values = self.values.clone();
+        builder.num_sources = self.num_sources();
+        builder.num_objects = self.num_objects();
+        builder.num_values = self.num_values();
+        for obs in &self.observations {
+            builder
+                .observe_ids(obs.source, obs.object, obs.value)
+                .expect("an existing dataset cannot contain conflicting observations");
+        }
+        builder
+    }
+
     /// Returns a new dataset restricted to the given sources (handles are re-numbered
     /// densely, objects left intact). Used by the source-quality-initialization experiment
     /// (Figure 7), which hides a fraction of the sources during training.
@@ -313,6 +336,16 @@ impl DatasetBuilder {
     /// Number of observations registered so far.
     pub fn len(&self) -> usize {
         self.observations.len()
+    }
+
+    /// Number of distinct sources registered so far (including reserved handles).
+    pub fn num_sources(&self) -> usize {
+        self.num_sources.max(self.sources.len())
+    }
+
+    /// Number of distinct objects registered so far (including reserved handles).
+    pub fn num_objects(&self) -> usize {
+        self.num_objects.max(self.objects.len())
     }
 
     /// Whether no observations have been registered.

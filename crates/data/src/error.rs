@@ -38,6 +38,19 @@ pub enum DataError {
     Io(String),
     /// A request was semantically invalid (e.g. an empty split fraction).
     Invalid(String),
+    /// A serialized model blob was written by an unsupported format version.
+    UnsupportedModelVersion {
+        /// Version found in the blob's header.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
+    /// A serialized model blob was structurally invalid: wrong magic, truncated payload,
+    /// inconsistent lengths, or a checksum mismatch.
+    CorruptModel {
+        /// Explanation of what failed to validate.
+        message: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -64,6 +77,14 @@ impl fmt::Display for DataError {
             }
             DataError::Io(msg) => write!(f, "I/O error: {msg}"),
             DataError::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            DataError::UnsupportedModelVersion { found, supported } => write!(
+                f,
+                "serialized model uses format version {found}, but this build supports \
+                 at most version {supported}"
+            ),
+            DataError::CorruptModel { message } => {
+                write!(f, "corrupt serialized model: {message}")
+            }
         }
     }
 }
@@ -98,6 +119,16 @@ mod tests {
             message: "expected 3 fields".into(),
         };
         assert!(err.to_string().contains("line 10"));
+        let err = DataError::UnsupportedModelVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(err.to_string().contains("version 9"));
+        assert!(err.to_string().contains("at most version 1"));
+        let err = DataError::CorruptModel {
+            message: "truncated header".into(),
+        };
+        assert!(err.to_string().contains("truncated header"));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! The two-phase estimator contract separating learning from inference.
+//!
+//! The paper's Figure 3 pipeline runs compilation and learning once, then answers
+//! inference queries against the learned model; Table 6 even reports the two costs
+//! separately. [`FusionEstimator`] and [`FittedFusion`] encode that split in the type
+//! system:
+//!
+//! * [`FusionEstimator::fit`] consumes a [`FusionInput`] and performs all training work
+//!   (iterative refinement, SGD, EM, ...), returning a fitted artifact;
+//! * [`FittedFusion`] answers prediction and posterior queries against *any* dataset —
+//!   in particular one that grew by a delta of new observations since fitting — with
+//!   zero retraining.
+//!
+//! Every type implementing [`FusionEstimator`] automatically implements the one-shot
+//! [`crate::FusionMethod`] interface through a blanket impl (`fuse = fit + predict`), so
+//! evaluation harnesses can keep treating estimators uniformly.
+
+use crate::dataset::Dataset;
+use crate::features::FeatureMatrix;
+use crate::fusion::FusionInput;
+use crate::ids::ObjectId;
+use crate::truth::{SourceAccuracies, TruthAssignment};
+
+/// A trained fusion model: the immutable artifact produced by [`FusionEstimator::fit`].
+///
+/// A fitted model holds everything learned from the training input (source weights,
+/// accuracies, trust scores, clamped labels, ...) and answers queries against a dataset
+/// without retraining. The dataset passed to [`FittedFusion::predict`] and
+/// [`FittedFusion::posterior`] may contain observations, objects, and even sources that
+/// were not present at fit time — implementations fall back to their prior for unseen
+/// sources — which is what makes incremental serving possible.
+///
+/// Fitted models are plain data (`Send + Sync`), so one model can serve queries from
+/// many threads concurrently.
+pub trait FittedFusion: Send + Sync {
+    /// Short human-readable name of the method that produced this model.
+    fn name(&self) -> &str;
+
+    /// MAP assignment over all objects of `dataset`, using only the fitted parameters.
+    fn predict(&self, dataset: &Dataset, features: &FeatureMatrix) -> TruthAssignment;
+
+    /// The fitted per-source accuracy estimates, when the method produces them under
+    /// probabilistic semantics (CATD and SSTF do not, matching the paper's "Omitted
+    /// Comparison" note). The estimates are as of fit time.
+    fn source_accuracies(&self) -> Option<&SourceAccuracies>;
+
+    /// Distribution over the candidate values `D_o` of object `o`, in the order of
+    /// [`Dataset::domain`]. For probabilistic methods this is the posterior
+    /// `P(T_o = d | Ω; w)` (Eq. 4); for score-based methods it is the normalized vote
+    /// score. Empty for objects without observations.
+    fn posterior(&self, dataset: &Dataset, features: &FeatureMatrix, o: ObjectId) -> Vec<f64>;
+}
+
+impl<T: FittedFusion + ?Sized> FittedFusion for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn predict(&self, dataset: &Dataset, features: &FeatureMatrix) -> TruthAssignment {
+        (**self).predict(dataset, features)
+    }
+
+    fn source_accuracies(&self) -> Option<&SourceAccuracies> {
+        (**self).source_accuracies()
+    }
+
+    fn posterior(&self, dataset: &Dataset, features: &FeatureMatrix, o: ObjectId) -> Vec<f64> {
+        (**self).posterior(dataset, features, o)
+    }
+}
+
+/// A data fusion method expressed as a two-phase estimator: [`FusionEstimator::fit`]
+/// performs all learning and returns a [`FittedFusion`] artifact that serves predictions.
+///
+/// Implementations must not inspect labels outside `input.train_truth`.
+pub trait FusionEstimator {
+    /// Short human-readable name used in result tables (e.g. `"SLiMFast"`, `"ACCU"`).
+    fn name(&self) -> &str;
+
+    /// Trains on the given fusion instance and returns the fitted model.
+    fn fit(&self, input: &FusionInput<'_>) -> Box<dyn FittedFusion>;
+}
+
+impl<T: FusionEstimator + ?Sized> FusionEstimator for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn fit(&self, input: &FusionInput<'_>) -> Box<dyn FittedFusion> {
+        (**self).fit(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::fusion::FusionMethod;
+    use crate::truth::GroundTruth;
+
+    /// A trivial estimator whose fitted model predicts the first value in each domain.
+    struct FirstValueEstimator;
+
+    struct FittedFirstValue;
+
+    impl FittedFusion for FittedFirstValue {
+        fn name(&self) -> &str {
+            "FirstValue"
+        }
+
+        fn predict(&self, dataset: &Dataset, features: &FeatureMatrix) -> TruthAssignment {
+            let mut assignment = TruthAssignment::empty(dataset.num_objects());
+            for o in dataset.object_ids() {
+                let posterior = self.posterior(dataset, features, o);
+                if let (Some(&v), Some(&p)) = (dataset.domain(o).first(), posterior.first()) {
+                    assignment.assign(o, v, p);
+                }
+            }
+            assignment
+        }
+
+        fn source_accuracies(&self) -> Option<&SourceAccuracies> {
+            None
+        }
+
+        fn posterior(&self, dataset: &Dataset, _: &FeatureMatrix, o: ObjectId) -> Vec<f64> {
+            let n = dataset.domain(o).len();
+            if n == 0 {
+                return Vec::new();
+            }
+            let mut p = vec![0.0; n];
+            p[0] = 1.0;
+            p
+        }
+    }
+
+    impl FusionEstimator for FirstValueEstimator {
+        fn name(&self) -> &str {
+            "FirstValue"
+        }
+
+        fn fit(&self, _: &FusionInput<'_>) -> Box<dyn FittedFusion> {
+            Box::new(FittedFirstValue)
+        }
+    }
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "x").unwrap();
+        b.observe("s1", "o0", "y").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn blanket_impl_makes_fuse_equal_fit_plus_predict() {
+        let d = toy();
+        let features = FeatureMatrix::empty(d.num_sources());
+        let truth = GroundTruth::empty(d.num_objects());
+        let input = FusionInput::new(&d, &features, &truth);
+
+        let estimator = FirstValueEstimator;
+        let fitted = estimator.fit(&input);
+        let direct = fitted.predict(&d, &features);
+        let fused = FusionMethod::fuse(&estimator, &input);
+        assert_eq!(FusionMethod::name(&estimator), "FirstValue");
+        for o in d.object_ids() {
+            assert_eq!(fused.assignment.get(o), direct.get(o));
+        }
+        assert!(fused.source_accuracies.is_none());
+    }
+
+    #[test]
+    fn boxed_estimators_and_models_are_first_class() {
+        let d = toy();
+        let features = FeatureMatrix::empty(d.num_sources());
+        let truth = GroundTruth::empty(d.num_objects());
+        let input = FusionInput::new(&d, &features, &truth);
+
+        let boxed: Box<dyn FusionEstimator> = Box::new(FirstValueEstimator);
+        assert_eq!(FusionEstimator::name(&boxed), "FirstValue");
+        let fitted: Box<dyn FittedFusion> = boxed.fit(&input);
+        let assignment = fitted.predict(&d, &features);
+        assert_eq!(assignment.get(ObjectId::new(0)), d.value_id("x"));
+        assert_eq!(
+            fitted.posterior(&d, &features, ObjectId::new(0)),
+            vec![1.0, 0.0]
+        );
+        assert!(fitted.source_accuracies().is_none());
+    }
+
+    #[test]
+    fn fitted_models_answer_queries_on_grown_datasets() {
+        let d = toy();
+        let features = FeatureMatrix::empty(d.num_sources());
+        let truth = GroundTruth::empty(d.num_objects());
+        let fitted = FirstValueEstimator.fit(&FusionInput::new(&d, &features, &truth));
+
+        // The dataset grows by a delta of new observations after fitting.
+        let mut delta = d.to_builder();
+        delta.observe("s2", "o1", "z").unwrap();
+        let grown = delta.build();
+        let assignment = fitted.predict(&grown, &features);
+        assert_eq!(
+            assignment.get(grown.object_id("o1").unwrap()),
+            grown.value_id("z")
+        );
+    }
+}

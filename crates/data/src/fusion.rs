@@ -64,6 +64,11 @@ impl FusionOutput {
 /// A data fusion method: consumes a [`FusionInput`] and produces a [`FusionOutput`].
 ///
 /// Implementations must not inspect labels outside `input.train_truth`.
+///
+/// This is the one-shot convenience interface. Methods that separate learning from
+/// inference should implement [`crate::FusionEstimator`] instead and receive this trait
+/// for free through a blanket impl (`fuse = fit + predict`); implement `FusionMethod`
+/// directly only for methods with no reusable fitted state.
 pub trait FusionMethod {
     /// Short human-readable name used in result tables (e.g. `"SLiMFast"`, `"ACCU"`).
     fn name(&self) -> &str;
@@ -72,13 +77,23 @@ pub trait FusionMethod {
     fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput;
 }
 
-impl<T: FusionMethod + ?Sized> FusionMethod for Box<T> {
+/// The fit→predict shim: every two-phase estimator is also a one-shot fusion method.
+///
+/// Training runs on `input` and the fitted model immediately answers one prediction on
+/// the same instance, so `fuse` and `fit` + `predict` are the same computation by
+/// construction — the evaluation harness, tables, and benches migrate for free.
+impl<T: crate::FusionEstimator + ?Sized> FusionMethod for T {
     fn name(&self) -> &str {
-        (**self).name()
+        crate::FusionEstimator::name(self)
     }
 
     fn fuse(&self, input: &FusionInput<'_>) -> FusionOutput {
-        (**self).fuse(input)
+        let fitted = self.fit(input);
+        let assignment = fitted.predict(input.dataset, input.features);
+        match fitted.source_accuracies() {
+            Some(accuracies) => FusionOutput::with_accuracies(assignment, accuracies.clone()),
+            None => FusionOutput::new(assignment),
+        }
     }
 }
 

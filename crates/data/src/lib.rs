@@ -15,8 +15,12 @@
 //! * [`FeatureMatrix`] — per-source domain-specific features (Section 3.1 of the paper).
 //! * [`Split`] / [`SplitPlan`] — reproducible train/test partitions of the ground truth.
 //! * [`DatasetStats`] — the statistics reported in Table 1 of the paper.
-//! * [`FusionMethod`] / [`FusionOutput`] — the trait implemented by SLiMFast and by every
-//!   baseline, so the evaluation harness can treat them uniformly.
+//! * [`FusionEstimator`] / [`FittedFusion`] — the two-phase fit→predict contract
+//!   implemented by SLiMFast and by every baseline, separating learning from inference
+//!   so fitted models can be reused, persisted, and served incrementally.
+//! * [`FusionMethod`] / [`FusionOutput`] — the one-shot `fuse` interface, provided for
+//!   every estimator by a blanket impl (`fuse = fit + predict`) so the evaluation
+//!   harness can treat all methods uniformly.
 //!
 //! The crate has no opinion about *how* fusion is performed; it only captures the shape of
 //! the problem: conflicting observations over objects with single-truth semantics.
@@ -26,6 +30,7 @@
 
 pub mod dataset;
 pub mod error;
+pub mod estimator;
 pub mod features;
 pub mod fusion;
 pub mod ids;
@@ -37,6 +42,7 @@ pub mod truth;
 
 pub use dataset::{Dataset, DatasetBuilder};
 pub use error::DataError;
+pub use estimator::{FittedFusion, FusionEstimator};
 pub use features::{FeatureMatrix, FeatureMatrixBuilder, FeatureValue};
 pub use fusion::{FusionInput, FusionMethod, FusionOutput};
 pub use ids::{FeatureId, Interner, ObjectId, SourceId, ValueId};
@@ -44,7 +50,7 @@ pub use io::{
     read_features_csv, read_ground_truth_csv, read_observations_csv, write_ground_truth_csv,
     write_observations_csv,
 };
-pub use observation::Observation;
+pub use observation::{NamedObservation, Observation};
 pub use split::{Split, SplitPlan};
 pub use stats::DatasetStats;
 pub use truth::{GroundTruth, SourceAccuracies, TruthAssignment};

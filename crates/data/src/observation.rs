@@ -26,6 +26,37 @@ impl Observation {
     }
 }
 
+/// A claim expressed with user-facing names rather than interned handles: the wire form
+/// in which new observations arrive at a serving engine before interning.
+///
+/// Streaming scenarios deliver claims about sources and objects that may not exist yet
+/// in the fitted dataset, so the delta-ingestion APIs accept names and intern them on
+/// arrival (see `DatasetBuilder::observe`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NamedObservation {
+    /// Name of the claiming source.
+    pub source: String,
+    /// Name of the object the claim is about.
+    pub object: String,
+    /// Name of the asserted value.
+    pub value: String,
+}
+
+impl NamedObservation {
+    /// Creates a named observation from its three components.
+    pub fn new(
+        source: impl Into<String>,
+        object: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Self {
+        Self {
+            source: source.into(),
+            object: object.into(),
+            value: value.into(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

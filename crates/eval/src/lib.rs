@@ -6,8 +6,9 @@
 //!   values* and the observation-weighted *error for estimated source accuracies*, plus the
 //!   mean KL divergence used by Theorem 3.
 //! * [`runner`] — the experimental protocol: draw random train/test splits at the paper's
-//!   training fractions, run every method on every split, average over repetitions, and
-//!   record wall-clock time.
+//!   training fractions, fit every method once per split (reusing the fitted model for
+//!   both metrics), average over repetitions, and record wall-clock time split into its
+//!   learning and inference parts (Table 6 style).
 //! * [`lineup`] — the method line-ups of the evaluation (the seven methods of Table 2, the
 //!   probabilistic subset of Table 3, the SLiMFast variants of Table 4).
 //! * [`tables`] — plain-text rendering of result grids in the layout of the paper's tables.
@@ -22,5 +23,5 @@ pub mod tables;
 
 pub use lineup::{probabilistic_lineup, slimfast_variants, standard_lineup, MethodEntry};
 pub use metrics::{mean_kl_divergence, source_accuracy_error};
-pub use runner::{CellResult, ExperimentProtocol, MethodSummary};
-pub use tables::{format_accuracy_table, format_error_table};
+pub use runner::{CellResult, ExperimentProtocol, MethodSummary, RunOutcome};
+pub use tables::{format_accuracy_table, format_cost_split_table, format_error_table};

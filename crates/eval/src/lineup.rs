@@ -2,20 +2,24 @@
 
 use slimfast_baselines::{Accu, Catd, Counts, Sstf};
 use slimfast_core::{SlimFast, SlimFastConfig};
-use slimfast_data::FusionMethod;
+use slimfast_data::FusionEstimator;
 
 /// A fusion method registered with the harness, together with whether it receives the
 /// instance's domain-specific features (the "Sources-*" variants run without them).
+///
+/// Methods are held as two-phase estimators so the runner can fit once per split and
+/// reuse the fitted model for every metric; the one-shot `fuse` interface remains
+/// available through the blanket `FusionMethod` shim.
 pub struct MethodEntry {
     /// The method implementation.
-    pub method: Box<dyn FusionMethod>,
+    pub method: Box<dyn FusionEstimator>,
     /// Whether domain features are passed to the method.
     pub use_features: bool,
 }
 
 impl MethodEntry {
     /// A method that sees the domain features.
-    pub fn with_features(method: impl FusionMethod + 'static) -> Self {
+    pub fn with_features(method: impl FusionEstimator + 'static) -> Self {
         Self {
             method: Box::new(method),
             use_features: true,
@@ -23,7 +27,7 @@ impl MethodEntry {
     }
 
     /// A method that runs without domain features.
-    pub fn without_features(method: impl FusionMethod + 'static) -> Self {
+    pub fn without_features(method: impl FusionEstimator + 'static) -> Self {
         Self {
             method: Box::new(method),
             use_features: false,
@@ -32,7 +36,7 @@ impl MethodEntry {
 
     /// The method's display name.
     pub fn name(&self) -> &str {
-        self.method.name()
+        FusionEstimator::name(&self.method)
     }
 }
 

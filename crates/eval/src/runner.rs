@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use slimfast_data::{FeatureMatrix, FusionInput, GroundTruth, Split, SplitPlan};
+use slimfast_data::{FeatureMatrix, FittedFusion, FusionInput, GroundTruth, Split, SplitPlan};
 use slimfast_datagen::SyntheticInstance;
 
 use crate::lineup::MethodEntry;
@@ -65,6 +65,24 @@ pub struct CellResult {
     pub source_error: Option<f64>,
     /// Mean wall-clock seconds per run (learning and inference only).
     pub runtime_secs: f64,
+    /// Mean wall-clock seconds of the learning phase alone (`fit`), the Table 6 style
+    /// cost split.
+    pub fit_secs: f64,
+    /// Mean wall-clock seconds of the inference phase alone (`predict`).
+    pub predict_secs: f64,
+}
+
+/// The measurements of one (method, split) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Accuracy for true object values over the held-out objects.
+    pub object_accuracy: f64,
+    /// Observation-weighted source-accuracy error, when available.
+    pub source_error: Option<f64>,
+    /// Wall-clock seconds of the learning phase (`fit`).
+    pub fit_secs: f64,
+    /// Wall-clock seconds of the inference phase (`predict`).
+    pub predict_secs: f64,
 }
 
 /// All cells produced for one method across the protocol's training fractions.
@@ -76,14 +94,15 @@ pub struct MethodSummary {
     pub cells: Vec<CellResult>,
 }
 
-/// Runs one method on one prepared split and returns `(object accuracy, source error,
-/// seconds)`.
+/// Runs one method on one prepared split: fits **once**, then reuses the fitted model
+/// for both the assignment metric and the source-accuracy metric (and for the Table 6
+/// style fit/predict cost split).
 pub fn run_once(
     instance: &SyntheticInstance,
     entry: &MethodEntry,
     split: &Split,
     empty_features: &FeatureMatrix,
-) -> (f64, Option<f64>, f64) {
+) -> RunOutcome {
     let features = if entry.use_features {
         &instance.features
     } else {
@@ -91,17 +110,24 @@ pub fn run_once(
     };
     let train_truth = split.train_truth(&instance.truth);
     let input = FusionInput::new(&instance.dataset, features, &train_truth);
-    let start = Instant::now();
-    let output = entry.method.fuse(&input);
-    let elapsed = start.elapsed().as_secs_f64();
-    let accuracy = output
-        .assignment
-        .accuracy_against(&instance.truth, &split.test);
-    let source_error = output
-        .source_accuracies
-        .as_ref()
+    let fit_start = Instant::now();
+    let fitted = entry.method.fit(&input);
+    let fit_secs = fit_start.elapsed().as_secs_f64();
+
+    let predict_start = Instant::now();
+    let assignment = fitted.predict(&instance.dataset, features);
+    let predict_secs = predict_start.elapsed().as_secs_f64();
+
+    let object_accuracy = assignment.accuracy_against(&instance.truth, &split.test);
+    let source_error = fitted
+        .source_accuracies()
         .and_then(|accs| source_accuracy_error(&instance.dataset, &instance.truth, accs));
-    (accuracy, source_error, elapsed)
+    RunOutcome {
+        object_accuracy,
+        source_error,
+        fit_secs,
+        predict_secs,
+    }
 }
 
 /// Runs every method of the line-up over the full protocol grid on one instance.
@@ -139,19 +165,21 @@ pub fn run_cell(
     let mut accuracy_sum = 0.0;
     let mut error_sum = 0.0;
     let mut error_count = 0usize;
-    let mut time_sum = 0.0;
+    let mut fit_sum = 0.0;
+    let mut predict_sum = 0.0;
     let mut runs = 0usize;
     for rep in 0..protocol.repetitions {
         let Ok(split) = plan.draw(&instance.truth, rep) else {
             continue;
         };
-        let (accuracy, source_error, seconds) = run_once(instance, entry, &split, empty_features);
-        accuracy_sum += accuracy;
-        if let Some(err) = source_error {
+        let outcome = run_once(instance, entry, &split, empty_features);
+        accuracy_sum += outcome.object_accuracy;
+        if let Some(err) = outcome.source_error {
             error_sum += err;
             error_count += 1;
         }
-        time_sum += seconds;
+        fit_sum += outcome.fit_secs;
+        predict_sum += outcome.predict_secs;
         runs += 1;
     }
     let runs_f = runs.max(1) as f64;
@@ -160,7 +188,9 @@ pub fn run_cell(
         train_fraction,
         object_accuracy: accuracy_sum / runs_f,
         source_error: (error_count > 0).then(|| error_sum / error_count as f64),
-        runtime_secs: time_sum / runs_f,
+        runtime_secs: (fit_sum + predict_sum) / runs_f,
+        fit_secs: fit_sum / runs_f,
+        predict_secs: predict_sum / runs_f,
     }
 }
 
@@ -216,6 +246,10 @@ mod tests {
             "majority vote reports no accuracies"
         );
         assert!(cell.runtime_secs >= 0.0);
+        assert!(
+            (cell.fit_secs + cell.predict_secs - cell.runtime_secs).abs() < 1e-12,
+            "the fit/predict split must add up to the total runtime"
+        );
     }
 
     #[test]

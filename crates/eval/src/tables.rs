@@ -37,6 +37,18 @@ pub fn format_runtime_table(dataset_name: &str, summaries: &[MethodSummary]) -> 
     )
 }
 
+/// Formats a learning-vs-inference cost grid (Table 6 style): each cell shows
+/// `fit seconds / predict seconds`, making the amortizable part of every method's cost
+/// visible.
+pub fn format_cost_split_table(dataset_name: &str, summaries: &[MethodSummary]) -> String {
+    format_metric_table(
+        dataset_name,
+        summaries,
+        "Learning / inference cost (seconds)",
+        |cell| format!("{:.2}/{:.2}", cell.fit_secs, cell.predict_secs),
+    )
+}
+
 fn format_metric_table(
     dataset_name: &str,
     summaries: &[MethodSummary],
@@ -113,6 +125,8 @@ mod tests {
                     object_accuracy: a,
                     source_error: Some(0.05),
                     runtime_secs: 1.5,
+                    fit_secs: 1.4,
+                    predict_secs: 0.1,
                 })
                 .collect(),
         }
@@ -133,6 +147,8 @@ mod tests {
         assert!(errors.contains("0.050"));
         let runtimes = format_runtime_table("Stocks", &summaries);
         assert!(runtimes.contains("1.50"));
+        let costs = format_cost_split_table("Stocks", &summaries);
+        assert!(costs.contains("1.40/0.10"));
     }
 
     #[test]

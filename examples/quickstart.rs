@@ -49,7 +49,7 @@ fn main() {
     features.set_flag(a3, "Study=KnockOut");
     let features = features.build(dataset.num_sources());
 
-    // --- Data fusion with SLiMFast. ------------------------------------------------------
+    // --- Data fusion with SLiMFast: fit once, then predict. ------------------------------
     let method = SlimFast::new(SlimFastConfig::default());
     let input = FusionInput::new(&dataset, &features, &truth);
     let report = method.plan(&input);
@@ -58,20 +58,21 @@ fn main() {
         report.decision, report.num_labeled, report.erm_bound
     );
 
-    let output = method.fuse(&input);
+    let fitted = method.fit(&input);
+    let assignment = fitted.predict(&dataset, &features);
     println!("\nResolved object values:");
     for o in dataset.object_ids() {
-        let value = output.assignment.get(o).unwrap();
+        let value = assignment.get(o).unwrap();
         println!(
             "  {:<20} -> {:<6} (confidence {:.2})",
             dataset.object_name(o).unwrap(),
             dataset.value_name(value).unwrap(),
-            output.assignment.confidence(o)
+            assignment.confidence(o)
         );
     }
 
     println!("\nEstimated source accuracies:");
-    let accuracies = output.source_accuracies.unwrap();
+    let accuracies = fitted.source_accuracies().unwrap();
     for s in dataset.source_ids() {
         println!(
             "  {:<12} A = {:.2}",
@@ -79,4 +80,25 @@ fn main() {
             accuracies.get(s)
         );
     }
+
+    // --- The fitted model keeps serving as new claims stream in. -------------------------
+    let mut delta = dataset.to_builder();
+    delta
+        .observe("article-4", "GIGYF2/Parkinson", "false")
+        .unwrap();
+    let grown = delta.build();
+    let gigyf2 = grown.object_id("GIGYF2/Parkinson").unwrap();
+    let posterior = fitted.posterior(&grown, &features, gigyf2);
+    println!(
+        "\nAfter a new article weighs in (no retraining), P(GIGYF2/Parkinson) over {:?} = {:?}",
+        grown
+            .domain(gigyf2)
+            .iter()
+            .map(|&v| grown.value_name(v).unwrap())
+            .collect::<Vec<_>>(),
+        posterior
+            .iter()
+            .map(|p| format!("{p:.2}"))
+            .collect::<Vec<_>>()
+    );
 }

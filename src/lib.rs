@@ -22,7 +22,7 @@
 //! * [`eval`] — metrics, the split/repetition protocol, and table formatting.
 //! * [`optim`] / [`graph`] — the optimization and factor-graph substrates.
 //!
-//! ## Quick start
+//! ## Quick start: fit once, predict many times
 //!
 //! ```
 //! use slimfast::prelude::*;
@@ -47,11 +47,33 @@
 //! features.set_flag(dataset.source_id("article-2").unwrap(), "Study=GWAS");
 //! let features = features.build(dataset.num_sources());
 //!
+//! // Phase 1 — fit: all learning happens here, once.
+//! let estimator = SlimFast::new(SlimFastConfig::default());
 //! let input = FusionInput::new(&dataset, &features, &truth);
-//! let output = SlimFast::new(SlimFastConfig::default()).fuse(&input);
+//! let fitted = estimator.fit(&input);
+//!
+//! // Phase 2 — predict: the fitted model answers queries with zero retraining,
+//! // including on datasets that grew by a delta of new claims.
+//! let assignment = fitted.predict(&dataset, &features);
 //! let gigyf2 = dataset.object_id("GIGYF2/Parkinson").unwrap();
-//! assert!(output.assignment.get(gigyf2).is_some());
+//! assert!(assignment.get(gigyf2).is_some());
+//! assert!(fitted.source_accuracies().is_some());
+//! let posterior = fitted.posterior(&dataset, &features, gigyf2);
+//! assert_eq!(posterior.len(), 2);
+//!
+//! // One-shot `fuse` is still available for every estimator (fuse = fit + predict).
+//! let output = estimator.fuse(&input);
+//! assert_eq!(output.assignment.get(gigyf2), assignment.get(gigyf2));
 //! ```
+//!
+//! ## Persistence and incremental serving
+//!
+//! Fitted SLiMFast models serialize to a dependency-free versioned binary format
+//! ([`core::SlimFastModel::to_bytes`] / [`core::SlimFastModel::from_bytes`]), and
+//! [`core::FusionEngine`] wraps a fitted model into a serving loop that ingests new
+//! claims and labels, answers posterior queries without retraining, and refits per a
+//! [`core::RefitPolicy`] (always, every N claims, or when the Section 4.2 error bound
+//! drifts).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -65,15 +87,21 @@ pub use slimfast_graph as graph;
 pub use slimfast_optim as optim;
 
 /// The most commonly used types, re-exported for `use slimfast::prelude::*`.
+///
+/// Note: [`FusionEstimator`](slimfast_data::FusionEstimator) and
+/// [`FusionMethod`](slimfast_data::FusionMethod) both expose a `name` method (the
+/// blanket shim keeps them in agreement); with both traits in scope, call it as
+/// `FusionEstimator::name(&m)`.
 pub mod prelude {
     pub use slimfast_baselines::{Accu, Catd, Counts, MajorityVote, Sstf, TruthFinder};
     pub use slimfast_core::{
-        LearnerChoice, OptimizerDecision, ParameterSpace, SlimFast, SlimFastConfig, SlimFastModel,
+        FittedSlimFast, FusionEngine, LearnerChoice, OptimizerDecision, ParameterSpace,
+        RefitPolicy, SlimFast, SlimFastConfig, SlimFastModel, MODEL_FORMAT_VERSION,
     };
     pub use slimfast_data::{
-        Dataset, DatasetBuilder, DatasetStats, FeatureMatrix, FeatureMatrixBuilder, FusionInput,
-        FusionMethod, FusionOutput, GroundTruth, ObjectId, SourceAccuracies, SourceId, Split,
-        SplitPlan, TruthAssignment, ValueId,
+        Dataset, DatasetBuilder, DatasetStats, FeatureMatrix, FeatureMatrixBuilder, FittedFusion,
+        FusionEstimator, FusionInput, FusionMethod, FusionOutput, GroundTruth, NamedObservation,
+        ObjectId, SourceAccuracies, SourceId, Split, SplitPlan, TruthAssignment, ValueId,
     };
     pub use slimfast_datagen::{DatasetKind, SyntheticConfig, SyntheticInstance};
     pub use slimfast_eval::{standard_lineup, ExperimentProtocol};

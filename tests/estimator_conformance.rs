@@ -1,0 +1,199 @@
+//! Trait-conformance suite for the fit→predict contract: every estimator in the
+//! workspace runs through `fit`/`predict` on one shared synthetic instance, and the
+//! one-shot `fuse` shim must agree with the two-phase path exactly — including across
+//! repeated fits (determinism) and on datasets that grew by a delta after fitting.
+
+use slimfast::datagen::{AccuracyModel, FeatureModel, ObservationPattern};
+use slimfast::prelude::*;
+
+/// Every estimator of the workspace, under a config small enough for tests.
+fn all_estimators() -> Vec<Box<dyn FusionEstimator>> {
+    let config = SlimFastConfig {
+        erm_epochs: 25,
+        ..Default::default()
+    };
+    vec![
+        Box::new(SlimFast::new(config.clone())),
+        Box::new(SlimFast::erm(config.clone())),
+        Box::new(SlimFast::em(config)),
+        Box::new(MajorityVote),
+        Box::new(Counts::default()),
+        Box::new(Accu::default()),
+        Box::new(Catd::default()),
+        Box::new(Sstf::default()),
+        Box::new(TruthFinder::default()),
+    ]
+}
+
+fn shared_instance() -> SyntheticInstance {
+    SyntheticConfig {
+        name: "conformance".into(),
+        num_sources: 50,
+        num_objects: 180,
+        domain_size: 3,
+        pattern: ObservationPattern::PerObjectExact(7),
+        accuracy: AccuracyModel {
+            mean: 0.72,
+            spread: 0.12,
+        },
+        features: FeatureModel {
+            num_predictive: 2,
+            num_noise: 2,
+            predictive_strength: 0.25,
+        },
+        copying: None,
+        seed: 23,
+    }
+    .generate()
+}
+
+fn assert_assignments_identical(a: &TruthAssignment, b: &TruthAssignment, who: &str, ctx: &str) {
+    assert_eq!(a.num_objects(), b.num_objects(), "{who}: {ctx}: coverage");
+    for o in 0..a.num_objects() {
+        let o = ObjectId::new(o);
+        assert_eq!(a.get(o), b.get(o), "{who}: {ctx}: value for {o:?}");
+        assert!(
+            a.confidence(o) == b.confidence(o),
+            "{who}: {ctx}: confidence for {o:?} ({} vs {})",
+            a.confidence(o),
+            b.confidence(o)
+        );
+    }
+}
+
+#[test]
+fn fuse_equals_fit_plus_predict_for_every_estimator() {
+    let inst = shared_instance();
+    let split = SplitPlan::new(0.15, 9).draw(&inst.truth, 0).unwrap();
+    let train = split.train_truth(&inst.truth);
+    let input = FusionInput::new(&inst.dataset, &inst.features, &train);
+
+    for estimator in all_estimators() {
+        let who = FusionEstimator::name(&estimator).to_string();
+        let fitted = estimator.fit(&input);
+        assert_eq!(
+            FittedFusion::name(&fitted),
+            who,
+            "fitted artifact keeps the name"
+        );
+
+        let fused = estimator.fuse(&input);
+        let predicted = fitted.predict(&inst.dataset, &inst.features);
+        assert_assignments_identical(&fused.assignment, &predicted, &who, "fuse vs fit+predict");
+
+        // Source accuracies must agree between the two paths (or be absent in both).
+        match (&fused.source_accuracies, fitted.source_accuracies()) {
+            (Some(a), Some(b)) => assert_eq!(a.as_slice(), b.as_slice(), "{who}: accuracies"),
+            (None, None) => {}
+            (a, b) => panic!("{who}: accuracy availability diverged ({a:?} vs {b:?})"),
+        }
+    }
+}
+
+#[test]
+fn fitting_is_deterministic_across_the_shim_boundary() {
+    let inst = shared_instance();
+    let split = SplitPlan::new(0.1, 4).draw(&inst.truth, 0).unwrap();
+    let train = split.train_truth(&inst.truth);
+    let input = FusionInput::new(&inst.dataset, &inst.features, &train);
+
+    for estimator in all_estimators() {
+        let who = FusionEstimator::name(&estimator).to_string();
+        let first = estimator.fit(&input).predict(&inst.dataset, &inst.features);
+        let second = estimator.fit(&input).predict(&inst.dataset, &inst.features);
+        assert_assignments_identical(&first, &second, &who, "fit twice");
+        let fused_twice = estimator.fuse(&input);
+        assert_assignments_identical(&first, &fused_twice.assignment, &who, "fuse after fits");
+    }
+}
+
+#[test]
+fn every_fitted_model_serves_a_held_out_delta_without_retraining() {
+    let inst = shared_instance();
+    let split = SplitPlan::new(0.15, 2).draw(&inst.truth, 0).unwrap();
+    let train = split.train_truth(&inst.truth);
+    let input = FusionInput::new(&inst.dataset, &inst.features, &train);
+
+    // The held-out delta: two fresh sources weigh in on a fresh object, and one known
+    // source extends an existing object's domain.
+    let grown = {
+        let mut delta = inst.dataset.to_builder();
+        delta.observe("delta-src-a", "delta-object", "v0").unwrap();
+        delta.observe("delta-src-b", "delta-object", "v0").unwrap();
+        let existing = inst
+            .dataset
+            .object_name(ObjectId::new(0))
+            .unwrap()
+            .to_string();
+        delta
+            .observe("delta-src-a", &existing, "delta-value")
+            .unwrap();
+        delta.build()
+    };
+    let delta_object = grown.object_id("delta-object").unwrap();
+
+    for estimator in all_estimators() {
+        let who = FusionEstimator::name(&estimator).to_string();
+        let fitted = estimator.fit(&input);
+        let assignment = fitted.predict(&grown, &inst.features);
+        // The unanimous fresh claims decide the fresh object.
+        assert_eq!(
+            assignment.get(delta_object),
+            grown.value_id("v0"),
+            "{who}: delta object"
+        );
+        // Every grown-domain posterior stays a well-formed distribution over the domain.
+        for o in grown.object_ids() {
+            let posterior = fitted.posterior(&grown, &inst.features, o);
+            assert_eq!(
+                posterior.len(),
+                grown.domain(o).len(),
+                "{who}: posterior arity"
+            );
+            for &p in &posterior {
+                assert!(
+                    p.is_finite() && (0.0..=1.0 + 1e-9).contains(&p),
+                    "{who}: p = {p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn amortized_predict_is_dramatically_cheaper_than_repeated_fuse() {
+    use std::time::Instant;
+
+    let inst = shared_instance();
+    // Half the objects labelled and a real epoch budget: the serving regime where every
+    // `fuse` pays a full training run but `predict` only pays inference.
+    let split = SplitPlan::new(0.5, 6).draw(&inst.truth, 0).unwrap();
+    let train = split.train_truth(&inst.truth);
+    let input = FusionInput::new(&inst.dataset, &inst.features, &train);
+    let estimator = SlimFast::erm(SlimFastConfig {
+        erm_epochs: 100,
+        ..Default::default()
+    });
+
+    const ROUNDS: usize = 50;
+    let fuse_start = Instant::now();
+    for _ in 0..ROUNDS {
+        std::hint::black_box(estimator.fuse(&input));
+    }
+    let fuse_time = fuse_start.elapsed();
+
+    let amortized_start = Instant::now();
+    let fitted = estimator.fit(&input);
+    for _ in 0..ROUNDS {
+        std::hint::black_box(fitted.predict(&inst.dataset, &inst.features));
+    }
+    let amortized_time = amortized_start.elapsed();
+
+    // The acceptance bar is 5×; training dominates fuse so the real ratio is far
+    // larger, which keeps this robust on loaded CI machines.
+    assert!(
+        amortized_time * 5 < fuse_time,
+        "amortized inference should be at least 5x faster: 1 fit + {ROUNDS} predicts took \
+         {amortized_time:?}, {ROUNDS} fuse calls took {fuse_time:?}"
+    );
+}

@@ -1,0 +1,148 @@
+//! Model-persistence round trips through the facade: a fitted model serialized with
+//! [`SlimFastModel::to_bytes`] and revived with [`SlimFastModel::from_bytes`] must
+//! reproduce predictions, posteriors, and source accuracies bit-for-bit, and malformed
+//! blobs must fail with the dedicated error variants.
+
+use slimfast::data::DataError;
+use slimfast::datagen::{AccuracyModel, FeatureModel, ObservationPattern};
+use slimfast::prelude::*;
+
+fn instance() -> SyntheticInstance {
+    SyntheticConfig {
+        name: "serialization".into(),
+        num_sources: 60,
+        num_objects: 200,
+        domain_size: 3,
+        pattern: ObservationPattern::PerObjectExact(7),
+        accuracy: AccuracyModel {
+            mean: 0.7,
+            spread: 0.15,
+        },
+        features: FeatureModel {
+            num_predictive: 3,
+            num_noise: 2,
+            predictive_strength: 0.3,
+        },
+        copying: None,
+        seed: 11,
+    }
+    .generate()
+}
+
+fn trained_model(inst: &SyntheticInstance) -> (SlimFastModel, GroundTruth) {
+    let split = SplitPlan::new(0.2, 3).draw(&inst.truth, 0).unwrap();
+    let train = split.train_truth(&inst.truth);
+    let input = FusionInput::new(&inst.dataset, &inst.features, &train);
+    let (model, _) = SlimFast::erm(SlimFastConfig::default()).train(&input);
+    (model, train)
+}
+
+#[test]
+fn round_trip_preserves_predictions_bit_for_bit() {
+    let inst = instance();
+    let (model, _) = trained_model(&inst);
+
+    let bytes = model.to_bytes();
+    let restored = SlimFastModel::from_bytes(&bytes).unwrap();
+
+    assert_eq!(restored.space(), model.space());
+    assert_eq!(restored.weights(), model.weights());
+
+    let original = model.predict(&inst.dataset, &inst.features);
+    let revived = restored.predict(&inst.dataset, &inst.features);
+    for o in inst.dataset.object_ids() {
+        assert_eq!(original.get(o), revived.get(o), "prediction diverged");
+        assert!(
+            original.confidence(o) == revived.confidence(o),
+            "confidence diverged"
+        );
+        assert_eq!(
+            model.posterior(&inst.dataset, &inst.features, o),
+            restored.posterior(&inst.dataset, &inst.features, o),
+            "posterior diverged"
+        );
+    }
+    let original_accs = model.source_accuracies(&inst.dataset, &inst.features);
+    let revived_accs = restored.source_accuracies(&inst.dataset, &inst.features);
+    assert_eq!(original_accs.as_slice(), revived_accs.as_slice());
+
+    // Serialization is deterministic, so blobs can be content-addressed.
+    assert_eq!(bytes, restored.to_bytes());
+}
+
+#[test]
+fn corrupt_headers_are_rejected() {
+    let inst = instance();
+    let (model, _) = trained_model(&inst);
+    let good = model.to_bytes();
+
+    // Flipped magic.
+    let mut bad = good.clone();
+    bad[1] = b'?';
+    assert!(matches!(
+        SlimFastModel::from_bytes(&bad),
+        Err(DataError::CorruptModel { .. })
+    ));
+
+    // Truncated blob (header survives, payload does not).
+    assert!(matches!(
+        SlimFastModel::from_bytes(&good[..good.len() - 9]),
+        Err(DataError::CorruptModel { .. })
+    ));
+
+    // Declared sizes inconsistent with the payload.
+    let mut bad = good.clone();
+    bad[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(matches!(
+        SlimFastModel::from_bytes(&bad),
+        Err(DataError::CorruptModel { .. })
+    ));
+
+    // A single flipped payload bit fails the checksum.
+    let mut bad = good.clone();
+    let mid = good.len() / 2;
+    bad[mid] ^= 0x01;
+    assert!(matches!(
+        SlimFastModel::from_bytes(&bad),
+        Err(DataError::CorruptModel { message }) if message.contains("checksum")
+    ));
+}
+
+#[test]
+fn version_mismatches_are_reported_with_both_versions() {
+    let inst = instance();
+    let (model, _) = trained_model(&inst);
+    let mut blob = model.to_bytes();
+    blob[4..8].copy_from_slice(&(MODEL_FORMAT_VERSION + 7).to_le_bytes());
+    match SlimFastModel::from_bytes(&blob) {
+        Err(DataError::UnsupportedModelVersion { found, supported }) => {
+            assert_eq!(found, MODEL_FORMAT_VERSION + 7);
+            assert_eq!(supported, MODEL_FORMAT_VERSION);
+        }
+        other => panic!("expected a version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn revived_models_serve_through_the_engine() {
+    let inst = instance();
+    let (model, train) = trained_model(&inst);
+    let bytes = model.to_bytes();
+    let restored = SlimFastModel::from_bytes(&bytes).unwrap();
+
+    let mut engine = FusionEngine::from_model(
+        SlimFast::erm(SlimFastConfig::default()),
+        restored,
+        OptimizerDecision::Erm,
+        inst.dataset.clone(),
+        inst.features.clone(),
+        train,
+        RefitPolicy::Never,
+    );
+    let direct = model.predict(&inst.dataset, &inst.features);
+    let served = engine.predict();
+    for o in inst.dataset.object_ids() {
+        assert_eq!(direct.get(o), served.get(o));
+    }
+    assert_eq!(engine.refit_count(), 0);
+}
