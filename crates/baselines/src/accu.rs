@@ -134,21 +134,22 @@ impl FusionEstimator for Accu {
         let truth = input.train_truth;
 
         // Initial accuracies: empirical fraction correct on labelled objects when a source
-        // has any, otherwise the configured prior.
-        let mut correct = vec![0.0f64; dataset.num_sources()];
-        let mut labelled = vec![0.0f64; dataset.num_sources()];
-        for obs in dataset.observations() {
-            if let Some(label) = truth.get(obs.object) {
-                labelled[obs.source.index()] += 1.0;
-                if obs.value == label {
-                    correct[obs.source.index()] += 1.0;
-                }
-            }
-        }
-        let accuracies: Vec<f64> = (0..dataset.num_sources())
+        // has any, otherwise the configured prior. One pass per contiguous CSR source row.
+        let accuracies: Vec<f64> = dataset
+            .source_ids()
             .map(|s| {
-                if labelled[s] > 0.0 {
-                    (correct[s] / labelled[s]).clamp(0.05, 0.95)
+                let mut correct = 0.0f64;
+                let mut labelled = 0.0f64;
+                for &(o, v) in dataset.observations_by_source(s) {
+                    if let Some(label) = truth.get(o) {
+                        labelled += 1.0;
+                        if v == label {
+                            correct += 1.0;
+                        }
+                    }
+                }
+                if labelled > 0.0 {
+                    (correct / labelled).clamp(0.05, 0.95)
                 } else {
                     self.initial_accuracy
                 }

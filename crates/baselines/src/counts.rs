@@ -113,21 +113,24 @@ impl FusionEstimator for Counts {
         let dataset = input.dataset;
         let truth = input.train_truth;
 
-        // Supervised accuracy estimates with Laplace smoothing toward the prior.
-        let mut correct = vec![0.0f64; dataset.num_sources()];
-        let mut total = vec![0.0f64; dataset.num_sources()];
-        for obs in dataset.observations() {
-            if let Some(label) = truth.get(obs.object) {
-                total[obs.source.index()] += 1.0;
-                if obs.value == label {
-                    correct[obs.source.index()] += 1.0;
+        // Supervised accuracy estimates with Laplace smoothing toward the prior. The
+        // counting pass walks each source's contiguous CSR row once instead of scattering
+        // over the insertion-order log.
+        let accuracies: Vec<f64> = dataset
+            .source_ids()
+            .map(|s| {
+                let mut correct = 0.0f64;
+                let mut total = 0.0f64;
+                for &(o, v) in dataset.observations_by_source(s) {
+                    if let Some(label) = truth.get(o) {
+                        total += 1.0;
+                        if v == label {
+                            correct += 1.0;
+                        }
+                    }
                 }
-            }
-        }
-        let accuracies: Vec<f64> = correct
-            .iter()
-            .zip(&total)
-            .map(|(c, t)| (c + self.smoothing * self.prior_accuracy) / (t + self.smoothing))
+                (correct + self.smoothing * self.prior_accuracy) / (total + self.smoothing)
+            })
             .map(|a| a.clamp(0.01, 0.99))
             .collect();
         Box::new(FittedCounts {

@@ -1,0 +1,237 @@
+//! Scaling bench: fit cost and dataset memory footprint over a sources × objects grid.
+//!
+//! For every grid point this bench generates a synthetic instance, reports the CSR
+//! storage footprint (bytes per claim, with the estimated pre-CSR nested-layout
+//! equivalent), and times an unsupervised EM fit — the paper's "millions of claims"
+//! regime — at one worker thread and at four. The two fits are asserted to produce
+//! bitwise-identical weights (the executor's core guarantee) before any timing is
+//! trusted. A machine-readable summary is written to `BENCH_scaling.json` at the
+//! workspace root (override with the `BENCH_SCALING_OUT` environment variable) so the
+//! performance trajectory can be tracked across PRs.
+//!
+//! `SLIMFAST_SCALE=full` adds a half-million-claim point; the default quick grid tops
+//! out at 200k claims. Passing `--test` (as `cargo test --benches` and CI do) runs the
+//! smallest point once and skips the large ones.
+
+use std::time::Instant;
+
+use criterion::Criterion;
+
+use slimfast_core::{exec, SlimFast, SlimFastConfig};
+use slimfast_data::{FusionInput, GroundTruth};
+use slimfast_datagen::{
+    AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig, SyntheticInstance,
+};
+
+struct GridPoint {
+    name: &'static str,
+    sources: usize,
+    objects: usize,
+    density: f64,
+}
+
+const QUICK_GRID: &[GridPoint] = &[
+    GridPoint {
+        name: "100x1k",
+        sources: 100,
+        objects: 1_000,
+        density: 0.05,
+    },
+    GridPoint {
+        name: "200x5k",
+        sources: 200,
+        objects: 5_000,
+        density: 0.05,
+    },
+    GridPoint {
+        name: "400x10k",
+        sources: 400,
+        objects: 10_000,
+        density: 0.05,
+    },
+];
+
+const FULL_EXTRA: &[GridPoint] = &[GridPoint {
+    name: "500x25k",
+    sources: 500,
+    objects: 25_000,
+    density: 0.04,
+}];
+
+fn generate(point: &GridPoint) -> SyntheticInstance {
+    SyntheticConfig {
+        name: point.name.into(),
+        num_sources: point.sources,
+        num_objects: point.objects,
+        domain_size: 2,
+        pattern: ObservationPattern::Bernoulli(point.density),
+        accuracy: AccuracyModel {
+            mean: 0.72,
+            spread: 0.12,
+        },
+        features: FeatureModel {
+            num_predictive: 3,
+            num_noise: 2,
+            predictive_strength: 0.2,
+        },
+        copying: None,
+        seed: 20170514,
+    }
+    .generate()
+}
+
+/// The fit configuration of the scaling sweep: unsupervised EM with a reduced iteration
+/// budget (the per-iteration cost is what scales; the iteration count is a constant).
+fn fit_config(threads: usize) -> SlimFastConfig {
+    SlimFastConfig {
+        em: slimfast_core::config::EmConfig {
+            max_iterations: 5,
+            m_step_epochs: 4,
+            ..Default::default()
+        },
+        threads,
+        ..SlimFastConfig::default()
+    }
+}
+
+struct PointReport {
+    name: String,
+    sources: usize,
+    objects: usize,
+    claims: usize,
+    bytes_per_claim: f64,
+    nested_bytes_per_claim: f64,
+    fit_secs_t1: f64,
+    fit_secs_t4: f64,
+    predict_secs: f64,
+}
+
+fn run_point(point: &GridPoint) -> PointReport {
+    let instance = generate(point);
+    let stats = instance.dataset.storage_stats();
+    let truth = GroundTruth::empty(instance.dataset.num_objects());
+    let input = FusionInput::new(&instance.dataset, &instance.features, &truth);
+
+    let timed_fit = |threads: usize| {
+        let estimator = SlimFast::em(fit_config(threads));
+        let start = Instant::now();
+        let (model, _) = estimator.train(&input);
+        (start.elapsed().as_secs_f64(), model)
+    };
+    let (fit_secs_t1, model_t1) = timed_fit(1);
+    let (fit_secs_t4, model_t4) = timed_fit(4);
+
+    // The executor contract: thread counts change wall-clock time, never results —
+    // asserted on the raw weight bits, the strongest form of the invariant.
+    let bits = |m: &slimfast_core::SlimFastModel| -> Vec<u64> {
+        m.weights().iter().map(|w| w.to_bits()).collect()
+    };
+    assert_eq!(
+        bits(&model_t1),
+        bits(&model_t4),
+        "thread count changed fitted weights at {}",
+        point.name
+    );
+
+    let start = Instant::now();
+    let _ = model_t1.predict(&instance.dataset, &instance.features);
+    let predict_secs = start.elapsed().as_secs_f64();
+
+    PointReport {
+        name: point.name.to_string(),
+        sources: point.sources,
+        objects: point.objects,
+        claims: stats.num_observations,
+        bytes_per_claim: stats.bytes_per_claim(),
+        nested_bytes_per_claim: stats.nested_bytes_per_claim(),
+        fit_secs_t1,
+        fit_secs_t4,
+        predict_secs,
+    }
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Grid names are static identifiers; assert rather than escape.
+    assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == 'x'));
+    name
+}
+
+fn write_json(reports: &[PointReport]) -> std::io::Result<String> {
+    let path = std::env::var("BENCH_SCALING_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_scaling.json", env!("CARGO_MANIFEST_DIR")));
+    let mut out = String::from("{\n  \"bench\": \"scaling\",\n");
+    out.push_str(&format!(
+        "  \"default_threads\": {},\n  \"grid\": [\n",
+        exec::num_threads()
+    ));
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"sources\": {}, \"objects\": {}, \"claims\": {}, ",
+                "\"bytes_per_claim\": {:.2}, \"nested_bytes_per_claim\": {:.2}, ",
+                "\"fit_secs_t1\": {:.4}, \"fit_secs_t4\": {:.4}, ",
+                "\"claims_per_sec_t1\": {:.0}, \"claims_per_sec_t4\": {:.0}, ",
+                "\"predict_secs\": {:.4}}}{}\n"
+            ),
+            json_escape_free(&r.name),
+            r.sources,
+            r.objects,
+            r.claims,
+            r.bytes_per_claim,
+            r.nested_bytes_per_claim,
+            r.fit_secs_t1,
+            r.fit_secs_t4,
+            r.claims as f64 / r.fit_secs_t1.max(1e-9),
+            r.claims as f64 / r.fit_secs_t4.max(1e-9),
+            r.predict_secs,
+            if i + 1 == reports.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, &out)?;
+    Ok(path)
+}
+
+fn main() {
+    // Reuse the criterion shim's CLI handling so `cargo test --benches` (`--test`) and
+    // name filters behave like every other bench target.
+    let _criterion = Criterion::default().configure_from_args();
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let full = std::env::var("SLIMFAST_SCALE")
+        .map(|s| s.eq_ignore_ascii_case("full"))
+        .unwrap_or(false);
+
+    let mut grid: Vec<&GridPoint> = QUICK_GRID.iter().collect();
+    if full {
+        grid.extend(FULL_EXTRA.iter());
+    }
+    if test_mode {
+        grid.truncate(1);
+    }
+
+    println!(
+        "scaling: {} grid points, default threads = {}",
+        grid.len(),
+        exec::num_threads()
+    );
+    let mut reports = Vec::new();
+    for point in grid {
+        let report = run_point(point);
+        println!(
+            "scaling/{:<10} {:>8} claims  {:>6.1} B/claim (nested {:>6.1})  \
+             fit t1 {:>8.3}s  t4 {:>8.3}s  predict {:>7.4}s",
+            report.name,
+            report.claims,
+            report.bytes_per_claim,
+            report.nested_bytes_per_claim,
+            report.fit_secs_t1,
+            report.fit_secs_t4,
+            report.predict_secs,
+        );
+        reports.push(report);
+    }
+    match write_json(&reports) {
+        Ok(path) => println!("scaling: summary written to {path}"),
+        Err(err) => eprintln!("scaling: could not write summary: {err}"),
+    }
+}

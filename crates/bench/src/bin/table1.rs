@@ -53,4 +53,24 @@ fn main() {
          to estimate reliably (matching the paper's footnote).",
         stats[3].1.avg_observations_per_source
     );
+
+    println!();
+    println!("Storage footprint (columnar CSR layout vs the pre-CSR nested-Vec estimate)\n");
+    println!(
+        "{:<16}{:>14}{:>18}{:>20}{:>10}",
+        "Dataset", "Claims", "CSR B/claim", "Nested B/claim", "Saved"
+    );
+    for inst in &datasets {
+        let storage = inst.dataset.storage_stats();
+        let csr = storage.bytes_per_claim();
+        let nested = storage.nested_bytes_per_claim();
+        println!(
+            "{:<16}{:>14}{:>18.1}{:>20.1}{:>9.0}%",
+            inst.name,
+            storage.num_observations,
+            csr,
+            nested,
+            (1.0 - csr / nested.max(f64::MIN_POSITIVE)) * 100.0
+        );
+    }
 }

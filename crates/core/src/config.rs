@@ -87,6 +87,17 @@ pub struct SlimFastConfig {
     pub optimizer_threshold: f64,
     /// Seed for all stochastic components (SGD shuffles, EM initialisation).
     pub seed: u64,
+    /// Worker threads for the sharded E-step and SGD gradient accumulation. `0` (the
+    /// default) resolves the `SLIMFAST_THREADS` environment variable, then the
+    /// machine's available parallelism (see [`crate::exec`]). Fits are
+    /// bitwise-identical at any thread count; this knob only changes wall-clock time.
+    pub threads: usize,
+    /// Examples per SGD parameter update on large objectives. `1` is classic
+    /// per-example SGD; larger values enable the deterministic parallel minimizer,
+    /// which batches gradient accumulation over fixed-size example chunks. Batching
+    /// only engages on objectives with at least `4 × batch_size` examples, so small
+    /// instances keep per-example updates regardless.
+    pub batch_size: usize,
 }
 
 impl Default for SlimFastConfig {
@@ -99,6 +110,8 @@ impl Default for SlimFastConfig {
             em: EmConfig::default(),
             optimizer_threshold: 0.1,
             seed: 0,
+            threads: 0,
+            batch_size: 256,
         }
     }
 }
@@ -111,6 +124,8 @@ impl SlimFastConfig {
             learning_rate: self.learning_rate,
             penalty: self.penalty,
             seed: self.seed,
+            batch_size: self.batch_size,
+            threads: self.threads,
             ..SgdConfig::default()
         }
     }
@@ -122,6 +137,8 @@ impl SlimFastConfig {
             learning_rate: self.learning_rate,
             penalty: self.penalty,
             seed: self.seed,
+            batch_size: self.batch_size,
+            threads: self.threads,
             ..SgdConfig::default()
         }
     }
@@ -141,6 +158,13 @@ impl SlimFastConfig {
     /// Returns a copy with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with an explicit worker-thread count (`0` = auto-resolve from
+    /// `SLIMFAST_THREADS` / available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

@@ -15,14 +15,21 @@
 //!
 //! The objective is non-convex; Theorem 3 bounds the error of the resulting accuracy
 //! estimates in terms of the source accuracies (`δ`) and the observation density (`p`).
+//!
+//! Both steps run over a [`CompiledProblem`] built once per fit: the E-step precomputes
+//! one trust score per source and then shards posterior recomputation over object ranges,
+//! and the M-step's gradient accumulation shards over claim chunks — all with fixed-order
+//! reductions, so a fit is bitwise-identical at any `SLIMFAST_THREADS` setting.
 
-use slimfast_optim::{BinaryExample, BinaryLogisticRegression, SparseVec};
+use slimfast_optim::minimize;
 
 use slimfast_data::{Dataset, FeatureMatrix, GroundTruth};
 
+use crate::compile::CompiledProblem;
 use crate::config::SlimFastConfig;
-use crate::erm::train_erm;
-use crate::model::{ParameterSpace, SlimFastModel};
+use crate::erm::train_erm_compiled;
+use crate::exec;
+use crate::model::SlimFastModel;
 
 /// Diagnostics of an EM run.
 #[derive(Debug, Clone)]
@@ -35,15 +42,16 @@ pub struct EmTrace {
     pub converged: bool,
 }
 
-/// Trains a SLiMFast model with (semi-supervised) EM and returns the model together with
-/// its convergence trace.
-pub fn train_em_traced(
+/// Trains a SLiMFast model with (semi-supervised) EM on an already-compiled problem,
+/// returning the model together with its convergence trace. `dataset` is only consulted
+/// for the agreement-based accuracy prior that breaks the EM symmetry.
+pub fn train_em_compiled(
+    problem: &CompiledProblem,
     dataset: &Dataset,
-    features: &FeatureMatrix,
-    truth: &GroundTruth,
     config: &SlimFastConfig,
 ) -> (SlimFastModel, EmTrace) {
-    let space = ParameterSpace::new(dataset, features);
+    let space = problem.space();
+    let threads = exec::resolve_threads(config.threads);
 
     // Symmetry breaking. The all-zero weight vector is a stationary point of the EM
     // objective (uniform posteriors produce zero M-step gradients) and the objective has a
@@ -60,12 +68,12 @@ pub fn train_em_traced(
     // semi-supervised setup does (labels become evidence) and a much better starting point
     // than zeros for the non-convex objective. Sources the ERM fit never saw keep the
     // positive prior.
-    let mut model = if truth.is_empty() {
+    let mut model = if problem.num_labeled() == 0 {
         let mut weights = vec![0.0; space.len()];
         weights[..space.num_sources].fill(prior_weight);
         SlimFastModel::new(space, weights)
     } else {
-        let mut fitted = train_erm(dataset, features, truth, config);
+        let mut fitted = train_erm_compiled(problem, config);
         for s in 0..space.num_sources {
             if fitted.weights()[s] == 0.0 {
                 fitted.weights_mut()[s] = prior_weight;
@@ -74,83 +82,35 @@ pub fn train_em_traced(
         fitted
     };
 
-    // Pre-build the per-observation examples once; only the targets change per iteration.
-    // Each observation (s, o, v) yields one binary "source s was correct on o" example
-    // whose features are the source indicator plus the source's domain features, and whose
-    // target is overwritten by the E-step. Labelled objects clamp the target to 0/1.
-    let mut objects = Vec::new();
-    // Parallel to `examples`: which object's posterior, and which domain position, feeds
-    // each example's target.
-    let mut targets_from = Vec::new();
-    let mut examples = Vec::new();
-    for o in dataset.object_ids() {
-        let domain = dataset.domain(o);
-        if domain.is_empty() {
-            continue;
-        }
-        let label = truth
-            .get(o)
-            .and_then(|v| domain.iter().position(|&d| d == v));
-        let object_slot = objects.len();
-        for &(s, value) in dataset.observations_for_object(o) {
-            let Some(class) = domain.iter().position(|&d| d == value) else {
-                continue;
-            };
-            let mut x = SparseVec::new();
-            x.add(space.source_param(s), 1.0);
-            for (k, fv) in features.features_of(s) {
-                x.add(space.feature_param(*k), *fv);
-            }
-            targets_from.push((object_slot, class));
-            examples.push(BinaryExample {
-                features: x,
-                target: 0.0,
-                weight: 1.0,
-            });
-        }
-        objects.push((o, label));
-    }
+    // Flat per-iteration buffers, allocated once and refilled by the E-step.
+    let mut posteriors: Vec<f64> = Vec::new();
+    let mut targets: Vec<f64> = Vec::new();
 
     let mut deltas = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
     for iteration in 0..config.em.max_iterations {
         iterations = iteration + 1;
-        // --- E-step: posterior over every object's value (clamped on labelled ones). --
-        let posteriors: Vec<Vec<f64>> = objects
-            .iter()
-            .map(|&(o, label)| match label {
-                Some(idx) => {
-                    let mut point = vec![0.0; dataset.domain(o).len()];
-                    point[idx] = 1.0;
-                    point
-                }
-                None => model.posterior(dataset, features, o),
-            })
-            .collect();
+        // --- E-step: posterior over every object's value (clamped on labelled ones),
+        //     plus the per-claim correctness targets. ---------------------------------
+        let trust = problem.trust_scores(model.weights());
+        problem.e_step(&trust, threads, &mut posteriors, &mut targets);
 
         // --- M-step: refit the accuracy model against the posterior correctness targets,
         //     warm-started from the current weights. -----------------------------------
-        for (example, &(object_slot, class)) in examples.iter_mut().zip(&targets_from) {
-            example.target = posteriors[object_slot].get(class).copied().unwrap_or(0.0);
-        }
         let mut sgd = config.m_step_sgd();
         // Vary the shuffle order across iterations while staying deterministic overall.
         sgd.seed = config.seed.wrapping_add(iteration as u64);
-        let fit = BinaryLogisticRegression::fit_warm(
-            &examples,
-            space.len(),
-            &sgd,
-            Some(model.weights().to_vec()),
-        );
+        let objective = problem.claim_objective(&targets);
+        let fit = minimize(&objective, Some(model.weights().to_vec()), &sgd);
         let delta = fit
-            .weights()
+            .weights
             .iter()
             .zip(model.weights())
             .map(|(new, old)| (new - old).abs())
             .fold(0.0f64, f64::max);
         deltas.push(delta);
-        model = SlimFastModel::new(space, fit.weights().to_vec());
+        model = SlimFastModel::new(space, fit.weights);
         if delta < config.em.tolerance {
             converged = true;
             break;
@@ -165,6 +125,18 @@ pub fn train_em_traced(
             converged,
         },
     )
+}
+
+/// Compiles the instance and trains a SLiMFast model with (semi-supervised) EM,
+/// returning the model together with its convergence trace.
+pub fn train_em_traced(
+    dataset: &Dataset,
+    features: &FeatureMatrix,
+    truth: &GroundTruth,
+    config: &SlimFastConfig,
+) -> (SlimFastModel, EmTrace) {
+    let problem = CompiledProblem::compile(dataset, features, truth);
+    train_em_compiled(&problem, dataset, config)
 }
 
 /// Trains a SLiMFast model with EM, discarding the trace.
@@ -305,5 +277,28 @@ mod tests {
         let a = train_em(&inst.dataset, &inst.features, &empty, &config);
         let b = train_em(&inst.dataset, &inst.features, &empty, &config);
         assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn em_is_bitwise_identical_across_thread_counts() {
+        let inst = instance(0.72, 0.2, 6);
+        let empty = GroundTruth::empty(inst.dataset.num_objects());
+        let fit_with = |threads: usize| {
+            let config = SlimFastConfig {
+                threads,
+                ..SlimFastConfig::default()
+            };
+            train_em(&inst.dataset, &inst.features, &empty, &config)
+        };
+        let reference = fit_with(1);
+        for threads in [2, 4] {
+            let model = fit_with(threads);
+            let bits = |w: &[f64]| w.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(reference.weights()),
+                bits(model.weights()),
+                "threads = {threads}"
+            );
+        }
     }
 }

@@ -4,83 +4,45 @@
 //! model of Equation 4 is a *convex* function of the weights (no latent variables are
 //! involved), so ERM simply runs SGD on that conditional log-loss. Theorem 1/2 bound the
 //! excess risk of the resulting model by `O(√(|K|/|G|) · log|G|)`.
+//!
+//! The learner runs against a [`CompiledProblem`] — the flat, columnar form of the
+//! instance built once per fit — so each SGD epoch is pure index arithmetic over
+//! contiguous arrays (see [`CompiledProblem::erm_objective`]).
 
-use slimfast_optim::{ConditionalExample, ConditionalLogit, SparseVec, Target};
+use slimfast_optim::minimize;
 
-use slimfast_data::{Dataset, FeatureMatrix, GroundTruth, ObjectId};
+use slimfast_data::{Dataset, FeatureMatrix, GroundTruth};
 
+use crate::compile::CompiledProblem;
 use crate::config::SlimFastConfig;
-use crate::model::{ParameterSpace, SlimFastModel};
+use crate::model::SlimFastModel;
 
-/// Builds the conditional-logit example of one object: one candidate class per value in the
-/// object's domain, each class carrying the aggregated claim vectors of the sources that
-/// voted for that value. Returns `None` for objects without observations.
-pub(crate) fn object_example(
-    dataset: &Dataset,
-    features: &FeatureMatrix,
-    space: &ParameterSpace,
-    o: ObjectId,
-) -> Option<Vec<SparseVec>> {
-    let domain = dataset.domain(o);
-    if domain.is_empty() {
-        return None;
-    }
-    let mut classes: Vec<SparseVec> = vec![SparseVec::new(); domain.len()];
-    for &(s, value) in dataset.observations_for_object(o) {
-        let Some(idx) = domain.iter().position(|&d| d == value) else {
-            continue;
-        };
-        classes[idx].add(space.source_param(s), 1.0);
-        for (k, fv) in features.features_of(s) {
-            classes[idx].add(space.feature_param(*k), *fv);
-        }
-    }
-    Some(classes)
-}
-
-/// Builds the supervised training set: one hard-labelled conditional example per labelled
-/// object whose true value appears in its observed domain.
-pub(crate) fn labeled_examples(
-    dataset: &Dataset,
-    features: &FeatureMatrix,
-    space: &ParameterSpace,
-    truth: &GroundTruth,
-) -> Vec<ConditionalExample> {
-    let mut examples = Vec::with_capacity(truth.num_labeled());
-    for (o, v) in truth.labeled() {
-        let Some(classes) = object_example(dataset, features, space, o) else {
-            continue;
-        };
-        let Some(label) = dataset.domain(o).iter().position(|&d| d == v) else {
-            continue;
-        };
-        examples.push(ConditionalExample {
-            classes,
-            target: Target::Hard(label),
-            weight: 1.0,
-        });
-    }
-    examples
-}
-
-/// Trains a SLiMFast model with ERM on the labelled objects.
+/// Trains a SLiMFast model with ERM on the labelled objects of an already-compiled
+/// problem. This is the path the estimator takes: compile once, then learn.
 ///
-/// With no usable labels this returns the zero model (uniform posteriors, accuracy 0.5 for
-/// every source), which is also what the paper's framework degrades to before any evidence
-/// arrives.
+/// With no usable labels this returns the zero model (uniform posteriors, accuracy 0.5
+/// for every source), which is also what the paper's framework degrades to before any
+/// evidence arrives.
+pub fn train_erm_compiled(problem: &CompiledProblem, config: &SlimFastConfig) -> SlimFastModel {
+    let space = problem.space();
+    if problem.num_labeled() == 0 {
+        return SlimFastModel::zeros(space);
+    }
+    let objective = problem.erm_objective();
+    let fit = minimize(&objective, None, &config.erm_sgd());
+    SlimFastModel::new(space, fit.weights)
+}
+
+/// Compiles the instance and trains with ERM. Convenience wrapper around
+/// [`train_erm_compiled`] for callers that fit once.
 pub fn train_erm(
     dataset: &Dataset,
     features: &FeatureMatrix,
     truth: &GroundTruth,
     config: &SlimFastConfig,
 ) -> SlimFastModel {
-    let space = ParameterSpace::new(dataset, features);
-    let examples = labeled_examples(dataset, features, &space, truth);
-    if examples.is_empty() {
-        return SlimFastModel::zeros(space);
-    }
-    let fit = ConditionalLogit::fit(&examples, space.len(), &config.erm_sgd());
-    SlimFastModel::new(space, fit.weights().to_vec())
+    let problem = CompiledProblem::compile(dataset, features, truth);
+    train_erm_compiled(&problem, config)
 }
 
 #[cfg(test)]
@@ -166,21 +128,22 @@ mod tests {
     }
 
     #[test]
-    fn labeled_examples_skip_objects_whose_truth_was_never_claimed() {
+    fn compiled_problems_skip_objects_whose_truth_was_never_claimed() {
         let mut b = slimfast_data::DatasetBuilder::new();
         b.observe("s0", "o0", "a").unwrap();
         b.observe("s1", "o0", "b").unwrap();
         b.observe("s0", "o1", "a").unwrap();
         let d = b.build();
         let f = FeatureMatrix::empty(d.num_sources());
-        let space = ParameterSpace::new(&d, &f);
         // o1's "true" value is one nobody claimed; under single-truth semantics such labels
         // cannot be used as ERM targets and are skipped.
         let mut truth = GroundTruth::empty(d.num_objects());
         truth.set(d.object_id("o0").unwrap(), d.value_id("a").unwrap());
         truth.set(d.object_id("o1").unwrap(), d.value_id("b").unwrap());
-        let examples = labeled_examples(&d, &f, &space, &truth);
-        assert_eq!(examples.len(), 1);
+        let problem = CompiledProblem::compile(&d, &f, &truth);
+        assert_eq!(problem.num_labeled(), 1);
+        assert_eq!(problem.num_compiled_objects(), 2);
+        assert_eq!(problem.num_claims(), 3);
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! The deterministic parallel executor used by SLiMFast's training and evaluation
+//! paths.
+//!
+//! This module is the canonical entry point for multi-threading in the repo; the
+//! primitives live in [`slimfast_optim::exec`] (so the optimizer's gradient
+//! accumulation can use them without a dependency cycle) and are re-exported here.
+//!
+//! # Contract
+//!
+//! Every primitive obeys one invariant: **the thread count changes wall-clock time,
+//! never results.** Work is partitioned into a fixed chunk grid that does not depend on
+//! the worker count, chunks are assigned to workers statically, and floating-point
+//! reductions happen on the calling thread in chunk-index order. A model fitted with
+//! `SLIMFAST_THREADS=32` is bitwise-identical to one fitted with `SLIMFAST_THREADS=1`.
+//!
+//! # Configuration
+//!
+//! The worker count defaults to the `SLIMFAST_THREADS` environment variable, falling
+//! back to [`std::thread::available_parallelism`]. Call sites that need an explicit
+//! override (the determinism tests, benchmark sweeps) pass a non-zero count through
+//! [`resolve_threads`] or the `threads` field of
+//! [`SlimFastConfig`](crate::config::SlimFastConfig).
+
+pub use slimfast_optim::exec::{
+    for_each_slice_mut, map_parts, num_threads, resolve_threads, THREADS_ENV,
+};
+
+/// Fixed number of objects per E-step/posterior shard. Constant (never derived from the
+/// thread count) so shard boundaries are identical in every configuration.
+pub const OBJECT_CHUNK: usize = 1024;
+
+/// Cuts `0..len` into [`OBJECT_CHUNK`]-sized part boundaries mapped through `offset_of`
+/// (typically a CSR offset lookup), producing the cumulative slice boundaries that
+/// [`for_each_slice_mut`] expects.
+pub fn chunk_boundaries(len: usize, offset_of: impl Fn(usize) -> usize) -> Vec<usize> {
+    let parts = len.div_ceil(OBJECT_CHUNK);
+    let mut boundaries = Vec::with_capacity(parts + 1);
+    boundaries.push(offset_of(0));
+    for part in 1..=parts {
+        boundaries.push(offset_of((part * OBJECT_CHUNK).min(len)));
+    }
+    if boundaries.len() == 1 {
+        boundaries.push(offset_of(len));
+    }
+    boundaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_cover_the_range() {
+        let offsets: Vec<usize> = (0..=5000).map(|i| i * 3).collect();
+        let b = chunk_boundaries(5000, |i| offsets[i]);
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&15000));
+        assert_eq!(b.len(), 5000usize.div_ceil(OBJECT_CHUNK) + 1);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_range_still_produces_a_valid_grid() {
+        let b = chunk_boundaries(0, |_| 0);
+        assert_eq!(b, vec![0, 0]);
+    }
+}

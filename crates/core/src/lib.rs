@@ -67,12 +67,14 @@ pub mod copying;
 pub mod em;
 pub mod engine;
 pub mod erm;
+pub mod exec;
 pub mod explain;
 pub mod model;
 pub mod optimizer;
 pub mod slimfast;
 pub mod source_init;
 
+pub use compile::CompiledProblem;
 pub use config::{LearnerChoice, RefitPolicy, SlimFastConfig};
 pub use engine::FusionEngine;
 pub use model::{ParameterSpace, SlimFastModel, MODEL_FORMAT_VERSION};

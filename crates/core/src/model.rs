@@ -177,20 +177,41 @@ impl SlimFastModel {
         sigmoid(score)
     }
 
+    /// Fills `scores` with the object's posterior (Eq. 4) using `trust` to score each
+    /// claiming source. The single scoring path behind [`SlimFastModel::posterior`] and
+    /// [`SlimFastModel::predict`], so per-query and bulk inference cannot diverge.
+    fn posterior_into(
+        &self,
+        dataset: &Dataset,
+        o: ObjectId,
+        trust: impl Fn(SourceId) -> f64,
+        scores: &mut Vec<f64>,
+    ) {
+        let domain = dataset.domain(o);
+        scores.clear();
+        scores.resize(domain.len(), 0.0);
+        for &(s, value) in dataset.observations_for_object(o) {
+            if let Some(idx) = domain.iter().position(|&d| d == value) {
+                scores[idx] += trust(s);
+            }
+        }
+        softmax_in_place(scores);
+    }
+
+    /// Index and probability of the most probable entry; `None` for an empty posterior.
+    fn argmax(posterior: &[f64]) -> Option<(usize, f64)> {
+        posterior
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, p)| (i, *p))
+    }
+
     /// The posterior `P(T_o = d | Ω; w)` over the candidate values `D_o` of object `o`
     /// (Eq. 4), in the order of [`Dataset::domain`].
     pub fn posterior(&self, dataset: &Dataset, features: &FeatureMatrix, o: ObjectId) -> Vec<f64> {
-        let domain = dataset.domain(o);
-        if domain.is_empty() {
-            return Vec::new();
-        }
-        let mut scores = vec![0.0f64; domain.len()];
-        for &(s, value) in dataset.observations_for_object(o) {
-            if let Some(idx) = domain.iter().position(|&d| d == value) {
-                scores[idx] += self.trust_score(s, features);
-            }
-        }
-        softmax_in_place(&mut scores);
+        let mut scores = Vec::new();
+        self.posterior_into(dataset, o, |s| self.trust_score(s, features), &mut scores);
         scores
     }
 
@@ -202,24 +223,27 @@ impl SlimFastModel {
         features: &FeatureMatrix,
         o: ObjectId,
     ) -> Option<(ValueId, f64)> {
-        let domain = dataset.domain(o);
-        if domain.is_empty() {
-            return None;
-        }
         let posterior = self.posterior(dataset, features, o);
-        let (best, prob) = posterior
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
-        Some((domain[best], *prob))
+        let (best, prob) = Self::argmax(&posterior)?;
+        Some((dataset.domain(o)[best], prob))
     }
 
     /// MAP assignment over all objects.
+    ///
+    /// Trust scores are precomputed once per source (instead of re-deriving the feature
+    /// dot product per claim), so a full prediction pass is `O(|S|·|K| + |Ω|)` over the
+    /// dataset's contiguous CSR arrays.
     pub fn predict(&self, dataset: &Dataset, features: &FeatureMatrix) -> TruthAssignment {
+        let trust: Vec<f64> = dataset
+            .source_ids()
+            .map(|s| self.trust_score(s, features))
+            .collect();
         let mut assignment = TruthAssignment::empty(dataset.num_objects());
+        let mut scores: Vec<f64> = Vec::new();
         for o in dataset.object_ids() {
-            if let Some((value, prob)) = self.map_value(dataset, features, o) {
-                assignment.assign(o, value, prob);
+            self.posterior_into(dataset, o, |s| trust[s.index()], &mut scores);
+            if let Some((best, prob)) = Self::argmax(&scores) {
+                assignment.assign(o, dataset.domain(o)[best], prob);
             }
         }
         assignment

@@ -8,9 +8,10 @@ use slimfast_data::{
     TruthAssignment,
 };
 
+use crate::compile::CompiledProblem;
 use crate::config::{LearnerChoice, SlimFastConfig};
-use crate::em::train_em;
-use crate::erm::train_erm;
+use crate::em::train_em_compiled;
+use crate::erm::train_erm_compiled;
 use crate::model::SlimFastModel;
 use crate::optimizer::{decide, OptimizerDecision, OptimizerReport};
 
@@ -78,25 +79,19 @@ impl SlimFast {
 
     /// Trains a model on the given input, resolving `Auto` through the optimizer, and
     /// returns the fitted model together with the algorithm that was used.
+    ///
+    /// The instance is compiled into a [`CompiledProblem`] exactly once per call; both
+    /// learners (and EM's ERM warm start) run over the same compiled arrays.
     pub fn train(&self, input: &FusionInput<'_>) -> (SlimFastModel, OptimizerDecision) {
         let decision = match self.config.learner {
             LearnerChoice::Erm => OptimizerDecision::Erm,
             LearnerChoice::Em => OptimizerDecision::Em,
             LearnerChoice::Auto => self.plan(input).decision,
         };
+        let problem = CompiledProblem::compile(input.dataset, input.features, input.train_truth);
         let model = match decision {
-            OptimizerDecision::Erm => train_erm(
-                input.dataset,
-                input.features,
-                input.train_truth,
-                &self.config,
-            ),
-            OptimizerDecision::Em => train_em(
-                input.dataset,
-                input.features,
-                input.train_truth,
-                &self.config,
-            ),
+            OptimizerDecision::Erm => train_erm_compiled(&problem, &self.config),
+            OptimizerDecision::Em => train_em_compiled(&problem, input.dataset, &self.config).0,
         };
         (model, decision)
     }

@@ -1,4 +1,11 @@
 //! The indexed collection of source observations that constitutes a fusion instance.
+//!
+//! Storage is columnar: all adjacency is kept in flat CSR (compressed sparse row)
+//! arrays — one contiguous entry vector plus a `u32` offset vector per index — instead
+//! of nested `Vec<Vec<_>>`s. Hot loops in learning and inference walk these arrays
+//! sequentially, which keeps them cache-resident and makes them trivially shardable
+//! across threads by object or source ranges. Neighbor lists are sorted, so point
+//! lookups ([`Dataset::value_of`]) are binary searches instead of linear scans.
 
 use std::collections::HashMap;
 
@@ -10,8 +17,14 @@ use crate::observation::Observation;
 /// per-object and per-source adjacency needed by learning and inference.
 ///
 /// A `Dataset` is constructed through a [`DatasetBuilder`]; once built it is cheap to share
-/// (all methods take `&self`) and all lookups are `O(1)` or proportional to the size of the
-/// answer.
+/// (all methods take `&self`) and all lookups are `O(1)`, `O(log n)`, or proportional to
+/// the size of the answer.
+///
+/// Internally the three indexes (`by_object`, `by_source`, `domains`) are CSR layouts:
+/// the entries of row `i` live at `entries[offsets[i] as usize..offsets[i + 1] as usize]`,
+/// a contiguous slice handed out by the accessors. `by_object` rows are sorted by
+/// [`SourceId`] and `by_source` rows by [`ObjectId`]; domains stay in first-seen order
+/// (the paper's `D_o` is an ordered candidate list that learning code indexes into).
 ///
 /// ```
 /// use slimfast_data::DatasetBuilder;
@@ -34,23 +47,75 @@ use crate::observation::Observation;
 #[derive(Debug, Clone)]
 pub struct Dataset {
     observations: Vec<Observation>,
-    by_object: Vec<Vec<(SourceId, ValueId)>>,
-    by_source: Vec<Vec<(ObjectId, ValueId)>>,
-    object_domains: Vec<Vec<ValueId>>,
+    /// CSR entries of the object index, sorted by source within each row.
+    by_object: Vec<(SourceId, ValueId)>,
+    by_object_offsets: Vec<u32>,
+    /// CSR entries of the source index, sorted by object within each row.
+    by_source: Vec<(ObjectId, ValueId)>,
+    by_source_offsets: Vec<u32>,
+    /// CSR entries of the per-object candidate domains, in first-seen order.
+    domains: Vec<ValueId>,
+    domain_offsets: Vec<u32>,
     sources: Interner<SourceId>,
     objects: Interner<ObjectId>,
     values: Interner<ValueId>,
 }
 
+/// Heap footprint of a [`Dataset`]'s observation storage, reported by
+/// [`Dataset::storage_stats`] for capacity planning and the bench harness's
+/// bytes-per-claim tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Number of stored observations (claims).
+    pub num_observations: usize,
+    /// Bytes held by the insertion-order observation log.
+    pub log_bytes: usize,
+    /// Bytes held by the CSR indexes (entries plus offsets for `by_object`,
+    /// `by_source`, and the domains).
+    pub index_bytes: usize,
+    /// Estimated bytes the same indexes would occupy in the pre-CSR nested
+    /// `Vec<Vec<_>>` layout (one 24-byte `Vec` header per row plus the entries),
+    /// for before/after comparisons.
+    pub nested_equivalent_bytes: usize,
+}
+
+impl StorageStats {
+    /// Total CSR bytes (log plus indexes).
+    pub fn total_bytes(&self) -> usize {
+        self.log_bytes + self.index_bytes
+    }
+
+    /// CSR bytes per claim; `0.0` for an empty dataset.
+    pub fn bytes_per_claim(&self) -> f64 {
+        if self.num_observations == 0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / self.num_observations as f64
+    }
+
+    /// Estimated nested-layout bytes per claim; `0.0` for an empty dataset.
+    pub fn nested_bytes_per_claim(&self) -> f64 {
+        if self.num_observations == 0 {
+            return 0.0;
+        }
+        (self.log_bytes + self.nested_equivalent_bytes) as f64 / self.num_observations as f64
+    }
+}
+
+#[inline]
+fn csr_range(offsets: &[u32], i: usize) -> std::ops::Range<usize> {
+    offsets[i] as usize..offsets[i + 1] as usize
+}
+
 impl Dataset {
     /// Number of distinct sources `|S|`.
     pub fn num_sources(&self) -> usize {
-        self.by_source.len()
+        self.by_source_offsets.len() - 1
     }
 
     /// Number of distinct objects `|O|`.
     pub fn num_objects(&self) -> usize {
-        self.by_object.len()
+        self.by_object_offsets.len() - 1
     }
 
     /// Number of distinct values across all objects.
@@ -76,27 +141,28 @@ impl Dataset {
         &self.observations
     }
 
-    /// The observations `(source, value)` made about object `o`.
+    /// The observations `(source, value)` made about object `o`, sorted by source handle.
     pub fn observations_for_object(&self, o: ObjectId) -> &[(SourceId, ValueId)] {
-        &self.by_object[o.index()]
+        &self.by_object[csr_range(&self.by_object_offsets, o.index())]
     }
 
-    /// The observations `(object, value)` made by source `s`.
+    /// The observations `(object, value)` made by source `s`, sorted by object handle.
     pub fn observations_by_source(&self, s: SourceId) -> &[(ObjectId, ValueId)] {
-        &self.by_source[s.index()]
+        &self.by_source[csr_range(&self.by_source_offsets, s.index())]
     }
 
     /// The distinct values `D_o` that sources assigned to object `o`, in first-seen order.
     pub fn domain(&self, o: ObjectId) -> &[ValueId] {
-        &self.object_domains[o.index()]
+        &self.domains[csr_range(&self.domain_offsets, o.index())]
     }
 
-    /// The value source `s` asserted for object `o`, if any.
+    /// The value source `s` asserted for object `o`, if any. Binary search over the
+    /// source's sorted neighbor list.
     pub fn value_of(&self, s: SourceId, o: ObjectId) -> Option<ValueId> {
-        self.by_source[s.index()]
-            .iter()
-            .find(|(obj, _)| *obj == o)
-            .map(|(_, v)| *v)
+        let row = self.observations_by_source(s);
+        row.binary_search_by_key(&o, |&(obj, _)| obj)
+            .ok()
+            .map(|i| row[i].1)
     }
 
     /// Fraction of the `|S| × |O|` source/object grid that carries an observation
@@ -127,11 +193,9 @@ impl Dataset {
 
     /// Objects for which at least two distinct values were reported.
     pub fn conflicting_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.object_domains
-            .iter()
-            .enumerate()
-            .filter(|(_, dom)| dom.len() > 1)
-            .map(|(i, _)| ObjectId::new(i))
+        (0..self.num_objects())
+            .filter(|&i| self.domain_offsets[i + 1] - self.domain_offsets[i] > 1)
+            .map(ObjectId::new)
     }
 
     /// Iterates over every object handle.
@@ -174,55 +238,109 @@ impl Dataset {
         self.values.get(name)
     }
 
+    /// Heap footprint of the observation log and CSR indexes, with an estimate of the
+    /// equivalent nested-`Vec` layout for before/after comparisons.
+    pub fn storage_stats(&self) -> StorageStats {
+        use std::mem::size_of;
+        let entry = size_of::<(SourceId, ValueId)>();
+        let log_bytes = self.observations.len() * size_of::<Observation>();
+        let index_bytes = self.by_object.len() * entry
+            + self.by_source.len() * entry
+            + self.domains.len() * size_of::<ValueId>()
+            + (self.by_object_offsets.len()
+                + self.by_source_offsets.len()
+                + self.domain_offsets.len())
+                * size_of::<u32>();
+        // The pre-CSR layout kept one Vec per object row, per source row, and per
+        // domain row; a Vec header is 3 words (ptr, len, cap) = 24 bytes on 64-bit.
+        const VEC_HEADER: usize = 24;
+        let nested_equivalent_bytes = self.by_object.len() * entry
+            + self.by_source.len() * entry
+            + self.domains.len() * size_of::<ValueId>()
+            + (2 * self.num_objects() + self.num_sources()) * VEC_HEADER;
+        StorageStats {
+            num_observations: self.observations.len(),
+            log_bytes,
+            index_bytes,
+            nested_equivalent_bytes,
+        }
+    }
+
     /// Reopens the dataset as a [`DatasetBuilder`] that already contains every
     /// observation and the full source/object/value vocabulary, so new claims can be
     /// appended as a *delta* without disturbing existing handles.
     ///
     /// This is the ingestion path of the incremental serving engine: a model fitted on
     /// this dataset keeps answering queries on the grown dataset because every handle it
-    /// learned remains valid.
+    /// learned remains valid. The builder is created with capacity hints sized from this
+    /// dataset, so appending a delta of comparable size does not reallocate.
     pub fn to_builder(&self) -> DatasetBuilder {
-        let mut builder = DatasetBuilder::with_capacity(self.num_observations());
-        builder.sources = self.sources.clone();
-        builder.objects = self.objects.clone();
-        builder.values = self.values.clone();
-        builder.num_sources = self.num_sources();
-        builder.num_objects = self.num_objects();
-        builder.num_values = self.num_values();
+        let mut seen: HashMap<(SourceId, ObjectId), ValueId> =
+            HashMap::with_capacity(self.num_observations() * 2);
         for obs in &self.observations {
-            builder
-                .observe_ids(obs.source, obs.object, obs.value)
-                .expect("an existing dataset cannot contain conflicting observations");
+            seen.insert((obs.source, obs.object), obs.value);
         }
-        builder
+        let mut observations = Vec::with_capacity(self.num_observations() * 2);
+        observations.extend_from_slice(&self.observations);
+        DatasetBuilder {
+            observations,
+            seen,
+            sources: self.sources.clone(),
+            objects: self.objects.clone(),
+            values: self.values.clone(),
+            num_sources: self.num_sources(),
+            num_objects: self.num_objects(),
+            num_values: self.num_values(),
+        }
     }
 
     /// Returns a new dataset restricted to the given sources (handles are re-numbered
-    /// densely, objects left intact). Used by the source-quality-initialization experiment
-    /// (Figure 7), which hides a fraction of the sources during training.
+    /// densely in sorted order, objects left intact). Used by the
+    /// source-quality-initialization experiment (Figure 7), which hides a fraction of the
+    /// sources during training.
+    ///
+    /// Source names survive the restriction: when every kept source is named, the
+    /// restricted dataset maps the same names to the re-numbered handles.
     pub fn restrict_sources(&self, keep: &[SourceId]) -> (Dataset, Vec<SourceId>) {
         let mut keep_sorted: Vec<SourceId> = keep.to_vec();
         keep_sorted.sort_unstable();
         keep_sorted.dedup();
-        let mut remap: HashMap<SourceId, SourceId> = HashMap::with_capacity(keep_sorted.len());
+        // Dense remap table: old source index -> new handle. O(1) per observation,
+        // no hashing on the hot path.
+        let mut remap: Vec<Option<SourceId>> = vec![None; self.num_sources()];
         for (new_idx, &old) in keep_sorted.iter().enumerate() {
-            remap.insert(old, SourceId::new(new_idx));
+            if let Some(slot) = remap.get_mut(old.index()) {
+                *slot = Some(SourceId::new(new_idx));
+            }
         }
-        let mut builder = DatasetBuilder::with_capacity(self.num_observations());
+        // Only the claim-sized vectors need capacity here: all three interners are
+        // replaced below (clones or re-interned kept names).
+        let mut builder = DatasetBuilder {
+            observations: Vec::with_capacity(self.num_observations()),
+            seen: HashMap::with_capacity(self.num_observations()),
+            ..DatasetBuilder::default()
+        };
         // Preserve object and value vocabularies so handles stay comparable across the
-        // restricted and full datasets.
+        // restricted and full datasets; carry source names over when the kept sources
+        // are all named so name lookups keep working.
         builder.objects = self.objects.clone();
         builder.values = self.values.clone();
         builder.num_objects = self.num_objects();
         builder.num_values = self.num_values();
+        if keep_sorted.iter().all(|&s| self.sources.name(s).is_some()) {
+            for &old in &keep_sorted {
+                let name = self.sources.name(old).expect("checked above");
+                builder.sources.intern(name);
+            }
+        }
+        builder.num_sources = keep_sorted.len();
         for obs in &self.observations {
-            if let Some(&new_source) = remap.get(&obs.source) {
+            if let Some(Some(new_source)) = remap.get(obs.source.index()) {
                 builder
-                    .observe_ids(new_source, obs.object, obs.value)
+                    .observe_ids(*new_source, obs.object, obs.value)
                     .expect("restricting sources cannot introduce conflicts");
             }
         }
-        builder.num_objects = self.num_objects();
         (builder.build(), keep_sorted)
     }
 }
@@ -250,11 +368,19 @@ impl DatasetBuilder {
         Self::default()
     }
 
-    /// Creates an empty builder with capacity for `n` observations.
+    /// Creates an empty builder with capacity for `n` observations: the observation log,
+    /// the duplicate-detection map, and the name interners are all pre-reserved so bulk
+    /// ingestion does not reallocate early. Entity counts are far smaller than claim
+    /// counts, so the interner reservations are capped — real vocabularies beyond the
+    /// cap grow amortized as usual, and the built dataset never carries multi-megabyte
+    /// empty interner tables.
     pub fn with_capacity(n: usize) -> Self {
         Self {
             observations: Vec::with_capacity(n),
             seen: HashMap::with_capacity(n),
+            sources: Interner::with_capacity(n.min(1024)),
+            objects: Interner::with_capacity(n.min(1024)),
+            values: Interner::with_capacity(n.min(256)),
             ..Self::default()
         }
     }
@@ -354,25 +480,76 @@ impl DatasetBuilder {
     }
 
     /// Finalizes the builder into an immutable, indexed [`Dataset`].
+    ///
+    /// Indexing is two counting-sort passes (count, prefix-sum, scatter) followed by a
+    /// per-row sort, all over flat arrays — `O(|Ω| log d)` where `d` is the largest row.
     pub fn build(self) -> Dataset {
         let num_sources = self.num_sources.max(self.sources.len());
         let num_objects = self.num_objects.max(self.objects.len());
-        let mut by_object: Vec<Vec<(SourceId, ValueId)>> = vec![Vec::new(); num_objects];
-        let mut by_source: Vec<Vec<(ObjectId, ValueId)>> = vec![Vec::new(); num_sources];
-        let mut object_domains: Vec<Vec<ValueId>> = vec![Vec::new(); num_objects];
+        let num_obs = self.observations.len();
+        debug_assert!(
+            num_obs <= u32::MAX as usize,
+            "observation count overflows u32"
+        );
+
+        // Counting sort into the two CSR indexes.
+        let mut by_object_offsets = vec![0u32; num_objects + 1];
+        let mut by_source_offsets = vec![0u32; num_sources + 1];
         for obs in &self.observations {
-            by_object[obs.object.index()].push((obs.source, obs.value));
-            by_source[obs.source.index()].push((obs.object, obs.value));
-            let domain = &mut object_domains[obs.object.index()];
-            if !domain.contains(&obs.value) {
-                domain.push(obs.value);
+            by_object_offsets[obs.object.index() + 1] += 1;
+            by_source_offsets[obs.source.index() + 1] += 1;
+        }
+        for i in 0..num_objects {
+            by_object_offsets[i + 1] += by_object_offsets[i];
+        }
+        for i in 0..num_sources {
+            by_source_offsets[i + 1] += by_source_offsets[i];
+        }
+        let mut by_object = vec![(SourceId::new(0), ValueId::new(0)); num_obs];
+        let mut by_source = vec![(ObjectId::new(0), ValueId::new(0)); num_obs];
+        let mut object_cursor = by_object_offsets.clone();
+        let mut source_cursor = by_source_offsets.clone();
+        for obs in &self.observations {
+            let oc = &mut object_cursor[obs.object.index()];
+            by_object[*oc as usize] = (obs.source, obs.value);
+            *oc += 1;
+            let sc = &mut source_cursor[obs.source.index()];
+            by_source[*sc as usize] = (obs.object, obs.value);
+            *sc += 1;
+        }
+        // Sort each row: (source, object) pairs are unique, so rows end up keyed by
+        // their first component, enabling binary-search lookups.
+        for i in 0..num_objects {
+            by_object[csr_range(&by_object_offsets, i)].sort_unstable();
+        }
+        for i in 0..num_sources {
+            by_source[csr_range(&by_source_offsets, i)].sort_unstable();
+        }
+
+        // Domains in first-seen order: walk the insertion log, deduplicating against the
+        // (small) partial domain of each object.
+        let mut domain_offsets = vec![0u32; num_objects + 1];
+        let mut domain_rows: Vec<Vec<ValueId>> = vec![Vec::new(); num_objects];
+        for obs in &self.observations {
+            let row = &mut domain_rows[obs.object.index()];
+            if !row.contains(&obs.value) {
+                row.push(obs.value);
             }
         }
+        let mut domains = Vec::with_capacity(num_obs.min(num_objects * 2));
+        for (i, row) in domain_rows.iter().enumerate() {
+            domains.extend_from_slice(row);
+            domain_offsets[i + 1] = domains.len() as u32;
+        }
+
         Dataset {
             observations: self.observations,
             by_object,
+            by_object_offsets,
             by_source,
-            object_domains,
+            by_source_offsets,
+            domains,
+            domain_offsets,
             sources: self.sources,
             objects: self.objects,
             values: self.values,
@@ -406,6 +583,37 @@ mod tests {
         assert_eq!(d.observations_for_object(o1).len(), 2);
         let s2 = d.source_id("s2").unwrap();
         assert_eq!(d.observations_by_source(s2).len(), 2);
+    }
+
+    #[test]
+    fn csr_rows_are_sorted_by_neighbor_handle() {
+        let mut b = DatasetBuilder::new();
+        // Insert out of handle order on purpose.
+        b.observe("s2", "o0", "x").unwrap();
+        b.observe("s0", "o0", "y").unwrap();
+        b.observe("s1", "o0", "x").unwrap();
+        b.observe("s1", "o1", "y").unwrap();
+        b.observe("s0", "o1", "y").unwrap();
+        let d = b.build();
+        let o0 = d.object_id("o0").unwrap();
+        let sources: Vec<usize> = d
+            .observations_for_object(o0)
+            .iter()
+            .map(|(s, _)| s.index())
+            .collect();
+        assert_eq!(sources, vec![0, 1, 2]);
+        let s0 = d.source_id("s0").unwrap();
+        let objects: Vec<usize> = d
+            .observations_by_source(s0)
+            .iter()
+            .map(|(o, _)| o.index())
+            .collect();
+        assert_eq!(objects, vec![0, 1]);
+        // Domains keep first-seen order, not sorted order.
+        assert_eq!(
+            d.domain(o0),
+            &[d.value_id("x").unwrap(), d.value_id("y").unwrap()]
+        );
     }
 
     #[test]
@@ -459,6 +667,8 @@ mod tests {
         assert_eq!(d.num_sources(), 10);
         assert_eq!(d.num_objects(), 4);
         assert!(d.observations_by_source(SourceId::new(9)).is_empty());
+        assert!(d.observations_for_object(ObjectId::new(3)).is_empty());
+        assert!(d.domain(ObjectId::new(3)).is_empty());
     }
 
     #[test]
@@ -474,6 +684,66 @@ mod tests {
         // Object/value handles stay aligned with the original dataset.
         let o0 = d.object_id("o0").unwrap();
         assert_eq!(restricted.domain(o0), d.domain(o0));
+    }
+
+    #[test]
+    fn restrict_sources_round_trips_names_and_handles() {
+        let d = toy();
+        let s0 = d.source_id("s0").unwrap();
+        let s2 = d.source_id("s2").unwrap();
+        let (restricted, kept) = d.restrict_sources(&[s2, s0]);
+        // The kept sources keep their names under the new dense handles, and name
+        // lookups invert the mapping.
+        for (new_idx, &old) in kept.iter().enumerate() {
+            let name = d.source_name(old).unwrap();
+            assert_eq!(restricted.source_name(SourceId::new(new_idx)), Some(name));
+            assert_eq!(restricted.source_id(name), Some(SourceId::new(new_idx)));
+        }
+        // A dropped source's name is gone.
+        assert_eq!(restricted.source_id("s1"), None);
+        // Observations agree with the original through the name mapping.
+        for (new_idx, &old) in kept.iter().enumerate() {
+            assert_eq!(
+                restricted.observations_by_source(SourceId::new(new_idx)),
+                d.observations_by_source(old)
+            );
+        }
+    }
+
+    #[test]
+    fn to_builder_round_trips_and_accepts_deltas() {
+        let d = toy();
+        let grown = d.to_builder().build();
+        assert_eq!(grown.num_observations(), d.num_observations());
+        assert_eq!(grown.num_sources(), d.num_sources());
+        for o in d.object_ids() {
+            assert_eq!(grown.domain(o), d.domain(o));
+            assert_eq!(
+                grown.observations_for_object(o),
+                d.observations_for_object(o)
+            );
+        }
+        let mut delta = d.to_builder();
+        // Duplicates are still detected after reopening.
+        assert!(delta.observe("s0", "o0", "true").is_err());
+        delta.observe("s3", "o2", "z").unwrap();
+        let grown = delta.build();
+        assert_eq!(grown.num_observations(), d.num_observations() + 1);
+        assert_eq!(grown.num_sources(), d.num_sources() + 1);
+    }
+
+    #[test]
+    fn storage_stats_report_flat_footprint() {
+        let d = toy();
+        let stats = d.storage_stats();
+        assert_eq!(stats.num_observations, 5);
+        assert!(stats.index_bytes > 0);
+        assert!(stats.bytes_per_claim() > 0.0);
+        // CSR drops the per-row Vec headers, so it is never larger than the estimated
+        // nested layout.
+        assert!(stats.total_bytes() <= stats.log_bytes + stats.nested_equivalent_bytes);
+        let empty = DatasetBuilder::new().build().storage_stats();
+        assert_eq!(empty.bytes_per_claim(), 0.0);
     }
 
     #[test]

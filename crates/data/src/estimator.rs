@@ -73,7 +73,10 @@ impl<T: FittedFusion + ?Sized> FittedFusion for Box<T> {
 /// performs all learning and returns a [`FittedFusion`] artifact that serves predictions.
 ///
 /// Implementations must not inspect labels outside `input.train_truth`.
-pub trait FusionEstimator {
+///
+/// Estimators are plain configuration (`Send + Sync`), so evaluation harnesses can fit
+/// the same estimator on many splits from many threads concurrently.
+pub trait FusionEstimator: Send + Sync {
     /// Short human-readable name used in result tables (e.g. `"SLiMFast"`, `"ACCU"`).
     fn name(&self) -> &str;
 

@@ -113,6 +113,15 @@ where
         }
     }
 
+    /// Creates an empty interner with room for `n` names before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            names: Vec::with_capacity(n),
+            lookup: HashMap::with_capacity(n),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
     /// Interns `name`, returning the existing handle if it was seen before.
     pub fn intern(&mut self, name: &str) -> Id {
         if let Some(&raw) = self.lookup.get(name) {

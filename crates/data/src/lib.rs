@@ -40,7 +40,7 @@ pub mod split;
 pub mod stats;
 pub mod truth;
 
-pub use dataset::{Dataset, DatasetBuilder};
+pub use dataset::{Dataset, DatasetBuilder, StorageStats};
 pub use error::DataError;
 pub use estimator::{FittedFusion, FusionEstimator};
 pub use features::{FeatureMatrix, FeatureMatrixBuilder, FeatureValue};

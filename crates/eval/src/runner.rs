@@ -1,9 +1,16 @@
 //! The experimental protocol of Section 5.1: random train/test splits at fixed training
 //! fractions, several repetitions per configuration, averages of both metrics, and
 //! wall-clock timing (for Table 5).
+//!
+//! The grid is embarrassingly parallel: every (method, training fraction, split) run is
+//! independent, so the runner fans the flattened run list out over the deterministic
+//! executor ([`slimfast_core::exec`]) and aggregates the outcomes in run order. Metric
+//! results are identical at any `SLIMFAST_THREADS` setting; only the per-run wall-clock
+//! timings vary with machine load.
 
 use std::time::Instant;
 
+use slimfast_core::exec;
 use slimfast_data::{FeatureMatrix, FittedFusion, FusionInput, GroundTruth, Split, SplitPlan};
 use slimfast_datagen::SyntheticInstance;
 
@@ -131,29 +138,55 @@ pub fn run_once(
 }
 
 /// Runs every method of the line-up over the full protocol grid on one instance.
+///
+/// The full (method × fraction × repetition) run list is evaluated concurrently on the
+/// process's worker threads; outcomes are averaged per cell in repetition order, so the
+/// metric results match a sequential sweep exactly.
 pub fn run_grid(
     instance: &SyntheticInstance,
     lineup: &[MethodEntry],
     protocol: &ExperimentProtocol,
 ) -> Vec<MethodSummary> {
     let empty_features = FeatureMatrix::empty(instance.dataset.num_sources());
-    lineup
-        .iter()
-        .map(|entry| {
-            let cells = protocol
-                .train_fractions
-                .iter()
-                .map(|&fraction| run_cell(instance, entry, fraction, protocol, &empty_features))
-                .collect();
-            MethodSummary {
-                method: entry.name().to_string(),
-                cells,
-            }
-        })
-        .collect()
+    let fractions = &protocol.train_fractions;
+    // With zero repetitions the grid is empty and every cell aggregates zero runs,
+    // matching `run_cell` on the same protocol.
+    let runs_per_cell = protocol.repetitions as usize;
+    let cells_per_method = fractions.len();
+    let total_runs = lineup.len() * cells_per_method * runs_per_cell;
+
+    // One flat task per (method, fraction, repetition) triple, in row-major order.
+    let outcomes = exec::map_parts(total_runs, exec::num_threads(), |task| {
+        let (cell, rep) = (task / runs_per_cell, task % runs_per_cell);
+        let (entry_idx, fraction_idx) = (cell / cells_per_method, cell % cells_per_method);
+        let entry = &lineup[entry_idx];
+        let plan = SplitPlan::new(fractions[fraction_idx], protocol.seed);
+        plan.draw(&instance.truth, rep as u64)
+            .ok()
+            .map(|split| run_once(instance, entry, &split, &empty_features))
+    });
+
+    let mut summaries = Vec::with_capacity(lineup.len());
+    let mut outcomes = outcomes.into_iter();
+    for entry in lineup {
+        let cells = fractions
+            .iter()
+            .map(|&fraction| {
+                let cell_outcomes: Vec<Option<RunOutcome>> =
+                    outcomes.by_ref().take(runs_per_cell).collect();
+                aggregate_cell(entry.name(), fraction, cell_outcomes)
+            })
+            .collect();
+        summaries.push(MethodSummary {
+            method: entry.name().to_string(),
+            cells,
+        });
+    }
+    summaries
 }
 
-/// Runs one (method, training fraction) cell: `repetitions` random splits, averaged.
+/// Runs one (method, training fraction) cell: `repetitions` random splits, evaluated
+/// concurrently and averaged in repetition order.
 pub fn run_cell(
     instance: &SyntheticInstance,
     entry: &MethodEntry,
@@ -162,17 +195,29 @@ pub fn run_cell(
     empty_features: &FeatureMatrix,
 ) -> CellResult {
     let plan = SplitPlan::new(train_fraction, protocol.seed);
+    let reps = protocol.repetitions as usize;
+    let outcomes = exec::map_parts(reps, exec::num_threads(), |rep| {
+        plan.draw(&instance.truth, rep as u64)
+            .ok()
+            .map(|split| run_once(instance, entry, &split, empty_features))
+    });
+    aggregate_cell(entry.name(), train_fraction, outcomes)
+}
+
+/// Averages the outcomes of one cell's repetitions (in repetition order, so float
+/// aggregation is reproducible).
+fn aggregate_cell(
+    method: &str,
+    train_fraction: f64,
+    outcomes: Vec<Option<RunOutcome>>,
+) -> CellResult {
     let mut accuracy_sum = 0.0;
     let mut error_sum = 0.0;
     let mut error_count = 0usize;
     let mut fit_sum = 0.0;
     let mut predict_sum = 0.0;
     let mut runs = 0usize;
-    for rep in 0..protocol.repetitions {
-        let Ok(split) = plan.draw(&instance.truth, rep) else {
-            continue;
-        };
-        let outcome = run_once(instance, entry, &split, empty_features);
+    for outcome in outcomes.into_iter().flatten() {
         accuracy_sum += outcome.object_accuracy;
         if let Some(err) = outcome.source_error {
             error_sum += err;
@@ -184,7 +229,7 @@ pub fn run_cell(
     }
     let runs_f = runs.max(1) as f64;
     CellResult {
-        method: entry.name().to_string(),
+        method: method.to_string(),
         train_fraction,
         object_accuracy: accuracy_sum / runs_f,
         source_error: (error_count > 0).then(|| error_sum / error_count as f64),

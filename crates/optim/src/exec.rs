@@ -1,0 +1,254 @@
+//! Deterministic multi-threading primitives shared by the training stack.
+//!
+//! Everything here is built on `std::thread::scope` — no external dependencies — and is
+//! designed around one invariant: **results are bitwise-identical at any thread count**.
+//! Work is partitioned into a fixed chunk grid that does not depend on how many threads
+//! execute it, chunks are assigned to workers round-robin, and all floating-point
+//! reductions happen on the caller's thread in chunk-index order. Threads only ever
+//! change *wall-clock time*, never *answers*.
+//!
+//! The thread count is resolved from the `SLIMFAST_THREADS` environment variable
+//! (falling back to [`std::thread::available_parallelism`]); callers can override it
+//! explicitly, which is what the determinism tests do to compare one- and four-thread
+//! runs inside a single process.
+
+use std::cell::Cell;
+
+/// Name of the environment variable controlling the default worker count.
+pub const THREADS_ENV: &str = "SLIMFAST_THREADS";
+
+thread_local! {
+    /// Set while the current thread is executing work on behalf of an executor — a
+    /// spawned worker lane or the caller lane of a parallel region. Auto-resolved
+    /// thread counts collapse to 1 inside, so nested parallel regions (an eval-grid
+    /// worker running a fit whose E-step would otherwise spawn its own workers) run
+    /// inline instead of oversubscribing the machine quadratically. Purely a
+    /// scheduling concern: results never depend on thread counts.
+    static IN_EXECUTOR_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with the current thread marked as an executor worker (restoring the
+/// previous state afterwards).
+pub(crate) fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    IN_EXECUTOR_WORKER.with(|flag| {
+        let previous = flag.replace(true);
+        let result = f();
+        flag.set(previous);
+        result
+    })
+}
+
+/// Resolves a requested thread count: `0` means "auto" — read [`THREADS_ENV`], then
+/// fall back to the machine's available parallelism. Always returns at least 1.
+/// Auto-resolution inside an executor worker returns 1 (see the nesting guard above);
+/// explicit non-zero requests are always honored.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if IN_EXECUTOR_WORKER.with(Cell::get) {
+        return 1;
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The default thread count of this process (the `SLIMFAST_THREADS` /
+/// available-parallelism resolution with no explicit override).
+pub fn num_threads() -> usize {
+    resolve_threads(0)
+}
+
+/// Runs `f(part)` for every part index in `0..num_parts` on up to `threads` workers and
+/// returns the results **in part order**.
+///
+/// Parts are assigned to workers statically (worker `t` takes parts `t, t + T, ...`),
+/// so the partitioning — and therefore any floating-point work done inside one part —
+/// is independent of the thread count. With `threads <= 1` (or a single part) the
+/// closure runs inline on the caller's thread.
+pub fn map_parts<R, F>(num_parts: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(num_parts.max(1));
+    if threads <= 1 || num_parts <= 1 {
+        return (0..num_parts).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(num_parts);
+    slots.resize_with(num_parts, || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (1..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    as_worker(|| {
+                        let mut out = Vec::new();
+                        let mut part = t;
+                        while part < num_parts {
+                            out.push((part, f(part)));
+                            part += threads;
+                        }
+                        out
+                    })
+                })
+            })
+            .collect();
+        // The caller's thread is worker 0.
+        as_worker(|| {
+            let mut part = 0;
+            while part < num_parts {
+                slots[part] = Some(f(part));
+                part += threads;
+            }
+        });
+        for handle in handles {
+            for (part, result) in handle.join().expect("executor worker panicked") {
+                slots[part] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every part produces a result"))
+        .collect()
+}
+
+/// Splits `data` into consecutive mutable slices at the given boundaries (a cumulative
+/// offset array of length `parts + 1`, like a CSR offset vector) and runs
+/// `f(part, slice)` for each on up to `threads` workers.
+///
+/// Writes are disjoint by construction, so the result is deterministic regardless of
+/// scheduling. Used to shard E-step posterior computation over object ranges.
+pub fn for_each_slice_mut<T, F>(data: &mut [T], boundaries: &[usize], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let num_parts = boundaries.len().saturating_sub(1);
+    if num_parts == 0 {
+        return;
+    }
+    debug_assert_eq!(boundaries[0], 0);
+    debug_assert_eq!(
+        *boundaries.last().expect("non-empty boundaries"),
+        data.len()
+    );
+    let threads = threads.max(1).min(num_parts);
+    if threads <= 1 || num_parts <= 1 {
+        let mut rest = data;
+        for part in 0..num_parts {
+            let len = boundaries[part + 1] - boundaries[part];
+            let (head, tail) = rest.split_at_mut(len);
+            f(part, head);
+            rest = tail;
+        }
+        return;
+    }
+    // Carve the buffer into per-part mutable slices up front, then distribute them.
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(num_parts);
+    let mut rest = data;
+    for part in 0..num_parts {
+        let len = boundaries[part + 1] - boundaries[part];
+        let (head, tail) = rest.split_at_mut(len);
+        parts.push((part, head));
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut lanes: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(threads);
+        lanes.resize_with(threads, Vec::new);
+        for (i, part) in parts.into_iter().enumerate() {
+            lanes[i % threads].push(part);
+        }
+        let mut lanes = lanes.into_iter();
+        let own = lanes.next().expect("at least one lane");
+        for lane in lanes {
+            scope.spawn(move || {
+                as_worker(|| {
+                    for (part, slice) in lane {
+                        f(part, slice);
+                    }
+                })
+            });
+        }
+        as_worker(|| {
+            for (part, slice) in own {
+                f(part, slice);
+            }
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_parts_preserves_order_at_any_thread_count() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = map_parts(37, threads, |i| i * i);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+        assert!(map_parts(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn map_parts_float_reduction_is_bitwise_stable() {
+        // Sum within parts, reduce in part order: the float result must not depend on
+        // the worker count.
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let sum_with = |threads: usize| -> f64 {
+            let chunk = 128;
+            let parts = data.len().div_ceil(chunk);
+            map_parts(parts, threads, |p| {
+                data[p * chunk..((p + 1) * chunk).min(data.len())]
+                    .iter()
+                    .sum::<f64>()
+            })
+            .into_iter()
+            .sum()
+        };
+        let reference = sum_with(1);
+        for threads in [2, 3, 4, 7] {
+            assert_eq!(reference.to_bits(), sum_with(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn for_each_slice_mut_writes_disjoint_ranges() {
+        let boundaries = [0usize, 3, 3, 10, 16];
+        for threads in [1, 2, 4] {
+            let mut data = vec![0usize; 16];
+            for_each_slice_mut(&mut data, &boundaries, threads, |part, slice| {
+                for v in slice.iter_mut() {
+                    *v = part + 1;
+                }
+            });
+            let expect: Vec<usize> = (0..16)
+                .map(|i| match i {
+                    0..=2 => 1,
+                    3..=9 => 3,
+                    _ => 4,
+                })
+                .collect();
+            assert_eq!(data, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_requests() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+        assert!(num_threads() >= 1);
+    }
+}

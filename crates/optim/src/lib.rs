@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod exec;
 pub mod lasso;
 pub mod logistic;
 pub mod matrix;
@@ -37,5 +38,5 @@ pub use logistic::{
 pub use matrix::{rank_one_completion, rank_one_factorize, AgreementMatrix};
 pub use penalty::Penalty;
 pub use schedule::LearningRate;
-pub use sgd::{FitResult, SgdConfig, StochasticObjective};
+pub use sgd::{minimize, FitResult, SgdConfig, StochasticObjective};
 pub use sparse::SparseVec;

@@ -4,16 +4,23 @@
 //! with optional AdaGrad scaling, lazy `L2` gradients on touched coordinates, and a
 //! proximal (soft-thresholding) step for `L1`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::exec;
 use crate::penalty::Penalty;
 use crate::schedule::LearningRate;
 use crate::sparse::SparseVec;
 
 /// A differentiable objective expressed as a finite sum of per-example losses.
-pub trait StochasticObjective {
+///
+/// Objectives must be `Sync`: the batched minimizer shards gradient accumulation over
+/// disjoint example ranges on several threads (see [`SgdConfig::batch_size`]).
+pub trait StochasticObjective: Sync {
     /// Dimension of the parameter vector.
     fn num_params(&self) -> usize;
 
@@ -42,6 +49,21 @@ pub struct SgdConfig {
     pub tolerance: f64,
     /// Use AdaGrad per-coordinate step sizes instead of the global schedule.
     pub adagrad: bool,
+    /// Examples per parameter update. `1` (the default) is classic per-example SGD.
+    /// Larger batches switch to the deterministic parallel minimizer: each batch's
+    /// gradient is accumulated over fixed-size example chunks that can run on several
+    /// threads, reduced in chunk order so the result is bitwise-identical at any thread
+    /// count. Batching only engages when the objective has at least `4 * batch_size`
+    /// examples — below that, per-example updates converge faster and parallelism has
+    /// nothing to amortize. One batch parallelizes over at most
+    /// `batch_size / 32` workers (the fixed chunk grid), so raise the batch size on
+    /// many-core machines. With `adagrad` off, batched updates apply the *mean* batch
+    /// gradient so step magnitudes stay comparable to the per-example path.
+    pub batch_size: usize,
+    /// Worker threads for the batched path. `0` resolves `SLIMFAST_THREADS` /
+    /// available parallelism (see [`crate::exec::resolve_threads`]). The thread count
+    /// never changes results, only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for SgdConfig {
@@ -54,6 +76,8 @@ impl Default for SgdConfig {
             seed: 0,
             tolerance: 1e-5,
             adagrad: true,
+            batch_size: 1,
+            threads: 0,
         }
     }
 }
@@ -125,6 +149,9 @@ pub fn minimize<O: StochasticObjective>(
             epochs_run: 0,
         };
     }
+    if config.batch_size > 1 && n_examples >= config.batch_size.saturating_mul(4) {
+        return minimize_batched(objective, weights, config);
+    }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..n_examples).collect();
@@ -134,13 +161,14 @@ pub fn minimize<O: StochasticObjective>(
     let mut updates = 0usize;
     const ADAGRAD_EPS: f64 = 1e-8;
 
+    let mut grad = SparseVec::new();
     for epoch in 0..config.epochs {
         if config.shuffle {
             order.shuffle(&mut rng);
         }
         let mut epoch_loss = 0.0;
         for &example in &order {
-            let mut grad = SparseVec::new();
+            grad.clear();
             epoch_loss += objective.example_loss_grad(&weights, example, &mut grad);
             // AdaGrad provides its own per-coordinate decay, so it is paired with the
             // schedule's initial rate; plain SGD follows the schedule.
@@ -187,6 +215,245 @@ pub fn minimize<O: StochasticObjective>(
         loss_history,
         converged,
         epochs_run: config.epochs,
+    }
+}
+
+/// Examples per gradient-accumulation chunk in the batched minimizer. Fixed (never
+/// derived from the thread count) so the chunk grid — and therefore every
+/// floating-point reduction order — is identical no matter how many workers run.
+/// Kept well below the default batch size so a default-configured batch splits into
+/// several chunks and actually spreads across workers; `batch_size / GRAD_CHUNK` is the
+/// parallelism ceiling of one batch, so many-core machines should raise
+/// [`SgdConfig::batch_size`] accordingly. The chunk size never changes results: partial
+/// entries are appended in example order and chunks are reduced in index order, so the
+/// flattened accumulation sequence equals global example order for any chunk size.
+const GRAD_CHUNK: usize = 32;
+
+/// One chunk's contribution to a batch gradient: the summed loss and the raw
+/// `(coordinate, value)` gradient entries in example order.
+#[derive(Default)]
+struct ChunkPartial {
+    loss: f64,
+    entries: Vec<(usize, f64)>,
+}
+
+/// Shared state of one batched run: workers read the weights and the current batch
+/// window, the coordinating thread owns all mutation between barrier phases.
+struct BatchState {
+    weights: RwLock<Vec<f64>>,
+    order: RwLock<Vec<usize>>,
+    /// Current batch as a `start..end` window into `order`.
+    window: RwLock<(usize, usize)>,
+    done: AtomicBool,
+    /// Set when any lane's objective panicked; the first payload is kept so the
+    /// coordinator can shut the pool down cleanly and re-raise it (a raw panic inside
+    /// a worker would leave the others blocked at the barrier forever).
+    failed: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Deterministic mini-batch SGD with parallel gradient accumulation.
+///
+/// Per epoch the example order is shuffled exactly like the sequential path (same RNG,
+/// same seed), then consumed in batches of [`SgdConfig::batch_size`]. Each batch is cut
+/// into fixed [`GRAD_CHUNK`]-sized chunks; workers accumulate per-chunk loss and sparse
+/// gradient entries, and the coordinator reduces the chunks **in chunk-index order**
+/// into a dense gradient before applying one (AdaGrad-scaled, proximally penalized)
+/// update. Because the chunk grid and the reduction order are independent of the worker
+/// count, results are bitwise-identical at any `threads` setting.
+///
+/// With AdaGrad the summed batch gradient is applied directly (the accumulator is scale
+/// adaptive); without it the **mean** batch gradient is used, so step magnitudes stay
+/// comparable to the per-example path instead of growing with the batch size.
+///
+/// Workers are spawned once per call and synchronized with a [`Barrier`] (two waits per
+/// batch), so per-batch overhead stays in the microseconds regardless of epoch count.
+/// A panic inside the objective on any lane is caught, the pool is shut down, and the
+/// panic is re-raised on the caller's thread (instead of deadlocking the barrier).
+fn minimize_batched<O: StochasticObjective>(
+    objective: &O,
+    weights: Vec<f64>,
+    config: &SgdConfig,
+) -> FitResult {
+    let n_params = objective.num_params();
+    let n_examples = objective.num_examples();
+    let batch_size = config.batch_size;
+    let max_chunks = batch_size.div_ceil(GRAD_CHUNK);
+    let threads = exec::resolve_threads(config.threads).min(max_chunks).max(1);
+    const ADAGRAD_EPS: f64 = 1e-8;
+
+    let state = BatchState {
+        weights: RwLock::new(weights),
+        order: RwLock::new((0..n_examples).collect()),
+        window: RwLock::new((0, 0)),
+        done: AtomicBool::new(false),
+        failed: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
+    };
+    let partials: Vec<Mutex<ChunkPartial>> = (0..max_chunks)
+        .map(|_| Mutex::new(ChunkPartial::default()))
+        .collect();
+    let barrier = Barrier::new(threads);
+
+    // Accumulates this worker's chunks of the current batch (worker `t` takes chunks
+    // `t, t + threads, ...`). Runs between the two barrier phases of a batch. Panics
+    // from the objective are captured into the shared state so every lane still
+    // reaches its barrier and the pool can shut down instead of deadlocking.
+    let compute_chunks = |worker: usize| {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let weights = state.weights.read().expect("weights lock");
+            let order = state.order.read().expect("order lock");
+            let (start, end) = *state.window.read().expect("window lock");
+            let num_chunks = (end - start).div_ceil(GRAD_CHUNK);
+            let mut grad = SparseVec::new();
+            let mut chunk = worker;
+            while chunk < num_chunks {
+                let chunk_start = start + chunk * GRAD_CHUNK;
+                let chunk_end = (chunk_start + GRAD_CHUNK).min(end);
+                let mut partial = partials[chunk].lock().expect("partial lock");
+                partial.loss = 0.0;
+                partial.entries.clear();
+                for &example in &order[chunk_start..chunk_end] {
+                    grad.clear();
+                    partial.loss += objective.example_loss_grad(&weights, example, &mut grad);
+                    partial.entries.extend(grad.iter());
+                }
+                chunk += threads;
+            }
+        }));
+        if let Err(payload) = result {
+            let mut slot = state.panic_payload.lock().expect("panic slot");
+            slot.get_or_insert(payload);
+            state.failed.store(true, Ordering::SeqCst);
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut adagrad_acc = vec![0.0f64; n_params];
+    let mut dense_grad = vec![0.0f64; n_params];
+    let mut stamp = vec![0u64; n_params];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut tick = 0u64;
+    let mut loss_history: Vec<f64> = Vec::with_capacity(config.epochs);
+    let mut converged = false;
+    let mut updates = 0usize;
+    let mut epochs_run = 0usize;
+
+    std::thread::scope(|scope| {
+        for worker in 1..threads {
+            let state = &state;
+            let barrier = &barrier;
+            let compute_chunks = &compute_chunks;
+            scope.spawn(move || {
+                exec::as_worker(|| loop {
+                    barrier.wait();
+                    if state.done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    compute_chunks(worker);
+                    barrier.wait();
+                })
+            });
+        }
+
+        'epochs: for epoch in 0..config.epochs {
+            epochs_run = epoch + 1;
+            if config.shuffle {
+                state.order.write().expect("order lock").shuffle(&mut rng);
+            }
+            let mut epoch_loss = 0.0;
+            let mut start = 0usize;
+            while start < n_examples {
+                let end = (start + batch_size).min(n_examples);
+                *state.window.write().expect("window lock") = (start, end);
+                barrier.wait();
+                compute_chunks(0);
+                barrier.wait();
+
+                // An objective panic on any lane: release the workers, then re-raise
+                // on this thread (scope joins the exited workers on unwind).
+                if state.failed.load(Ordering::SeqCst) {
+                    state.done.store(true, Ordering::SeqCst);
+                    barrier.wait();
+                    let payload = state.panic_payload.lock().expect("panic slot").take();
+                    std::panic::resume_unwind(
+                        payload.unwrap_or_else(|| Box::new("batched SGD worker panicked")),
+                    );
+                }
+
+                // Reduce the chunk partials in chunk order, then apply one update.
+                let mut weights = state.weights.write().expect("weights lock");
+                let num_chunks = (end - start).div_ceil(GRAD_CHUNK);
+                tick += 1;
+                touched.clear();
+                for partial in partials.iter().take(num_chunks) {
+                    let partial = partial.lock().expect("partial lock");
+                    epoch_loss += partial.loss;
+                    for &(i, g) in &partial.entries {
+                        if i >= n_params {
+                            continue;
+                        }
+                        if stamp[i] != tick {
+                            stamp[i] = tick;
+                            dense_grad[i] = 0.0;
+                            touched.push(i);
+                        }
+                        dense_grad[i] += g;
+                    }
+                }
+                let base_rate = if config.adagrad {
+                    config.learning_rate.rate(0)
+                } else {
+                    config.learning_rate.rate(updates)
+                };
+                // AdaGrad's accumulator is scale adaptive, so the summed batch gradient
+                // is applied directly; plain schedules use the batch mean so the step
+                // magnitude matches the per-example path.
+                let grad_scale = if config.adagrad {
+                    1.0
+                } else {
+                    1.0 / (end - start) as f64
+                };
+                for &i in &touched {
+                    let g = dense_grad[i] * grad_scale + config.penalty.smooth_gradient(weights[i]);
+                    let step = if config.adagrad {
+                        adagrad_acc[i] += g * g;
+                        base_rate / (adagrad_acc[i].sqrt() + ADAGRAD_EPS)
+                    } else {
+                        base_rate
+                    };
+                    let updated = weights[i] - step * g;
+                    weights[i] = config.penalty.proximal(updated, step);
+                }
+                updates += 1;
+                start = end;
+            }
+
+            let penalty_value = {
+                let weights = state.weights.read().expect("weights lock");
+                config.penalty.value(&weights)
+            };
+            let avg_loss = epoch_loss / n_examples as f64 + penalty_value / n_examples as f64;
+            if let Some(&prev) = loss_history.last() {
+                let denom: f64 = prev.abs().max(1.0);
+                if ((prev - avg_loss) / denom).abs() < config.tolerance {
+                    loss_history.push(avg_loss);
+                    converged = true;
+                    break 'epochs;
+                }
+            }
+            loss_history.push(avg_loss);
+        }
+
+        state.done.store(true, Ordering::SeqCst);
+        barrier.wait();
+    });
+
+    FitResult {
+        weights: state.weights.into_inner().expect("weights lock"),
+        loss_history,
+        converged,
+        epochs_run,
     }
 }
 
@@ -351,6 +618,133 @@ mod tests {
         let fit = minimize(&Empty, None, &SgdConfig::default());
         assert!(fit.weights.is_empty());
         assert!(fit.converged);
+    }
+
+    fn big_regression(n: usize) -> LeastSquares {
+        // y = 2*x0 - 1*x1 + 0.5*x2, noise free, n examples (enough to engage batching).
+        let xs: Vec<SparseVec> = (0..n)
+            .map(|i| {
+                SparseVec::from_pairs([
+                    (0, (i % 7) as f64),
+                    (1, (i % 5) as f64),
+                    (2, ((i * 3) % 11) as f64),
+                ])
+            })
+            .collect();
+        let ys = xs.iter().map(|x| x.dot(&[2.0, -1.0, 0.5])).collect();
+        LeastSquares { xs, ys, dim: 3 }
+    }
+
+    #[test]
+    fn batched_sgd_recovers_linear_coefficients() {
+        let obj = big_regression(4096);
+        let config = SgdConfig {
+            epochs: 60,
+            tolerance: 0.0,
+            batch_size: 64,
+            threads: 1,
+            ..SgdConfig::default()
+        };
+        let fit = minimize(&obj, None, &config);
+        assert!(
+            (fit.weights[0] - 2.0).abs() < 0.05
+                && (fit.weights[1] + 1.0).abs() < 0.05
+                && (fit.weights[2] - 0.5).abs() < 0.05,
+            "weights = {:?}",
+            fit.weights
+        );
+        let first = fit.loss_history.first().copied().unwrap();
+        let last = fit.final_loss().unwrap();
+        assert!(
+            last < first,
+            "batched loss should decrease ({first} -> {last})"
+        );
+    }
+
+    #[test]
+    fn batched_sgd_is_bitwise_identical_at_any_thread_count() {
+        let obj = big_regression(5000);
+        let fit_with = |threads: usize| {
+            let config = SgdConfig {
+                epochs: 8,
+                tolerance: 0.0,
+                seed: 9,
+                batch_size: 512,
+                threads,
+                ..SgdConfig::default()
+            };
+            minimize(&obj, None, &config)
+        };
+        let reference = fit_with(1);
+        for threads in [2, 3, 4] {
+            let fit = fit_with(threads);
+            let bits = |w: &[f64]| w.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&reference.weights),
+                bits(&fit.weights),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                bits(&reference.loss_history),
+                bits(&fit.loss_history),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_sgd_propagates_objective_panics_instead_of_deadlocking() {
+        struct Panicky;
+        impl StochasticObjective for Panicky {
+            fn num_params(&self) -> usize {
+                2
+            }
+            fn num_examples(&self) -> usize {
+                4096
+            }
+            fn example_loss_grad(&self, _: &[f64], example: usize, grad: &mut SparseVec) -> f64 {
+                assert!(example != 1234, "poisoned example");
+                grad.add(0, 0.1);
+                0.0
+            }
+        }
+        let config = SgdConfig {
+            epochs: 1,
+            batch_size: 256,
+            threads: 3,
+            shuffle: false,
+            ..SgdConfig::default()
+        };
+        let result = std::panic::catch_unwind(|| minimize(&Panicky, None, &config));
+        assert!(result.is_err(), "the objective panic must reach the caller");
+    }
+
+    #[test]
+    fn small_objectives_fall_back_to_per_example_sgd() {
+        // 50 examples < 4 * batch_size: the classic path runs, so results match the
+        // batch_size = 1 configuration exactly.
+        let obj = toy_regression();
+        let sequential = minimize(
+            &obj,
+            None,
+            &SgdConfig {
+                epochs: 20,
+                tolerance: 0.0,
+                ..SgdConfig::default()
+            },
+        );
+        let batched_requested = minimize(
+            &obj,
+            None,
+            &SgdConfig {
+                epochs: 20,
+                tolerance: 0.0,
+                batch_size: 64,
+                threads: 4,
+                ..SgdConfig::default()
+            },
+        );
+        assert_eq!(sequential.weights, batched_requested.weights);
     }
 
     #[test]

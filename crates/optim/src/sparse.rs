@@ -27,6 +27,11 @@ impl SparseVec {
         v
     }
 
+    /// Removes all entries, keeping the allocation (scratch-buffer reuse on hot paths).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Adds `value` to the coefficient at `index`.
     pub fn add(&mut self, index: usize, value: f64) {
         if value == 0.0 {

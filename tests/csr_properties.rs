@@ -1,0 +1,178 @@
+//! Property-based tests for the columnar (CSR) dataset layout: every accessor must
+//! agree with a naive nested-`Vec` oracle built from the same claim stream, for
+//! arbitrary builders — including reserved silent entities, duplicate claims, and
+//! source restriction.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use slimfast::prelude::*;
+
+/// Strategy producing a small random fusion instance as raw claims.
+fn claims_strategy() -> impl Strategy<Value = (usize, usize, usize, Vec<(usize, usize, usize)>)> {
+    // (num_sources, num_objects, domain_size, claims)
+    (2usize..10, 1usize..12, 2usize..5).prop_flat_map(|(s, o, d)| {
+        let claims = proptest::collection::vec((0..s, 0..o, 0..d), 0..80);
+        (Just(s), Just(o), Just(d), claims)
+    })
+}
+
+/// The pre-CSR reference implementation: nested adjacency lists filled directly from
+/// the claim stream under the same first-claim-wins conflict rule the builder applies.
+struct NestedOracle {
+    by_object: Vec<Vec<(usize, usize)>>,
+    by_source: Vec<Vec<(usize, usize)>>,
+    domains: Vec<Vec<usize>>,
+    asserted: HashMap<(usize, usize), usize>,
+    num_observations: usize,
+}
+
+impl NestedOracle {
+    fn build(num_sources: usize, num_objects: usize, claims: &[(usize, usize, usize)]) -> Self {
+        let mut oracle = NestedOracle {
+            by_object: vec![Vec::new(); num_objects],
+            by_source: vec![Vec::new(); num_sources],
+            domains: vec![Vec::new(); num_objects],
+            asserted: HashMap::new(),
+            num_observations: 0,
+        };
+        for &(s, o, v) in claims {
+            match oracle.asserted.get(&(s, o)) {
+                // Duplicate or conflicting claim: first claim wins, exactly like
+                // `DatasetBuilder::observe_ids` (conflicts error there and are dropped
+                // by the test harness).
+                Some(_) => continue,
+                None => {
+                    oracle.asserted.insert((s, o), v);
+                    oracle.by_object[o].push((s, v));
+                    oracle.by_source[s].push((o, v));
+                    if !oracle.domains[o].contains(&v) {
+                        oracle.domains[o].push(v);
+                    }
+                    oracle.num_observations += 1;
+                }
+            }
+        }
+        oracle
+    }
+}
+
+fn build_dataset(
+    num_sources: usize,
+    num_objects: usize,
+    domain: usize,
+    claims: &[(usize, usize, usize)],
+) -> Dataset {
+    let mut builder = DatasetBuilder::with_capacity(claims.len());
+    builder.reserve_sources(num_sources);
+    builder.reserve_objects(num_objects);
+    for d in 0..domain {
+        builder.intern_value(&format!("v{d}"));
+    }
+    for &(s, o, v) in claims {
+        let _ = builder.observe_ids(SourceId::new(s), ObjectId::new(o), ValueId::new(v));
+    }
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every CSR accessor agrees with the nested-Vec oracle: same entry sets per row
+    /// (CSR rows are additionally sorted), same first-seen domains, same point lookups.
+    fn csr_accessors_agree_with_the_nested_oracle(
+        (s, o, d, claims) in claims_strategy(),
+    ) {
+        let dataset = build_dataset(s, o, d, &claims);
+        let oracle = NestedOracle::build(s, o, &claims);
+
+        prop_assert_eq!(dataset.num_sources(), s);
+        prop_assert_eq!(dataset.num_objects(), o);
+        prop_assert_eq!(dataset.num_observations(), oracle.num_observations);
+
+        for obj in 0..o {
+            let got: Vec<(usize, usize)> = dataset
+                .observations_for_object(ObjectId::new(obj))
+                .iter()
+                .map(|(src, v)| (src.index(), v.index()))
+                .collect();
+            let mut expect = oracle.by_object[obj].clone();
+            expect.sort_unstable();
+            prop_assert_eq!(&got, &expect, "object row {} mismatch", obj);
+            // Rows are sorted by source, enabling binary search.
+            prop_assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+
+            let domain: Vec<usize> = dataset
+                .domain(ObjectId::new(obj))
+                .iter()
+                .map(|v| v.index())
+                .collect();
+            prop_assert_eq!(&domain, &oracle.domains[obj], "domain {} mismatch", obj);
+        }
+
+        for src in 0..s {
+            let got: Vec<(usize, usize)> = dataset
+                .observations_by_source(SourceId::new(src))
+                .iter()
+                .map(|(obj, v)| (obj.index(), v.index()))
+                .collect();
+            let mut expect = oracle.by_source[src].clone();
+            expect.sort_unstable();
+            prop_assert_eq!(&got, &expect, "source row {} mismatch", src);
+        }
+
+        // Point lookups across the whole grid match the oracle map.
+        for src in 0..s {
+            for obj in 0..o {
+                let got = dataset
+                    .value_of(SourceId::new(src), ObjectId::new(obj))
+                    .map(|v| v.index());
+                prop_assert_eq!(got, oracle.asserted.get(&(src, obj)).copied());
+            }
+        }
+
+        // Conflicting objects are exactly those with >1 domain value.
+        let got: Vec<usize> = dataset.conflicting_objects().map(|x| x.index()).collect();
+        let expect: Vec<usize> = (0..o).filter(|&i| oracle.domains[i].len() > 1).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Reopening a dataset as a builder and rebuilding reproduces every row bit-for-bit,
+    /// and restriction to a random source subset matches the oracle filtered the same way.
+    fn rebuild_and_restriction_preserve_the_layout(
+        (s, o, d, claims) in claims_strategy(),
+        keep_mask in proptest::collection::vec(0usize..2, 10),
+    ) {
+        let dataset = build_dataset(s, o, d, &claims);
+
+        let rebuilt = dataset.to_builder().build();
+        prop_assert_eq!(rebuilt.num_observations(), dataset.num_observations());
+        for obj in dataset.object_ids() {
+            prop_assert_eq!(
+                rebuilt.observations_for_object(obj),
+                dataset.observations_for_object(obj)
+            );
+            prop_assert_eq!(rebuilt.domain(obj), dataset.domain(obj));
+        }
+
+        let keep: Vec<SourceId> = (0..s)
+            .filter(|&i| keep_mask[i % keep_mask.len()] == 1)
+            .map(SourceId::new)
+            .collect();
+        let (restricted, kept) = dataset.restrict_sources(&keep);
+        prop_assert_eq!(restricted.num_sources(), kept.len());
+        prop_assert_eq!(restricted.num_objects(), dataset.num_objects());
+        for (new_idx, &old) in kept.iter().enumerate() {
+            prop_assert_eq!(
+                restricted.observations_by_source(SourceId::new(new_idx)),
+                dataset.observations_by_source(old)
+            );
+        }
+        let expected_claims: usize = kept
+            .iter()
+            .map(|&old| dataset.observations_by_source(old).len())
+            .sum();
+        prop_assert_eq!(restricted.num_observations(), expected_claims);
+    }
+}

@@ -74,3 +74,57 @@ fn em_fusion_is_deterministic() {
     };
     assert_eq!(run(), run());
 }
+
+/// The thread count changes wall-clock time, never results: a fitted model's posteriors
+/// are bitwise-identical whether the sharded E-step and batched SGD run on one worker or
+/// four. The instance is large enough (≥ 4 × batch_size claims) that the parallel
+/// minibatch path actually engages.
+#[test]
+fn fitted_posteriors_are_bitwise_identical_across_thread_counts() {
+    let instance = SyntheticConfig {
+        name: "thread-determinism".into(),
+        num_sources: 60,
+        num_objects: 400,
+        domain_size: 2,
+        pattern: slimfast::datagen::ObservationPattern::Bernoulli(0.12),
+        accuracy: slimfast::datagen::AccuracyModel {
+            mean: 0.72,
+            spread: 0.12,
+        },
+        features: slimfast::datagen::FeatureModel {
+            num_predictive: 2,
+            num_noise: 1,
+            predictive_strength: 0.2,
+        },
+        copying: None,
+        seed: 7,
+    }
+    .generate();
+    assert!(
+        instance.dataset.num_observations() >= 4 * SlimFastConfig::default().batch_size,
+        "instance must be large enough to engage the batched parallel minimizer"
+    );
+    let truth = GroundTruth::empty(instance.dataset.num_objects());
+    let input = FusionInput::new(&instance.dataset, &instance.features, &truth);
+
+    let posteriors_with = |threads: usize| -> Vec<Vec<u64>> {
+        let config = SlimFastConfig::default()
+            .with_seed(11)
+            .with_threads(threads);
+        let fitted = SlimFast::em(config).fit(&input);
+        instance
+            .dataset
+            .object_ids()
+            .map(|o| {
+                fitted
+                    .posterior(&instance.dataset, &instance.features, o)
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect()
+            })
+            .collect()
+    };
+    let single = posteriors_with(1);
+    let quad = posteriors_with(4);
+    assert_eq!(single, quad);
+}
