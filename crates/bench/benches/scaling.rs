@@ -1,13 +1,22 @@
-//! Scaling bench: fit cost and dataset memory footprint over a sources × objects grid.
+//! Scaling bench: fit cost, thread efficiency, and dataset memory footprint over a
+//! sources × objects grid.
 //!
 //! For every grid point this bench generates a synthetic instance, reports the CSR
 //! storage footprint (bytes per claim, with the estimated pre-CSR nested-layout
 //! equivalent), and times an unsupervised EM fit — the paper's "millions of claims"
-//! regime — at one worker thread and at four. The two fits are asserted to produce
-//! bitwise-identical weights (the executor's core guarantee) before any timing is
-//! trusted. A machine-readable summary is written to `BENCH_scaling.json` at the
-//! workspace root (override with the `BENCH_SCALING_OUT` environment variable) so the
-//! performance trajectory can be tracked across PRs.
+//! regime — at one worker thread and at four. Timings are the minimum of several
+//! interleaved rounds (after a warm-up fit that populates the worker pool and the SGD
+//! scratch arenas), so the published numbers measure the steady state the persistent
+//! pool is designed for. Every round's fitted weights are asserted bitwise-identical
+//! across thread counts (the executor's core guarantee) before any timing is trusted,
+//! and each point reports its `parallel_efficiency`: the t1/t4 speedup divided by the
+//! lanes a 4-thread request actually runs on this machine
+//! ([`exec::max_lanes`]-clamped). On a single-core machine the pool collapses both
+//! settings to the same inline execution, so efficiency ≈ 1.0 means requesting threads
+//! costs nothing; on a multi-core machine it measures how much of the extra lanes the
+//! chunk grid converts into speedup. A machine-readable summary is written to
+//! `BENCH_scaling.json` at the workspace root (override with the `BENCH_SCALING_OUT`
+//! environment variable) so the performance trajectory can be tracked across PRs.
 //!
 //! `SLIMFAST_SCALE=full` adds a half-million-claim point; the default quick grid tops
 //! out at 200k claims. Passing `--test` (as `cargo test --benches` and CI do) runs the
@@ -17,7 +26,7 @@ use std::time::Instant;
 
 use criterion::Criterion;
 
-use slimfast_core::{exec, SlimFast, SlimFastConfig};
+use slimfast_core::{exec, SlimFast, SlimFastConfig, SlimFastModel};
 use slimfast_data::{FusionInput, GroundTruth};
 use slimfast_datagen::{
     AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig, SyntheticInstance,
@@ -57,6 +66,11 @@ const FULL_EXTRA: &[GridPoint] = &[GridPoint {
     objects: 25_000,
     density: 0.04,
 }];
+
+/// Timed rounds per thread count (interleaved t1/t4 so machine drift cancels); the
+/// published time is the per-setting minimum, i.e. the cost floor with the pool and
+/// scratch arenas in steady state.
+const ROUNDS: usize = 7;
 
 fn generate(point: &GridPoint) -> SyntheticInstance {
     SyntheticConfig {
@@ -106,6 +120,24 @@ struct PointReport {
     predict_secs: f64,
 }
 
+impl PointReport {
+    /// Wall-clock speedup of the 4-thread fit over the 1-thread fit.
+    fn speedup_t4(&self) -> f64 {
+        self.fit_secs_t1 / self.fit_secs_t4.max(1e-9)
+    }
+
+    /// Speedup divided by the lanes a 4-thread request actually runs on this machine.
+    fn parallel_efficiency(&self) -> f64 {
+        self.speedup_t4() / effective_lanes_t4() as f64
+    }
+}
+
+/// The lanes a `threads = 4` fit actually executes on: 4 clamped by the machine's
+/// available parallelism (the executor never runs more lanes than cores).
+fn effective_lanes_t4() -> usize {
+    4.min(exec::max_lanes())
+}
+
 fn run_point(point: &GridPoint) -> PointReport {
     let instance = generate(point);
     let stats = instance.dataset.storage_stats();
@@ -118,20 +150,48 @@ fn run_point(point: &GridPoint) -> PointReport {
         let (model, _) = estimator.train(&input);
         (start.elapsed().as_secs_f64(), model)
     };
-    let (fit_secs_t1, model_t1) = timed_fit(1);
-    let (fit_secs_t4, model_t4) = timed_fit(4);
+    // Warm-up: spawns the pool lanes a 4-thread fit will use and fills the SGD scratch
+    // arenas, so every timed round below measures the pool's steady state.
+    let (_, warm_model) = timed_fit(4);
 
-    // The executor contract: thread counts change wall-clock time, never results —
-    // asserted on the raw weight bits, the strongest form of the invariant.
-    let bits = |m: &slimfast_core::SlimFastModel| -> Vec<u64> {
-        m.weights().iter().map(|w| w.to_bits()).collect()
-    };
-    assert_eq!(
-        bits(&model_t1),
-        bits(&model_t4),
-        "thread count changed fitted weights at {}",
-        point.name
-    );
+    let bits =
+        |m: &SlimFastModel| -> Vec<u64> { m.weights().iter().map(|w| w.to_bits()).collect() };
+    let reference_bits = bits(&warm_model);
+    let mut fit_secs_t1 = f64::INFINITY;
+    let mut fit_secs_t4 = f64::INFINITY;
+    let mut model_t1 = warm_model;
+    for round in 0..ROUNDS {
+        // Alternate which setting goes first: anything that slows the second
+        // measurement of a pair (cgroup throttling, thermal ramp) would otherwise bias
+        // one side systematically.
+        let (secs_t1, m1, secs_t4, m4) = if round % 2 == 0 {
+            let (secs_t1, m1) = timed_fit(1);
+            let (secs_t4, m4) = timed_fit(4);
+            (secs_t1, m1, secs_t4, m4)
+        } else {
+            let (secs_t4, m4) = timed_fit(4);
+            let (secs_t1, m1) = timed_fit(1);
+            (secs_t1, m1, secs_t4, m4)
+        };
+        // The executor contract: thread counts change wall-clock time, never results —
+        // asserted on the raw weight bits of every round, the strongest form of the
+        // invariant.
+        assert_eq!(
+            reference_bits,
+            bits(&m1),
+            "thread count changed fitted weights at {}",
+            point.name
+        );
+        assert_eq!(
+            reference_bits,
+            bits(&m4),
+            "thread count changed fitted weights at {}",
+            point.name
+        );
+        fit_secs_t1 = fit_secs_t1.min(secs_t1);
+        fit_secs_t4 = fit_secs_t4.min(secs_t4);
+        model_t1 = m1;
+    }
 
     let start = Instant::now();
     let _ = model_t1.predict(&instance.dataset, &instance.features);
@@ -161,8 +221,10 @@ fn write_json(reports: &[PointReport]) -> std::io::Result<String> {
         .unwrap_or_else(|_| format!("{}/../../BENCH_scaling.json", env!("CARGO_MANIFEST_DIR")));
     let mut out = String::from("{\n  \"bench\": \"scaling\",\n");
     out.push_str(&format!(
-        "  \"default_threads\": {},\n  \"grid\": [\n",
-        exec::num_threads()
+        "  \"default_threads\": {},\n  \"max_lanes\": {},\n  \"effective_lanes_t4\": {},\n  \"grid\": [\n",
+        exec::num_threads(),
+        exec::max_lanes(),
+        effective_lanes_t4(),
     ));
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
@@ -170,6 +232,7 @@ fn write_json(reports: &[PointReport]) -> std::io::Result<String> {
                 "    {{\"name\": \"{}\", \"sources\": {}, \"objects\": {}, \"claims\": {}, ",
                 "\"bytes_per_claim\": {:.2}, \"nested_bytes_per_claim\": {:.2}, ",
                 "\"fit_secs_t1\": {:.4}, \"fit_secs_t4\": {:.4}, ",
+                "\"speedup_t4\": {:.3}, \"parallel_efficiency\": {:.3}, ",
                 "\"claims_per_sec_t1\": {:.0}, \"claims_per_sec_t4\": {:.0}, ",
                 "\"predict_secs\": {:.4}}}{}\n"
             ),
@@ -181,6 +244,8 @@ fn write_json(reports: &[PointReport]) -> std::io::Result<String> {
             r.nested_bytes_per_claim,
             r.fit_secs_t1,
             r.fit_secs_t4,
+            r.speedup_t4(),
+            r.parallel_efficiency(),
             r.claims as f64 / r.fit_secs_t1.max(1e-9),
             r.claims as f64 / r.fit_secs_t4.max(1e-9),
             r.predict_secs,
@@ -190,6 +255,39 @@ fn write_json(reports: &[PointReport]) -> std::io::Result<String> {
     out.push_str("  ]\n}\n");
     std::fs::write(&path, &out)?;
     Ok(path)
+}
+
+/// The t1-vs-t4 delta table: where the thread request pays off (negative delta) and
+/// where it would cost (positive delta, the pre-pool regression this bench guards).
+fn print_delta_table(reports: &[PointReport]) {
+    println!(
+        "\nscaling: t1 vs t4 delta (effective t4 lanes on this machine: {})",
+        effective_lanes_t4()
+    );
+    if effective_lanes_t4() == 1 {
+        println!(
+            "scaling: single-lane machine — t1 and t4 run identical inline code, so the \
+             delta column measures the (zero) cost of *requesting* threads, not a speedup; \
+             run on a multi-core machine to measure real parallel efficiency"
+        );
+    }
+    println!(
+        "{:<10} {:>9} {:>10} {:>10} {:>9} {:>9} {:>11}",
+        "point", "claims", "fit t1", "fit t4", "delta", "speedup", "efficiency"
+    );
+    for r in reports {
+        let delta_pct = (r.fit_secs_t4 - r.fit_secs_t1) / r.fit_secs_t1.max(1e-9) * 100.0;
+        println!(
+            "{:<10} {:>9} {:>9.4}s {:>9.4}s {:>8.1}% {:>8.2}x {:>11.3}",
+            r.name,
+            r.claims,
+            r.fit_secs_t1,
+            r.fit_secs_t4,
+            delta_pct,
+            r.speedup_t4(),
+            r.parallel_efficiency(),
+        );
+    }
 }
 
 fn main() {
@@ -210,9 +308,10 @@ fn main() {
     }
 
     println!(
-        "scaling: {} grid points, default threads = {}",
+        "scaling: {} grid points, default threads = {}, machine lanes = {}",
         grid.len(),
-        exec::num_threads()
+        exec::num_threads(),
+        exec::max_lanes(),
     );
     let mut reports = Vec::new();
     for point in grid {
@@ -230,6 +329,7 @@ fn main() {
         );
         reports.push(report);
     }
+    print_delta_table(&reports);
     match write_json(&reports) {
         Ok(path) => println!("scaling: summary written to {path}"),
         Err(err) => eprintln!("scaling: could not write summary: {err}"),

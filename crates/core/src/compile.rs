@@ -183,8 +183,17 @@ impl CompiledProblem {
     /// (Eq. 2/3), computed once so per-claim work in the E-step becomes a single array
     /// lookup instead of a feature dot product.
     pub fn trust_scores(&self, weights: &[f64]) -> Vec<f64> {
+        let mut trust = Vec::new();
+        self.trust_scores_into(weights, &mut trust);
+        trust
+    }
+
+    /// Like [`CompiledProblem::trust_scores`], but refills a caller-owned buffer so the
+    /// per-iteration EM loop allocates nothing in steady state.
+    pub fn trust_scores_into(&self, weights: &[f64], trust: &mut Vec<f64>) {
         let num_sources = self.footprint_offsets.len() - 1;
-        let mut trust = vec![0.0f64; num_sources];
+        trust.clear();
+        trust.resize(num_sources, 0.0);
         for (s, t) in trust.iter_mut().enumerate() {
             let range = self.footprint_offsets[s] as usize..self.footprint_offsets[s + 1] as usize;
             let mut score = 0.0;
@@ -197,7 +206,6 @@ impl CompiledProblem {
             }
             *t = score;
         }
-        trust
     }
 
     /// The E-step: fills `posteriors` (flat, indexed by the object domain offsets) with

@@ -92,11 +92,15 @@ pub struct SlimFastConfig {
     /// machine's available parallelism (see [`crate::exec`]). Fits are
     /// bitwise-identical at any thread count; this knob only changes wall-clock time.
     pub threads: usize,
-    /// Examples per SGD parameter update on large objectives. `1` is classic
-    /// per-example SGD; larger values enable the deterministic parallel minimizer,
-    /// which batches gradient accumulation over fixed-size example chunks. Batching
-    /// only engages on objectives with at least `4 × batch_size` examples, so small
-    /// instances keep per-example updates regardless.
+    /// Examples per SGD parameter update on large objectives. `0` (the default)
+    /// auto-tunes the batch size from each objective's example count (see
+    /// [`slimfast_optim::auto_batch_size`]): small fits keep per-example SGD, large
+    /// fits get batches sized so the deterministic parallel minimizer has a chunk grid
+    /// worth fanning out. A fixed value (e.g. the previous default of `256`) stays
+    /// available as an explicit override; `1` forces classic per-example SGD. Whatever
+    /// the setting, batching only engages on objectives with at least `4 × batch_size`
+    /// examples, and the resolution depends only on the data — never the thread count —
+    /// so fits stay bitwise-identical across `SLIMFAST_THREADS` settings.
     pub batch_size: usize,
 }
 
@@ -111,7 +115,7 @@ impl Default for SlimFastConfig {
             optimizer_threshold: 0.1,
             seed: 0,
             threads: 0,
-            batch_size: 256,
+            batch_size: 0,
         }
     }
 }

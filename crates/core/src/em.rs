@@ -82,9 +82,13 @@ pub fn train_em_compiled(
         fitted
     };
 
-    // Flat per-iteration buffers, allocated once and refilled by the E-step.
+    // Flat per-iteration buffers, allocated once and refilled by the E-step: the
+    // posterior slab, the per-claim targets, and the per-source trust scores. Together
+    // with the SGD engine's pooled chunk arenas and the persistent worker pool this
+    // makes steady-state EM iterations allocation-free on the hot path.
     let mut posteriors: Vec<f64> = Vec::new();
     let mut targets: Vec<f64> = Vec::new();
+    let mut trust: Vec<f64> = Vec::new();
 
     let mut deltas = Vec::new();
     let mut converged = false;
@@ -93,7 +97,7 @@ pub fn train_em_compiled(
         iterations = iteration + 1;
         // --- E-step: posterior over every object's value (clamped on labelled ones),
         //     plus the per-claim correctness targets. ---------------------------------
-        let trust = problem.trust_scores(model.weights());
+        problem.trust_scores_into(model.weights(), &mut trust);
         problem.e_step(&trust, threads, &mut posteriors, &mut targets);
 
         // --- M-step: refit the accuracy model against the posterior correctness targets,

@@ -9,9 +9,21 @@
 //!
 //! Every primitive obeys one invariant: **the thread count changes wall-clock time,
 //! never results.** Work is partitioned into a fixed chunk grid that does not depend on
-//! the worker count, chunks are assigned to workers statically, and floating-point
-//! reductions happen on the calling thread in chunk-index order. A model fitted with
-//! `SLIMFAST_THREADS=32` is bitwise-identical to one fitted with `SLIMFAST_THREADS=1`.
+//! the worker count, every chunk's computation and output slot depend only on the chunk
+//! index, and floating-point reductions happen on the calling thread in chunk-index
+//! order. A model fitted with `SLIMFAST_THREADS=32` is bitwise-identical to one fitted
+//! with `SLIMFAST_THREADS=1`.
+//!
+//! # Execution
+//!
+//! All parallel regions run on the process-wide persistent [`WorkerPool`]: workers are
+//! spawned once (on first demand) and parked on a condvar between jobs, so a region
+//! costs one wakeup instead of a pool spawn. Requested thread counts are a logical
+//! knob; the lanes actually run are capped at the machine's parallelism
+//! ([`max_lanes`]) — oversubscription can only add context switches, never change
+//! results — and small inputs run inline on the caller so small fits never pay a
+//! wakeup: sliced regions under [`INLINE_MIN_ITEMS`] items, SGD batches with chunk
+//! grids below `2 ×` the lane count.
 //!
 //! # Configuration
 //!
@@ -22,7 +34,8 @@
 //! [`SlimFastConfig`](crate::config::SlimFastConfig).
 
 pub use slimfast_optim::exec::{
-    for_each_slice_mut, map_parts, num_threads, resolve_threads, THREADS_ENV,
+    execution_lanes, for_each_slice_mut, map_parts, max_lanes, num_threads, resolve_threads,
+    WorkerPool, INLINE_MIN_ITEMS, THREADS_ENV,
 };
 
 /// Fixed number of objects per E-step/posterior shard. Constant (never derived from the

@@ -1,9 +1,10 @@
 //! Deterministic multi-threading primitives shared by the training stack.
 //!
-//! Everything here is built on `std::thread::scope` — no external dependencies — and is
-//! designed around one invariant: **results are bitwise-identical at any thread count**.
-//! Work is partitioned into a fixed chunk grid that does not depend on how many threads
-//! execute it, chunks are assigned to workers round-robin, and all floating-point
+//! Everything here runs on the process-wide persistent [`WorkerPool`] (see
+//! [`crate::pool`]) — no external dependencies — and is designed around one invariant:
+//! **results are bitwise-identical at any thread count**. Work is partitioned into a
+//! fixed chunk grid that does not depend on how many threads execute it, every chunk's
+//! computation and output slot depend only on the chunk index, and all floating-point
 //! reductions happen on the caller's thread in chunk-index order. Threads only ever
 //! change *wall-clock time*, never *answers*.
 //!
@@ -11,17 +12,40 @@
 //! (falling back to [`std::thread::available_parallelism`]); callers can override it
 //! explicitly, which is what the determinism tests do to compare one- and four-thread
 //! runs inside a single process.
+//!
+//! # Lanes versus threads
+//!
+//! A *requested* thread count is a logical knob; the number of OS lanes a region
+//! actually runs on is clamped by [`max_lanes`] (the machine's available parallelism).
+//! Running more lanes than cores can only add context-switch cost — it can never change
+//! results, because the chunk grid is fixed — so the executor refuses to do it. On a
+//! single-core machine `SLIMFAST_THREADS=4` therefore costs exactly nothing over
+//! `SLIMFAST_THREADS=1`. Small inputs are also run inline on the caller so tiny fits
+//! never pay a pool wakeup: [`for_each_slice_mut`] inlines buffers under
+//! [`INLINE_MIN_ITEMS`] items, and the SGD engine inlines batches whose chunk grids
+//! have fewer than `2 ×` the lane count. [`map_parts`] parts are coarse by nature
+//! (whole fits, eval-grid cells), so one part per lane already amortizes the wakeup
+//! and no extra guard applies.
 
 use std::cell::Cell;
+use std::sync::{Mutex, OnceLock};
+
+pub use crate::pool::WorkerPool;
 
 /// Name of the environment variable controlling the default worker count.
 pub const THREADS_ENV: &str = "SLIMFAST_THREADS";
 
+/// Below this many underlying items (claims, posterior slots, …) a parallel region runs
+/// inline on the caller's thread regardless of the requested thread count: the work is
+/// too small to amortize even a single pool wakeup. Callers that know their item count
+/// (not just their chunk count) apply it — e.g. the sharded E-step.
+pub const INLINE_MIN_ITEMS: usize = 4096;
+
 thread_local! {
     /// Set while the current thread is executing work on behalf of an executor — a
-    /// spawned worker lane or the caller lane of a parallel region. Auto-resolved
+    /// pool worker lane or the caller lane of a parallel region. Auto-resolved
     /// thread counts collapse to 1 inside, so nested parallel regions (an eval-grid
-    /// worker running a fit whose E-step would otherwise spawn its own workers) run
+    /// worker running a fit whose E-step would otherwise request its own lanes) run
     /// inline instead of oversubscribing the machine quadratically. Purely a
     /// scheduling concern: results never depend on thread counts.
     static IN_EXECUTOR_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -56,9 +80,7 @@ pub fn resolve_threads(requested: usize) -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    available_parallelism()
 }
 
 /// The default thread count of this process (the `SLIMFAST_THREADS` /
@@ -67,58 +89,57 @@ pub fn num_threads() -> usize {
     resolve_threads(0)
 }
 
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The machine's available parallelism (cached): the hard ceiling on how many OS lanes
+/// any parallel region will actually run, whatever thread count was requested. The
+/// fixed chunk grid makes the clamp invisible in results; it only removes the
+/// context-switch cost of oversubscription.
+pub fn max_lanes() -> usize {
+    static MAX_LANES: OnceLock<usize> = OnceLock::new();
+    *MAX_LANES.get_or_init(available_parallelism)
+}
+
+/// The number of execution lanes a region with `num_tasks` chunks uses when `threads`
+/// logical workers were requested: at least 1, at most the task count, at most
+/// [`max_lanes`].
+pub fn execution_lanes(threads: usize, num_tasks: usize) -> usize {
+    threads.max(1).min(num_tasks.max(1)).min(max_lanes())
+}
+
 /// Runs `f(part)` for every part index in `0..num_parts` on up to `threads` workers and
 /// returns the results **in part order**.
 ///
-/// Parts are assigned to workers statically (worker `t` takes parts `t, t + T, ...`),
-/// so the partitioning — and therefore any floating-point work done inside one part —
-/// is independent of the thread count. With `threads <= 1` (or a single part) the
-/// closure runs inline on the caller's thread.
+/// The part grid is fixed by the caller, each part's result lands in its own slot, and
+/// the slots are collected in part order — so results are independent of the lane
+/// count and of the pool's dynamic scheduling. Parts are assumed coarse (the callers
+/// fan out whole fits and eval-grid cells), so any multi-part grid with more than one
+/// effective lane goes to the pool; single-lane (or single-part) requests run inline on
+/// the caller's thread without touching it.
 pub fn map_parts<R, F>(num_parts: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = threads.max(1).min(num_parts.max(1));
-    if threads <= 1 || num_parts <= 1 {
+    let lanes = execution_lanes(threads, num_parts);
+    if lanes <= 1 {
         return (0..num_parts).map(f).collect();
     }
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(num_parts);
-    slots.resize_with(num_parts, || None);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = (1..threads)
-            .map(|t| {
-                scope.spawn(move || {
-                    as_worker(|| {
-                        let mut out = Vec::new();
-                        let mut part = t;
-                        while part < num_parts {
-                            out.push((part, f(part)));
-                            part += threads;
-                        }
-                        out
-                    })
-                })
-            })
-            .collect();
-        // The caller's thread is worker 0.
-        as_worker(|| {
-            let mut part = 0;
-            while part < num_parts {
-                slots[part] = Some(f(part));
-                part += threads;
-            }
-        });
-        for handle in handles {
-            for (part, result) in handle.join().expect("executor worker panicked") {
-                slots[part] = Some(result);
-            }
-        }
+    let slots: Vec<Mutex<Option<R>>> = (0..num_parts).map(|_| Mutex::new(None)).collect();
+    WorkerPool::global().run(num_parts, lanes, |part| {
+        *slots[part].lock().expect("part slot") = Some(f(part));
     });
     slots
         .into_iter()
-        .map(|slot| slot.expect("every part produces a result"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("part slot")
+                .expect("every part produces a result")
+        })
         .collect()
 }
 
@@ -127,7 +148,9 @@ where
 /// `f(part, slice)` for each on up to `threads` workers.
 ///
 /// Writes are disjoint by construction, so the result is deterministic regardless of
-/// scheduling. Used to shard E-step posterior computation over object ranges.
+/// scheduling. Used to shard E-step posterior computation over object ranges. Buffers
+/// below [`INLINE_MIN_ITEMS`] items run inline on the caller's thread without touching
+/// the pool: under that size even a single wakeup costs more than the scan.
 pub fn for_each_slice_mut<T, F>(data: &mut [T], boundaries: &[usize], threads: usize, f: F)
 where
     T: Send,
@@ -142,8 +165,8 @@ where
         *boundaries.last().expect("non-empty boundaries"),
         data.len()
     );
-    let threads = threads.max(1).min(num_parts);
-    if threads <= 1 || num_parts <= 1 {
+    let lanes = execution_lanes(threads, num_parts);
+    if lanes <= 1 || data.len() < INLINE_MIN_ITEMS {
         let mut rest = data;
         for part in 0..num_parts {
             let len = boundaries[part + 1] - boundaries[part];
@@ -153,38 +176,23 @@ where
         }
         return;
     }
-    // Carve the buffer into per-part mutable slices up front, then distribute them.
-    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(num_parts);
+    // Carve the buffer into per-part mutable slices up front; each task takes exactly
+    // its own slice, so writes stay disjoint under dynamic scheduling.
+    let mut parts: Vec<Mutex<Option<&mut [T]>>> = Vec::with_capacity(num_parts);
     let mut rest = data;
     for part in 0..num_parts {
         let len = boundaries[part + 1] - boundaries[part];
         let (head, tail) = rest.split_at_mut(len);
-        parts.push((part, head));
+        parts.push(Mutex::new(Some(head)));
         rest = tail;
     }
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut lanes: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(threads);
-        lanes.resize_with(threads, Vec::new);
-        for (i, part) in parts.into_iter().enumerate() {
-            lanes[i % threads].push(part);
-        }
-        let mut lanes = lanes.into_iter();
-        let own = lanes.next().expect("at least one lane");
-        for lane in lanes {
-            scope.spawn(move || {
-                as_worker(|| {
-                    for (part, slice) in lane {
-                        f(part, slice);
-                    }
-                })
-            });
-        }
-        as_worker(|| {
-            for (part, slice) in own {
-                f(part, slice);
-            }
-        });
+    WorkerPool::global().run(num_parts, lanes, |part| {
+        let slice = parts[part]
+            .lock()
+            .expect("part slice")
+            .take()
+            .expect("each part is claimed once");
+        f(part, slice);
     });
 }
 
@@ -246,9 +254,38 @@ mod tests {
     }
 
     #[test]
+    fn for_each_slice_mut_parallel_path_matches_inline() {
+        // Large enough to clear INLINE_MIN_ITEMS so multi-lane machines take the pool
+        // path; the results must match the inline computation exactly.
+        let n = 2 * INLINE_MIN_ITEMS;
+        let boundaries: Vec<usize> = (0..=64).map(|p| p * n / 64).collect();
+        let run = |threads: usize| {
+            let mut data = vec![0.0f64; n];
+            for_each_slice_mut(&mut data, &boundaries, threads, |part, slice| {
+                for (i, v) in slice.iter_mut().enumerate() {
+                    *v = (part * 31 + i) as f64 * 0.5;
+                }
+            });
+            data
+        };
+        let reference = run(1);
+        for threads in [2, 4, 16] {
+            assert_eq!(reference, run(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn resolve_threads_prefers_explicit_requests() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn execution_lanes_clamp_to_grid_and_machine() {
+        assert_eq!(execution_lanes(4, 1), 1);
+        assert!(execution_lanes(4, 100) <= max_lanes());
+        assert!(execution_lanes(0, 0) >= 1);
+        assert!(max_lanes() >= 1);
     }
 }

@@ -11,6 +11,9 @@
 //! * [`penalty::Penalty`] — `L1` / `L2` / elastic-net regularization, including the
 //!   proximal (soft-thresholding) update that makes `L1` produce exactly-sparse weights,
 //!   which Theorem 2's `√(k log|K|)` refinement and the lasso-path analysis rely on.
+//! * [`exec`] / [`pool`] — the deterministic parallel executor: a process-wide
+//!   persistent worker pool plus fixed-chunk-grid primitives whose results are
+//!   bitwise-identical at any thread count.
 //! * [`sgd`] — a small SGD/AdaGrad engine over user-supplied stochastic objectives.
 //! * [`logistic`] — binary and conditional (multiclass, shared-weight) logistic regression
 //!   with hard or fractional targets; the fractional form is what EM's M-step needs.
@@ -26,6 +29,7 @@ pub mod lasso;
 pub mod logistic;
 pub mod matrix;
 pub mod penalty;
+pub mod pool;
 pub mod schedule;
 pub mod sgd;
 pub mod sparse;
@@ -37,6 +41,7 @@ pub use logistic::{
 };
 pub use matrix::{rank_one_completion, rank_one_factorize, AgreementMatrix};
 pub use penalty::Penalty;
+pub use pool::WorkerPool;
 pub use schedule::LearningRate;
-pub use sgd::{minimize, FitResult, SgdConfig, StochasticObjective};
+pub use sgd::{auto_batch_size, minimize, FitResult, SgdConfig, StochasticObjective};
 pub use sparse::SparseVec;

@@ -1,0 +1,376 @@
+//! The process-wide persistent worker pool behind every parallel region in the
+//! workspace.
+//!
+//! Before this pool existed, `exec::map_parts`, the sharded E-step, and the mini-batch
+//! SGD lanes each spawned fresh `std::thread::scope` threads per call — a pool spawn per
+//! EM iteration, per eval-grid cell, and per `minimize` call. The pool is spawned once
+//! per process instead: workers park on a condvar and are woken per *job*, so the
+//! steady-state cost of a parallel region is one mutex-protected publish and one
+//! completion wait, not `threads - 1` OS thread spawns.
+//!
+//! # Determinism
+//!
+//! The pool schedules **dynamically** (workers claim task indices from a shared atomic
+//! counter), which is safe precisely because of the executor contract layered above it:
+//! work arrives as a *fixed task grid* whose per-task computation and output slot depend
+//! only on the task index, and all floating-point reductions happen on the caller's
+//! thread in task-index order after the job completes. Which lane runs a task — and how
+//! many lanes exist — can therefore never change results, only wall-clock time.
+//!
+//! # Lifecycle
+//!
+//! [`WorkerPool::global`] returns the singleton. The pool grows on demand (a job asking
+//! for more lanes than have ever been requested spawns the difference) and never
+//! shrinks; workers are detached and live until process exit. Changing
+//! `SLIMFAST_THREADS` between fits simply changes how many of the existing lanes the
+//! next job asks for — the pool itself survives, which the lifecycle tests assert.
+//!
+//! # Panics
+//!
+//! A panic inside a task is caught on the executing lane, the job is still driven to
+//! completion (remaining tasks run normally), and the first payload is re-raised on the
+//! submitting caller's thread. Workers never unwind out of their loop, so one poisoned
+//! objective cannot strand a barrier or kill a lane for subsequent jobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::exec::as_worker;
+
+/// One published unit of pool work: a fixed grid of `num_tasks` tasks executed by the
+/// submitting caller plus any idle pool workers.
+struct Job {
+    /// Type-erased pointer to the caller's task closure. A raw pointer (not a
+    /// lifetime-transmuted reference) because workers may hold the `Arc<Job>` after the
+    /// submitting caller returned and the closure died — a dangling *pointer* that is
+    /// never dereferenced is fine, a dangling reference would not be.
+    ///
+    /// SAFETY contract: the pointer is only dereferenced while executing a claimed task
+    /// index below `num_tasks`, every claimed task bumps `completed` after running, and
+    /// the submitting caller blocks until `completed == num_tasks` before returning — so
+    /// the pointee is alive for every dereference. A worker that wakes late can only
+    /// observe an exhausted task counter and never touches `run`.
+    run: *const (dyn Fn(usize) + Sync),
+    /// Size of the fixed task grid.
+    num_tasks: usize,
+    /// Next unclaimed task index (may overshoot `num_tasks`).
+    next: AtomicUsize,
+    /// Helper workers this job admits (`lanes - 1`); woken workers beyond the cap skip
+    /// the job, so the requested lane count really bounds concurrent execution.
+    max_helpers: usize,
+    /// Helper admission counter (may overshoot `max_helpers`).
+    helpers: AtomicUsize,
+    /// Completed-task count. Each completion is one `AcqRel` RMW — not a lock — so the
+    /// per-chunk cost of a job stays contention-free; only the final finisher takes
+    /// `done` to wake the caller.
+    completed: AtomicUsize,
+    /// Set by the final finisher under the lock that pairs with `done_signal`.
+    done: Mutex<bool>,
+    /// Signalled when the last task completes.
+    done_signal: Condvar,
+    /// First panic payload raised inside a task, re-raised on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `Job` is shared across threads only through `Arc`; every field but `run` is
+// a thread-safe primitive, and `run` points at a `Sync` closure that is only
+// dereferenced under the liveness contract documented on the field.
+#[allow(unsafe_code)]
+unsafe impl Send for Job {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs tasks until the grid is exhausted. Called by the submitting
+    /// caller and by any pool worker that picked the job up.
+    fn execute(&self) {
+        loop {
+            let task = self.next.fetch_add(1, Ordering::Relaxed);
+            if task >= self.num_tasks {
+                return;
+            }
+            // SAFETY: `task < num_tasks`, so the submitting caller is still blocked in
+            // `wait_done` (it needs this task's completion bump) and the closure behind
+            // `run` is alive for the whole call — see the contract on `Job::run`.
+            #[allow(unsafe_code)]
+            let run = unsafe { &*self.run };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(task)));
+            if let Err(payload) = result {
+                self.panic
+                    .lock()
+                    .expect("job panic slot")
+                    .get_or_insert(payload);
+            }
+            // `AcqRel` chains every finisher's writes into the release sequence, so the
+            // final finisher — and, through the `done` mutex, the waiting caller —
+            // happens-after all task effects.
+            let finished = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+            if finished == self.num_tasks {
+                let mut done = self.done.lock().expect("job done flag");
+                *done = true;
+                self.done_signal.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task of the grid has completed (on whichever lane ran it).
+    fn wait_done(&self) {
+        let mut done = self.done.lock().expect("job done flag");
+        while !*done {
+            done = self.done_signal.wait(done).expect("job done flag");
+        }
+    }
+}
+
+/// Mutable pool state shared between the submitting callers and the parked workers.
+struct PoolState {
+    /// Bumped on every published job; workers wake when it moves past what they saw.
+    epoch: u64,
+    /// The currently published job, if any.
+    job: Option<Arc<Job>>,
+    /// Number of helper workers spawned so far (the pool only ever grows).
+    workers: usize,
+}
+
+/// A persistent, deterministic worker pool. See the module docs for the contract; use
+/// [`WorkerPool::global`] to obtain the process-wide instance.
+pub struct WorkerPool {
+    state: Mutex<PoolState>,
+    work_signal: Condvar,
+}
+
+/// Parked-worker loop: wait for a new job epoch, help drain the job, repeat forever.
+fn worker_loop(pool: &'static WorkerPool, mut seen_epoch: u64) {
+    loop {
+        let job = {
+            let mut state = pool.state.lock().expect("pool state");
+            while state.epoch == seen_epoch {
+                state = pool.work_signal.wait(state).expect("pool state");
+            }
+            seen_epoch = state.epoch;
+            state.job.clone()
+        };
+        if let Some(job) = job {
+            // Admission cap: `notify_all` wakes every parked worker, but only the first
+            // `max_helpers` of them join the job — the rest park again, so a job's
+            // requested lane count really limits how much of the machine it uses.
+            if job.helpers.fetch_add(1, Ordering::Relaxed) < job.max_helpers {
+                as_worker(|| job.execute());
+            }
+        }
+    }
+}
+
+impl WorkerPool {
+    /// The process-wide pool, created (empty — workers spawn on first demand) on first
+    /// use.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| WorkerPool {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                workers: 0,
+            }),
+            work_signal: Condvar::new(),
+        })
+    }
+
+    /// Number of helper workers currently alive (excluding submitting callers, which
+    /// always participate as a lane of their own job).
+    pub fn helper_workers(&self) -> usize {
+        self.state.lock().expect("pool state").workers
+    }
+
+    /// Runs `f(task)` for every task in `0..num_tasks` on up to `lanes` lanes (the
+    /// calling thread plus `lanes - 1` pool workers) and returns once **all** tasks have
+    /// completed.
+    ///
+    /// `lanes` is taken literally apart from being clamped to `[1, num_tasks]`; the
+    /// higher-level wrappers in [`crate::exec`] are responsible for policy (resolving
+    /// `SLIMFAST_THREADS`, clamping to the machine's parallelism, and inlining small
+    /// grids). With a single lane the tasks run inline on the caller without touching
+    /// pool state. The first panic raised inside a task is re-raised here after the job
+    /// drains.
+    pub fn run<F: Fn(usize) + Sync>(&'static self, num_tasks: usize, lanes: usize, f: F) {
+        if num_tasks == 0 {
+            return;
+        }
+        let lanes = lanes.max(1).min(num_tasks);
+        if lanes == 1 {
+            for task in 0..num_tasks {
+                f(task);
+            }
+            return;
+        }
+        // Type-erase the closure into a raw pointer, transmuting away its borrow
+        // lifetime (`*const dyn ...` defaults to a `'static` pointee bound). SAFETY:
+        // only the pointee's lifetime bound changes — the pointer itself is untouched —
+        // and `wait_done` below does not return until every claimed task has finished
+        // executing, which upholds the dereference contract on `Job::run`.
+        let f_ptr = (&f as &(dyn Fn(usize) + Sync + '_)) as *const (dyn Fn(usize) + Sync + '_);
+        #[allow(unsafe_code)]
+        let run = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const (dyn Fn(usize) + Sync)>(
+                f_ptr,
+            )
+        };
+        let job = Arc::new(Job {
+            run,
+            num_tasks,
+            next: AtomicUsize::new(0),
+            max_helpers: lanes - 1,
+            helpers: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            done: Mutex::new(false),
+            done_signal: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut state = self.state.lock().expect("pool state");
+            // Grow the pool to the requested lane count (never shrink). New workers
+            // start from the pre-publish epoch so they pick this very job up.
+            while state.workers < lanes - 1 {
+                let seen_epoch = state.epoch;
+                state.workers += 1;
+                std::thread::Builder::new()
+                    .name(format!("slimfast-pool-{}", state.workers))
+                    .spawn(move || worker_loop(Self::global(), seen_epoch))
+                    .expect("spawn pool worker");
+            }
+            state.epoch += 1;
+            state.job = Some(Arc::clone(&job));
+            // Wake only as many workers as the job admits: `notify_all` would stampede
+            // every lane the pool ever grew to (they would lose the admission race and
+            // re-park, pure context-switch churn on the per-mini-batch hot path). A
+            // notification that lands on a worker still busy elsewhere is simply lost —
+            // the submitting caller drains the job regardless.
+            for _ in 0..lanes - 1 {
+                self.work_signal.notify_one();
+            }
+        }
+        // The caller is always a lane of its own job, so the job drains even if every
+        // worker is busy helping someone else (concurrent submitters never deadlock,
+        // they just get fewer helpers).
+        as_worker(|| job.execute());
+        job.wait_done();
+        {
+            let mut state = self.state.lock().expect("pool state");
+            if state
+                .job
+                .as_ref()
+                .is_some_and(|current| Arc::ptr_eq(current, &job))
+            {
+                state.job = None;
+            }
+        }
+        let payload = job.panic.lock().expect("job panic slot").take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::resolve_threads;
+
+    /// Runs a task grid on the global pool with explicit lanes (bypassing the
+    /// machine-parallelism clamp of the `exec` wrappers, so multi-worker code paths are
+    /// exercised even on single-core machines) and collects the results in task order.
+    fn pooled_map(num_tasks: usize, lanes: usize, f: impl Fn(usize) -> f64 + Sync) -> Vec<f64> {
+        let slots: Vec<Mutex<Option<f64>>> = (0..num_tasks).map(|_| Mutex::new(None)).collect();
+        WorkerPool::global().run(num_tasks, lanes, |task| {
+            *slots[task].lock().unwrap() = Some(f(task));
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("task ran"))
+            .collect()
+    }
+
+    #[test]
+    fn pool_results_are_identical_at_any_lane_count_and_the_pool_grows_once() {
+        let data: Vec<f64> = (0..8192).map(|i| (i as f64).sin()).collect();
+        let chunk = 64;
+        let tasks = data.len() / chunk;
+        let sum_chunk = |task: usize| data[task * chunk..(task + 1) * chunk].iter().sum::<f64>();
+        let reference = pooled_map(tasks, 1, sum_chunk);
+        for lanes in [2, 3, 4, 4, 2] {
+            let got = pooled_map(tasks, lanes, sum_chunk);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&reference), bits(&got), "lanes = {lanes}");
+        }
+        // Reducing in task order after the job completes is bitwise-stable too.
+        let total: f64 = reference.iter().sum();
+        let total4: f64 = pooled_map(tasks, 4, sum_chunk).iter().sum();
+        assert_eq!(total.to_bits(), total4.to_bits());
+        // The pool grew to serve the largest request and never shrank.
+        assert!(WorkerPool::global().helper_workers() >= 3);
+    }
+
+    #[test]
+    fn nested_parallel_regions_collapse_to_one_thread_under_the_pool() {
+        let observed: Vec<Mutex<usize>> = (0..8).map(|_| Mutex::new(0)).collect();
+        WorkerPool::global().run(8, 4, |task| {
+            // Every lane of a pool job — workers and the submitting caller alike — is
+            // marked as an executor worker, so auto-resolved inner regions run inline.
+            *observed[task].lock().unwrap() = resolve_threads(0);
+        });
+        for slot in &observed {
+            assert_eq!(*slot.lock().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn task_panics_propagate_and_leave_the_pool_usable() {
+        let pool = WorkerPool::global();
+        let result = std::panic::catch_unwind(|| {
+            pool.run(64, 4, |task| {
+                assert!(task != 33, "poisoned task");
+            });
+        });
+        assert!(result.is_err(), "the task panic must reach the caller");
+        // The job drained despite the panic; the next job runs normally on the same
+        // workers.
+        let after = pooled_map(16, 4, |task| task as f64);
+        assert_eq!(after, (0..16).map(|t| t as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_cap_bounds_participating_threads() {
+        use std::collections::HashSet;
+        // Grow the pool past the cap first, so extra parked workers exist to be turned
+        // away by the admission counter.
+        WorkerPool::global().run(16, 4, |_| {});
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        WorkerPool::global().run(64, 2, |_| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        let participants = seen.lock().unwrap().len();
+        assert!(
+            (1..=2).contains(&participants),
+            "a 2-lane job ran on {participants} threads"
+        );
+    }
+
+    #[test]
+    fn single_lane_requests_run_inline() {
+        // An inline run must execute every task on the caller's own thread — no job is
+        // published and no worker participates. (Thread identity is the race-free way
+        // to assert this: concurrent tests may legitimately grow the pool.)
+        let caller = std::thread::current().id();
+        let slots: Vec<Mutex<Option<f64>>> = (0..4).map(|_| Mutex::new(None)).collect();
+        WorkerPool::global().run(4, 1, |task| {
+            assert_eq!(std::thread::current().id(), caller);
+            *slots[task].lock().unwrap() = Some(task as f64 * 2.0);
+        });
+        let got: Vec<f64> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("task ran"))
+            .collect();
+        assert_eq!(got, vec![0.0, 2.0, 4.0, 6.0]);
+    }
+}

@@ -4,8 +4,8 @@
 //! with optional AdaGrad scaling, lazy `L2` gradients on touched coordinates, and a
 //! proximal (soft-thresholding) step for `L1`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Mutex, RwLock};
+use std::cell::RefCell;
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -49,7 +49,9 @@ pub struct SgdConfig {
     pub tolerance: f64,
     /// Use AdaGrad per-coordinate step sizes instead of the global schedule.
     pub adagrad: bool,
-    /// Examples per parameter update. `1` (the default) is classic per-example SGD.
+    /// Examples per parameter update. `0` (the default) **auto-tunes** the batch size
+    /// from the objective's example count via [`auto_batch_size`]; a fixed value stays
+    /// available as an explicit override. `1` is classic per-example SGD.
     /// Larger batches switch to the deterministic parallel minimizer: each batch's
     /// gradient is accumulated over fixed-size example chunks that can run on several
     /// threads, reduced in chunk order so the result is bitwise-identical at any thread
@@ -62,7 +64,8 @@ pub struct SgdConfig {
     pub batch_size: usize,
     /// Worker threads for the batched path. `0` resolves `SLIMFAST_THREADS` /
     /// available parallelism (see [`crate::exec::resolve_threads`]). The thread count
-    /// never changes results, only wall-clock time.
+    /// never changes results, only wall-clock time; the lanes actually run are capped
+    /// at the machine's parallelism ([`crate::exec::max_lanes`]).
     pub threads: usize,
 }
 
@@ -76,7 +79,7 @@ impl Default for SgdConfig {
             seed: 0,
             tolerance: 1e-5,
             adagrad: true,
-            batch_size: 1,
+            batch_size: 0,
             threads: 0,
         }
     }
@@ -102,6 +105,41 @@ impl SgdConfig {
         self.seed = seed;
         self
     }
+
+    /// The batch size this configuration uses on an objective with `num_examples`
+    /// examples: the explicit [`SgdConfig::batch_size`] when non-zero, otherwise
+    /// [`auto_batch_size`]. Depends only on the configuration and the example count —
+    /// never on thread counts — so resolved runs stay bitwise-deterministic.
+    pub fn resolved_batch_size(&self, num_examples: usize) -> usize {
+        match self.batch_size {
+            0 => auto_batch_size(num_examples),
+            explicit => explicit,
+        }
+    }
+}
+
+/// Examples below which [`auto_batch_size`] keeps classic per-example SGD: small
+/// objectives converge faster with per-example updates and have nothing to amortize
+/// across threads.
+pub const AUTO_BATCH_MIN_EXAMPLES: usize = 1024;
+
+/// The batch size used when [`SgdConfig::batch_size`] is `0` ("auto").
+///
+/// Tuned from the objective's example count **alone** — never from the thread count or
+/// the machine — so a fitted model stays bitwise-identical across `SLIMFAST_THREADS`
+/// settings. Objectives under [`AUTO_BATCH_MIN_EXAMPLES`] examples use per-example SGD;
+/// larger ones get `num_examples / 256` examples per batch, clamped to `[64, 2048]` and
+/// rounded down to a whole number of 32-example gradient chunks (the fixed chunk grid
+/// of the batched minimizer). The paper's
+/// "millions of claims" regime therefore lands at the 2048 cap — 64 chunks per batch,
+/// enough grid for a many-core machine — while a 5k-claim fit gets 64-example batches
+/// whose two-chunk grids run inline on the caller.
+pub fn auto_batch_size(num_examples: usize) -> usize {
+    if num_examples < AUTO_BATCH_MIN_EXAMPLES {
+        return 1;
+    }
+    let raw = (num_examples / 256).clamp(GRAD_CHUNK * 2, 2048);
+    (raw / GRAD_CHUNK) * GRAD_CHUNK
 }
 
 /// The result of an SGD run.
@@ -149,8 +187,9 @@ pub fn minimize<O: StochasticObjective>(
             epochs_run: 0,
         };
     }
-    if config.batch_size > 1 && n_examples >= config.batch_size.saturating_mul(4) {
-        return minimize_batched(objective, weights, config);
+    let batch_size = config.resolved_batch_size(n_examples);
+    if batch_size > 1 && n_examples >= batch_size.saturating_mul(4) {
+        return minimize_batched(objective, weights, config, batch_size);
     }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -237,98 +276,100 @@ struct ChunkPartial {
     entries: Vec<(usize, f64)>,
 }
 
-/// Shared state of one batched run: workers read the weights and the current batch
-/// window, the coordinating thread owns all mutation between barrier phases.
-struct BatchState {
-    weights: RwLock<Vec<f64>>,
-    order: RwLock<Vec<usize>>,
-    /// Current batch as a `start..end` window into `order`.
-    window: RwLock<(usize, usize)>,
-    done: AtomicBool,
-    /// Set when any lane's objective panicked; the first payload is kept so the
-    /// coordinator can shut the pool down cleanly and re-raise it (a raw panic inside
-    /// a worker would leave the others blocked at the barrier forever).
-    failed: AtomicBool,
-    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+/// Locks a chunk partial, shrugging off poison: an objective panic can poison the slot
+/// mid-write, but arenas outlive fits on the freelist and every batch fully resets a
+/// slot (`loss = 0`, `entries.clear()`) before reading it, so stale state is never
+/// observed.
+fn lock_partial(slot: &Mutex<ChunkPartial>) -> std::sync::MutexGuard<'_, ChunkPartial> {
+    slot.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Per-lane gradient scratch, reused across every chunk, batch, and `minimize` call
+    /// that runs on this thread (pool workers live for the whole process, so in steady
+    /// state chunk accumulation allocates nothing). Taken out of the cell while in use
+    /// so a re-entrant objective degrades to a fresh allocation instead of a panic.
+    static GRAD_SCRATCH: RefCell<SparseVec> = RefCell::new(SparseVec::new());
+}
+
+/// Process-wide freelist of chunk-partial arenas. One arena is checked out per batched
+/// `minimize` call and returned on exit (including unwinds), so consecutive fits — EM
+/// runs one `minimize` per M-step — reuse the same chunk buffers instead of
+/// reallocating them every iteration.
+static FREE_SCRATCH: Mutex<Vec<Vec<Mutex<ChunkPartial>>>> = Mutex::new(Vec::new());
+
+/// A checked-out chunk-partial arena; returns itself to [`FREE_SCRATCH`] on drop.
+struct ScratchLease {
+    partials: Vec<Mutex<ChunkPartial>>,
+}
+
+impl ScratchLease {
+    /// Takes an arena off the freelist (or starts a fresh one) and grows it to at least
+    /// `max_chunks` slots. Contents are stale from previous use; every batch fully
+    /// resets the slots it touches before reading them.
+    fn checkout(max_chunks: usize) -> Self {
+        let mut partials = FREE_SCRATCH
+            .lock()
+            .expect("scratch freelist")
+            .pop()
+            .unwrap_or_default();
+        if partials.len() < max_chunks {
+            partials.resize_with(max_chunks, || Mutex::new(ChunkPartial::default()));
+        }
+        Self { partials }
+    }
+}
+
+impl Drop for ScratchLease {
+    fn drop(&mut self) {
+        FREE_SCRATCH
+            .lock()
+            .expect("scratch freelist")
+            .push(std::mem::take(&mut self.partials));
+    }
 }
 
 /// Deterministic mini-batch SGD with parallel gradient accumulation.
 ///
 /// Per epoch the example order is shuffled exactly like the sequential path (same RNG,
-/// same seed), then consumed in batches of [`SgdConfig::batch_size`]. Each batch is cut
-/// into fixed [`GRAD_CHUNK`]-sized chunks; workers accumulate per-chunk loss and sparse
-/// gradient entries, and the coordinator reduces the chunks **in chunk-index order**
-/// into a dense gradient before applying one (AdaGrad-scaled, proximally penalized)
-/// update. Because the chunk grid and the reduction order are independent of the worker
-/// count, results are bitwise-identical at any `threads` setting.
+/// same seed), then consumed in batches of the resolved batch size. Each batch is cut
+/// into fixed [`GRAD_CHUNK`]-sized chunks; lanes accumulate per-chunk loss and sparse
+/// gradient entries into per-chunk slots, and the coordinator reduces the chunks **in
+/// chunk-index order** into a dense gradient before applying one (AdaGrad-scaled,
+/// proximally penalized) update. Because the chunk grid, the per-chunk computation, and
+/// the reduction order are all independent of the worker count, results are
+/// bitwise-identical at any `threads` setting.
 ///
 /// With AdaGrad the summed batch gradient is applied directly (the accumulator is scale
 /// adaptive); without it the **mean** batch gradient is used, so step magnitudes stay
 /// comparable to the per-example path instead of growing with the batch size.
 ///
-/// Workers are spawned once per call and synchronized with a [`Barrier`] (two waits per
-/// batch), so per-batch overhead stays in the microseconds regardless of epoch count.
-/// A panic inside the objective on any lane is caught, the pool is shut down, and the
-/// panic is re-raised on the caller's thread (instead of deadlocking the barrier).
+/// Batches run on the process-wide persistent [`exec::WorkerPool`] — no threads are
+/// spawned per call, and parked workers are woken once per batch. Chunk grids smaller
+/// than `2 × lanes` (every batch of a small fit) run inline on the caller without
+/// touching the pool at all. Gradient scratch is thread-local and the chunk-partial
+/// arena is checked out of a process-wide freelist, so steady-state batches allocate
+/// nothing. A panic inside the objective on any lane is re-raised on the caller's
+/// thread by the pool after the batch drains.
 fn minimize_batched<O: StochasticObjective>(
     objective: &O,
     weights: Vec<f64>,
     config: &SgdConfig,
+    batch_size: usize,
 ) -> FitResult {
     let n_params = objective.num_params();
     let n_examples = objective.num_examples();
-    let batch_size = config.batch_size;
     let max_chunks = batch_size.div_ceil(GRAD_CHUNK);
-    let threads = exec::resolve_threads(config.threads).min(max_chunks).max(1);
+    let lanes = exec::execution_lanes(exec::resolve_threads(config.threads), max_chunks);
     const ADAGRAD_EPS: f64 = 1e-8;
 
-    let state = BatchState {
-        weights: RwLock::new(weights),
-        order: RwLock::new((0..n_examples).collect()),
-        window: RwLock::new((0, 0)),
-        done: AtomicBool::new(false),
-        failed: AtomicBool::new(false),
-        panic_payload: Mutex::new(None),
-    };
-    let partials: Vec<Mutex<ChunkPartial>> = (0..max_chunks)
-        .map(|_| Mutex::new(ChunkPartial::default()))
-        .collect();
-    let barrier = Barrier::new(threads);
-
-    // Accumulates this worker's chunks of the current batch (worker `t` takes chunks
-    // `t, t + threads, ...`). Runs between the two barrier phases of a batch. Panics
-    // from the objective are captured into the shared state so every lane still
-    // reaches its barrier and the pool can shut down instead of deadlocking.
-    let compute_chunks = |worker: usize| {
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let weights = state.weights.read().expect("weights lock");
-            let order = state.order.read().expect("order lock");
-            let (start, end) = *state.window.read().expect("window lock");
-            let num_chunks = (end - start).div_ceil(GRAD_CHUNK);
-            let mut grad = SparseVec::new();
-            let mut chunk = worker;
-            while chunk < num_chunks {
-                let chunk_start = start + chunk * GRAD_CHUNK;
-                let chunk_end = (chunk_start + GRAD_CHUNK).min(end);
-                let mut partial = partials[chunk].lock().expect("partial lock");
-                partial.loss = 0.0;
-                partial.entries.clear();
-                for &example in &order[chunk_start..chunk_end] {
-                    grad.clear();
-                    partial.loss += objective.example_loss_grad(&weights, example, &mut grad);
-                    partial.entries.extend(grad.iter());
-                }
-                chunk += threads;
-            }
-        }));
-        if let Err(payload) = result {
-            let mut slot = state.panic_payload.lock().expect("panic slot");
-            slot.get_or_insert(payload);
-            state.failed.store(true, Ordering::SeqCst);
-        }
-    };
+    let mut weights = weights;
+    let scratch = ScratchLease::checkout(max_chunks);
+    let partials = &scratch.partials;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..n_examples).collect();
     let mut adagrad_acc = vec![0.0f64; n_params];
     let mut dense_grad = vec![0.0f64; n_params];
     let mut stamp = vec![0u64; n_params];
@@ -339,118 +380,107 @@ fn minimize_batched<O: StochasticObjective>(
     let mut updates = 0usize;
     let mut epochs_run = 0usize;
 
-    std::thread::scope(|scope| {
-        for worker in 1..threads {
-            let state = &state;
-            let barrier = &barrier;
-            let compute_chunks = &compute_chunks;
-            scope.spawn(move || {
-                exec::as_worker(|| loop {
-                    barrier.wait();
-                    if state.done.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    compute_chunks(worker);
-                    barrier.wait();
-                })
-            });
+    'epochs: for epoch in 0..config.epochs {
+        epochs_run = epoch + 1;
+        if config.shuffle {
+            order.shuffle(&mut rng);
         }
-
-        'epochs: for epoch in 0..config.epochs {
-            epochs_run = epoch + 1;
-            if config.shuffle {
-                state.order.write().expect("order lock").shuffle(&mut rng);
-            }
-            let mut epoch_loss = 0.0;
-            let mut start = 0usize;
-            while start < n_examples {
-                let end = (start + batch_size).min(n_examples);
-                *state.window.write().expect("window lock") = (start, end);
-                barrier.wait();
-                compute_chunks(0);
-                barrier.wait();
-
-                // An objective panic on any lane: release the workers, then re-raise
-                // on this thread (scope joins the exited workers on unwind).
-                if state.failed.load(Ordering::SeqCst) {
-                    state.done.store(true, Ordering::SeqCst);
-                    barrier.wait();
-                    let payload = state.panic_payload.lock().expect("panic slot").take();
-                    std::panic::resume_unwind(
-                        payload.unwrap_or_else(|| Box::new("batched SGD worker panicked")),
-                    );
-                }
-
-                // Reduce the chunk partials in chunk order, then apply one update.
-                let mut weights = state.weights.write().expect("weights lock");
-                let num_chunks = (end - start).div_ceil(GRAD_CHUNK);
-                tick += 1;
-                touched.clear();
-                for partial in partials.iter().take(num_chunks) {
-                    let partial = partial.lock().expect("partial lock");
-                    epoch_loss += partial.loss;
-                    for &(i, g) in &partial.entries {
-                        if i >= n_params {
-                            continue;
-                        }
-                        if stamp[i] != tick {
-                            stamp[i] = tick;
-                            dense_grad[i] = 0.0;
-                            touched.push(i);
-                        }
-                        dense_grad[i] += g;
+        let mut epoch_loss = 0.0;
+        let mut start = 0usize;
+        while start < n_examples {
+            let end = (start + batch_size).min(n_examples);
+            let num_chunks = (end - start).div_ceil(GRAD_CHUNK);
+            {
+                // Accumulate the chunks of this batch: chunk `c` covers the fixed
+                // example window `start + c*GRAD_CHUNK ..` of the shuffled order and
+                // writes only to `partials[c]`, so scheduling cannot change results.
+                let weights_ref = &weights;
+                let order_ref = &order;
+                let run_chunk = |chunk: usize| {
+                    let chunk_start = start + chunk * GRAD_CHUNK;
+                    let chunk_end = (chunk_start + GRAD_CHUNK).min(end);
+                    let mut partial = lock_partial(&partials[chunk]);
+                    partial.loss = 0.0;
+                    partial.entries.clear();
+                    let mut grad = GRAD_SCRATCH.with(RefCell::take);
+                    for &example in &order_ref[chunk_start..chunk_end] {
+                        grad.clear();
+                        partial.loss +=
+                            objective.example_loss_grad(weights_ref, example, &mut grad);
+                        partial.entries.extend(grad.iter());
                     }
-                }
-                let base_rate = if config.adagrad {
-                    config.learning_rate.rate(0)
-                } else {
-                    config.learning_rate.rate(updates)
+                    GRAD_SCRATCH.with(|cell| cell.replace(grad));
                 };
-                // AdaGrad's accumulator is scale adaptive, so the summed batch gradient
-                // is applied directly; plain schedules use the batch mean so the step
-                // magnitude matches the per-example path.
-                let grad_scale = if config.adagrad {
-                    1.0
+                if lanes <= 1 || num_chunks < 2 * lanes {
+                    for chunk in 0..num_chunks {
+                        run_chunk(chunk);
+                    }
                 } else {
-                    1.0 / (end - start) as f64
-                };
-                for &i in &touched {
-                    let g = dense_grad[i] * grad_scale + config.penalty.smooth_gradient(weights[i]);
-                    let step = if config.adagrad {
-                        adagrad_acc[i] += g * g;
-                        base_rate / (adagrad_acc[i].sqrt() + ADAGRAD_EPS)
-                    } else {
-                        base_rate
-                    };
-                    let updated = weights[i] - step * g;
-                    weights[i] = config.penalty.proximal(updated, step);
+                    exec::WorkerPool::global().run(num_chunks, lanes, run_chunk);
                 }
-                updates += 1;
-                start = end;
             }
 
-            let penalty_value = {
-                let weights = state.weights.read().expect("weights lock");
-                config.penalty.value(&weights)
+            // Reduce the chunk partials in chunk order, then apply one update.
+            tick += 1;
+            touched.clear();
+            for partial in partials.iter().take(num_chunks) {
+                let partial = lock_partial(partial);
+                epoch_loss += partial.loss;
+                for &(i, g) in &partial.entries {
+                    if i >= n_params {
+                        continue;
+                    }
+                    if stamp[i] != tick {
+                        stamp[i] = tick;
+                        dense_grad[i] = 0.0;
+                        touched.push(i);
+                    }
+                    dense_grad[i] += g;
+                }
+            }
+            let base_rate = if config.adagrad {
+                config.learning_rate.rate(0)
+            } else {
+                config.learning_rate.rate(updates)
             };
-            let avg_loss = epoch_loss / n_examples as f64 + penalty_value / n_examples as f64;
-            if let Some(&prev) = loss_history.last() {
-                let denom: f64 = prev.abs().max(1.0);
-                if ((prev - avg_loss) / denom).abs() < config.tolerance {
-                    loss_history.push(avg_loss);
-                    converged = true;
-                    break 'epochs;
-                }
+            // AdaGrad's accumulator is scale adaptive, so the summed batch gradient
+            // is applied directly; plain schedules use the batch mean so the step
+            // magnitude matches the per-example path.
+            let grad_scale = if config.adagrad {
+                1.0
+            } else {
+                1.0 / (end - start) as f64
+            };
+            for &i in &touched {
+                let g = dense_grad[i] * grad_scale + config.penalty.smooth_gradient(weights[i]);
+                let step = if config.adagrad {
+                    adagrad_acc[i] += g * g;
+                    base_rate / (adagrad_acc[i].sqrt() + ADAGRAD_EPS)
+                } else {
+                    base_rate
+                };
+                let updated = weights[i] - step * g;
+                weights[i] = config.penalty.proximal(updated, step);
             }
-            loss_history.push(avg_loss);
+            updates += 1;
+            start = end;
         }
 
-        state.done.store(true, Ordering::SeqCst);
-        barrier.wait();
-    });
+        let avg_loss =
+            epoch_loss / n_examples as f64 + config.penalty.value(&weights) / n_examples as f64;
+        if let Some(&prev) = loss_history.last() {
+            let denom: f64 = prev.abs().max(1.0);
+            if ((prev - avg_loss) / denom).abs() < config.tolerance {
+                loss_history.push(avg_loss);
+                converged = true;
+                break 'epochs;
+            }
+        }
+        loss_history.push(avg_loss);
+    }
 
     FitResult {
-        weights: state.weights.into_inner().expect("weights lock"),
+        weights,
         loss_history,
         converged,
         epochs_run,
@@ -730,6 +760,7 @@ mod tests {
             &SgdConfig {
                 epochs: 20,
                 tolerance: 0.0,
+                batch_size: 1,
                 ..SgdConfig::default()
             },
         );
@@ -745,6 +776,63 @@ mod tests {
             },
         );
         assert_eq!(sequential.weights, batched_requested.weights);
+    }
+
+    #[test]
+    fn auto_batch_size_depends_only_on_the_example_count() {
+        // Small objectives stay per-example; larger ones scale with n under a cap.
+        assert_eq!(auto_batch_size(0), 1);
+        assert_eq!(auto_batch_size(AUTO_BATCH_MIN_EXAMPLES - 1), 1);
+        assert_eq!(auto_batch_size(AUTO_BATCH_MIN_EXAMPLES), 64);
+        assert_eq!(auto_batch_size(200_000), 768);
+        assert_eq!(auto_batch_size(10_000_000), 2048);
+        // Always a whole number of gradient chunks, and always engageable (n >= 4b).
+        for n in [1024usize, 5_000, 50_164, 200_119, 1 << 22] {
+            let b = auto_batch_size(n);
+            assert_eq!(b % GRAD_CHUNK, 0, "n = {n}");
+            assert!(n >= 4 * b, "n = {n}, b = {b}");
+        }
+    }
+
+    #[test]
+    fn auto_batch_matches_the_equivalent_explicit_batch_bitwise() {
+        let obj = big_regression(4096);
+        let auto = SgdConfig {
+            epochs: 6,
+            tolerance: 0.0,
+            seed: 3,
+            batch_size: 0,
+            ..SgdConfig::default()
+        };
+        let explicit = SgdConfig {
+            batch_size: auto_batch_size(obj.num_examples()),
+            ..auto
+        };
+        assert!(explicit.batch_size > 1, "auto must engage batching here");
+        let a = minimize(&obj, None, &auto);
+        let b = minimize(&obj, None, &explicit);
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.loss_history, b.loss_history);
+    }
+
+    #[test]
+    fn scratch_reuse_across_consecutive_batched_fits_is_bitwise_deterministic() {
+        // The first call checks a fresh chunk arena out of the freelist; the second
+        // reuses it. Any state leaking across fits would break this equality.
+        let obj = big_regression(6000);
+        let config = SgdConfig {
+            epochs: 5,
+            tolerance: 0.0,
+            seed: 21,
+            batch_size: 256,
+            threads: 2,
+            ..SgdConfig::default()
+        };
+        let a = minimize(&obj, None, &config);
+        let b = minimize(&obj, None, &config);
+        let bits = |w: &[f64]| w.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.weights), bits(&b.weights));
+        assert_eq!(bits(&a.loss_history), bits(&b.loss_history));
     }
 
     #[test]
