@@ -1,0 +1,355 @@
+//! Ingest bench: sharded bulk load, incremental maintenance, and sliding-window
+//! steady state at the paper's "millions of claims" scale.
+//!
+//! Three phases, each guarded by the data plane's bitwise-determinism contract:
+//!
+//! 1. **Bulk load** — a 10M-claim stream (1M objects × 10 claims, 1k sources) is built
+//!    three ways: the sequential `DatasetBuilder` loop, and the sharded ingest pipeline
+//!    at `threads = 1` and `threads = 4`. The three datasets are asserted
+//!    content-identical before any timing is trusted, and each path reports claims/sec.
+//! 2. **Incremental maintenance** — 100k claims are appended through the delta log onto
+//!    the bulk-loaded dataset; the bench asserts the appends triggered **zero** full
+//!    index passes (the O(dataset)-per-claim rebuild this PR removes), then times one
+//!    compaction folding the delta into the base CSR arrays.
+//! 3. **Sliding window** — a horizon-sized window slides over a longer stream
+//!    (append + evict + policy-driven compaction, the `FusionEngine::with_window`
+//!    maintenance loop without the training cost); reports sustained claims/sec,
+//!    compaction count, and steady-state resident bytes per live claim.
+//!
+//! A machine-readable summary is written to `BENCH_ingest.json` at the workspace root
+//! (override with the `BENCH_INGEST_OUT` environment variable). The default scale is
+//! 10M claims; `SLIMFAST_INGEST_CLAIMS` overrides it, and `--test` (as
+//! `cargo test --benches` and CI smoke jobs use) drops to 200k claims.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use criterion::Criterion;
+
+use slimfast_core::WindowConfig;
+use slimfast_data::{
+    build_claims_sharded, full_index_passes, read_observations_csv, read_observations_csv_sharded,
+    Dataset, DatasetBuilder, NamedObservation,
+};
+
+/// Sources shared across the whole stream; every object draws 10 of them.
+const NUM_SOURCES: usize = 1_000;
+const CLAIMS_PER_OBJECT: usize = 10;
+/// Lines of the CSV-path comparison (bounded separately: the text round-trip is the
+/// slow part, and the claims path already covers the full scale).
+const CSV_CAP: usize = 2_000_000;
+
+fn total_claims(test_mode: bool) -> usize {
+    if let Ok(v) = std::env::var("SLIMFAST_INGEST_CLAIMS") {
+        return v
+            .parse()
+            .expect("SLIMFAST_INGEST_CLAIMS must be an integer");
+    }
+    if test_mode {
+        200_000
+    } else {
+        10_000_000
+    }
+}
+
+/// Deterministic claim mix: object `o{i}` gets `CLAIMS_PER_OBJECT` claims from a
+/// strided source subset, with a value mix that keeps domains multi-valued.
+fn claim_fields(i: usize, k: usize) -> (String, String, String) {
+    let source = (i + k * 7) % NUM_SOURCES;
+    let value = (i.wrapping_mul(31) + k.wrapping_mul(17)) % 4;
+    (format!("s{source}"), format!("o{i}"), format!("v{value}"))
+}
+
+fn generate_claims(total: usize) -> Vec<NamedObservation> {
+    let objects = total / CLAIMS_PER_OBJECT;
+    let mut claims = Vec::with_capacity(objects * CLAIMS_PER_OBJECT);
+    for i in 0..objects {
+        for k in 0..CLAIMS_PER_OBJECT {
+            let (s, o, v) = claim_fields(i, k);
+            claims.push(NamedObservation::new(s, o, v));
+        }
+    }
+    claims
+}
+
+fn generate_csv(lines: usize) -> String {
+    let mut out = String::with_capacity(lines * 16);
+    for i in 0..lines / CLAIMS_PER_OBJECT {
+        for k in 0..CLAIMS_PER_OBJECT {
+            let (s, o, v) = claim_fields(i, k);
+            out.push_str(&s);
+            out.push(',');
+            out.push_str(&o);
+            out.push(',');
+            out.push_str(&v);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+struct BulkReport {
+    claims: usize,
+    seq_secs: f64,
+    sharded_t1_secs: f64,
+    sharded_t4_secs: f64,
+    csv_lines: usize,
+    csv_seq_secs: f64,
+    csv_sharded_secs: f64,
+}
+
+fn run_bulk(total: usize) -> (BulkReport, Dataset) {
+    let claims = generate_claims(total);
+
+    let start = Instant::now();
+    let mut builder = DatasetBuilder::with_capacity(total);
+    for c in &claims {
+        builder.observe(&c.source, &c.object, &c.value).unwrap();
+    }
+    let sequential = builder.build();
+    let seq_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let sharded_t1 = build_claims_sharded(&claims, 1).unwrap();
+    let sharded_t1_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let sharded_t4 = build_claims_sharded(&claims, 4).unwrap();
+    let sharded_t4_secs = start.elapsed().as_secs_f64();
+
+    // The sharded pipeline's core contract: identical content to the sequential build
+    // at any lane count. Asserted before the timings are published.
+    assert!(
+        sequential.same_content(&sharded_t1),
+        "sharded(t1) ingest diverged from the sequential build"
+    );
+    assert!(
+        sequential.same_content(&sharded_t4),
+        "sharded(t4) ingest diverged from the sequential build"
+    );
+
+    let csv_lines = total.min(CSV_CAP);
+    let csv = generate_csv(csv_lines);
+    let start = Instant::now();
+    let from_csv_seq = read_observations_csv(csv.as_bytes()).unwrap();
+    let csv_seq_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let from_csv_sharded = read_observations_csv_sharded(csv.as_bytes(), 4).unwrap();
+    let csv_sharded_secs = start.elapsed().as_secs_f64();
+    assert!(
+        from_csv_seq.same_content(&from_csv_sharded),
+        "sharded CSV ingest diverged from the sequential reader"
+    );
+
+    (
+        BulkReport {
+            claims: total,
+            seq_secs,
+            sharded_t1_secs,
+            sharded_t4_secs,
+            csv_lines,
+            csv_seq_secs,
+            csv_sharded_secs,
+        },
+        sharded_t1,
+    )
+}
+
+struct DeltaReport {
+    appends: usize,
+    append_secs: f64,
+    compact_secs: f64,
+}
+
+fn run_delta(dataset: &mut Dataset, appends: usize) -> DeltaReport {
+    let passes_before = full_index_passes();
+    let base_objects = dataset.num_objects();
+    let start = Instant::now();
+    for i in 0..appends {
+        let (s, _, v) = claim_fields(base_objects + i / CLAIMS_PER_OBJECT, i % CLAIMS_PER_OBJECT);
+        let o = format!("a{}", i / CLAIMS_PER_OBJECT);
+        dataset.append_named(&s, &o, &v).unwrap();
+    }
+    let append_secs = start.elapsed().as_secs_f64();
+    // The point of the delta log: streaming appends never pay a full index pass.
+    assert_eq!(
+        full_index_passes(),
+        passes_before,
+        "delta-log appends triggered a full reindex"
+    );
+    assert_eq!(dataset.storage_stats().pending_appends, appends);
+
+    let start = Instant::now();
+    dataset.compact();
+    let compact_secs = start.elapsed().as_secs_f64();
+    assert!(dataset.is_compacted());
+
+    DeltaReport {
+        appends,
+        append_secs,
+        compact_secs,
+    }
+}
+
+struct WindowReport {
+    horizon: usize,
+    streamed: usize,
+    stream_secs: f64,
+    compactions: usize,
+    steady_bytes_per_claim: f64,
+}
+
+/// The engine's window maintenance loop (append → evict past horizon → compact past the
+/// dead-fraction trigger) without the training cost: measures the data plane alone.
+fn run_window(total: usize) -> WindowReport {
+    let window = WindowConfig::default();
+    let horizon = (total / 20).max(1_000);
+    let streamed = horizon * 3;
+    let initial = generate_claims(horizon);
+    let mut dataset = build_claims_sharded(&initial, 1).unwrap();
+    let mut queue: VecDeque<_> = dataset
+        .live_observations()
+        .map(|obs| (obs.source, obs.object))
+        .collect();
+
+    let first_new = horizon / CLAIMS_PER_OBJECT;
+    let start = Instant::now();
+    for i in 0..streamed {
+        let (s, o, v) = claim_fields(first_new + i / CLAIMS_PER_OBJECT, i % CLAIMS_PER_OBJECT);
+        let obs = dataset.append_named(&s, &o, &v).unwrap().unwrap();
+        queue.push_back((obs.source, obs.object));
+        while dataset.num_observations() > horizon {
+            let (es, eo) = queue.pop_front().unwrap();
+            assert!(dataset.evict(es, eo));
+        }
+        // Same O(1) trigger the engine's window maintenance uses — a full
+        // storage_stats() walk per claim would dominate the loop.
+        let dead_cap =
+            ((dataset.num_observations() as f64 * window.max_dead_fraction) as usize).max(4096);
+        if dataset.dead_claims() > dead_cap {
+            dataset.compact();
+        }
+    }
+    let stream_secs = start.elapsed().as_secs_f64();
+    dataset.compact();
+    let stats = dataset.storage_stats();
+    assert_eq!(stats.live_claims, horizon);
+
+    WindowReport {
+        horizon,
+        streamed,
+        stream_secs,
+        compactions: stats.compactions,
+        steady_bytes_per_claim: stats.bytes_per_claim(),
+    }
+}
+
+fn write_json(
+    bulk: &BulkReport,
+    delta: &DeltaReport,
+    window: &WindowReport,
+) -> std::io::Result<String> {
+    let path = std::env::var("BENCH_INGEST_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_ingest.json", env!("CARGO_MANIFEST_DIR")));
+    let rate = |claims: usize, secs: f64| claims as f64 / secs.max(1e-9);
+    let out = format!(
+        concat!(
+            "{{\n  \"bench\": \"ingest\",\n",
+            "  \"claims\": {},\n",
+            "  \"build_secs_sequential\": {:.4},\n",
+            "  \"build_secs_sharded_t1\": {:.4},\n",
+            "  \"build_secs_sharded_t4\": {:.4},\n",
+            "  \"claims_per_sec_sequential\": {:.0},\n",
+            "  \"claims_per_sec_sharded_t1\": {:.0},\n",
+            "  \"claims_per_sec_sharded_t4\": {:.0},\n",
+            "  \"csv_lines\": {},\n",
+            "  \"csv_lines_per_sec_sequential\": {:.0},\n",
+            "  \"csv_lines_per_sec_sharded\": {:.0},\n",
+            "  \"delta_appends\": {},\n",
+            "  \"delta_appends_per_sec\": {:.0},\n",
+            "  \"compact_secs\": {:.4},\n",
+            "  \"window_horizon\": {},\n",
+            "  \"window_streamed\": {},\n",
+            "  \"window_claims_per_sec\": {:.0},\n",
+            "  \"window_compactions\": {},\n",
+            "  \"window_steady_bytes_per_claim\": {:.1}\n",
+            "}}\n"
+        ),
+        bulk.claims,
+        bulk.seq_secs,
+        bulk.sharded_t1_secs,
+        bulk.sharded_t4_secs,
+        rate(bulk.claims, bulk.seq_secs),
+        rate(bulk.claims, bulk.sharded_t1_secs),
+        rate(bulk.claims, bulk.sharded_t4_secs),
+        bulk.csv_lines,
+        rate(bulk.csv_lines, bulk.csv_seq_secs),
+        rate(bulk.csv_lines, bulk.csv_sharded_secs),
+        delta.appends,
+        rate(delta.appends, delta.append_secs),
+        delta.compact_secs,
+        window.horizon,
+        window.streamed,
+        rate(window.streamed, window.stream_secs),
+        window.compactions,
+        window.steady_bytes_per_claim,
+    );
+    std::fs::write(&path, &out)?;
+    Ok(path)
+}
+
+fn main() {
+    // Reuse the criterion shim's CLI handling so `cargo test --benches` (`--test`) and
+    // name filters behave like every other bench target.
+    let _criterion = Criterion::default().configure_from_args();
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let total = total_claims(test_mode);
+    let appends = (total / 100).clamp(10_000, 100_000);
+
+    println!("ingest: bulk load of {total} claims ({NUM_SOURCES} sources)");
+    let (bulk, mut dataset) = run_bulk(total);
+    let rate = |claims: usize, secs: f64| claims as f64 / secs.max(1e-9);
+    println!(
+        "ingest/bulk    sequential {:>8.2}s ({:>9.0} claims/s)  sharded t1 {:>8.2}s ({:>9.0}/s)  t4 {:>8.2}s ({:>9.0}/s)",
+        bulk.seq_secs,
+        rate(bulk.claims, bulk.seq_secs),
+        bulk.sharded_t1_secs,
+        rate(bulk.claims, bulk.sharded_t1_secs),
+        bulk.sharded_t4_secs,
+        rate(bulk.claims, bulk.sharded_t4_secs),
+    );
+    println!(
+        "ingest/csv     {} lines  sequential {:>8.2}s ({:>9.0} lines/s)  sharded {:>8.2}s ({:>9.0}/s)",
+        bulk.csv_lines,
+        bulk.csv_seq_secs,
+        rate(bulk.csv_lines, bulk.csv_seq_secs),
+        bulk.csv_sharded_secs,
+        rate(bulk.csv_lines, bulk.csv_sharded_secs),
+    );
+
+    let delta = run_delta(&mut dataset, appends);
+    println!(
+        "ingest/delta   {} appends in {:>7.3}s ({:>9.0} claims/s, zero reindexes)  compact {:>7.3}s",
+        delta.appends,
+        delta.append_secs,
+        rate(delta.appends, delta.append_secs),
+        delta.compact_secs,
+    );
+    drop(dataset);
+
+    let window = run_window(total);
+    println!(
+        "ingest/window  horizon {}  streamed {} in {:>7.3}s ({:>9.0} claims/s)  {} compactions  steady {:>6.1} B/claim",
+        window.horizon,
+        window.streamed,
+        window.stream_secs,
+        rate(window.streamed, window.stream_secs),
+        window.compactions,
+        window.steady_bytes_per_claim,
+    );
+
+    match write_json(&bulk, &delta, &window) {
+        Ok(path) => println!("ingest: summary written to {path}"),
+        Err(err) => eprintln!("ingest: could not write summary: {err}"),
+    }
+}

@@ -115,6 +115,8 @@ struct PointReport {
     claims: usize,
     bytes_per_claim: f64,
     nested_bytes_per_claim: f64,
+    delta_bytes: usize,
+    dead_claims: usize,
     fit_secs_t1: f64,
     fit_secs_t4: f64,
     predict_secs: f64,
@@ -204,6 +206,8 @@ fn run_point(point: &GridPoint) -> PointReport {
         claims: stats.num_observations,
         bytes_per_claim: stats.bytes_per_claim(),
         nested_bytes_per_claim: stats.nested_bytes_per_claim(),
+        delta_bytes: stats.delta_bytes,
+        dead_claims: stats.dead_claims,
         fit_secs_t1,
         fit_secs_t4,
         predict_secs,
@@ -231,6 +235,7 @@ fn write_json(reports: &[PointReport]) -> std::io::Result<String> {
             concat!(
                 "    {{\"name\": \"{}\", \"sources\": {}, \"objects\": {}, \"claims\": {}, ",
                 "\"bytes_per_claim\": {:.2}, \"nested_bytes_per_claim\": {:.2}, ",
+                "\"delta_bytes\": {}, \"dead_claims\": {}, ",
                 "\"fit_secs_t1\": {:.4}, \"fit_secs_t4\": {:.4}, ",
                 "\"speedup_t4\": {:.3}, \"parallel_efficiency\": {:.3}, ",
                 "\"claims_per_sec_t1\": {:.0}, \"claims_per_sec_t4\": {:.0}, ",
@@ -242,6 +247,8 @@ fn write_json(reports: &[PointReport]) -> std::io::Result<String> {
             r.claims,
             r.bytes_per_claim,
             r.nested_bytes_per_claim,
+            r.delta_bytes,
+            r.dead_claims,
             r.fit_secs_t1,
             r.fit_secs_t4,
             r.speedup_t4(),

@@ -57,20 +57,35 @@ fn main() {
     println!();
     println!("Storage footprint (columnar CSR layout vs the pre-CSR nested-Vec estimate)\n");
     println!(
-        "{:<16}{:>14}{:>18}{:>20}{:>10}",
-        "Dataset", "Claims", "CSR B/claim", "Nested B/claim", "Saved"
+        "{:<16}{:>14}{:>18}{:>20}{:>10}{:>12}{:>10}{:>12}",
+        "Dataset",
+        "Claims",
+        "CSR B/claim",
+        "Nested B/claim",
+        "Saved",
+        "Delta B",
+        "Dead",
+        "Compactions"
     );
     for inst in &datasets {
         let storage = inst.dataset.storage_stats();
         let csr = storage.bytes_per_claim();
         let nested = storage.nested_bytes_per_claim();
         println!(
-            "{:<16}{:>14}{:>18.1}{:>20.1}{:>9.0}%",
+            "{:<16}{:>14}{:>18.1}{:>20.1}{:>9.0}%{:>12}{:>10}{:>12}",
             inst.name,
-            storage.num_observations,
+            storage.live_claims,
             csr,
             nested,
-            (1.0 - csr / nested.max(f64::MIN_POSITIVE)) * 100.0
+            (1.0 - csr / nested.max(f64::MIN_POSITIVE)) * 100.0,
+            storage.delta_bytes,
+            storage.dead_claims,
+            storage.compactions,
         );
     }
+    println!(
+        "\nDelta B / Dead / Compactions report the incremental-maintenance state: bytes in\n\
+         the append-side delta log, tombstoned claims awaiting compaction, and compactions\n\
+         absorbed — all zero for these freshly built batch instances."
+    );
 }

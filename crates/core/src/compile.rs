@@ -68,6 +68,10 @@ pub struct CompiledProblem {
     footprint_values: Vec<f64>,
     /// Compiled-object indices that carry a usable label (the ERM example set).
     labeled: Vec<u32>,
+    /// Claim-count-balanced object chunk grid shared by both E-step passes. Computed
+    /// once per compile from `claim_offsets`; depends only on the data, so E-step
+    /// results stay bitwise-identical at any thread count.
+    chunk_grid: exec::ChunkGrid,
 }
 
 impl CompiledProblem {
@@ -125,6 +129,8 @@ impl CompiledProblem {
             claim_offsets.push(claim_sources.len() as u32);
         }
 
+        let chunk_grid =
+            exec::ChunkGrid::claim_balanced(objects.len(), |i| claim_offsets[i] as usize);
         Self {
             space,
             objects,
@@ -137,6 +143,7 @@ impl CompiledProblem {
             footprint_params,
             footprint_values,
             labeled,
+            chunk_grid,
         }
     }
 
@@ -213,8 +220,9 @@ impl CompiledProblem {
     /// point mass on their label — and `targets` with the per-claim correctness target
     /// (the posterior mass of the claimed value) the M-step fits against.
     ///
-    /// Sharded over fixed object ranges on up to `threads` workers; writes are disjoint,
-    /// so results are identical at any thread count.
+    /// Sharded over the compiled claim-count-balanced object grid on up to `threads`
+    /// workers; the grid depends only on the data and writes are disjoint, so results
+    /// are identical at any thread count.
     pub fn e_step(
         &self,
         trust: &[f64],
@@ -222,16 +230,15 @@ impl CompiledProblem {
         posteriors: &mut Vec<f64>,
         targets: &mut Vec<f64>,
     ) {
-        let n = self.num_compiled_objects();
+        let grid = &self.chunk_grid;
         posteriors.clear();
         posteriors.resize(self.num_posterior_slots(), 0.0);
         // Pass 1: posteriors, sharded by object chunks over disjoint domain ranges.
-        let boundaries = exec::chunk_boundaries(n, |i| self.domain_offsets[i] as usize);
+        let boundaries = grid.slice_boundaries(|i| self.domain_offsets[i] as usize);
         exec::for_each_slice_mut(posteriors, &boundaries, threads, |part, slice| {
-            let first = part * exec::OBJECT_CHUNK;
-            let last = ((part + 1) * exec::OBJECT_CHUNK).min(n);
-            let base = self.domain_offsets[first] as usize;
-            for i in first..last {
+            let objects = grid.objects(part);
+            let base = self.domain_offsets[objects.start] as usize;
+            for i in objects {
                 let dr = self.domain_offsets[i] as usize - base
                     ..self.domain_offsets[i + 1] as usize - base;
                 let scores = &mut slice[dr];
@@ -248,13 +255,12 @@ impl CompiledProblem {
         // Pass 2: per-claim targets, sharded by object chunks over disjoint claim ranges.
         targets.clear();
         targets.resize(self.num_claims(), 0.0);
-        let boundaries = exec::chunk_boundaries(n, |i| self.claim_offsets[i] as usize);
+        let boundaries = grid.slice_boundaries(|i| self.claim_offsets[i] as usize);
         let posteriors = &*posteriors;
         exec::for_each_slice_mut(targets, &boundaries, threads, |part, slice| {
-            let first = part * exec::OBJECT_CHUNK;
-            let last = ((part + 1) * exec::OBJECT_CHUNK).min(n);
-            let base = self.claim_offsets[first] as usize;
-            for i in first..last {
+            let objects = grid.objects(part);
+            let base = self.claim_offsets[objects.start] as usize;
+            for i in objects {
                 let post_base = self.domain_offsets[i] as usize;
                 for c in self.claim_offsets[i] as usize..self.claim_offsets[i + 1] as usize {
                     slice[c - base] = posteriors[post_base + self.claim_classes[c] as usize];

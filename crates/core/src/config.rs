@@ -69,6 +69,60 @@ impl Default for RefitPolicy {
     }
 }
 
+/// Sliding-window configuration of the incremental serving engine
+/// ([`crate::engine::FusionEngine`]): source accuracies are learned over a moving
+/// horizon of the most recent claims instead of the full history.
+///
+/// When a window is set (see `FusionEngine::with_window`), every ingested claim that
+/// pushes the live claim count past `horizon_claims` ages out the oldest live claim via
+/// the dataset's O(touched rows) eviction path; tombstones and append deltas are folded
+/// into the base CSR arrays by periodic compaction governed by `max_dead_fraction`, so
+/// steady-state memory stays proportional to the horizon, not the stream length. Refits
+/// recompile the training plan over the *live* claims only — evicted history has no
+/// weight in the next model.
+///
+/// # Interaction with [`RefitPolicy::DriftThreshold`]
+///
+/// Windowing and the drift policy compose naturally: evictions move the live scale
+/// `|S|·|O|` and density of the instance, which moves the Section 4.2 EM rate
+/// ([`crate::bounds::model_rate`]) exactly like appends do — so a window that slides
+/// onto differently-shaped traffic (new sources, narrower object set) raises the drift
+/// statistic and triggers a retrain on the windowed data. The ERM caveat on
+/// [`RefitPolicy::DriftThreshold`] still applies: the ERM rate only reacts to labels,
+/// and a sliding window does not remove labels, so for ERM-fitted models pair the
+/// window with [`RefitPolicy::EveryNClaims`] to guarantee the model eventually forgets
+/// evicted history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Maximum number of live claims retained; older claims are evicted as new ones
+    /// arrive (clamped to at least 1).
+    pub horizon_claims: usize,
+    /// Compaction trigger: fold the delta log into the base arrays once tombstoned
+    /// claims exceed this fraction of the live claims (clamped to a small absolute
+    /// floor so tiny windows don't compact on every claim).
+    pub max_dead_fraction: f64,
+}
+
+impl WindowConfig {
+    /// A window keeping the most recent `horizon_claims` claims, with the default
+    /// compaction trigger.
+    pub fn new(horizon_claims: usize) -> Self {
+        Self {
+            horizon_claims,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self {
+            horizon_claims: 1 << 20,
+            max_dead_fraction: 0.25,
+        }
+    }
+}
+
 /// Full configuration of a SLiMFast run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlimFastConfig {

@@ -8,14 +8,22 @@
 //! from the current data under the fitted parameters, and a [`RefitPolicy`] decides when
 //! the accumulated delta justifies paying the training cost again — including a policy
 //! driven by the drift of the Section 4.2 error bound ([`crate::bounds`]).
+//!
+//! Deltas ride the dataset's incremental CSR maintenance: each ingested claim lands in
+//! the delta-log overlay in O(touched rows), a [`WindowConfig`] ages out claims past
+//! the horizon via the matching eviction path, and compaction folds the accumulated
+//! delta back into the base arrays periodically (and before every refit) — so neither
+//! ingest nor windowing ever pays an O(dataset) rebuild per claim.
+
+use std::collections::VecDeque;
 
 use slimfast_data::{
-    DataError, Dataset, DatasetBuilder, FeatureMatrix, FusionInput, GroundTruth, NamedObservation,
-    ObjectId, SourceAccuracies, TruthAssignment, ValueId,
+    DataError, Dataset, FeatureMatrix, FusionInput, GroundTruth, NamedObservation, ObjectId,
+    SourceAccuracies, SourceId, TruthAssignment, ValueId,
 };
 
 use crate::bounds::{model_rate, relative_drift};
-use crate::config::RefitPolicy;
+use crate::config::{RefitPolicy, WindowConfig};
 use crate::model::SlimFastModel;
 use crate::optimizer::OptimizerDecision;
 use crate::slimfast::SlimFast;
@@ -23,6 +31,11 @@ use crate::slimfast::SlimFast;
 /// Smallest accuracy margin `δ` assumed when estimating the Theorem 3 rate; prevents a
 /// model whose accuracies sit at 0.5 from reporting an unusable infinite bound.
 const MIN_ACCURACY_MARGIN: f64 = 0.05;
+
+/// Compaction triggers ignore the configured dead/pending fractions below this many
+/// claims: small engines serve fine out of the overlay, and compacting a toy window on
+/// every claim would reintroduce the O(dataset) per-delta cost this module removes.
+const COMPACT_FLOOR: usize = 4096;
 
 /// A serving engine around one fitted SLiMFast model.
 ///
@@ -32,13 +45,15 @@ const MIN_ACCURACY_MARGIN: f64 = 0.05;
 /// ([`FusionEngine::posterior`], [`FusionEngine::predict`], ...) always see the current
 /// data but are answered under the fitted parameters — new sources fall back to the
 /// model's uninformed prior until the next refit. Retraining happens explicitly via
-/// [`FusionEngine::refit`] or automatically per the configured [`RefitPolicy`].
+/// [`FusionEngine::refit`] or automatically per the configured [`RefitPolicy`], and a
+/// [`WindowConfig`] (see [`FusionEngine::with_window`]) restricts the live instance to
+/// a sliding horizon of the most recent claims.
 ///
-/// The engine is a single-writer structure: queries take `&mut self` because they
-/// lazily rebuild the indexed dataset after ingests. For lock-free multi-threaded read
-/// serving, clone the fitted [`SlimFastModel`] (or a
-/// [`crate::slimfast::FittedSlimFast`]) and share *that* across threads, keeping one
-/// engine as the ingest/retrain loop.
+/// Ingested deltas go straight into the indexed dataset's overlay (O(touched rows) per
+/// claim), so queries are `&self` and never pay a rebuild. The engine remains a
+/// single-writer structure; for lock-free multi-threaded read serving, clone the fitted
+/// [`SlimFastModel`] (or a [`crate::slimfast::FittedSlimFast`]) and share *that* across
+/// threads, keeping one engine as the ingest/retrain loop.
 ///
 /// ```
 /// use slimfast_core::{FusionEngine, RefitPolicy, SlimFast, SlimFastConfig};
@@ -72,9 +87,7 @@ const MIN_ACCURACY_MARGIN: f64 = 0.05;
 pub struct FusionEngine {
     estimator: SlimFast,
     policy: RefitPolicy,
-    builder: DatasetBuilder,
     dataset: Dataset,
-    dirty: bool,
     features: FeatureMatrix,
     truth: GroundTruth,
     model: SlimFastModel,
@@ -82,6 +95,11 @@ pub struct FusionEngine {
     rate_at_fit: f64,
     claims_since_fit: usize,
     refits: usize,
+    window: Option<WindowConfig>,
+    /// Live claims in arrival order; the eviction frontier of the sliding window.
+    /// Maintained only when a window is configured.
+    window_queue: VecDeque<(SourceId, ObjectId)>,
+    evictions: usize,
 }
 
 impl FusionEngine {
@@ -130,9 +148,7 @@ impl FusionEngine {
         let mut engine = Self {
             estimator,
             policy,
-            builder: dataset.to_builder(),
             dataset,
-            dirty: false,
             features,
             truth,
             model,
@@ -140,9 +156,31 @@ impl FusionEngine {
             rate_at_fit: f64::INFINITY,
             claims_since_fit: 0,
             refits: 0,
+            window: None,
+            window_queue: VecDeque::new(),
+            evictions: 0,
         };
         engine.rate_at_fit = engine.current_rate();
         engine
+    }
+
+    /// Attaches a sliding window: the engine keeps only the most recent
+    /// `window.horizon_claims` live claims, aging out older ones as new claims arrive.
+    /// Claims already in the dataset count toward the horizon (oldest first), so
+    /// attaching a window narrower than the current dataset evicts immediately.
+    ///
+    /// See [`WindowConfig`] for how windowing composes with
+    /// [`RefitPolicy::DriftThreshold`].
+    pub fn with_window(mut self, window: WindowConfig) -> Self {
+        self.window_queue = self
+            .dataset
+            .live_observations()
+            .map(|obs| (obs.source, obs.object))
+            .collect();
+        self.window = Some(window);
+        self.enforce_window();
+        self.maybe_compact();
+        self
     }
 
     /// Ingests one claim, interning any new source/object/value names, and applies the
@@ -151,15 +189,14 @@ impl FusionEngine {
     /// Fails with [`DataError::ConflictingObservation`] when the source already asserted
     /// a different value for the object; the engine state is unchanged in that case.
     pub fn observe(&mut self, source: &str, object: &str, value: &str) -> Result<bool, DataError> {
-        let before = self.builder.len();
-        self.builder.observe(source, object, value)?;
-        if self.builder.len() == before {
-            // Idempotent duplicate: nothing changed, so no rebuild and no refit.
-            return Ok(false);
+        match self.dataset.append_named(source, object, value)? {
+            // Idempotent duplicate: nothing changed, so no refit.
+            None => Ok(false),
+            Some(obs) => {
+                self.note_appended(obs.source, obs.object);
+                Ok(self.apply_policy())
+            }
         }
-        self.dirty = true;
-        self.claims_since_fit += 1;
-        Ok(self.apply_policy())
     }
 
     /// Ingests a batch of claims, applying the refit policy once at the end so a large
@@ -169,14 +206,12 @@ impl FusionEngine {
     /// ingested.
     pub fn ingest(&mut self, claims: &[NamedObservation]) -> Result<bool, DataError> {
         for claim in claims {
-            let before = self.builder.len();
-            self.builder
-                .observe(&claim.source, &claim.object, &claim.value)?;
-            if self.builder.len() == before {
-                continue;
+            if let Some(obs) =
+                self.dataset
+                    .append_named(&claim.source, &claim.object, &claim.value)?
+            {
+                self.note_appended(obs.source, obs.object);
             }
-            self.dirty = true;
-            self.claims_since_fit += 1;
         }
         Ok(self.apply_policy())
     }
@@ -184,17 +219,17 @@ impl FusionEngine {
     /// Records a ground-truth label (e.g. from a late human verification), interning the
     /// names if new, and applies the refit policy. Returns whether the engine retrained.
     pub fn label(&mut self, object: &str, value: &str) -> bool {
-        let o = self.builder.intern_object(object);
-        let v = self.builder.intern_value(value);
+        let o = self.dataset.intern_object(object);
+        let v = self.dataset.intern_value(value);
         self.truth.set(o, v);
-        self.dirty = true;
         self.apply_policy()
     }
 
-    /// Retrains the model on the current data, resetting the delta counters and the
-    /// drift baseline.
+    /// Retrains the model on the current live data, resetting the delta counters and
+    /// the drift baseline. Compacts first, so training (and the `CompiledProblem` it
+    /// builds) runs over the folded base arrays covering exactly the live claims.
     pub fn refit(&mut self) {
-        self.refresh();
+        self.dataset.compact();
         let (model, decision) = {
             let input = FusionInput::new(&self.dataset, &self.features, &self.truth);
             self.estimator.train(&input)
@@ -209,50 +244,44 @@ impl FusionEngine {
     /// The posterior over the candidate values of the named object (order of
     /// [`Dataset::domain`]), served from the fitted model with zero retraining.
     /// `None` for objects the engine has never heard of.
-    pub fn posterior(&mut self, object: &str) -> Option<Vec<f64>> {
-        self.refresh();
+    pub fn posterior(&self, object: &str) -> Option<Vec<f64>> {
         let o = self.dataset.object_id(object)?;
         Some(self.model.posterior(&self.dataset, &self.features, o))
     }
 
     /// The posterior over the candidate values of an object handle.
-    pub fn posterior_by_id(&mut self, o: ObjectId) -> Vec<f64> {
-        self.refresh();
+    pub fn posterior_by_id(&self, o: ObjectId) -> Vec<f64> {
         self.model.posterior(&self.dataset, &self.features, o)
     }
 
     /// MAP value and posterior probability for the named object; `None` for unknown or
     /// unobserved objects.
-    pub fn map_value(&mut self, object: &str) -> Option<(ValueId, f64)> {
-        self.refresh();
+    pub fn map_value(&self, object: &str) -> Option<(ValueId, f64)> {
         let o = self.dataset.object_id(object)?;
         self.model.map_value(&self.dataset, &self.features, o)
     }
 
     /// MAP assignment over every object currently known to the engine.
-    pub fn predict(&mut self) -> TruthAssignment {
-        self.refresh();
+    pub fn predict(&self) -> TruthAssignment {
         self.model.predict(&self.dataset, &self.features)
     }
 
     /// Estimated accuracy of the named source under the fitted model; sources that
     /// arrived after the last fit sit at the uninformed prior of `0.5` (plus any feature
     /// contribution). `None` for sources the engine has never heard of.
-    pub fn source_accuracy(&mut self, source: &str) -> Option<f64> {
-        self.refresh();
+    pub fn source_accuracy(&self, source: &str) -> Option<f64> {
         let s = self.dataset.source_id(source)?;
         Some(self.model.source_accuracy(s, &self.features))
     }
 
     /// Estimated accuracies of every source currently known to the engine.
-    pub fn source_accuracies(&mut self) -> SourceAccuracies {
-        self.refresh();
+    pub fn source_accuracies(&self) -> SourceAccuracies {
         self.model.source_accuracies(&self.dataset, &self.features)
     }
 
-    /// The current dataset, including every ingested delta.
-    pub fn dataset(&mut self) -> &Dataset {
-        self.refresh();
+    /// The current dataset, including every ingested delta (and excluding evicted
+    /// claims).
+    pub fn dataset(&self) -> &Dataset {
         &self.dataset
     }
 
@@ -276,6 +305,11 @@ impl FusionEngine {
         self.policy
     }
 
+    /// The sliding-window configuration, if one is attached.
+    pub fn window(&self) -> Option<WindowConfig> {
+        self.window
+    }
+
     /// Claims ingested since the model was last (re)trained.
     pub fn claims_since_fit(&self) -> usize {
         self.claims_since_fit
@@ -286,41 +320,66 @@ impl FusionEngine {
         self.refits
     }
 
+    /// Claims aged out by the sliding window since construction.
+    pub fn eviction_count(&self) -> usize {
+        self.evictions
+    }
+
     /// Relative drift of the Section 4.2 rate since the last fit (the quantity the
     /// [`RefitPolicy::DriftThreshold`] policy thresholds).
     ///
-    /// Computed from the builder's running counters, so checking drift on every
-    /// ingested claim never rebuilds the indexed dataset.
+    /// Computed from the dataset's running counters, so checking drift on every
+    /// ingested claim never walks the claim log.
     pub fn drift(&self) -> f64 {
         relative_drift(self.rate_at_fit, self.current_rate())
     }
 
-    /// Rebuilds the indexed dataset from the builder after ingests.
-    ///
-    /// Queries pay this once per accumulated delta (lazy rebuild), which favours
-    /// batchy ingest→query patterns; an ingest between every query degenerates to a
-    /// rebuild per query.
-    fn refresh(&mut self) {
-        if self.dirty {
-            self.dataset = self.builder.clone().build();
-            self.dirty = false;
+    /// Bookkeeping after one successful (non-duplicate) append: delta counters, the
+    /// window frontier, and overlay hygiene.
+    fn note_appended(&mut self, source: SourceId, object: ObjectId) {
+        self.claims_since_fit += 1;
+        if self.window.is_some() {
+            self.window_queue.push_back((source, object));
+            self.enforce_window();
+            self.maybe_compact();
+        }
+    }
+
+    /// Evicts the oldest live claims until the live count is back inside the horizon.
+    fn enforce_window(&mut self) {
+        let Some(window) = self.window else { return };
+        let horizon = window.horizon_claims.max(1);
+        while self.dataset.num_observations() > horizon {
+            let (s, o) = self
+                .window_queue
+                .pop_front()
+                .expect("window queue tracks every live claim");
+            let evicted = self.dataset.evict(s, o);
+            debug_assert!(evicted, "window queue entries are live until popped");
+            self.evictions += 1;
+        }
+    }
+
+    /// Folds the delta log into the base arrays once tombstones or pending appends
+    /// outgrow the configured fraction of the live claims.
+    fn maybe_compact(&mut self) {
+        let Some(window) = self.window else { return };
+        let live = self.dataset.num_observations();
+        let dead_cap = ((live as f64 * window.max_dead_fraction) as usize).max(COMPACT_FLOOR);
+        let pending_cap = (live / 4).max(COMPACT_FLOOR);
+        if self.dataset.dead_claims() > dead_cap || self.dataset.pending_appends() > pending_cap {
+            self.dataset.compact();
         }
     }
 
     /// The Section 4.2 rate of the serving model on the *current* instance, from the
-    /// builder's running counters (cheap: no dataset rebuild).
+    /// dataset's running counters (cheap: no log walk).
     ///
     /// For EM-fitted models the accuracy margin `δ` of Theorem 3 is estimated from the
     /// model's own accuracy estimates (mean `|2·A_s − 1|`, floored at a small constant).
     fn current_rate(&self) -> f64 {
-        let num_sources = self.builder.num_sources();
-        let num_objects = self.builder.num_objects();
-        let cells = num_sources * num_objects;
-        let density = if cells == 0 {
-            0.0
-        } else {
-            self.builder.len() as f64 / cells as f64
-        };
+        let num_sources = self.dataset.num_sources();
+        let num_objects = self.dataset.num_objects();
         let used_em = self.decision == OptimizerDecision::Em;
         let delta = if used_em {
             self.accuracy_margin(num_sources)
@@ -333,7 +392,7 @@ impl FusionEngine {
             self.truth.num_labeled(),
             num_sources,
             num_objects,
-            density,
+            self.dataset.density(),
             delta,
         )
     }
@@ -435,6 +494,26 @@ mod tests {
     }
 
     #[test]
+    fn single_claim_ingest_never_reindexes_the_dataset() {
+        let mut engine = engine_with(RefitPolicy::Never);
+        let passes = slimfast_data::full_index_passes();
+        engine.observe("inc-src", "inc-obj", "v1").unwrap();
+        engine.observe("s0", "inc-obj", "v2").unwrap();
+        // Queries are served straight from the overlay...
+        assert_eq!(engine.posterior("inc-obj").unwrap().len(), 2);
+        let _ = engine.predict();
+        // ...with zero full CSR indexing passes and zero compactions: the delta stayed
+        // a delta.
+        assert_eq!(slimfast_data::full_index_passes(), passes);
+        assert_eq!(engine.dataset().pending_appends(), 2);
+        assert_eq!(engine.dataset().compaction_count(), 0);
+        // An explicit refit folds the delta into the base arrays exactly once.
+        engine.refit();
+        assert_eq!(engine.dataset().pending_appends(), 0);
+        assert!(engine.dataset().is_compacted());
+    }
+
+    #[test]
     fn every_n_claims_refits_exactly_on_the_boundary() {
         let mut engine = engine_with(RefitPolicy::EveryNClaims(3));
         assert!(!engine.observe("a", "x", "1").unwrap());
@@ -516,6 +595,49 @@ mod tests {
     }
 
     #[test]
+    fn sliding_window_ages_out_the_oldest_claims() {
+        // The synthetic instance carries 150 × 6 = 900 claims; keep a horizon of 920
+        // so the first 20 streamed claims fit and the rest evict history.
+        let mut engine = engine_with(RefitPolicy::Never).with_window(WindowConfig::new(920));
+        assert_eq!(engine.eviction_count(), 0);
+        for i in 0..40 {
+            engine
+                .observe(&format!("w-src-{}", i % 5), &format!("w-obj-{i}"), "v")
+                .unwrap();
+        }
+        assert_eq!(engine.dataset().num_observations(), 920);
+        assert_eq!(engine.eviction_count(), 20);
+        // Every streamed claim is still live (the window evicts oldest-first).
+        for i in 0..40 {
+            assert!(engine.posterior(&format!("w-obj-{i}")).is_some());
+        }
+        // A window narrower than the current dataset evicts immediately on attach.
+        let shrunk = engine_with(RefitPolicy::Never).with_window(WindowConfig::new(100));
+        assert_eq!(shrunk.dataset().num_observations(), 100);
+        assert_eq!(shrunk.eviction_count(), 800);
+        assert!(shrunk.window().is_some());
+    }
+
+    #[test]
+    fn windowing_composes_with_refit_policies() {
+        let mut engine =
+            engine_with(RefitPolicy::EveryNClaims(10)).with_window(WindowConfig::new(900));
+        for i in 0..25 {
+            engine
+                .observe(&format!("wp-src-{}", i % 3), &format!("wp-obj-{i}"), "v")
+                .unwrap();
+        }
+        // Two refit boundaries crossed while the window was evicting.
+        assert_eq!(engine.refit_count(), 2);
+        assert!(engine.eviction_count() >= 25);
+        assert_eq!(engine.dataset().num_observations(), 900);
+        // Refitting compacted the dataset, so the last refit trained on base arrays
+        // covering exactly the live claims.
+        assert!(engine.dataset().dead_claims() <= 5);
+        let _ = engine.predict();
+    }
+
+    #[test]
     fn exported_models_revive_into_equivalent_engines() {
         let mut engine = engine_with(RefitPolicy::Never);
         engine.observe("late", "obj", "x").unwrap();
@@ -525,7 +647,7 @@ mod tests {
 
         let dataset = engine.dataset().clone();
         let features = FeatureMatrix::empty(dataset.num_sources());
-        let mut revived = FusionEngine::from_model(
+        let revived = FusionEngine::from_model(
             SlimFast::em(SlimFastConfig::default()),
             model,
             engine.decision(),

@@ -38,24 +38,77 @@ pub use slimfast_optim::exec::{
     WorkerPool, INLINE_MIN_ITEMS, THREADS_ENV,
 };
 
-/// Fixed number of objects per E-step/posterior shard. Constant (never derived from the
-/// thread count) so shard boundaries are identical in every configuration.
+/// Maximum number of objects per E-step/posterior shard. Constant (never derived from
+/// the thread count) so shard boundaries are identical in every configuration.
 pub const OBJECT_CHUNK: usize = 1024;
 
-/// Cuts `0..len` into [`OBJECT_CHUNK`]-sized part boundaries mapped through `offset_of`
-/// (typically a CSR offset lookup), producing the cumulative slice boundaries that
-/// [`for_each_slice_mut`] expects.
-pub fn chunk_boundaries(len: usize, offset_of: impl Fn(usize) -> usize) -> Vec<usize> {
-    let parts = len.div_ceil(OBJECT_CHUNK);
-    let mut boundaries = Vec::with_capacity(parts + 1);
-    boundaries.push(offset_of(0));
-    for part in 1..=parts {
-        boundaries.push(offset_of((part * OBJECT_CHUNK).min(len)));
+/// Target number of claims per E-step shard. Chunks close early once they accumulate
+/// this many claims, so a handful of heavy objects (skewed domains, hot objects) cannot
+/// serialize a whole [`OBJECT_CHUNK`]-object range on one lane. Constant for the same
+/// determinism reason as [`OBJECT_CHUNK`].
+pub const CLAIM_CHUNK: usize = 8192;
+
+/// A fixed partition of an object range into chunks, balanced by cumulative claim count.
+///
+/// The grid depends only on the data (the object count and the claim-offset array),
+/// never on the thread count: each chunk spans at most [`OBJECT_CHUNK`] objects and
+/// closes as soon as it has accumulated [`CLAIM_CHUNK`] claims. On uniform datasets
+/// this degenerates to the old fixed `OBJECT_CHUNK` grid; on skewed datasets hot
+/// objects get isolated into small chunks so the E-step's lanes stay balanced.
+#[derive(Debug, Clone)]
+pub struct ChunkGrid {
+    /// Object-index boundaries: chunk `p` covers objects `bounds[p]..bounds[p + 1]`.
+    bounds: Vec<usize>,
+}
+
+impl ChunkGrid {
+    /// Builds the grid for `len` objects with `cumulative(i)` the number of claims in
+    /// objects `0..i` (a CSR offset lookup). `cumulative` must be monotone.
+    pub fn claim_balanced(len: usize, cumulative: impl Fn(usize) -> usize) -> Self {
+        if len == 0 {
+            return Self { bounds: vec![0, 0] };
+        }
+        let mut bounds = Vec::with_capacity(len.div_ceil(OBJECT_CHUNK) + 1);
+        bounds.push(0);
+        let mut start = 0usize;
+        while start < len {
+            let cap = (start + OBJECT_CHUNK).min(len);
+            let target = cumulative(start) + CLAIM_CHUNK;
+            // Smallest end in (start, cap] reaching the claim target, else cap.
+            let mut end = cap;
+            if cumulative(cap) > target {
+                let (mut lo, mut hi) = (start + 1, cap);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if cumulative(mid) >= target {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                end = lo;
+            }
+            bounds.push(end);
+            start = end;
+        }
+        Self { bounds }
     }
-    if boundaries.len() == 1 {
-        boundaries.push(offset_of(len));
+
+    /// Number of chunks in the grid (at least 1, even for an empty range).
+    pub fn num_parts(&self) -> usize {
+        self.bounds.len() - 1
     }
-    boundaries
+
+    /// The object range of chunk `part`.
+    pub fn objects(&self, part: usize) -> std::ops::Range<usize> {
+        self.bounds[part]..self.bounds[part + 1]
+    }
+
+    /// Maps the grid through a CSR offset lookup, producing the cumulative slice
+    /// boundaries [`for_each_slice_mut`] expects for a buffer indexed by `offset_of`.
+    pub fn slice_boundaries(&self, offset_of: impl Fn(usize) -> usize) -> Vec<usize> {
+        self.bounds.iter().map(|&i| offset_of(i)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -63,18 +116,64 @@ mod tests {
     use super::*;
 
     #[test]
-    fn boundaries_cover_the_range() {
-        let offsets: Vec<usize> = (0..=5000).map(|i| i * 3).collect();
-        let b = chunk_boundaries(5000, |i| offsets[i]);
+    fn balanced_grid_covers_the_range_and_respects_the_object_cap() {
+        // Dense uniform: 10 claims per object — chunks close at the claim target,
+        // well before the object cap.
+        let offsets: Vec<usize> = (0..=50_000).map(|i| i * 10).collect();
+        let grid = ChunkGrid::claim_balanced(50_000, |i| offsets[i]);
+        assert_eq!(grid.objects(0).start, 0);
+        assert_eq!(grid.objects(grid.num_parts() - 1).end, 50_000);
+        for p in 0..grid.num_parts() {
+            let r = grid.objects(p);
+            assert!(!r.is_empty());
+            assert!(r.len() <= OBJECT_CHUNK);
+            // Every chunk except possibly the last carries roughly CLAIM_CHUNK claims.
+            let claims = offsets[r.end] - offsets[r.start];
+            if p + 1 < grid.num_parts() {
+                assert!(claims >= CLAIM_CHUNK);
+                assert!(claims < CLAIM_CHUNK + 10);
+            }
+        }
+        let b = grid.slice_boundaries(|i| offsets[i]);
         assert_eq!(b.first(), Some(&0));
-        assert_eq!(b.last(), Some(&15000));
-        assert_eq!(b.len(), 5000usize.div_ceil(OBJECT_CHUNK) + 1);
+        assert_eq!(b.last(), Some(&500_000));
         assert!(b.windows(2).all(|w| w[0] <= w[1]));
+
+        // Sparse uniform: 3 claims per object never reaches the claim target, so the
+        // grid degenerates to pure OBJECT_CHUNK ranges.
+        let grid = ChunkGrid::claim_balanced(5000, |i| i * 3);
+        for p in 0..grid.num_parts() - 1 {
+            assert_eq!(grid.objects(p).len(), OBJECT_CHUNK);
+        }
+    }
+
+    #[test]
+    fn skewed_objects_are_isolated_into_small_chunks() {
+        // Object 100 carries 100k claims; everything else carries one.
+        let cumulative = |i: usize| i + if i > 100 { 100_000 } else { 0 };
+        let grid = ChunkGrid::claim_balanced(5000, cumulative);
+        assert_eq!(grid.objects(grid.num_parts() - 1).end, 5000);
+        // The chunk containing the hot object ends right after it instead of dragging
+        // OBJECT_CHUNK cold objects along.
+        let hot = (0..grid.num_parts())
+            .find(|&p| grid.objects(p).contains(&100))
+            .unwrap();
+        assert_eq!(grid.objects(hot).end, 101);
+    }
+
+    #[test]
+    fn sparse_objects_fall_back_to_the_object_cap() {
+        // No claims at all: chunks are pure OBJECT_CHUNK ranges.
+        let grid = ChunkGrid::claim_balanced(3000, |_| 0);
+        assert_eq!(grid.num_parts(), 3);
+        assert_eq!(grid.objects(0), 0..OBJECT_CHUNK);
     }
 
     #[test]
     fn empty_range_still_produces_a_valid_grid() {
-        let b = chunk_boundaries(0, |_| 0);
-        assert_eq!(b, vec![0, 0]);
+        let grid = ChunkGrid::claim_balanced(0, |_| 0);
+        assert_eq!(grid.num_parts(), 1);
+        assert_eq!(grid.objects(0), 0..0);
+        assert_eq!(grid.slice_boundaries(|_| 0), vec![0, 0]);
     }
 }

@@ -39,7 +39,7 @@ pub fn correctness_examples(
     truth: &GroundTruth,
 ) -> Vec<BinaryExample> {
     let mut examples = Vec::new();
-    for obs in dataset.observations() {
+    for obs in dataset.live_observations() {
         let Some(label) = truth.get(obs.object) else {
             continue;
         };

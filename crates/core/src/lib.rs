@@ -75,7 +75,7 @@ pub mod slimfast;
 pub mod source_init;
 
 pub use compile::CompiledProblem;
-pub use config::{LearnerChoice, RefitPolicy, SlimFastConfig};
+pub use config::{LearnerChoice, RefitPolicy, SlimFastConfig, WindowConfig};
 pub use engine::FusionEngine;
 pub use model::{ParameterSpace, SlimFastModel, MODEL_FORMAT_VERSION};
 pub use optimizer::{OptimizerDecision, OptimizerReport};

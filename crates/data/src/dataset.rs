@@ -6,25 +6,52 @@
 //! sequentially, which keeps them cache-resident and makes them trivially shardable
 //! across threads by object or source ranges. Neighbor lists are sorted, so point
 //! lookups ([`Dataset::value_of`]) are binary searches instead of linear scans.
+//!
+//! # Write side: delta log and compaction
+//!
+//! A built dataset is no longer frozen: [`Dataset::append_ids`] /
+//! [`Dataset::append_named`] add claims and [`Dataset::evict`] removes them, both in
+//! time proportional to the touched *rows* rather than the whole dataset. Mutations are
+//! recorded in a delta log — materialized per-row overlays consulted transparently by
+//! every slice accessor — plus a tombstone bitmap over the insertion-order observation
+//! log. [`Dataset::compact`] folds the delta back into the base CSR arrays; the result
+//! is bitwise-identical to rebuilding from scratch from the same live claims because
+//! both paths run the same indexing routine over the same log.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::DataError;
 use crate::ids::{Interner, ObjectId, SourceId, ValueId};
 use crate::observation::Observation;
 
-/// An immutable, fully indexed fusion instance: the observation set `Ω` together with the
-/// per-object and per-source adjacency needed by learning and inference.
+/// Process-wide count of full CSR indexing passes ([`DatasetBuilder::build`] and
+/// [`Dataset::compact`]). Diagnostics only: serving-path tests snapshot it to assert
+/// that per-claim ingest never pays an O(dataset) re-index.
+static FULL_INDEX_PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of full CSR indexing passes this process has run (every
+/// [`DatasetBuilder::build`] and every non-trivial [`Dataset::compact`]).
 ///
-/// A `Dataset` is constructed through a [`DatasetBuilder`]; once built it is cheap to share
-/// (all methods take `&self`) and all lookups are `O(1)`, `O(log n)`, or proportional to
-/// the size of the answer.
+/// Intended for tests and benchmarks that assert incremental ingest stays off the
+/// O(dataset) rebuild path; the counter is global and monotone.
+pub fn full_index_passes() -> u64 {
+    FULL_INDEX_PASSES.load(Ordering::Relaxed)
+}
+
+/// An indexed fusion instance: the observation set `Ω` together with the per-object and
+/// per-source adjacency needed by learning and inference.
+///
+/// A `Dataset` is constructed through a [`DatasetBuilder`]; all lookups are `O(1)`,
+/// `O(log n)`, or proportional to the size of the answer.
 ///
 /// Internally the three indexes (`by_object`, `by_source`, `domains`) are CSR layouts:
 /// the entries of row `i` live at `entries[offsets[i] as usize..offsets[i + 1] as usize]`,
 /// a contiguous slice handed out by the accessors. `by_object` rows are sorted by
 /// [`SourceId`] and `by_source` rows by [`ObjectId`]; domains stay in first-seen order
 /// (the paper's `D_o` is an ordered candidate list that learning code indexes into).
+/// Rows touched since the last build/compaction live in small overlay maps that the
+/// accessors consult first, so appends and evictions never re-index untouched rows.
 ///
 /// ```
 /// use slimfast_data::DatasetBuilder;
@@ -46,10 +73,18 @@ use crate::observation::Observation;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Dataset {
+    /// Insertion-order claim log. May contain tombstoned (evicted) entries; see `live`.
     observations: Vec<Observation>,
+    /// Liveness bitmap aligned with `observations`; `None` means every entry is live.
+    live: Option<Vec<bool>>,
+    num_dead: usize,
     /// CSR entries of the object index, sorted by source within each row.
     by_object: Vec<(SourceId, ValueId)>,
     by_object_offsets: Vec<u32>,
+    /// Log index (sequence number) of each `by_object` entry, aligned with `by_object`.
+    /// Needed to locate a claim's log slot on eviction and to recompute domains in
+    /// first-seen order among the surviving claims.
+    by_object_seq: Vec<u32>,
     /// CSR entries of the source index, sorted by object within each row.
     by_source: Vec<(ObjectId, ValueId)>,
     by_source_offsets: Vec<u32>,
@@ -59,6 +94,59 @@ pub struct Dataset {
     sources: Interner<SourceId>,
     objects: Interner<ObjectId>,
     values: Interner<ValueId>,
+    num_sources: usize,
+    num_objects: usize,
+    num_values: usize,
+    delta: DeltaLog,
+    compactions: usize,
+}
+
+/// The append/evict overlay of a [`Dataset`]: full materialized replacement rows for
+/// every CSR row touched since the last build/compaction, keyed by row index.
+///
+/// Rows are materialized (base row cloned on first touch) rather than merged lazily so
+/// the slice-returning accessors stay zero-copy: an accessor either returns the base
+/// CSR slice or the overlay row's slice, nothing in between.
+#[derive(Debug, Clone, Default)]
+struct DeltaLog {
+    objects: HashMap<u32, RowOverlay>,
+    sources: HashMap<u32, Vec<(ObjectId, ValueId)>>,
+    domains: HashMap<u32, Vec<ValueId>>,
+    /// Claims appended since the last build/compaction.
+    pending: usize,
+}
+
+/// Overlay of one object row: the entries plus their log sequence numbers, kept aligned
+/// and sorted by source exactly like the base CSR row.
+#[derive(Debug, Clone, Default)]
+struct RowOverlay {
+    entries: Vec<(SourceId, ValueId)>,
+    seqs: Vec<u32>,
+}
+
+impl DeltaLog {
+    fn overlay_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let entry = size_of::<(SourceId, ValueId)>();
+        // Per-map-slot overhead (key + hash-table bookkeeping) is estimated at 16 bytes.
+        const SLOT: usize = 16;
+        let objects: usize = self
+            .objects
+            .values()
+            .map(|ov| ov.entries.len() * entry + ov.seqs.len() * size_of::<u32>() + SLOT)
+            .sum();
+        let sources: usize = self
+            .sources
+            .values()
+            .map(|row| row.len() * entry + SLOT)
+            .sum();
+        let domains: usize = self
+            .domains
+            .values()
+            .map(|row| row.len() * size_of::<ValueId>() + SLOT)
+            .sum();
+        objects + sources + domains
+    }
 }
 
 /// Heap footprint of a [`Dataset`]'s observation storage, reported by
@@ -66,26 +154,37 @@ pub struct Dataset {
 /// bytes-per-claim tracking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StorageStats {
-    /// Number of stored observations (claims).
+    /// Number of live observations (claims), excluding tombstoned entries.
     pub num_observations: usize,
-    /// Bytes held by the insertion-order observation log.
+    /// Bytes held by the insertion-order observation log (including tombstoned
+    /// entries awaiting compaction).
     pub log_bytes: usize,
-    /// Bytes held by the CSR indexes (entries plus offsets for `by_object`,
-    /// `by_source`, and the domains).
+    /// Bytes held by the base CSR indexes (entries, sequence numbers, and offsets for
+    /// `by_object`, `by_source`, and the domains).
     pub index_bytes: usize,
     /// Estimated bytes the same indexes would occupy in the pre-CSR nested
     /// `Vec<Vec<_>>` layout (one 24-byte `Vec` header per row plus the entries),
     /// for before/after comparisons.
     pub nested_equivalent_bytes: usize,
+    /// Live claims (same as `num_observations`; named for delta accounting symmetry).
+    pub live_claims: usize,
+    /// Tombstoned claims still occupying log slots until the next compaction.
+    pub dead_claims: usize,
+    /// Claims appended since the last build/compaction (resident in overlay rows).
+    pub pending_appends: usize,
+    /// Estimated bytes held by the delta overlay rows and the liveness bitmap.
+    pub delta_bytes: usize,
+    /// Number of compactions this dataset has absorbed.
+    pub compactions: usize,
 }
 
 impl StorageStats {
-    /// Total CSR bytes (log plus indexes).
+    /// Total resident bytes (log, base indexes, and delta overlay).
     pub fn total_bytes(&self) -> usize {
-        self.log_bytes + self.index_bytes
+        self.log_bytes + self.index_bytes + self.delta_bytes
     }
 
-    /// CSR bytes per claim; `0.0` for an empty dataset.
+    /// Resident bytes per live claim; `0.0` for an empty dataset.
     pub fn bytes_per_claim(&self) -> f64 {
         if self.num_observations == 0 {
             return 0.0;
@@ -107,53 +206,245 @@ fn csr_range(offsets: &[u32], i: usize) -> std::ops::Range<usize> {
     offsets[i] as usize..offsets[i + 1] as usize
 }
 
+/// The CSR arrays produced by one full indexing pass. Shared by
+/// [`DatasetBuilder::build`] and [`Dataset::compact`] so a compacted dataset is
+/// bitwise-identical to one built from scratch from the same log.
+struct CsrIndex {
+    by_object: Vec<(SourceId, ValueId)>,
+    by_object_offsets: Vec<u32>,
+    by_object_seq: Vec<u32>,
+    by_source: Vec<(ObjectId, ValueId)>,
+    by_source_offsets: Vec<u32>,
+    domains: Vec<ValueId>,
+    domain_offsets: Vec<u32>,
+}
+
+/// Sorts every CSR row in place. Rows are independent, so with `threads > 1` they are
+/// sharded over fixed row chunks; the per-row result is identical either way.
+fn sort_csr_rows<T: Ord + Send>(entries: &mut [T], offsets: &[u32], threads: usize) {
+    /// Fixed rows per part: data-dependent grid, never derived from the lane count.
+    const ROWS_PER_PART: usize = 4096;
+    let rows = offsets.len() - 1;
+    if threads <= 1 || rows <= ROWS_PER_PART {
+        for i in 0..rows {
+            entries[csr_range(offsets, i)].sort_unstable();
+        }
+        return;
+    }
+    let parts = rows.div_ceil(ROWS_PER_PART);
+    let mut boundaries = Vec::with_capacity(parts + 1);
+    for part in 0..=parts {
+        boundaries.push(offsets[(part * ROWS_PER_PART).min(rows)] as usize);
+    }
+    slimfast_optim::exec::for_each_slice_mut(entries, &boundaries, threads, |part, slice| {
+        let first = part * ROWS_PER_PART;
+        let last = ((part + 1) * ROWS_PER_PART).min(rows);
+        let base = offsets[first] as usize;
+        for i in first..last {
+            let row = offsets[i] as usize - base..offsets[i + 1] as usize - base;
+            slice[row].sort_unstable();
+        }
+    });
+}
+
+/// One full indexing pass: two counting sorts (count, prefix-sum, scatter) plus a
+/// per-row sort, all over flat arrays — `O(|Ω| log d)` where `d` is the largest row.
+/// Deterministic at any `threads` value (threads only shard the independent row sorts).
+fn index_observations(
+    observations: &[Observation],
+    num_sources: usize,
+    num_objects: usize,
+    threads: usize,
+) -> CsrIndex {
+    FULL_INDEX_PASSES.fetch_add(1, Ordering::Relaxed);
+    let num_obs = observations.len();
+    assert!(
+        num_obs <= u32::MAX as usize,
+        "observation count overflows u32"
+    );
+
+    // Counting sort into the two CSR indexes.
+    let mut by_object_offsets = vec![0u32; num_objects + 1];
+    let mut by_source_offsets = vec![0u32; num_sources + 1];
+    for obs in observations {
+        by_object_offsets[obs.object.index() + 1] += 1;
+        by_source_offsets[obs.source.index() + 1] += 1;
+    }
+    for i in 0..num_objects {
+        by_object_offsets[i + 1] += by_object_offsets[i];
+    }
+    for i in 0..num_sources {
+        by_source_offsets[i + 1] += by_source_offsets[i];
+    }
+    // Object entries carry their log index so evictions can find the log slot and
+    // domains can be recomputed in first-seen order; the triple sorts by source first
+    // (sources are unique within a row), matching the plain pair sort.
+    let mut object_entries = vec![(SourceId::new(0), ValueId::new(0), 0u32); num_obs];
+    let mut by_source = vec![(ObjectId::new(0), ValueId::new(0)); num_obs];
+    let mut object_cursor = by_object_offsets.clone();
+    let mut source_cursor = by_source_offsets.clone();
+    for (seq, obs) in observations.iter().enumerate() {
+        let oc = &mut object_cursor[obs.object.index()];
+        object_entries[*oc as usize] = (obs.source, obs.value, seq as u32);
+        *oc += 1;
+        let sc = &mut source_cursor[obs.source.index()];
+        by_source[*sc as usize] = (obs.object, obs.value);
+        *sc += 1;
+    }
+    // Sort each row: (source, object) pairs are unique, so rows end up keyed by
+    // their first component, enabling binary-search lookups.
+    sort_csr_rows(&mut object_entries, &by_object_offsets, threads);
+    sort_csr_rows(&mut by_source, &by_source_offsets, threads);
+    let mut by_object = Vec::with_capacity(num_obs);
+    let mut by_object_seq = Vec::with_capacity(num_obs);
+    for &(s, v, seq) in &object_entries {
+        by_object.push((s, v));
+        by_object_seq.push(seq);
+    }
+
+    // Domains in first-seen order: walk the insertion log, deduplicating against the
+    // (small) partial domain of each object.
+    let mut domain_offsets = vec![0u32; num_objects + 1];
+    let mut domain_rows: Vec<Vec<ValueId>> = vec![Vec::new(); num_objects];
+    for obs in observations {
+        let row = &mut domain_rows[obs.object.index()];
+        if !row.contains(&obs.value) {
+            row.push(obs.value);
+        }
+    }
+    let mut domains = Vec::with_capacity(num_obs.min(num_objects * 2));
+    for (i, row) in domain_rows.iter().enumerate() {
+        domains.extend_from_slice(row);
+        domain_offsets[i + 1] = domains.len() as u32;
+    }
+
+    CsrIndex {
+        by_object,
+        by_object_offsets,
+        by_object_seq,
+        by_source,
+        by_source_offsets,
+        domains,
+        domain_offsets,
+    }
+}
+
 impl Dataset {
     /// Number of distinct sources `|S|`.
     pub fn num_sources(&self) -> usize {
-        self.by_source_offsets.len() - 1
+        self.num_sources
     }
 
     /// Number of distinct objects `|O|`.
     pub fn num_objects(&self) -> usize {
-        self.by_object_offsets.len() - 1
+        self.num_objects
     }
 
-    /// Number of distinct values across all objects.
+    /// Number of distinct values across all objects. Monotone: evicting every claim of
+    /// a value does not retire its handle (fitted models and labels may still hold it).
     pub fn num_values(&self) -> usize {
-        self.values.len().max(self.max_value_index_plus_one())
+        self.num_values
     }
 
-    fn max_value_index_plus_one(&self) -> usize {
-        self.observations
-            .iter()
-            .map(|o| o.value.index() + 1)
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Number of observations `|Ω|`.
+    /// Number of live observations `|Ω|` (excluding tombstoned entries).
     pub fn num_observations(&self) -> usize {
-        self.observations.len()
+        self.observations.len() - self.num_dead
     }
 
-    /// All observations in insertion order.
+    /// The raw insertion-order claim log. After [`Dataset::evict`] this may contain
+    /// tombstoned entries that no accessor reports; use
+    /// [`Dataset::live_observations`] to iterate only the live claims. Compaction
+    /// drops the tombstones.
     pub fn observations(&self) -> &[Observation] {
         &self.observations
     }
 
+    /// Iterates the live observations in insertion order, skipping tombstoned entries.
+    pub fn live_observations(&self) -> impl Iterator<Item = &Observation> + '_ {
+        self.observations
+            .iter()
+            .enumerate()
+            .filter(move |&(i, _)| match &self.live {
+                Some(flags) => flags[i],
+                None => true,
+            })
+            .map(|(_, obs)| obs)
+    }
+
+    #[inline]
+    fn base_object_row(&self, i: usize) -> &[(SourceId, ValueId)] {
+        if i + 1 < self.by_object_offsets.len() {
+            &self.by_object[csr_range(&self.by_object_offsets, i)]
+        } else {
+            &[]
+        }
+    }
+
+    #[inline]
+    fn base_object_seqs(&self, i: usize) -> &[u32] {
+        if i + 1 < self.by_object_offsets.len() {
+            &self.by_object_seq[csr_range(&self.by_object_offsets, i)]
+        } else {
+            &[]
+        }
+    }
+
+    #[inline]
+    fn base_source_row(&self, i: usize) -> &[(ObjectId, ValueId)] {
+        if i + 1 < self.by_source_offsets.len() {
+            &self.by_source[csr_range(&self.by_source_offsets, i)]
+        } else {
+            &[]
+        }
+    }
+
+    #[inline]
+    fn base_domain_row(&self, i: usize) -> &[ValueId] {
+        if i + 1 < self.domain_offsets.len() {
+            &self.domains[csr_range(&self.domain_offsets, i)]
+        } else {
+            &[]
+        }
+    }
+
     /// The observations `(source, value)` made about object `o`, sorted by source handle.
     pub fn observations_for_object(&self, o: ObjectId) -> &[(SourceId, ValueId)] {
-        &self.by_object[csr_range(&self.by_object_offsets, o.index())]
+        if !self.delta.objects.is_empty() {
+            if let Some(ov) = self.delta.objects.get(&(o.index() as u32)) {
+                return &ov.entries;
+            }
+        }
+        self.base_object_row(o.index())
+    }
+
+    /// Log sequence numbers aligned with [`Dataset::observations_for_object`].
+    fn object_row_seqs(&self, i: usize) -> &[u32] {
+        if !self.delta.objects.is_empty() {
+            if let Some(ov) = self.delta.objects.get(&(i as u32)) {
+                return &ov.seqs;
+            }
+        }
+        self.base_object_seqs(i)
     }
 
     /// The observations `(object, value)` made by source `s`, sorted by object handle.
     pub fn observations_by_source(&self, s: SourceId) -> &[(ObjectId, ValueId)] {
-        &self.by_source[csr_range(&self.by_source_offsets, s.index())]
+        if !self.delta.sources.is_empty() {
+            if let Some(row) = self.delta.sources.get(&(s.index() as u32)) {
+                return row;
+            }
+        }
+        self.base_source_row(s.index())
     }
 
     /// The distinct values `D_o` that sources assigned to object `o`, in first-seen order.
     pub fn domain(&self, o: ObjectId) -> &[ValueId] {
-        &self.domains[csr_range(&self.domain_offsets, o.index())]
+        if !self.delta.domains.is_empty() {
+            if let Some(row) = self.delta.domains.get(&(o.index() as u32)) {
+                return row;
+            }
+        }
+        self.base_domain_row(o.index())
     }
 
     /// The value source `s` asserted for object `o`, if any. Binary search over the
@@ -194,7 +485,7 @@ impl Dataset {
     /// Objects for which at least two distinct values were reported.
     pub fn conflicting_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
         (0..self.num_objects())
-            .filter(|&i| self.domain_offsets[i + 1] - self.domain_offsets[i] > 1)
+            .filter(|&i| self.domain(ObjectId::new(i)).len() > 1)
             .map(ObjectId::new)
     }
 
@@ -238,8 +529,291 @@ impl Dataset {
         self.values.get(name)
     }
 
-    /// Heap footprint of the observation log and CSR indexes, with an estimate of the
-    /// equivalent nested-`Vec` layout for before/after comparisons.
+    /// Interns a source name, assigning a fresh handle if the name is new. Extends the
+    /// source count exactly like [`DatasetBuilder::intern_source`].
+    pub fn intern_source(&mut self, name: &str) -> SourceId {
+        let s = self.sources.intern(name);
+        self.num_sources = self.num_sources.max(s.index() + 1);
+        s
+    }
+
+    /// Interns an object name, assigning a fresh handle if the name is new.
+    pub fn intern_object(&mut self, name: &str) -> ObjectId {
+        let o = self.objects.intern(name);
+        self.num_objects = self.num_objects.max(o.index() + 1);
+        o
+    }
+
+    /// Interns a value name, assigning a fresh handle if the name is new.
+    pub fn intern_value(&mut self, name: &str) -> ValueId {
+        let v = self.values.intern(name);
+        self.num_values = self.num_values.max(v.index() + 1);
+        v
+    }
+
+    /// Appends one claim by name, interning any new entities. Returns the appended
+    /// observation, or `None` for an idempotent duplicate. Touched rows go to the delta
+    /// overlay — cost is O(touched rows), never O(dataset).
+    ///
+    /// Fails with [`DataError::ConflictingObservation`] when the source already asserts
+    /// a different value for the object; the dataset is unchanged in that case.
+    pub fn append_named(
+        &mut self,
+        source: &str,
+        object: &str,
+        value: &str,
+    ) -> Result<Option<Observation>, DataError> {
+        let s = self.intern_source(source);
+        let o = self.intern_object(object);
+        let v = self.intern_value(value);
+        self.append_ids(s, o, v)
+    }
+
+    /// Appends one claim by handle. Returns the appended observation, or `None` for an
+    /// idempotent duplicate. Handles beyond the current entity counts implicitly extend
+    /// them (like [`DatasetBuilder::observe_ids`]).
+    ///
+    /// Fails with [`DataError::ConflictingObservation`] when the source already asserts
+    /// a different value for the object; the dataset is unchanged in that case.
+    pub fn append_ids(
+        &mut self,
+        source: SourceId,
+        object: ObjectId,
+        value: ValueId,
+    ) -> Result<Option<Observation>, DataError> {
+        if let Some(existing) = self.value_of(source, object) {
+            if existing == value {
+                return Ok(None);
+            }
+            return Err(DataError::ConflictingObservation {
+                source: source.index(),
+                object: object.index(),
+            });
+        }
+        assert!(
+            self.observations.len() < u32::MAX as usize,
+            "observation log overflows the u32 sequence space; compact first"
+        );
+        let seq = self.observations.len() as u32;
+        let obs = Observation::new(source, object, value);
+        self.observations.push(obs);
+        if let Some(flags) = &mut self.live {
+            flags.push(true);
+        }
+
+        let okey = object.index() as u32;
+        if !self.delta.objects.contains_key(&okey) {
+            let entries = self.base_object_row(object.index()).to_vec();
+            let seqs = self.base_object_seqs(object.index()).to_vec();
+            self.delta
+                .objects
+                .insert(okey, RowOverlay { entries, seqs });
+        }
+        let ov = self.delta.objects.get_mut(&okey).expect("overlay ensured");
+        let pos = ov.entries.partition_point(|&(s, _)| s < source);
+        ov.entries.insert(pos, (source, value));
+        ov.seqs.insert(pos, seq);
+
+        let skey = source.index() as u32;
+        if !self.delta.sources.contains_key(&skey) {
+            let row = self.base_source_row(source.index()).to_vec();
+            self.delta.sources.insert(skey, row);
+        }
+        let row = self.delta.sources.get_mut(&skey).expect("overlay ensured");
+        let pos = row.partition_point(|&(o, _)| o < object);
+        row.insert(pos, (object, value));
+
+        if !self.domain(object).contains(&value) {
+            if !self.delta.domains.contains_key(&okey) {
+                let row = self.base_domain_row(object.index()).to_vec();
+                self.delta.domains.insert(okey, row);
+            }
+            self.delta
+                .domains
+                .get_mut(&okey)
+                .expect("overlay ensured")
+                .push(value);
+        }
+
+        self.num_sources = self.num_sources.max(source.index() + 1);
+        self.num_objects = self.num_objects.max(object.index() + 1);
+        self.num_values = self.num_values.max(value.index() + 1);
+        self.delta.pending += 1;
+        Ok(Some(obs))
+    }
+
+    /// Evicts the claim source `s` made about object `o`, if one is live. Returns
+    /// whether a claim was removed. The log entry is tombstoned (dropped at the next
+    /// compaction); the touched rows move to the delta overlay and the object's domain
+    /// is recomputed in first-seen order over its surviving claims — cost is O(touched
+    /// rows), never O(dataset).
+    pub fn evict(&mut self, source: SourceId, object: ObjectId) -> bool {
+        let oi = object.index();
+        let (pos, value, seq) = {
+            let row = self.observations_for_object(object);
+            match row.binary_search_by_key(&source, |&(s, _)| s) {
+                Ok(pos) => (pos, row[pos].1, self.object_row_seqs(oi)[pos]),
+                Err(_) => return false,
+            }
+        };
+
+        let okey = oi as u32;
+        if !self.delta.objects.contains_key(&okey) {
+            let entries = self.base_object_row(oi).to_vec();
+            let seqs = self.base_object_seqs(oi).to_vec();
+            self.delta
+                .objects
+                .insert(okey, RowOverlay { entries, seqs });
+        }
+        let ov = self.delta.objects.get_mut(&okey).expect("overlay ensured");
+        ov.entries.remove(pos);
+        ov.seqs.remove(pos);
+        // Recompute the domain in first-seen (log) order over the surviving claims.
+        let mut ordered: Vec<(u32, ValueId)> = ov
+            .seqs
+            .iter()
+            .copied()
+            .zip(ov.entries.iter().map(|&(_, v)| v))
+            .collect();
+        ordered.sort_unstable_by_key(|&(s, _)| s);
+        let mut dom: Vec<ValueId> = Vec::new();
+        for (_, v) in ordered {
+            if !dom.contains(&v) {
+                dom.push(v);
+            }
+        }
+        self.delta.domains.insert(okey, dom);
+
+        let skey = source.index() as u32;
+        if !self.delta.sources.contains_key(&skey) {
+            let row = self.base_source_row(source.index()).to_vec();
+            self.delta.sources.insert(skey, row);
+        }
+        let row = self.delta.sources.get_mut(&skey).expect("overlay ensured");
+        if let Ok(pos) = row.binary_search_by_key(&object, |&(o, _)| o) {
+            debug_assert_eq!(row[pos].1, value);
+            row.remove(pos);
+        }
+
+        let n = self.observations.len();
+        self.live.get_or_insert_with(|| vec![true; n])[seq as usize] = false;
+        self.num_dead += 1;
+        true
+    }
+
+    /// Claims appended since the last build/compaction (the delta log's size).
+    pub fn pending_appends(&self) -> usize {
+        self.delta.pending
+    }
+
+    /// Tombstoned claims still occupying log slots until the next compaction.
+    pub fn dead_claims(&self) -> usize {
+        self.num_dead
+    }
+
+    /// Number of compactions this dataset has absorbed.
+    pub fn compaction_count(&self) -> usize {
+        self.compactions
+    }
+
+    /// Whether the dataset carries no delta: every accessor reads base CSR arrays.
+    pub fn is_compacted(&self) -> bool {
+        self.delta.pending == 0
+            && self.num_dead == 0
+            && self.delta.objects.is_empty()
+            && self.delta.sources.is_empty()
+            && self.delta.domains.is_empty()
+    }
+
+    /// Folds the delta log into the base CSR arrays: tombstoned log entries are
+    /// dropped, overlay rows discarded, and the indexes rebuilt from the live log with
+    /// the same routine [`DatasetBuilder::build`] uses — so the result is
+    /// bitwise-identical to a dataset built from scratch from the same live claims.
+    /// No-op when there is no delta.
+    pub fn compact(&mut self) {
+        if self.is_compacted() {
+            return;
+        }
+        if self.num_dead > 0 {
+            let flags = self
+                .live
+                .take()
+                .expect("dead claims imply a liveness bitmap");
+            let mut kept = Vec::with_capacity(self.observations.len() - self.num_dead);
+            for (obs, live) in self.observations.iter().zip(&flags) {
+                if *live {
+                    kept.push(*obs);
+                }
+            }
+            self.observations = kept;
+            self.num_dead = 0;
+        }
+        let index = index_observations(&self.observations, self.num_sources, self.num_objects, 1);
+        self.install_index(index);
+        self.live = None;
+        self.delta = DeltaLog::default();
+        self.compactions += 1;
+    }
+
+    fn install_index(&mut self, index: CsrIndex) {
+        self.by_object = index.by_object;
+        self.by_object_offsets = index.by_object_offsets;
+        self.by_object_seq = index.by_object_seq;
+        self.by_source = index.by_source;
+        self.by_source_offsets = index.by_source_offsets;
+        self.domains = index.domains;
+        self.domain_offsets = index.domain_offsets;
+    }
+
+    /// Structural equality of the live content: entity counts, live claim log, every
+    /// object row, domain, and source row, and the three name vocabularies.
+    ///
+    /// Ignores internal bookkeeping that legitimately differs between a dataset grown
+    /// incrementally and one built in a single pass: tombstone layout, overlay state,
+    /// compaction counters, and the monotone `num_values` headroom (an incremental
+    /// dataset remembers values that only ever appeared in since-evicted claims).
+    pub fn same_content(&self, other: &Dataset) -> bool {
+        if self.num_sources() != other.num_sources()
+            || self.num_objects() != other.num_objects()
+            || self.num_observations() != other.num_observations()
+        {
+            return false;
+        }
+        if !self.live_observations().eq(other.live_observations()) {
+            return false;
+        }
+        for i in 0..self.num_objects() {
+            let o = ObjectId::new(i);
+            if self.observations_for_object(o) != other.observations_for_object(o)
+                || self.domain(o) != other.domain(o)
+            {
+                return false;
+            }
+        }
+        for i in 0..self.num_sources() {
+            let s = SourceId::new(i);
+            if self.observations_by_source(s) != other.observations_by_source(s) {
+                return false;
+            }
+        }
+        let names = |a: &Interner<SourceId>, b: &Interner<SourceId>| {
+            a.iter().map(|(_, n)| n).eq(b.iter().map(|(_, n)| n))
+        };
+        names(&self.sources, &other.sources)
+            && self
+                .objects
+                .iter()
+                .map(|(_, n)| n)
+                .eq(other.objects.iter().map(|(_, n)| n))
+            && self
+                .values
+                .iter()
+                .map(|(_, n)| n)
+                .eq(other.values.iter().map(|(_, n)| n))
+    }
+
+    /// Heap footprint of the observation log, CSR indexes, and delta overlay, with an
+    /// estimate of the equivalent nested-`Vec` layout for before/after comparisons.
     pub fn storage_stats(&self) -> StorageStats {
         use std::mem::size_of;
         let entry = size_of::<(SourceId, ValueId)>();
@@ -249,7 +823,8 @@ impl Dataset {
             + self.domains.len() * size_of::<ValueId>()
             + (self.by_object_offsets.len()
                 + self.by_source_offsets.len()
-                + self.domain_offsets.len())
+                + self.domain_offsets.len()
+                + self.by_object_seq.len())
                 * size_of::<u32>();
         // The pre-CSR layout kept one Vec per object row, per source row, and per
         // domain row; a Vec header is 3 words (ptr, len, cap) = 24 bytes on 64-bit.
@@ -258,30 +833,36 @@ impl Dataset {
             + self.by_source.len() * entry
             + self.domains.len() * size_of::<ValueId>()
             + (2 * self.num_objects() + self.num_sources()) * VEC_HEADER;
+        let delta_bytes =
+            self.delta.overlay_bytes() + self.live.as_ref().map_or(0, |flags| flags.len());
         StorageStats {
-            num_observations: self.observations.len(),
+            num_observations: self.num_observations(),
             log_bytes,
             index_bytes,
             nested_equivalent_bytes,
+            live_claims: self.num_observations(),
+            dead_claims: self.num_dead,
+            pending_appends: self.delta.pending,
+            delta_bytes,
+            compactions: self.compactions,
         }
     }
 
-    /// Reopens the dataset as a [`DatasetBuilder`] that already contains every
+    /// Reopens the dataset as a [`DatasetBuilder`] that already contains every *live*
     /// observation and the full source/object/value vocabulary, so new claims can be
     /// appended as a *delta* without disturbing existing handles.
     ///
-    /// This is the ingestion path of the incremental serving engine: a model fitted on
-    /// this dataset keeps answering queries on the grown dataset because every handle it
-    /// learned remains valid. The builder is created with capacity hints sized from this
-    /// dataset, so appending a delta of comparable size does not reallocate.
+    /// Prefer [`Dataset::append_named`] / [`Dataset::append_ids`] for streaming
+    /// deltas — they cost O(touched rows) instead of this O(dataset) copy. `to_builder`
+    /// remains the right tool when a bulk rewrite is intended anyway.
     pub fn to_builder(&self) -> DatasetBuilder {
         let mut seen: HashMap<(SourceId, ObjectId), ValueId> =
             HashMap::with_capacity(self.num_observations() * 2);
-        for obs in &self.observations {
-            seen.insert((obs.source, obs.object), obs.value);
-        }
         let mut observations = Vec::with_capacity(self.num_observations() * 2);
-        observations.extend_from_slice(&self.observations);
+        for obs in self.live_observations() {
+            seen.insert((obs.source, obs.object), obs.value);
+            observations.push(*obs);
+        }
         DatasetBuilder {
             observations,
             seen,
@@ -334,7 +915,7 @@ impl Dataset {
             }
         }
         builder.num_sources = keep_sorted.len();
-        for obs in &self.observations {
+        for obs in self.live_observations() {
             if let Some(Some(new_source)) = remap.get(obs.source.index()) {
                 builder
                     .observe_ids(*new_source, obs.object, obs.value)
@@ -479,80 +1060,92 @@ impl DatasetBuilder {
         self.observations.is_empty()
     }
 
+    /// Merges a shard-local builder into this one, re-interning the shard's names in
+    /// shard-local first-seen order and replaying its observation log.
+    ///
+    /// Because a name's global first appearance is in the earliest shard that saw it
+    /// (at that shard's earliest position), processing shards in order reproduces
+    /// exactly the handle assignment a single sequential builder would have produced —
+    /// the key to deterministic sharded ingest. The shard must have been populated
+    /// through the named [`DatasetBuilder::observe`] path so every handle resolves in
+    /// its local interners.
+    ///
+    /// Cross-shard duplicates are deduplicated here, and a cross-shard conflict is
+    /// reported as [`DataError::ConflictingObservation`] with merged-space handles,
+    /// just as sequential ingest would report it.
+    pub(crate) fn merge_from(&mut self, shard: &DatasetBuilder) -> Result<(), DataError> {
+        debug_assert!(
+            shard
+                .observations
+                .iter()
+                .all(|o| o.source.index() < shard.sources.len()
+                    && o.object.index() < shard.objects.len()
+                    && o.value.index() < shard.values.len()),
+            "shard builders must be fully named for merging"
+        );
+        let source_map: Vec<SourceId> = shard
+            .sources
+            .iter()
+            .map(|(_, name)| self.sources.intern(name))
+            .collect();
+        let object_map: Vec<ObjectId> = shard
+            .objects
+            .iter()
+            .map(|(_, name)| self.objects.intern(name))
+            .collect();
+        let value_map: Vec<ValueId> = shard
+            .values
+            .iter()
+            .map(|(_, name)| self.values.intern(name))
+            .collect();
+        self.num_sources = self.num_sources.max(self.sources.len());
+        self.num_objects = self.num_objects.max(self.objects.len());
+        self.num_values = self.num_values.max(self.values.len());
+        for obs in &shard.observations {
+            self.observe_ids(
+                source_map[obs.source.index()],
+                object_map[obs.object.index()],
+                value_map[obs.value.index()],
+            )?;
+        }
+        Ok(())
+    }
+
     /// Finalizes the builder into an immutable, indexed [`Dataset`].
     ///
     /// Indexing is two counting-sort passes (count, prefix-sum, scatter) followed by a
     /// per-row sort, all over flat arrays — `O(|Ω| log d)` where `d` is the largest row.
     pub fn build(self) -> Dataset {
+        self.build_with_threads(1)
+    }
+
+    /// Like [`DatasetBuilder::build`], sharding the independent per-row sorts over up
+    /// to `threads` workers. The result is bitwise-identical at any thread count (the
+    /// row grid is data-dependent, never derived from the lane count).
+    pub fn build_with_threads(self, threads: usize) -> Dataset {
         let num_sources = self.num_sources.max(self.sources.len());
         let num_objects = self.num_objects.max(self.objects.len());
-        let num_obs = self.observations.len();
-        debug_assert!(
-            num_obs <= u32::MAX as usize,
-            "observation count overflows u32"
-        );
-
-        // Counting sort into the two CSR indexes.
-        let mut by_object_offsets = vec![0u32; num_objects + 1];
-        let mut by_source_offsets = vec![0u32; num_sources + 1];
-        for obs in &self.observations {
-            by_object_offsets[obs.object.index() + 1] += 1;
-            by_source_offsets[obs.source.index() + 1] += 1;
-        }
-        for i in 0..num_objects {
-            by_object_offsets[i + 1] += by_object_offsets[i];
-        }
-        for i in 0..num_sources {
-            by_source_offsets[i + 1] += by_source_offsets[i];
-        }
-        let mut by_object = vec![(SourceId::new(0), ValueId::new(0)); num_obs];
-        let mut by_source = vec![(ObjectId::new(0), ValueId::new(0)); num_obs];
-        let mut object_cursor = by_object_offsets.clone();
-        let mut source_cursor = by_source_offsets.clone();
-        for obs in &self.observations {
-            let oc = &mut object_cursor[obs.object.index()];
-            by_object[*oc as usize] = (obs.source, obs.value);
-            *oc += 1;
-            let sc = &mut source_cursor[obs.source.index()];
-            by_source[*sc as usize] = (obs.object, obs.value);
-            *sc += 1;
-        }
-        // Sort each row: (source, object) pairs are unique, so rows end up keyed by
-        // their first component, enabling binary-search lookups.
-        for i in 0..num_objects {
-            by_object[csr_range(&by_object_offsets, i)].sort_unstable();
-        }
-        for i in 0..num_sources {
-            by_source[csr_range(&by_source_offsets, i)].sort_unstable();
-        }
-
-        // Domains in first-seen order: walk the insertion log, deduplicating against the
-        // (small) partial domain of each object.
-        let mut domain_offsets = vec![0u32; num_objects + 1];
-        let mut domain_rows: Vec<Vec<ValueId>> = vec![Vec::new(); num_objects];
-        for obs in &self.observations {
-            let row = &mut domain_rows[obs.object.index()];
-            if !row.contains(&obs.value) {
-                row.push(obs.value);
-            }
-        }
-        let mut domains = Vec::with_capacity(num_obs.min(num_objects * 2));
-        for (i, row) in domain_rows.iter().enumerate() {
-            domains.extend_from_slice(row);
-            domain_offsets[i + 1] = domains.len() as u32;
-        }
-
+        let num_values = self.num_values.max(self.values.len());
+        let index = index_observations(&self.observations, num_sources, num_objects, threads);
         Dataset {
             observations: self.observations,
-            by_object,
-            by_object_offsets,
-            by_source,
-            by_source_offsets,
-            domains,
-            domain_offsets,
+            live: None,
+            num_dead: 0,
+            by_object: index.by_object,
+            by_object_offsets: index.by_object_offsets,
+            by_object_seq: index.by_object_seq,
+            by_source: index.by_source,
+            by_source_offsets: index.by_source_offsets,
+            domains: index.domains,
+            domain_offsets: index.domain_offsets,
             sources: self.sources,
             objects: self.objects,
             values: self.values,
+            num_sources,
+            num_objects,
+            num_values,
+            delta: DeltaLog::default(),
+            compactions: 0,
         }
     }
 }
@@ -737,6 +1330,10 @@ mod tests {
         let d = toy();
         let stats = d.storage_stats();
         assert_eq!(stats.num_observations, 5);
+        assert_eq!(stats.live_claims, 5);
+        assert_eq!(stats.dead_claims, 0);
+        assert_eq!(stats.pending_appends, 0);
+        assert_eq!(stats.delta_bytes, 0);
         assert!(stats.index_bytes > 0);
         assert!(stats.bytes_per_claim() > 0.0);
         // CSR drops the per-row Vec headers, so it is never larger than the estimated
@@ -753,5 +1350,125 @@ mod tests {
         assert_eq!(d.num_objects(), 0);
         assert_eq!(d.num_observations(), 0);
         assert_eq!(d.density(), 0.0);
+    }
+
+    #[test]
+    fn appends_are_visible_without_reindexing() {
+        let mut d = toy();
+        let passes = full_index_passes();
+        // New claim about a new object from a new source.
+        let obs = d.append_named("s9", "o9", "zed").unwrap().unwrap();
+        assert_eq!(d.num_observations(), 6);
+        assert_eq!(d.num_sources(), 4);
+        assert_eq!(d.num_objects(), 3);
+        assert_eq!(d.pending_appends(), 1);
+        assert!(!d.is_compacted());
+        let o9 = d.object_id("o9").unwrap();
+        assert_eq!(d.observations_for_object(o9), &[(obs.source, obs.value)]);
+        assert_eq!(d.domain(o9), &[obs.value]);
+        assert_eq!(d.value_of(obs.source, o9), Some(obs.value));
+        // A delta claim on an existing object lands sorted into its row.
+        let o0 = d.object_id("o0").unwrap();
+        d.append_named("s9", "o0", "true").unwrap().unwrap();
+        let row = d.observations_for_object(o0);
+        assert_eq!(row.len(), 4);
+        assert!(row.windows(2).all(|w| w[0].0 < w[1].0));
+        // No full indexing pass happened on the append path.
+        assert_eq!(full_index_passes(), passes);
+        // Idempotent duplicate returns None; conflict errors and changes nothing.
+        assert!(d.append_named("s9", "o0", "true").unwrap().is_none());
+        assert!(d.append_named("s9", "o0", "false").is_err());
+        assert_eq!(d.num_observations(), 7);
+    }
+
+    #[test]
+    fn evictions_tombstone_and_update_rows() {
+        let mut d = toy();
+        let s0 = d.source_id("s0").unwrap();
+        let s1 = d.source_id("s1").unwrap();
+        let o0 = d.object_id("o0").unwrap();
+        assert!(d.evict(s0, o0));
+        assert_eq!(d.num_observations(), 4);
+        assert_eq!(d.dead_claims(), 1);
+        assert_eq!(d.observations_for_object(o0).len(), 2);
+        assert_eq!(d.value_of(s0, o0), None);
+        assert_eq!(d.live_observations().count(), 4);
+        // Double-eviction is a no-op.
+        assert!(!d.evict(s0, o0));
+        // The domain keeps first-seen order over survivors: s1 said "false" before
+        // s2 said "true".
+        assert_eq!(
+            d.domain(o0),
+            &[d.value_id("false").unwrap(), d.value_id("true").unwrap()]
+        );
+        // Evicting the remaining "false" claim drops the value from the domain.
+        assert!(d.evict(s1, o0));
+        assert_eq!(d.domain(o0), &[d.value_id("true").unwrap()]);
+        // A re-asserted claim is live again (eviction is not a permanent ban).
+        assert!(d.append_named("s0", "o0", "true").unwrap().is_some());
+        assert_eq!(d.value_of(s0, o0), Some(d.value_id("true").unwrap()));
+    }
+
+    #[test]
+    fn compaction_matches_a_from_scratch_rebuild() {
+        let mut d = toy();
+        let s0 = d.source_id("s0").unwrap();
+        let o0 = d.object_id("o0").unwrap();
+        d.append_named("s3", "o2", "w").unwrap();
+        assert!(d.evict(s0, o0));
+        d.append_named("s0", "o2", "w").unwrap();
+        let mut compacted = d.clone();
+        compacted.compact();
+        assert!(compacted.is_compacted());
+        assert_eq!(compacted.compaction_count(), 1);
+        assert_eq!(compacted.dead_claims(), 0);
+        // The delta view and the compacted view agree...
+        assert!(d.same_content(&compacted));
+        // ...and the compacted dataset equals a from-scratch rebuild of the live log
+        // under the same vocabulary (handles must stay stable across compaction).
+        let rebuilt = d.to_builder().build();
+        assert!(compacted.same_content(&rebuilt));
+        // Compacting twice is a no-op.
+        compacted.compact();
+        assert_eq!(compacted.compaction_count(), 1);
+    }
+
+    #[test]
+    fn delta_storage_is_accounted() {
+        let mut d = toy();
+        let s0 = d.source_id("s0").unwrap();
+        let o0 = d.object_id("o0").unwrap();
+        d.append_named("sX", "oX", "vX").unwrap();
+        d.evict(s0, o0);
+        let stats = d.storage_stats();
+        assert_eq!(stats.live_claims, 5);
+        assert_eq!(stats.dead_claims, 1);
+        assert_eq!(stats.pending_appends, 1);
+        assert!(stats.delta_bytes > 0);
+        d.compact();
+        let stats = d.storage_stats();
+        assert_eq!(stats.dead_claims, 0);
+        assert_eq!(stats.pending_appends, 0);
+        assert_eq!(stats.delta_bytes, 0);
+        assert_eq!(stats.compactions, 1);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let mut claims = Vec::new();
+        for i in 0..3000usize {
+            claims.push((i % 37, i % 211, i % 5));
+        }
+        let build = |threads: usize| {
+            let mut b = DatasetBuilder::with_capacity(claims.len());
+            for &(s, o, v) in &claims {
+                let _ = b.observe(&format!("s{s}"), &format!("o{o}"), &format!("v{v}"));
+            }
+            b.build_with_threads(threads)
+        };
+        let one = build(1);
+        for threads in [2, 4, 8] {
+            assert!(one.same_content(&build(threads)), "threads = {threads}");
+        }
     }
 }

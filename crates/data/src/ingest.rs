@@ -1,0 +1,289 @@
+//! Sharded, deterministic bulk ingest of claims and claim CSVs.
+//!
+//! A 10M-claim load is dominated by string interning and duplicate detection — work
+//! that parallelizes cleanly if each shard builds its own [`DatasetBuilder`] with
+//! shard-local interners. The pipeline here is:
+//!
+//! 1. **Shard**: split the input into fixed-size shards. The shard grid depends only on
+//!    the *data* (claim counts or byte offsets), never on the lane count.
+//! 2. **Parallel build**: each shard runs on the process-wide worker pool and interns
+//!    its own names in shard-local first-seen order.
+//! 3. **Deterministic merge**: shards are folded into one builder **in shard order**,
+//!    re-interning each shard's vocabulary in its local first-seen order. A name's
+//!    global first appearance lies in the earliest shard that saw it, so this
+//!    reproduces exactly the handle assignment a single sequential pass would have
+//!    produced — the merged dataset is bitwise-identical at any `SLIMFAST_THREADS`.
+//! 4. **Indexed build**: the merged builder runs the normal CSR indexing pass, with
+//!    its per-row sorts sharded over the same worker pool.
+//!
+//! Deduplication of exact duplicate claims and rejection of conflicting claims follow
+//! the sequential semantics (first claim in stream order wins). One caveat: when an
+//! input contains *several* independent errors, the one reported may differ from the
+//! sequential reader's (a conflict wholly inside a later shard is detected during the
+//! parallel phase, before merge-time cross-shard checks of earlier claims) — but which
+//! error is reported is still deterministic at any lane count, and an input that the
+//! sequential path accepts is accepted here with the identical result.
+
+use slimfast_optim::exec;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::DataError;
+use crate::io::parse_claim_fields;
+use crate::observation::NamedObservation;
+
+/// Claims per ingest shard. Large enough that shard-local interner tables amortize,
+/// small enough that a 10M-claim load fans out to dozens of shards.
+pub const SHARD_CLAIMS: usize = 262_144;
+
+/// Bytes per CSV ingest shard (boundaries are advanced to the next newline).
+pub const SHARD_BYTES: usize = 8 << 20;
+
+/// Builds a dataset from named claims using up to `threads` workers (`0` = auto via
+/// `SLIMFAST_THREADS`). Produces a dataset bitwise-identical to feeding the claims
+/// through one sequential [`DatasetBuilder`] — at any thread count.
+///
+/// Fails like the sequential path when a source asserts two different values for the
+/// same object (exact duplicates are deduplicated silently).
+pub fn build_claims_sharded(
+    claims: &[NamedObservation],
+    threads: usize,
+) -> Result<Dataset, DataError> {
+    build_claims_sharded_with(claims, threads, SHARD_CLAIMS)
+}
+
+/// [`build_claims_sharded`] with an explicit shard size, exposed so tests can force
+/// multi-shard execution on small inputs. `shard_claims` must be non-zero.
+pub fn build_claims_sharded_with(
+    claims: &[NamedObservation],
+    threads: usize,
+    shard_claims: usize,
+) -> Result<Dataset, DataError> {
+    assert!(shard_claims > 0, "shard size must be non-zero");
+    let threads = exec::resolve_threads(threads);
+    let num_shards = claims.len().div_ceil(shard_claims).max(1);
+    // Conflicts inside a shard surface here with shard-local handles; remap to the
+    // merged handle space below so errors match the sequential reporter.
+    let shards: Vec<Result<DatasetBuilder, DataError>> =
+        exec::map_parts(num_shards, threads, |part| {
+            let lo = part * shard_claims;
+            let hi = ((part + 1) * shard_claims).min(claims.len());
+            let mut builder = DatasetBuilder::with_capacity(hi - lo);
+            for claim in &claims[lo..hi] {
+                builder.observe(&claim.source, &claim.object, &claim.value)?;
+            }
+            Ok(builder)
+        });
+    let mut merged = DatasetBuilder::with_capacity(claims.len());
+    for shard in &shards {
+        match shard {
+            Ok(builder) => merged.merge_from(builder)?,
+            Err(DataError::ConflictingObservation { .. }) => {
+                // Re-run the offending shard's claims through the merged builder so the
+                // reported handles live in the merged space. The merge of all prior
+                // shards already succeeded, so the replay hits the same conflict.
+                for claim in claims {
+                    merged.observe(&claim.source, &claim.object, &claim.value)?;
+                }
+                unreachable!("shard-local conflict must reproduce during replay");
+            }
+            Err(other) => return Err(other.clone()),
+        }
+    }
+    Ok(merged.build_with_threads(threads))
+}
+
+/// Reads observations from `source,object,value` CSV bytes using up to `threads`
+/// workers (`0` = auto via `SLIMFAST_THREADS`). Same format and semantics as
+/// [`crate::io::read_observations_csv`] — empty lines and `#` comments ignored,
+/// malformed lines reported with their (global) 1-based line number — and the same
+/// resulting dataset, bitwise, at any thread count.
+pub fn read_observations_csv_sharded(bytes: &[u8], threads: usize) -> Result<Dataset, DataError> {
+    read_observations_csv_sharded_with(bytes, threads, SHARD_BYTES)
+}
+
+/// [`read_observations_csv_sharded`] with an explicit shard size in bytes, exposed so
+/// tests can force multi-shard execution on small inputs.
+pub fn read_observations_csv_sharded_with(
+    bytes: &[u8],
+    threads: usize,
+    shard_bytes: usize,
+) -> Result<Dataset, DataError> {
+    assert!(shard_bytes > 0, "shard size must be non-zero");
+    let threads = exec::resolve_threads(threads);
+    // Shard boundaries: every multiple of `shard_bytes`, advanced to just past the
+    // next newline so no line straddles two shards. Purely data-dependent.
+    let mut bounds = vec![0usize];
+    let mut at = shard_bytes.min(bytes.len());
+    while at < bytes.len() {
+        match bytes[at..].iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                at += nl + 1;
+                if at >= bytes.len() {
+                    break;
+                }
+                bounds.push(at);
+                at = (at + shard_bytes).min(bytes.len());
+            }
+            None => break,
+        }
+    }
+    bounds.push(bytes.len());
+    let num_shards = bounds.len() - 1;
+
+    // Each shard parses independently, reporting errors with shard-local line numbers
+    // plus the total line count so global numbers can be reconstructed afterwards.
+    type ShardOutcome = (Result<DatasetBuilder, (usize, DataError)>, usize);
+    let shards: Vec<ShardOutcome> = exec::map_parts(num_shards, threads, |part| {
+        let chunk = &bytes[bounds[part]..bounds[part + 1]];
+        let text = match std::str::from_utf8(chunk) {
+            Ok(text) => text,
+            Err(e) => {
+                return (
+                    Err((0, DataError::Io(format!("invalid UTF-8 in input: {e}")))),
+                    0,
+                )
+            }
+        };
+        let mut builder = DatasetBuilder::new();
+        let mut lines = 0usize;
+        for (idx, line) in text.lines().enumerate() {
+            lines += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let Some((source, object, value)) = parse_claim_fields(trimmed) else {
+                return (
+                    Err((
+                        idx + 1,
+                        DataError::Parse {
+                            line: idx + 1,
+                            message:
+                                "expected exactly three comma-separated fields: source,object,value"
+                                    .to_string(),
+                        },
+                    )),
+                    lines,
+                );
+            };
+            if let Err(e) = builder.observe(source, object, value) {
+                return (Err((idx + 1, e)), lines);
+            }
+        }
+        (Ok(builder), lines)
+    });
+
+    let mut merged = DatasetBuilder::new();
+    let mut line_offset = 0usize;
+    for (outcome, lines) in &shards {
+        match outcome {
+            Ok(builder) => merged.merge_from(builder)?,
+            Err((local_line, err)) => {
+                // Rewrite shard-local line numbers into global ones. Earlier shards
+                // completed (their counts are exact), so the prefix sum is correct.
+                return Err(match err {
+                    DataError::Parse { message, .. } => DataError::Parse {
+                        line: line_offset + local_line,
+                        message: message.clone(),
+                    },
+                    other => other.clone(),
+                });
+            }
+        }
+        line_offset += lines;
+    }
+    Ok(merged.build_with_threads(threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::read_observations_csv;
+
+    fn claims(n: usize) -> Vec<NamedObservation> {
+        (0..n)
+            .map(|i| {
+                NamedObservation::new(
+                    format!("s{}", i % 13),
+                    format!("o{}", i % 41),
+                    format!("v{}", (i % 41) % 3),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_claim_build_matches_sequential_at_any_lane_count() {
+        let claims = claims(500);
+        let mut sequential = DatasetBuilder::with_capacity(claims.len());
+        for c in &claims {
+            sequential.observe(&c.source, &c.object, &c.value).unwrap();
+        }
+        let sequential = sequential.build();
+        for threads in [1, 2, 4] {
+            for shard in [7, 64, 1000] {
+                let sharded = build_claims_sharded_with(&claims, threads, shard).unwrap();
+                assert!(
+                    sequential.same_content(&sharded),
+                    "threads={threads} shard={shard}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_conflicts_are_detected_at_merge() {
+        let mut claims = claims(40);
+        // Same (source, object) as claim 0 but a different value, in a later shard.
+        claims.push(NamedObservation::new("s0", "o0", "v-clash"));
+        let err = build_claims_sharded_with(&claims, 2, 8).unwrap_err();
+        assert!(matches!(err, DataError::ConflictingObservation { .. }));
+        // Exact cross-shard duplicates are fine.
+        let mut claims = self::claims(40);
+        claims.push(claims[0].clone());
+        let d = build_claims_sharded_with(&claims, 2, 8).unwrap();
+        assert_eq!(d.num_observations(), 40);
+    }
+
+    #[test]
+    fn sharded_csv_matches_sequential_reader() {
+        let mut csv = String::from("# header comment\n");
+        for c in &claims(300) {
+            csv.push_str(&format!("{},{},{}\n", c.source, c.object, c.value));
+        }
+        csv.push('\n');
+        let sequential = read_observations_csv(csv.as_bytes()).unwrap();
+        for threads in [1, 4] {
+            for shard in [16, 256, 1 << 20] {
+                let sharded =
+                    read_observations_csv_sharded_with(csv.as_bytes(), threads, shard).unwrap();
+                assert!(
+                    sequential.same_content(&sharded),
+                    "threads={threads} shard={shard}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_csv_reports_global_line_numbers() {
+        let mut csv = String::new();
+        for i in 0..100 {
+            csv.push_str(&format!("s{i},o{i},v\n"));
+        }
+        csv.push_str("broken line without commas\n");
+        let err = read_observations_csv_sharded_with(csv.as_bytes(), 4, 64).unwrap_err();
+        match err {
+            DataError::Parse { line, .. } => assert_eq!(line, 101),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_builds_an_empty_dataset() {
+        let d = build_claims_sharded(&[], 4).unwrap();
+        assert_eq!(d.num_observations(), 0);
+        let d = read_observations_csv_sharded(b"", 4).unwrap();
+        assert_eq!(d.num_observations(), 0);
+    }
+}

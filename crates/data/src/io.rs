@@ -12,6 +12,18 @@ use crate::error::DataError;
 use crate::features::{FeatureMatrix, FeatureMatrixBuilder};
 use crate::truth::GroundTruth;
 
+/// Splits one non-comment observation line into its `(source, object, value)` fields,
+/// or `None` when the line does not have exactly three comma-separated fields. Shared
+/// by the sequential reader and the sharded reader in [`crate::ingest`] so both parse
+/// identically.
+pub(crate) fn parse_claim_fields(trimmed: &str) -> Option<(&str, &str, &str)> {
+    let mut parts = trimmed.split(',');
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(s), Some(o), Some(v), None) => Some((s.trim(), o.trim(), v.trim())),
+        _ => None,
+    }
+}
+
 /// Reads observations from `source,object,value` lines (one observation per line).
 /// Empty lines and lines starting with `#` are ignored.
 pub fn read_observations_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
@@ -22,18 +34,12 @@ pub fn read_observations_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split(',');
-        let (source, object, value) = match (parts.next(), parts.next(), parts.next(), parts.next())
-        {
-            (Some(s), Some(o), Some(v), None) => (s.trim(), o.trim(), v.trim()),
-            _ => {
-                return Err(DataError::Parse {
-                    line: idx + 1,
-                    message: "expected exactly three comma-separated fields: source,object,value"
-                        .to_string(),
-                })
-            }
-        };
+        let (source, object, value) =
+            parse_claim_fields(trimmed).ok_or_else(|| DataError::Parse {
+                line: idx + 1,
+                message: "expected exactly three comma-separated fields: source,object,value"
+                    .to_string(),
+            })?;
         builder.observe(source, object, value)?;
     }
     Ok(builder.build())

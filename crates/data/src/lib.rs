@@ -34,18 +34,20 @@ pub mod estimator;
 pub mod features;
 pub mod fusion;
 pub mod ids;
+pub mod ingest;
 pub mod io;
 pub mod observation;
 pub mod split;
 pub mod stats;
 pub mod truth;
 
-pub use dataset::{Dataset, DatasetBuilder, StorageStats};
+pub use dataset::{full_index_passes, Dataset, DatasetBuilder, StorageStats};
 pub use error::DataError;
 pub use estimator::{FittedFusion, FusionEstimator};
 pub use features::{FeatureMatrix, FeatureMatrixBuilder, FeatureValue};
 pub use fusion::{FusionInput, FusionMethod, FusionOutput};
 pub use ids::{FeatureId, Interner, ObjectId, SourceId, ValueId};
+pub use ingest::{build_claims_sharded, read_observations_csv_sharded};
 pub use io::{
     read_features_csv, read_ground_truth_csv, read_observations_csv, write_ground_truth_csv,
     write_observations_csv,

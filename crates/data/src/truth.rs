@@ -100,7 +100,7 @@ impl GroundTruth {
     pub fn source_accuracies(&self, dataset: &Dataset) -> Vec<Option<f64>> {
         let mut correct = vec![0usize; dataset.num_sources()];
         let mut total = vec![0usize; dataset.num_sources()];
-        for obs in dataset.observations() {
+        for obs in dataset.live_observations() {
             if let Some(truth) = self.get(obs.object) {
                 total[obs.source.index()] += 1;
                 if truth == obs.value {

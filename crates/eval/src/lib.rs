@@ -10,7 +10,10 @@
 //!   both metrics), average over repetitions, and record wall-clock time split into its
 //!   learning and inference parts (Table 6 style).
 //! * [`lineup`] — the method line-ups of the evaluation (the seven methods of Table 2, the
-//!   probabilistic subset of Table 3, the SLiMFast variants of Table 4).
+//!   probabilistic subset of Table 3, the SLiMFast variants of Table 4) and the
+//!   serving-path scenario lineup.
+//! * [`stream`] — the windowed-stream scenario: sharded bulk load, then sliding-window
+//!   fusion over a drifting claim stream through the incremental engine.
 //! * [`tables`] — plain-text rendering of result grids in the layout of the paper's tables.
 
 #![warn(missing_docs)]
@@ -19,9 +22,14 @@
 pub mod lineup;
 pub mod metrics;
 pub mod runner;
+pub mod stream;
 pub mod tables;
 
-pub use lineup::{probabilistic_lineup, slimfast_variants, standard_lineup, MethodEntry};
+pub use lineup::{
+    probabilistic_lineup, scenario_lineup, slimfast_variants, standard_lineup, MethodEntry,
+    ScenarioEntry,
+};
 pub use metrics::{mean_kl_divergence, source_accuracy_error};
 pub use runner::{CellResult, ExperimentProtocol, MethodSummary, RunOutcome};
+pub use stream::{run_windowed_stream, PhaseStats, StreamScenarioConfig, WindowedStreamReport};
 pub use tables::{format_accuracy_table, format_cost_split_table, format_error_table};

@@ -76,6 +76,30 @@ pub fn slimfast_variants(config: &SlimFastConfig) -> Vec<MethodEntry> {
     ]
 }
 
+/// An end-to-end scenario registered with the harness — unlike a [`MethodEntry`],
+/// which the table runner fits on static splits, a scenario drives the full serving
+/// stack (sharded ingest, incremental engine, windowing) and reports stream
+/// bookkeeping instead of split metrics.
+pub struct ScenarioEntry {
+    /// Display name of the scenario.
+    pub name: &'static str,
+    /// One-line description shown alongside results.
+    pub description: &'static str,
+    /// Runs the scenario for a learner config and stream seed.
+    pub run: fn(&SlimFastConfig, u64) -> crate::stream::WindowedStreamReport,
+}
+
+/// The serving-path scenarios evaluated next to the paper's tables. Currently the
+/// windowed-stream scenario: sharded bulk load, then sliding-window fusion over a
+/// drifting claim stream (see [`crate::stream`]).
+pub fn scenario_lineup() -> Vec<ScenarioEntry> {
+    vec![ScenarioEntry {
+        name: "windowed-stream",
+        description: "sharded load + sliding-window fusion over a drifting claim stream",
+        run: crate::stream::quick_windowed_stream,
+    }]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +129,15 @@ mod tests {
         let variants = slimfast_variants(&config);
         let names: Vec<&str> = variants.iter().map(MethodEntry::name).collect();
         assert_eq!(names, vec!["SLiMFast-ERM", "SLiMFast-EM", "SLiMFast"]);
+    }
+
+    #[test]
+    fn scenario_lineup_includes_the_windowed_stream() {
+        let scenarios = scenario_lineup();
+        let names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"windowed-stream"));
+        let report = (scenarios[0].run)(&SlimFastConfig::default(), 17);
+        assert!(report.evictions > 0);
+        assert!(!report.final_weights.is_empty());
     }
 }

@@ -96,12 +96,13 @@ pub mod prelude {
     pub use slimfast_baselines::{Accu, Catd, Counts, MajorityVote, Sstf, TruthFinder};
     pub use slimfast_core::{
         FittedSlimFast, FusionEngine, LearnerChoice, OptimizerDecision, ParameterSpace,
-        RefitPolicy, SlimFast, SlimFastConfig, SlimFastModel, MODEL_FORMAT_VERSION,
+        RefitPolicy, SlimFast, SlimFastConfig, SlimFastModel, WindowConfig, MODEL_FORMAT_VERSION,
     };
     pub use slimfast_data::{
-        Dataset, DatasetBuilder, DatasetStats, FeatureMatrix, FeatureMatrixBuilder, FittedFusion,
-        FusionEstimator, FusionInput, FusionMethod, FusionOutput, GroundTruth, NamedObservation,
-        ObjectId, SourceAccuracies, SourceId, Split, SplitPlan, TruthAssignment, ValueId,
+        build_claims_sharded, read_observations_csv_sharded, Dataset, DatasetBuilder, DatasetStats,
+        FeatureMatrix, FeatureMatrixBuilder, FittedFusion, FusionEstimator, FusionInput,
+        FusionMethod, FusionOutput, GroundTruth, NamedObservation, ObjectId, SourceAccuracies,
+        SourceId, Split, SplitPlan, TruthAssignment, ValueId,
     };
     pub use slimfast_datagen::{DatasetKind, SyntheticConfig, SyntheticInstance};
     pub use slimfast_eval::{standard_lineup, ExperimentProtocol};

@@ -1,0 +1,145 @@
+//! Property-based tests for the sharded ingest pipeline and the incremental CSR
+//! maintenance path (delta-log appends, tombstoned evictions, compaction): for
+//! arbitrary claim streams, every maintenance schedule must be invisible — the
+//! sharded build must match the sequential one at any shard size and lane count, and
+//! a compacted dataset must match a from-scratch rebuild of its live claims.
+
+use proptest::prelude::*;
+
+use slimfast::data::ingest::{build_claims_sharded_with, read_observations_csv_sharded_with};
+use slimfast::data::read_observations_csv;
+use slimfast::prelude::*;
+
+/// A conflict-free named claim stream: distinct (source, object) pairs in arbitrary
+/// order, each with an arbitrary value from a small shared domain.
+fn named_claims_strategy() -> impl Strategy<Value = Vec<NamedObservation>> {
+    (2usize..8, 1usize..10, 2usize..4).prop_flat_map(|(s, o, d)| {
+        // Claim order varies through the per-claim value draws (the stream walks the
+        // source × object grid, so shard boundaries cut rows at every offset).
+        let values = proptest::collection::vec(0..d, s * o);
+        (Just(s), Just(o), values, Just(d)).prop_map(|(s, _o, values, _)| {
+            let mut claims = Vec::new();
+            for (idx, v) in values.into_iter().enumerate() {
+                claims.push(NamedObservation::new(
+                    format!("s{}", idx % s),
+                    format!("o{}", idx / s),
+                    format!("v{v}"),
+                ));
+            }
+            claims
+        })
+    })
+}
+
+/// The maintenance schedule applied on top of the base stream: which claims arrive
+/// late (through the delta log) and which (source, object) pairs get evicted.
+fn schedule_strategy() -> impl Strategy<Value = (Vec<NamedObservation>, usize, Vec<usize>)> {
+    named_claims_strategy().prop_flat_map(|claims| {
+        let n = claims.len();
+        let split = 0..=n;
+        let evictions = proptest::collection::vec(0..n.max(1), 0..=n.min(12));
+        (Just(claims), split, evictions)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharded ingest is content-identical to the sequential builder for any shard
+    /// size and lane count — including shards of a single claim, where every name is
+    /// re-interned across a shard boundary.
+    #[test]
+    fn sharded_ingest_matches_the_sequential_build(
+        claims in named_claims_strategy(),
+        shard_claims in 1usize..8,
+    ) {
+        let mut builder = DatasetBuilder::new();
+        for c in &claims {
+            builder.observe(&c.source, &c.object, &c.value).unwrap();
+        }
+        let sequential = builder.build();
+        for threads in [1, 2, 4] {
+            let sharded = build_claims_sharded_with(&claims, threads, shard_claims).unwrap();
+            prop_assert!(
+                sequential.same_content(&sharded),
+                "sharded build diverged at shard_claims={shard_claims} threads={threads}"
+            );
+        }
+    }
+
+    /// The sharded CSV reader agrees with the sequential one even when shard
+    /// boundaries fall mid-line (tiny byte shards force every split position).
+    #[test]
+    fn sharded_csv_ingest_matches_the_sequential_reader(
+        claims in named_claims_strategy(),
+        shard_bytes in 1usize..64,
+    ) {
+        let mut csv = String::new();
+        for c in &claims {
+            csv.push_str(&format!("{},{},{}\n", c.source, c.object, c.value));
+        }
+        let sequential = read_observations_csv(csv.as_bytes()).unwrap();
+        let sharded = read_observations_csv_sharded_with(csv.as_bytes(), 4, shard_bytes).unwrap();
+        prop_assert!(
+            sequential.same_content(&sharded),
+            "sharded CSV build diverged at shard_bytes={shard_bytes}"
+        );
+    }
+
+    /// Incremental maintenance is invisible: a dataset assembled through any mix of
+    /// batch build, delta-log appends, and evictions answers queries identically
+    /// before and after compaction, and the compacted dataset is content-identical
+    /// to a from-scratch rebuild of its live claim log.
+    #[test]
+    fn compaction_matches_a_from_scratch_rebuild(
+        (claims, split, evictions) in schedule_strategy(),
+    ) {
+        // Batch-build the prefix, stream the suffix through the delta log.
+        let mut builder = DatasetBuilder::new();
+        for c in &claims[..split] {
+            builder.observe(&c.source, &c.object, &c.value).unwrap();
+        }
+        let mut dataset = builder.build();
+        for c in &claims[split..] {
+            dataset.append_named(&c.source, &c.object, &c.value).unwrap();
+        }
+        // Evict a pseudo-random subset of the claims that actually landed.
+        for &pick in &evictions {
+            if claims.is_empty() {
+                break;
+            }
+            let c = &claims[pick % claims.len()];
+            let s = dataset.source_id(&c.source).unwrap();
+            let o = dataset.object_id(&c.object).unwrap();
+            dataset.evict(s, o); // false on already-evicted picks is fine
+        }
+
+        let uncompacted = dataset.clone();
+        dataset.compact();
+        prop_assert!(dataset.is_compacted());
+        prop_assert!(
+            uncompacted.same_content(&dataset),
+            "compaction changed the dataset's logical content"
+        );
+        let rebuilt = dataset.to_builder().build();
+        prop_assert!(
+            dataset.same_content(&rebuilt),
+            "compacted dataset diverged from a from-scratch rebuild"
+        );
+
+        // Spot-check the overlay-backed accessors against the compacted base arrays.
+        for o in uncompacted.object_ids() {
+            prop_assert_eq!(
+                uncompacted.observations_for_object(o),
+                dataset.observations_for_object(o)
+            );
+            prop_assert_eq!(uncompacted.domain(o), dataset.domain(o));
+        }
+        for s in uncompacted.source_ids() {
+            prop_assert_eq!(
+                uncompacted.observations_by_source(s),
+                dataset.observations_by_source(s)
+            );
+        }
+    }
+}

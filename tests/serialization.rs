@@ -130,7 +130,7 @@ fn revived_models_serve_through_the_engine() {
     let bytes = model.to_bytes();
     let restored = SlimFastModel::from_bytes(&bytes).unwrap();
 
-    let mut engine = FusionEngine::from_model(
+    let engine = FusionEngine::from_model(
         SlimFast::erm(SlimFastConfig::default()),
         restored,
         OptimizerDecision::Erm,
