@@ -14,7 +14,10 @@
 //! 3. **Sliding window** — a horizon-sized window slides over a longer stream
 //!    (append + evict + policy-driven compaction, the `FusionEngine::with_window`
 //!    maintenance loop without the training cost); reports sustained claims/sec,
-//!    compaction count, and steady-state resident bytes per live claim.
+//!    compaction count, and steady-state resident bytes per live claim. The pass runs
+//!    twice — claim-per-claim eviction and `evict_batch` maintenance at a batch of 64
+//!    (`WindowConfig::eviction_batch`) — asserting the surviving windows are
+//!    content-identical before reporting the batched speedup.
 //!
 //! A machine-readable summary is written to `BENCH_ingest.json` at the workspace root
 //! (override with the `BENCH_INGEST_OUT` environment variable). The default scale is
@@ -199,9 +202,19 @@ struct WindowReport {
     steady_bytes_per_claim: f64,
 }
 
+/// Eviction batch of the second windowed pass (the `WindowConfig::eviction_batch`
+/// fast path: one overlay clone and one domain recompute per maintenance cycle).
+const EVICTION_BATCH: usize = 64;
+
 /// The engine's window maintenance loop (append → evict past horizon → compact past the
 /// dead-fraction trigger) without the training cost: measures the data plane alone.
-fn run_window(total: usize) -> WindowReport {
+///
+/// `eviction_batch` mirrors [`WindowConfig::eviction_batch`]: maintenance waits until
+/// the backlog reaches the batch size, then drains it in one `evict_batch` call. At
+/// `eviction_batch = 1` this is the claim-per-claim baseline. Both settings drain to
+/// exactly `horizon` live claims before returning, so the final datasets are
+/// content-comparable across batch sizes.
+fn run_window(total: usize, eviction_batch: usize) -> (WindowReport, Dataset) {
     let window = WindowConfig::default();
     let horizon = (total / 20).max(1_000);
     let streamed = horizon * 3;
@@ -218,9 +231,10 @@ fn run_window(total: usize) -> WindowReport {
         let (s, o, v) = claim_fields(first_new + i / CLAIMS_PER_OBJECT, i % CLAIMS_PER_OBJECT);
         let obs = dataset.append_named(&s, &o, &v).unwrap().unwrap();
         queue.push_back((obs.source, obs.object));
-        while dataset.num_observations() > horizon {
-            let (es, eo) = queue.pop_front().unwrap();
-            assert!(dataset.evict(es, eo));
+        if dataset.num_observations() >= horizon + eviction_batch {
+            let backlog = dataset.num_observations() - horizon;
+            let victims: Vec<_> = queue.drain(..backlog).collect();
+            assert_eq!(dataset.evict_batch(&victims), backlog);
         }
         // Same O(1) trigger the engine's window maintenance uses — a full
         // storage_stats() walk per claim would dominate the loop.
@@ -230,24 +244,34 @@ fn run_window(total: usize) -> WindowReport {
             dataset.compact();
         }
     }
+    // Drain the ≤ batch−1 overshoot so every batch size lands on the same window.
+    if dataset.num_observations() > horizon {
+        let backlog = dataset.num_observations() - horizon;
+        let victims: Vec<_> = queue.drain(..backlog).collect();
+        assert_eq!(dataset.evict_batch(&victims), backlog);
+    }
     let stream_secs = start.elapsed().as_secs_f64();
     dataset.compact();
     let stats = dataset.storage_stats();
     assert_eq!(stats.live_claims, horizon);
 
-    WindowReport {
-        horizon,
-        streamed,
-        stream_secs,
-        compactions: stats.compactions,
-        steady_bytes_per_claim: stats.bytes_per_claim(),
-    }
+    (
+        WindowReport {
+            horizon,
+            streamed,
+            stream_secs,
+            compactions: stats.compactions,
+            steady_bytes_per_claim: stats.bytes_per_claim(),
+        },
+        dataset,
+    )
 }
 
 fn write_json(
     bulk: &BulkReport,
     delta: &DeltaReport,
     window: &WindowReport,
+    batched: &WindowReport,
 ) -> std::io::Result<String> {
     let path = std::env::var("BENCH_INGEST_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_ingest.json", env!("CARGO_MANIFEST_DIR")));
@@ -272,7 +296,10 @@ fn write_json(
             "  \"window_streamed\": {},\n",
             "  \"window_claims_per_sec\": {:.0},\n",
             "  \"window_compactions\": {},\n",
-            "  \"window_steady_bytes_per_claim\": {:.1}\n",
+            "  \"window_steady_bytes_per_claim\": {:.1},\n",
+            "  \"window_eviction_batch\": {},\n",
+            "  \"window_batched_claims_per_sec\": {:.0},\n",
+            "  \"window_batched_speedup\": {:.2}\n",
             "}}\n"
         ),
         bulk.claims,
@@ -293,6 +320,9 @@ fn write_json(
         rate(window.streamed, window.stream_secs),
         window.compactions,
         window.steady_bytes_per_claim,
+        EVICTION_BATCH,
+        rate(batched.streamed, batched.stream_secs),
+        window.stream_secs / batched.stream_secs.max(1e-9),
     );
     std::fs::write(&path, &out)?;
     Ok(path)
@@ -337,7 +367,7 @@ fn main() {
     );
     drop(dataset);
 
-    let window = run_window(total);
+    let (window, final_per_claim) = run_window(total, 1);
     println!(
         "ingest/window  horizon {}  streamed {} in {:>7.3}s ({:>9.0} claims/s)  {} compactions  steady {:>6.1} B/claim",
         window.horizon,
@@ -348,7 +378,25 @@ fn main() {
         window.steady_bytes_per_claim,
     );
 
-    match write_json(&bulk, &delta, &window) {
+    let (batched, final_batched) = run_window(total, EVICTION_BATCH);
+    // Batched maintenance is a pure scheduling change: the surviving window must be
+    // content-identical to the claim-per-claim baseline before its timing is trusted.
+    assert!(
+        final_per_claim.same_content(&final_batched),
+        "batched eviction diverged from claim-per-claim maintenance"
+    );
+    drop((final_per_claim, final_batched));
+    println!(
+        "ingest/window  eviction batch {}: streamed {} in {:>7.3}s ({:>9.0} claims/s, {:.2}x per-claim)  {} compactions",
+        EVICTION_BATCH,
+        batched.streamed,
+        batched.stream_secs,
+        rate(batched.streamed, batched.stream_secs),
+        window.stream_secs / batched.stream_secs.max(1e-9),
+        batched.compactions,
+    );
+
+    match write_json(&bulk, &delta, &window, &batched) {
         Ok(path) => println!("ingest: summary written to {path}"),
         Err(err) => eprintln!("ingest: could not write summary: {err}"),
     }

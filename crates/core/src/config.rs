@@ -101,16 +101,31 @@ pub struct WindowConfig {
     /// claims exceed this fraction of the live claims (clamped to a small absolute
     /// floor so tiny windows don't compact on every claim).
     pub max_dead_fraction: f64,
+    /// Eviction granularity (clamped to at least 1). With a batch of `B > 1` the
+    /// engine lets the live claim count overshoot the horizon by up to `B − 1` claims
+    /// and then retires the whole backlog with one `Dataset::evict_batch` call — one
+    /// overlay-row clone and one domain recompute per *touched row per cycle* instead
+    /// of per evicted claim, which is the difference between O(row²) and O(row) work
+    /// when a hot object ages out many claims. The default of `1` keeps the exact
+    /// claim-per-claim horizon (never more than `horizon_claims` live claims).
+    pub eviction_batch: usize,
 }
 
 impl WindowConfig {
     /// A window keeping the most recent `horizon_claims` claims, with the default
-    /// compaction trigger.
+    /// compaction trigger and claim-per-claim eviction.
     pub fn new(horizon_claims: usize) -> Self {
         Self {
             horizon_claims,
             ..Self::default()
         }
+    }
+
+    /// Returns a copy that retires evictions in batches of `eviction_batch` (see the
+    /// field docs for the overshoot trade-off).
+    pub fn with_eviction_batch(mut self, eviction_batch: usize) -> Self {
+        self.eviction_batch = eviction_batch;
+        self
     }
 }
 
@@ -119,6 +134,7 @@ impl Default for WindowConfig {
         Self {
             horizon_claims: 1 << 20,
             max_dead_fraction: 0.25,
+            eviction_batch: 1,
         }
     }
 }

@@ -51,9 +51,10 @@ const COMPACT_FLOOR: usize = 4096;
 ///
 /// Ingested deltas go straight into the indexed dataset's overlay (O(touched rows) per
 /// claim), so queries are `&self` and never pay a rebuild. The engine remains a
-/// single-writer structure; for lock-free multi-threaded read serving, clone the fitted
-/// [`SlimFastModel`] (or a [`crate::slimfast::FittedSlimFast`]) and share *that* across
-/// threads, keeping one engine as the ingest/retrain loop.
+/// single-writer structure; for lock-free multi-threaded read serving, wrap it in a
+/// [`crate::serve::ServingEngine`], which publishes immutable epoch-swapped snapshots
+/// to reader threads and dispatches refits as background jobs, keeping this engine as
+/// the single ingest/retrain loop.
 ///
 /// ```
 /// use slimfast_core::{FusionEngine, RefitPolicy, SlimFast, SlimFastConfig};
@@ -216,13 +217,93 @@ impl FusionEngine {
         Ok(self.apply_policy())
     }
 
+    /// Ingests a batch of claims **without** evaluating the refit policy, returning how
+    /// many non-duplicate claims were appended. Window maintenance and compaction
+    /// hygiene still run per claim — only the retrain decision is left to the caller,
+    /// which is what a serving writer needs when refits are dispatched out-of-band as
+    /// background jobs (see [`crate::serve`]) instead of being paid inline.
+    ///
+    /// Fails fast on the first conflicting claim; earlier claims of the batch stay
+    /// ingested.
+    pub fn ingest_no_refit(&mut self, claims: &[NamedObservation]) -> Result<usize, DataError> {
+        let mut appended = 0;
+        for claim in claims {
+            if let Some(obs) =
+                self.dataset
+                    .append_named(&claim.source, &claim.object, &claim.value)?
+            {
+                self.note_appended(obs.source, obs.object);
+                appended += 1;
+            }
+        }
+        Ok(appended)
+    }
+
+    /// Whether the configured [`RefitPolicy`] would fire right now, without retraining.
+    /// This is the exact predicate [`FusionEngine::observe`] / [`FusionEngine::ingest`]
+    /// evaluate after a mutation; callers that train out-of-band (see
+    /// [`FusionEngine::training_snapshot`]) poll it instead of letting the engine refit
+    /// inline. Note `RefitPolicy::Always` reports `true` unconditionally, mirroring the
+    /// inline path.
+    pub fn should_refit(&self) -> bool {
+        match self.policy {
+            RefitPolicy::Never => false,
+            RefitPolicy::Always => true,
+            RefitPolicy::EveryNClaims(n) => self.claims_since_fit >= n.max(1),
+            RefitPolicy::DriftThreshold(threshold) => self.drift() > threshold,
+        }
+    }
+
+    /// Captures a self-contained [`TrainingSnapshot`] of the live instance: the dataset
+    /// is compacted in place (exactly as [`FusionEngine::refit`] would) and the folded
+    /// instance plus the estimator are cloned out, detached from the engine. Training
+    /// the capture — typically on a background worker while this engine keeps ingesting
+    /// — produces a model bitwise-identical to what a synchronous
+    /// [`FusionEngine::refit`] at this claim count would have served, at any
+    /// `SLIMFAST_THREADS` setting.
+    pub fn training_snapshot(&mut self) -> TrainingSnapshot {
+        self.dataset.compact();
+        TrainingSnapshot {
+            estimator: self.estimator.clone(),
+            dataset: self.dataset.clone(),
+            features: self.features.clone(),
+            truth: self.truth.clone(),
+            claims_since_fit: self.claims_since_fit,
+        }
+    }
+
+    /// Installs a model trained out-of-band from a [`TrainingSnapshot`], resetting the
+    /// refit counters like a synchronous [`FusionEngine::refit`]. `covered` is the
+    /// snapshot's [`TrainingSnapshot::claims_since_fit`]: claims ingested *after* the
+    /// capture stay counted toward the next policy boundary, so a slow background
+    /// refit can never silently swallow the delta that accumulated underneath it.
+    pub fn install_model(
+        &mut self,
+        model: SlimFastModel,
+        decision: OptimizerDecision,
+        covered: usize,
+    ) {
+        self.model = model;
+        self.decision = decision;
+        self.claims_since_fit = self.claims_since_fit.saturating_sub(covered);
+        self.refits += 1;
+        self.rate_at_fit = self.current_rate();
+    }
+
     /// Records a ground-truth label (e.g. from a late human verification), interning the
     /// names if new, and applies the refit policy. Returns whether the engine retrained.
     pub fn label(&mut self, object: &str, value: &str) -> bool {
+        self.label_no_refit(object, value);
+        self.apply_policy()
+    }
+
+    /// Records a ground-truth label **without** evaluating the refit policy — the
+    /// labelling counterpart of [`FusionEngine::ingest_no_refit`], for callers that
+    /// retrain out-of-band.
+    pub fn label_no_refit(&mut self, object: &str, value: &str) {
         let o = self.dataset.intern_object(object);
         let v = self.dataset.intern_value(value);
         self.truth.set(o, v);
-        self.apply_policy()
     }
 
     /// Retrains the model on the current live data, resetting the delta counters and
@@ -249,9 +330,14 @@ impl FusionEngine {
         Some(self.model.posterior(&self.dataset, &self.features, o))
     }
 
-    /// The posterior over the candidate values of an object handle.
-    pub fn posterior_by_id(&self, o: ObjectId) -> Vec<f64> {
-        self.model.posterior(&self.dataset, &self.features, o)
+    /// The posterior over the candidate values of an object handle; `None` for handles
+    /// beyond the engine's current object count, so untrusted ids arriving at a serving
+    /// reader can never crash (or silently mis-serve) a query thread.
+    pub fn posterior_by_id(&self, o: ObjectId) -> Option<Vec<f64>> {
+        if o.index() >= self.dataset.num_objects() {
+            return None;
+        }
+        Some(self.model.posterior(&self.dataset, &self.features, o))
     }
 
     /// MAP value and posterior probability for the named object; `None` for unknown or
@@ -288,6 +374,11 @@ impl FusionEngine {
     /// The fitted model currently serving queries.
     pub fn model(&self) -> &SlimFastModel {
         &self.model
+    }
+
+    /// The source-feature matrix queries are scored with.
+    pub fn features(&self) -> &FeatureMatrix {
+        &self.features
     }
 
     /// Serializes the serving model (see [`SlimFastModel::to_bytes`]).
@@ -345,19 +436,28 @@ impl FusionEngine {
         }
     }
 
-    /// Evicts the oldest live claims until the live count is back inside the horizon.
+    /// Evicts the oldest live claims once the backlog past the horizon reaches the
+    /// configured eviction batch, retiring the whole backlog with one
+    /// [`Dataset::evict_batch`] call — one overlay clone and one domain recompute per
+    /// touched row per cycle. With the default batch of 1 this evicts claim-per-claim,
+    /// so the live count never exceeds the horizon.
     fn enforce_window(&mut self) {
         let Some(window) = self.window else { return };
         let horizon = window.horizon_claims.max(1);
-        while self.dataset.num_observations() > horizon {
-            let (s, o) = self
-                .window_queue
-                .pop_front()
-                .expect("window queue tracks every live claim");
-            let evicted = self.dataset.evict(s, o);
-            debug_assert!(evicted, "window queue entries are live until popped");
-            self.evictions += 1;
+        let batch = window.eviction_batch.max(1);
+        let live = self.dataset.num_observations();
+        if live < horizon + batch {
+            return;
         }
+        let backlog = live - horizon;
+        let victims: Vec<(SourceId, ObjectId)> = self.window_queue.drain(..backlog).collect();
+        let removed = self.dataset.evict_batch(&victims);
+        debug_assert_eq!(
+            removed,
+            victims.len(),
+            "window queue entries are live until popped"
+        );
+        self.evictions += removed;
     }
 
     /// Folds the delta log into the base arrays once tombstones or pending appends
@@ -417,16 +517,50 @@ impl FusionEngine {
     /// Evaluates the refit policy after a mutation; retrains and reports `true` when it
     /// fires.
     fn apply_policy(&mut self) -> bool {
-        let should = match self.policy {
-            RefitPolicy::Never => false,
-            RefitPolicy::Always => true,
-            RefitPolicy::EveryNClaims(n) => self.claims_since_fit >= n.max(1),
-            RefitPolicy::DriftThreshold(threshold) => self.drift() > threshold,
-        };
+        let should = self.should_refit();
         if should {
             self.refit();
         }
         should
+    }
+}
+
+/// A self-contained training capture from [`FusionEngine::training_snapshot`]: compact
+/// clones of the live instance (dataset, features, labels) plus the estimator, detached
+/// from the engine so [`TrainingSnapshot::train`] can run on another thread — a
+/// background refit job on the worker pool, say — while the engine keeps ingesting.
+#[derive(Debug, Clone)]
+pub struct TrainingSnapshot {
+    estimator: SlimFast,
+    dataset: Dataset,
+    features: FeatureMatrix,
+    truth: GroundTruth,
+    claims_since_fit: usize,
+}
+
+impl TrainingSnapshot {
+    /// Trains the estimator on the captured instance. Deterministic: the same capture
+    /// produces a bitwise-identical model at any thread count, so an out-of-band refit
+    /// is indistinguishable from the synchronous [`FusionEngine::refit`] it replaces.
+    pub fn train(&self) -> (SlimFastModel, OptimizerDecision) {
+        let input = FusionInput::new(&self.dataset, &self.features, &self.truth);
+        self.estimator.train(&input)
+    }
+
+    /// The captured (compacted) dataset the model will be trained on.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The captured feature matrix.
+    pub fn features(&self) -> &FeatureMatrix {
+        &self.features
+    }
+
+    /// Claims the engine had ingested since its last fit when the capture was taken —
+    /// the `covered` argument to pass to [`FusionEngine::install_model`].
+    pub fn claims_since_fit(&self) -> usize {
+        self.claims_since_fit
     }
 }
 
@@ -635,6 +769,90 @@ mod tests {
         // covering exactly the live claims.
         assert!(engine.dataset().dead_claims() <= 5);
         let _ = engine.predict();
+    }
+
+    #[test]
+    fn posterior_by_id_rejects_out_of_range_handles() {
+        let engine = engine_with(RefitPolicy::Never);
+        let known = ObjectId::new(0);
+        assert!(engine.posterior_by_id(known).is_some());
+        let beyond = ObjectId::new(engine.dataset().num_objects());
+        assert!(engine.posterior_by_id(beyond).is_none());
+        assert!(engine
+            .posterior_by_id(ObjectId::new(u32::MAX as usize - 1))
+            .is_none());
+    }
+
+    #[test]
+    fn out_of_band_refits_match_synchronous_refits_bitwise() {
+        let mut sync = engine_with(RefitPolicy::Never);
+        for i in 0..30 {
+            sync.observe(&format!("ob-src-{}", i % 7), &format!("ob-obj-{i}"), "v")
+                .unwrap();
+        }
+        let mut background = sync.clone();
+
+        sync.refit();
+
+        // The out-of-band path: capture, train elsewhere (here: inline), install.
+        assert_eq!(background.claims_since_fit(), 30);
+        assert!(!background.should_refit());
+        let snapshot = background.training_snapshot();
+        assert_eq!(snapshot.claims_since_fit(), 30);
+        // Claims keep arriving while the "background" training runs.
+        background.observe("late-src", "late-obj", "v").unwrap();
+        let (model, decision) = snapshot.train();
+        background.install_model(model, decision, snapshot.claims_since_fit());
+
+        assert_eq!(background.refit_count(), 1);
+        // The uncovered late claim still counts toward the next policy boundary.
+        assert_eq!(background.claims_since_fit(), 1);
+        assert_eq!(sync.model().weights(), background.model().weights());
+        assert_eq!(sync.decision(), background.decision());
+    }
+
+    #[test]
+    fn ingest_no_refit_defers_the_policy_to_the_caller() {
+        let mut engine = engine_with(RefitPolicy::EveryNClaims(3));
+        let batch: Vec<NamedObservation> = (0..5)
+            .map(|i| NamedObservation::new(format!("nr-src-{i}"), "nr-obj", "v"))
+            .collect();
+        let appended = engine.ingest_no_refit(&batch).unwrap();
+        assert_eq!(appended, 5);
+        // Past the EveryNClaims(3) boundary, but nothing retrained...
+        assert_eq!(engine.refit_count(), 0);
+        assert_eq!(engine.claims_since_fit(), 5);
+        // ...the caller polls the policy and refits on its own schedule.
+        assert!(engine.should_refit());
+        engine.refit();
+        assert!(!engine.should_refit());
+    }
+
+    #[test]
+    fn batched_window_eviction_matches_claim_per_claim_at_batch_boundaries() {
+        let stream: Vec<(String, String)> = (0..64)
+            .map(|i| (format!("bw-src-{}", i % 5), format!("bw-obj-{i}")))
+            .collect();
+        let run = |batch: usize| {
+            let mut engine = engine_with(RefitPolicy::Never)
+                .with_window(WindowConfig::new(900).with_eviction_batch(batch));
+            for (s, o) in &stream {
+                engine.observe(s, o, "v").unwrap();
+            }
+            engine
+        };
+        let claim_per_claim = run(1);
+        let batched = run(16);
+        // 64 streamed claims is a multiple of the batch, so both engines sit exactly on
+        // the horizon with identical live content and the same eviction totals.
+        assert_eq!(batched.dataset().num_observations(), 900);
+        assert_eq!(batched.eviction_count(), claim_per_claim.eviction_count());
+        assert!(batched.dataset().same_content(claim_per_claim.dataset()));
+        // Mid-batch the backlog may overshoot the horizon, but never by a full batch.
+        let mut overshoot = run(16);
+        overshoot.observe("bw-extra", "bw-extra-obj", "v").unwrap();
+        let live = overshoot.dataset().num_observations();
+        assert!((901..900 + 16).contains(&live), "live = {live}");
     }
 
     #[test]

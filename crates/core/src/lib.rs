@@ -44,6 +44,11 @@
 //!   model, ingests deltas of new claims and labels, answers posterior queries without
 //!   retraining, and refits per a [`config::RefitPolicy`] (always / every-N-claims /
 //!   drift of the Section 4.2 bound).
+//! * [`serve::ServingEngine`] — the concurrent serving tier over the engine:
+//!   epoch-swapped immutable [`serve::ModelSnapshot`]s served lock-free to any number
+//!   of reader threads, a single-writer ingest path, refits dispatched as background
+//!   jobs on the worker pool, and a batched posterior API that fans large queries over
+//!   the pool.
 //!
 //! ## Extensions
 //!
@@ -71,12 +76,14 @@ pub mod exec;
 pub mod explain;
 pub mod model;
 pub mod optimizer;
+pub mod serve;
 pub mod slimfast;
 pub mod source_init;
 
 pub use compile::CompiledProblem;
 pub use config::{LearnerChoice, RefitPolicy, SlimFastConfig, WindowConfig};
-pub use engine::FusionEngine;
+pub use engine::{FusionEngine, TrainingSnapshot};
 pub use model::{ParameterSpace, SlimFastModel, MODEL_FORMAT_VERSION};
 pub use optimizer::{OptimizerDecision, OptimizerReport};
+pub use serve::{ModelSnapshot, ServingEngine, ServingReader, ServingStats};
 pub use slimfast::{FittedSlimFast, SlimFast};

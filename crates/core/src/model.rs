@@ -215,6 +215,39 @@ impl SlimFastModel {
         scores
     }
 
+    /// Precomputes the trust score of every source in `dataset`, indexed by
+    /// [`SourceId`]. This is the "compiled posterior table" the serving tier pins next
+    /// to a frozen model: scoring a claim becomes one table lookup instead of a feature
+    /// dot product, and [`SlimFastModel::posterior_with_trust`] over the table is
+    /// bitwise-identical to [`SlimFastModel::posterior`] because each entry is exactly
+    /// the [`SlimFastModel::trust_score`] the per-query path would have computed.
+    pub fn trust_scores(&self, dataset: &Dataset, features: &FeatureMatrix) -> Vec<f64> {
+        dataset
+            .source_ids()
+            .map(|s| self.trust_score(s, features))
+            .collect()
+    }
+
+    /// Fills `scores` with the posterior of `o` (order of [`Dataset::domain`]), scoring
+    /// each claiming source from the precomputed `trust` table (see
+    /// [`SlimFastModel::trust_scores`]). Sources beyond the table — ingested after it
+    /// was compiled — contribute the uninformed score of `0.0`, mirroring how
+    /// [`SlimFastModel::trust_score`] treats sources beyond the parameter space.
+    pub fn posterior_with_trust(
+        &self,
+        dataset: &Dataset,
+        o: ObjectId,
+        trust: &[f64],
+        scores: &mut Vec<f64>,
+    ) {
+        self.posterior_into(
+            dataset,
+            o,
+            |s| trust.get(s.index()).copied().unwrap_or(0.0),
+            scores,
+        );
+    }
+
     /// MAP value of one object with its posterior probability; `None` for objects without
     /// observations.
     pub fn map_value(
@@ -462,6 +495,31 @@ mod tests {
         let model = SlimFastModel::zeros(ParameterSpace::new(&d, &f));
         let assignment = model.predict(&d, &f);
         assert_eq!(assignment.num_assigned(), 2);
+    }
+
+    #[test]
+    fn compiled_trust_table_reproduces_posteriors_bitwise() {
+        let (d, f) = instance();
+        let space = ParameterSpace::new(&d, &f);
+        let weights: Vec<f64> = (0..space.len()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let model = SlimFastModel::new(space, weights);
+        let trust = model.trust_scores(&d, &f);
+        assert_eq!(trust.len(), d.num_sources());
+        let mut scores = Vec::new();
+        for o in d.object_ids() {
+            model.posterior_with_trust(&d, o, &trust, &mut scores);
+            let direct = model.posterior(&d, &f, o);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&direct), bits(&scores));
+        }
+        // A source beyond the table scores 0.0 (the uninformed prior), so a stale
+        // table still serves datasets that grew by new sources.
+        let mut grown = d.clone();
+        grown.append_named("brand-new", "o0", "true").unwrap();
+        let o0 = grown.object_id("o0").unwrap();
+        model.posterior_with_trust(&grown, o0, &trust, &mut scores);
+        assert_eq!(scores.len(), grown.domain(o0).len());
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 
     #[test]

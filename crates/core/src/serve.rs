@@ -1,0 +1,794 @@
+//! The concurrent serving tier: epoch-swapped model snapshots, lock-free readers, and
+//! background refits.
+//!
+//! [`FusionEngine`] is a single-writer structure — ingest takes `&mut self` and a refit
+//! runs inline on the caller. That is the right shape for the maintenance loop and the
+//! wrong shape for serving: the ROADMAP's "millions of users" workload is many reader
+//! threads answering posterior queries *while* claims stream in and retrains run. This
+//! module splits the two roles:
+//!
+//! * **Readers** hold a [`ServingReader`] and answer every query from an immutable
+//!   [`ModelSnapshot`] — a frozen model, a frozen dataset, and a compiled per-source
+//!   trust table. Snapshots are published by a single atomic swap, so a reader either
+//!   sees the old snapshot or the new one, never a half-updated model.
+//! * **The writer** owns the [`ServingEngine`]: it ingests claims into the wrapped
+//!   engine (window maintenance and compaction hygiene included), dispatches refits
+//!   onto the process-wide [`WorkerPool`] as *background jobs* when the engine's
+//!   [`RefitPolicy`](crate::config::RefitPolicy) fires, and publishes fresh snapshots.
+//!
+//! # Snapshot lifecycle
+//!
+//! ```text
+//!              ingest (writer thread)                    background (pool worker)
+//!  claims ──▶ FusionEngine::ingest_no_refit ──┐
+//!                                             ├─ policy fires? ──▶ training_snapshot ─▶ train()
+//!             every publish_every claims ─────┤                          │
+//!                    ▼                        ◀── poll: job finished? ◀──┘
+//!             clone model+data, compile       install_model + publish
+//!             trust table                     (model snapshot)
+//!                    ▼
+//!            ┌───────────────┐  one RwLock-guarded Arc store + epoch bump
+//!            │ Arc swap      │ ─────────────────────────────────────────▶ readers
+//!            └───────────────┘   (readers re-grab only when the epoch moved)
+//! ```
+//!
+//! A snapshot is published in two situations: a **data snapshot** every
+//! [`ServingEngine::with_publish_every`] ingested claims (same model, fresher dataset —
+//! exactly the "serve new claims under the fitted parameters" split the engine already
+//! implements), and a **model snapshot** whenever a background refit completes and its
+//! model is installed. Both are full [`ModelSnapshot`]s; the distinction is only what
+//! changed since the previous epoch.
+//!
+//! # Staleness semantics
+//!
+//! Staleness is measured in *claims*, not time: `claims_ingested −
+//! snapshot.claims_ingested` — how many appended claims a freshly-grabbed snapshot does
+//! not yet reflect in its dataset. It is bounded by the publish cadence (at most
+//! `publish_every − 1` in steady state, [`ServingEngine::publish_now`] forces it to 0)
+//! and is *independent of refits in flight*: a snapshot's dataset can be fully fresh
+//! while its model parameters date from the last completed refit, which is the
+//! engine's normal zero-retraining serving mode.
+//!
+//! # Reads are lock-free
+//!
+//! A [`ServingReader`] caches the `Arc<ModelSnapshot>` it last grabbed together with its
+//! epoch. The steady-state query path is: one atomic epoch load, compare to the cached
+//! epoch, serve from the cached snapshot — no lock, no reference-count traffic, no
+//! contention with the writer or other readers. Only when the epoch moved does the
+//! reader take a brief read-lock to clone the new `Arc` (an O(1) pointer clone; the
+//! writer holds the matching write-lock only for the O(1) store, never during training
+//! or snapshot construction). Readers therefore never block behind a refit.
+//!
+//! # Determinism
+//!
+//! Background refits train on a [`crate::engine::TrainingSnapshot`] captured at a deterministic claim
+//! count, and training is bitwise-deterministic at any `SLIMFAST_THREADS` setting — so
+//! a published model snapshot is bitwise-identical to what a synchronous
+//! [`FusionEngine::refit`] at the capture's claim count would have served, no matter
+//! how long the background job ran or what else overlapped with it. The integration
+//! tests assert exactly this.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use slimfast_data::{
+    DataError, Dataset, FeatureMatrix, NamedObservation, ObjectId, TruthAssignment, ValueId,
+};
+use slimfast_optim::{JobHandle, WorkerPool};
+
+use crate::engine::FusionEngine;
+use crate::exec::{execution_lanes, num_threads};
+use crate::model::SlimFastModel;
+use crate::optimizer::OptimizerDecision;
+
+/// Object handles per task in the batched [`ModelSnapshot::posteriors`] fan-out.
+/// Constant — never derived from the thread count — so the task grid, and therefore
+/// the result, is identical in every configuration.
+const POSTERIOR_CHUNK: usize = 256;
+
+/// Batches below this many handles answer inline on the calling thread: the pool
+/// wakeup costs more than scoring a handful of objects.
+const POSTERIOR_INLINE_MIN: usize = 2 * POSTERIOR_CHUNK;
+
+/// An immutable, consistent view of the serving state: one fitted model, the dataset
+/// as of publish time, and the compiled per-source trust table
+/// ([`SlimFastModel::trust_scores`]). Everything a posterior query needs, frozen —
+/// readers share snapshots by `Arc` and never coordinate.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    model: SlimFastModel,
+    dataset: Dataset,
+    features: FeatureMatrix,
+    /// Compiled trust table: `trust[s]` is the model's trust score for source `s`,
+    /// precomputed once at publish so per-claim scoring is a table lookup.
+    trust: Vec<f64>,
+    epoch: u64,
+    claims_ingested: u64,
+    refits_installed: usize,
+}
+
+impl ModelSnapshot {
+    fn capture(engine: &FusionEngine, epoch: u64, claims_ingested: u64) -> Self {
+        let model = engine.model().clone();
+        let dataset = engine.dataset().clone();
+        let features = engine.features().clone();
+        let trust = model.trust_scores(&dataset, &features);
+        Self {
+            model,
+            dataset,
+            features,
+            trust,
+            epoch,
+            claims_ingested,
+            refits_installed: engine.refit_count(),
+        }
+    }
+
+    /// The publish epoch: strictly increasing across snapshots of one engine.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Claims the writer had ingested when this snapshot was published; the dataset
+    /// reflects exactly these claims (minus window evictions).
+    pub fn claims_ingested(&self) -> u64 {
+        self.claims_ingested
+    }
+
+    /// Refits installed into the engine up to this snapshot (a model-version counter).
+    pub fn refits_installed(&self) -> usize {
+        self.refits_installed
+    }
+
+    /// The frozen model serving this snapshot.
+    pub fn model(&self) -> &SlimFastModel {
+        &self.model
+    }
+
+    /// The frozen dataset serving this snapshot.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The posterior over the candidate values of the named object (order of
+    /// [`Dataset::domain`]); `None` for objects this snapshot has never heard of.
+    pub fn posterior(&self, object: &str) -> Option<Vec<f64>> {
+        let o = self.dataset.object_id(object)?;
+        self.posterior_by_id(o)
+    }
+
+    /// The posterior over the candidate values of an object handle; `None` for handles
+    /// beyond the snapshot's object count, so untrusted ids can never crash a reader.
+    /// Scored from the compiled trust table — bitwise-identical to
+    /// [`SlimFastModel::posterior`] on the snapshot's dataset.
+    pub fn posterior_by_id(&self, o: ObjectId) -> Option<Vec<f64>> {
+        if o.index() >= self.dataset.num_objects() {
+            return None;
+        }
+        let mut scores = Vec::new();
+        self.model
+            .posterior_with_trust(&self.dataset, o, &self.trust, &mut scores);
+        Some(scores)
+    }
+
+    /// Batched posteriors: one posterior per requested handle, in request order, with
+    /// an empty posterior for out-of-range handles (so one bad id in a batch cannot
+    /// poison its neighbours). Large batches fan out over the process-wide
+    /// [`WorkerPool`] in fixed `POSTERIOR_CHUNK`-handle tasks; results are identical
+    /// at any thread count, and small batches answer inline without a pool wakeup.
+    pub fn posteriors(&self, ids: &[ObjectId]) -> Vec<Vec<f64>> {
+        let score_range = |range: std::ops::Range<usize>, out: &mut [Vec<f64>]| {
+            let mut scores = Vec::new();
+            for (slot, &o) in out.iter_mut().zip(&ids[range]) {
+                if o.index() < self.dataset.num_objects() {
+                    self.model
+                        .posterior_with_trust(&self.dataset, o, &self.trust, &mut scores);
+                    *slot = std::mem::take(&mut scores);
+                }
+            }
+        };
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); ids.len()];
+        let num_tasks = ids.len().div_ceil(POSTERIOR_CHUNK).max(1);
+        let lanes = execution_lanes(num_threads(), num_tasks);
+        if ids.len() < POSTERIOR_INLINE_MIN || lanes <= 1 {
+            score_range(0..ids.len(), &mut out);
+            return out;
+        }
+        // Fixed chunk grid over disjoint output slices: each task owns its slots, so
+        // dynamic lane scheduling cannot change where (or what) anything is written.
+        type PosteriorChunk<'a> = Mutex<(usize, &'a mut [Vec<f64>])>;
+        let slices: Vec<PosteriorChunk<'_>> = out
+            .chunks_mut(POSTERIOR_CHUNK)
+            .enumerate()
+            .map(|(task, chunk)| Mutex::new((task * POSTERIOR_CHUNK, chunk)))
+            .collect();
+        WorkerPool::global().run(slices.len(), lanes, |task| {
+            let mut slot = slices[task].lock().expect("posterior chunk");
+            let (start, chunk) = &mut *slot;
+            let range = *start..*start + chunk.len();
+            score_range(range, chunk);
+        });
+        drop(slices);
+        out
+    }
+
+    /// MAP value and posterior probability of the named object; `None` for unknown or
+    /// unobserved objects.
+    pub fn map_value(&self, object: &str) -> Option<(ValueId, f64)> {
+        let o = self.dataset.object_id(object)?;
+        self.model.map_value(&self.dataset, &self.features, o)
+    }
+
+    /// MAP assignment over every object in the snapshot.
+    pub fn predict(&self) -> TruthAssignment {
+        self.model.predict(&self.dataset, &self.features)
+    }
+}
+
+/// State shared between the writer and every reader: the current snapshot behind a
+/// brief lock, and its epoch as a lock-free fast-path discriminator.
+#[derive(Debug)]
+struct ServeShared {
+    /// Current snapshot. Write-locked only for the O(1) `Arc` store at publish;
+    /// read-locked only for the O(1) `Arc` clone when a reader's cached epoch is stale.
+    snapshot: RwLock<Arc<ModelSnapshot>>,
+    /// Epoch of the current snapshot; readers poll this single atomic to decide
+    /// whether their cached `Arc` is still current.
+    epoch: AtomicU64,
+    /// Total non-duplicate claims ingested by the writer (the staleness numerator).
+    claims_ingested: AtomicU64,
+    /// Snapshots published since construction.
+    swaps: AtomicU64,
+}
+
+/// A background refit in flight on the worker pool.
+struct InFlightRefit {
+    handle: JobHandle,
+    /// The trained result, deposited by the pool worker.
+    result: Arc<Mutex<Option<(SlimFastModel, OptimizerDecision)>>>,
+    /// `claims_since_fit` covered by the capture (forwarded to
+    /// [`FusionEngine::install_model`]).
+    covered: usize,
+}
+
+/// Counters describing a serving engine's current state; see [`ServingEngine::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Epoch of the currently published snapshot.
+    pub epoch: u64,
+    /// Snapshots published since construction (data and model snapshots alike).
+    pub snapshot_swaps: u64,
+    /// Total non-duplicate claims ingested.
+    pub claims_ingested: u64,
+    /// Claims ingested but not yet reflected in the published snapshot's dataset.
+    pub staleness: u64,
+    /// Whether a background refit is currently queued or training on the pool.
+    pub refit_in_flight: bool,
+    /// Refits installed into the engine (synchronous and background alike).
+    pub refits_installed: usize,
+}
+
+/// The writer half of the serving tier: wraps a [`FusionEngine`], ingests claims,
+/// dispatches background refits, and publishes [`ModelSnapshot`]s to readers.
+///
+/// Single-writer by construction (`&mut self` on every mutating method); hand out any
+/// number of [`ServingReader`]s — they serve concurrently and lock-free from the
+/// published snapshots while this engine mutates underneath. See the module docs for
+/// the lifecycle.
+///
+/// ```
+/// use slimfast_core::{FusionEngine, RefitPolicy, ServingEngine, SlimFast, SlimFastConfig};
+/// use slimfast_data::{DatasetBuilder, FeatureMatrix, GroundTruth, NamedObservation};
+///
+/// let mut builder = DatasetBuilder::new();
+/// builder.observe("alice", "sky", "blue").unwrap();
+/// builder.observe("bob", "sky", "green").unwrap();
+/// let dataset = builder.build();
+/// let features = FeatureMatrix::empty(dataset.num_sources());
+/// let truth = GroundTruth::empty(dataset.num_objects());
+/// let engine = FusionEngine::fit(
+///     SlimFast::new(SlimFastConfig::default()),
+///     dataset,
+///     features,
+///     truth,
+///     RefitPolicy::Never,
+/// );
+///
+/// let mut serving = ServingEngine::new(engine);
+/// let mut reader = serving.reader(); // move one per reader thread
+/// serving
+///     .ingest(&[NamedObservation::new("carol", "ocean", "blue")])
+///     .unwrap();
+/// serving.publish_now();
+/// assert_eq!(reader.posterior("ocean").unwrap().len(), 1);
+/// assert_eq!(reader.staleness(), 0);
+/// ```
+pub struct ServingEngine {
+    engine: FusionEngine,
+    shared: Arc<ServeShared>,
+    refit: Option<InFlightRefit>,
+    /// Publish a data snapshot after this many ingested claims (staleness bound).
+    publish_every: usize,
+    claims_since_publish: usize,
+}
+
+impl ServingEngine {
+    /// Default data-snapshot cadence: publish after this many ingested claims.
+    pub const DEFAULT_PUBLISH_EVERY: usize = 512;
+
+    /// Wraps a fitted engine and publishes the initial snapshot (epoch 1).
+    pub fn new(engine: FusionEngine) -> Self {
+        let shared = Arc::new(ServeShared {
+            snapshot: RwLock::new(Arc::new(ModelSnapshot::capture(&engine, 1, 0))),
+            epoch: AtomicU64::new(1),
+            claims_ingested: AtomicU64::new(0),
+            swaps: AtomicU64::new(1),
+        });
+        Self {
+            engine,
+            shared,
+            refit: None,
+            publish_every: Self::DEFAULT_PUBLISH_EVERY,
+            claims_since_publish: 0,
+        }
+    }
+
+    /// Sets the data-snapshot cadence: a fresh snapshot is published after every
+    /// `publish_every` ingested claims (clamped to at least 1), bounding reader
+    /// staleness at `publish_every − 1` claims in steady state. Publishing clones the
+    /// live dataset (O(live claims)), so the cadence trades freshness against writer
+    /// throughput.
+    pub fn with_publish_every(mut self, publish_every: usize) -> Self {
+        self.publish_every = publish_every.max(1);
+        self
+    }
+
+    /// A new reader handle, pre-loaded with the current snapshot. Readers are
+    /// independent: move one into each query thread.
+    pub fn reader(&self) -> ServingReader {
+        let snapshot = Arc::clone(&self.shared.snapshot.read().expect("serve snapshot"));
+        ServingReader {
+            shared: Arc::clone(&self.shared),
+            cached_epoch: snapshot.epoch,
+            cached: snapshot,
+        }
+    }
+
+    /// The currently published snapshot (an O(1) `Arc` clone under a brief read-lock).
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        Arc::clone(&self.shared.snapshot.read().expect("serve snapshot"))
+    }
+
+    /// Ingests a batch of claims and runs the serving maintenance cycle: window
+    /// evictions and compaction hygiene inside the wrapped engine, completed background
+    /// refits installed and published, a new refit dispatched if the engine's
+    /// [`RefitPolicy`](crate::config::RefitPolicy) fires while none is in flight, and a
+    /// data snapshot published on the [`ServingEngine::with_publish_every`] cadence.
+    /// Returns the number of non-duplicate claims appended.
+    ///
+    /// The refit itself runs on a [`WorkerPool`] background job — this method never
+    /// blocks on training, and readers keep serving the previous snapshot throughout.
+    /// If the policy fires again while a refit is still in flight, no second job is
+    /// dispatched; the policy is simply re-evaluated on a later ingest (the counters
+    /// that made it fire keep accumulating, so the boundary is never lost).
+    ///
+    /// Fails fast on the first conflicting claim (earlier claims of the batch stay
+    /// ingested); the serving state remains consistent either way.
+    pub fn ingest(&mut self, claims: &[NamedObservation]) -> Result<usize, DataError> {
+        let appended = self.engine.ingest_no_refit(claims)?;
+        self.shared
+            .claims_ingested
+            .fetch_add(appended as u64, Ordering::Relaxed);
+        self.claims_since_publish += appended;
+        self.poll_refit();
+        if self.refit.is_none() && self.engine.claims_since_fit() > 0 && self.engine.should_refit()
+        {
+            self.dispatch_refit();
+        }
+        if self.claims_since_publish >= self.publish_every {
+            self.publish();
+        }
+        Ok(appended)
+    }
+
+    /// Records a ground-truth label through the wrapped engine and runs the same
+    /// maintenance cycle as [`ServingEngine::ingest`]: completed refits install, and a
+    /// new background refit is dispatched if the policy fires — the label itself never
+    /// trains inline on the writer.
+    pub fn label(&mut self, object: &str, value: &str) {
+        self.engine.label_no_refit(object, value);
+        self.poll_refit();
+        if self.refit.is_none() && self.engine.should_refit() {
+            self.dispatch_refit();
+        }
+    }
+
+    /// Dispatches a background refit immediately, regardless of the policy. Returns
+    /// `false` (and does nothing) if one is already in flight. The refit trains on a
+    /// [`crate::engine::TrainingSnapshot`] captured *now*; claims ingested while it
+    /// trains are served from snapshots and folded into the next refit.
+    pub fn refit_background(&mut self) -> bool {
+        self.poll_refit();
+        if self.refit.is_some() {
+            return false;
+        }
+        self.dispatch_refit();
+        true
+    }
+
+    /// Whether a background refit is currently queued or training.
+    pub fn refit_in_flight(&self) -> bool {
+        self.refit.is_some()
+    }
+
+    /// Installs a completed background refit if one has finished, without blocking.
+    /// Returns whether a model snapshot was published. ([`ServingEngine::ingest`] does
+    /// this automatically; call it directly on idle writers.)
+    pub fn poll_refit(&mut self) -> bool {
+        if !self.refit.as_ref().is_some_and(|r| r.handle.is_finished()) {
+            return false;
+        }
+        self.install_finished_refit();
+        true
+    }
+
+    /// Blocks until any in-flight refit has trained, installs it, and publishes a
+    /// fresh snapshot reflecting every ingested claim (staleness 0). Returns whether a
+    /// refit was installed. Use at stream quiescence (end of a phase, shutdown) to
+    /// converge the published state.
+    pub fn drain(&mut self) -> bool {
+        let installed = if self.refit.is_some() {
+            // `install_finished_refit` joins the handle, which blocks until done.
+            self.install_finished_refit();
+            true
+        } else {
+            false
+        };
+        if self.claims_since_publish > 0 || !installed {
+            self.publish();
+        }
+        installed
+    }
+
+    /// Synchronous refit + publish, blocking the writer: captures, trains inline, and
+    /// publishes. Also drains any in-flight background refit first, so the installed
+    /// model is the one trained on the current claims.
+    pub fn refit_now(&mut self) {
+        if self.refit.is_some() {
+            self.install_finished_refit();
+        }
+        self.engine.refit();
+        self.publish();
+    }
+
+    /// Publishes a fresh snapshot of the current state immediately, forcing staleness
+    /// to 0.
+    pub fn publish_now(&mut self) {
+        self.publish();
+    }
+
+    /// Current serving counters. `staleness` is measured against the published
+    /// snapshot: claims ingested that its dataset does not reflect.
+    pub fn stats(&self) -> ServingStats {
+        let claims_ingested = self.shared.claims_ingested.load(Ordering::Relaxed);
+        let snapshot_claims = self
+            .shared
+            .snapshot
+            .read()
+            .expect("serve snapshot")
+            .claims_ingested;
+        ServingStats {
+            epoch: self.shared.epoch.load(Ordering::Acquire),
+            snapshot_swaps: self.shared.swaps.load(Ordering::Relaxed),
+            claims_ingested,
+            staleness: claims_ingested - snapshot_claims,
+            refit_in_flight: self.refit.is_some(),
+            refits_installed: self.engine.refit_count(),
+        }
+    }
+
+    /// The wrapped engine (read-only; all mutation goes through the serving methods so
+    /// the published snapshots stay consistent with the counters).
+    pub fn engine(&self) -> &FusionEngine {
+        &self.engine
+    }
+
+    fn dispatch_refit(&mut self) {
+        let snapshot = self.engine.training_snapshot();
+        let covered = snapshot.claims_since_fit();
+        let result = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let handle = WorkerPool::global().spawn(move || {
+            let trained = snapshot.train();
+            *slot.lock().expect("refit result slot") = Some(trained);
+        });
+        self.refit = Some(InFlightRefit {
+            handle,
+            result,
+            covered,
+        });
+    }
+
+    /// Joins the in-flight refit (blocking if it is still training), installs the
+    /// model, and publishes. Must only be called when `self.refit.is_some()`.
+    fn install_finished_refit(&mut self) {
+        let refit = self.refit.take().expect("a refit is in flight");
+        refit.handle.join();
+        let (model, decision) = refit
+            .result
+            .lock()
+            .expect("refit result slot")
+            .take()
+            .expect("a joined refit job has stored its result");
+        self.engine.install_model(model, decision, refit.covered);
+        self.publish();
+    }
+
+    fn publish(&mut self) {
+        let epoch = self.shared.epoch.load(Ordering::Relaxed) + 1;
+        let claims = self.shared.claims_ingested.load(Ordering::Relaxed);
+        let snapshot = Arc::new(ModelSnapshot::capture(&self.engine, epoch, claims));
+        *self.shared.snapshot.write().expect("serve snapshot") = snapshot;
+        self.shared.epoch.store(epoch, Ordering::Release);
+        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        self.claims_since_publish = 0;
+    }
+}
+
+impl std::fmt::Debug for ServingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingEngine")
+            .field("stats", &self.stats())
+            .field("publish_every", &self.publish_every)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A per-thread reader handle: answers posterior queries lock-free from the most
+/// recently published [`ModelSnapshot`].
+///
+/// The steady-state query path is one atomic epoch load against the cached snapshot —
+/// no lock and no shared-pointer traffic; a brief read-lock is taken only on the query
+/// *after* a publish, to clone the new `Arc`. Methods take `&mut self` purely for the
+/// cache; clone the handle (or call [`ServingEngine::reader`] again) to serve from
+/// more threads.
+#[derive(Debug)]
+pub struct ServingReader {
+    shared: Arc<ServeShared>,
+    cached_epoch: u64,
+    cached: Arc<ModelSnapshot>,
+}
+
+impl Clone for ServingReader {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+            cached_epoch: self.cached_epoch,
+            cached: Arc::clone(&self.cached),
+        }
+    }
+}
+
+impl ServingReader {
+    /// The current snapshot, re-grabbed only if a newer epoch was published since the
+    /// last call. This is the query fast path; all convenience methods below go
+    /// through it.
+    pub fn snapshot(&mut self) -> &Arc<ModelSnapshot> {
+        let epoch = self.shared.epoch.load(Ordering::Acquire);
+        if epoch != self.cached_epoch {
+            let current = self.shared.snapshot.read().expect("serve snapshot");
+            self.cached = Arc::clone(&current);
+            self.cached_epoch = self.cached.epoch;
+        }
+        &self.cached
+    }
+
+    /// Posterior of the named object from the current snapshot; `None` for unknown
+    /// objects. See [`ModelSnapshot::posterior`].
+    pub fn posterior(&mut self, object: &str) -> Option<Vec<f64>> {
+        self.snapshot().posterior(object)
+    }
+
+    /// Posterior of an object handle from the current snapshot; `None` out of range.
+    /// See [`ModelSnapshot::posterior_by_id`].
+    pub fn posterior_by_id(&mut self, o: ObjectId) -> Option<Vec<f64>> {
+        self.snapshot().posterior_by_id(o)
+    }
+
+    /// Batched posteriors from one consistent snapshot (the whole batch is answered at
+    /// a single epoch). See [`ModelSnapshot::posteriors`].
+    pub fn posteriors(&mut self, ids: &[ObjectId]) -> Vec<Vec<f64>> {
+        // Clone the Arc so the borrow of `self` ends before the (potentially pooled)
+        // batch runs.
+        let snapshot = Arc::clone(self.snapshot());
+        snapshot.posteriors(ids)
+    }
+
+    /// Claims ingested by the writer that the current snapshot does not reflect.
+    pub fn staleness(&mut self) -> u64 {
+        let ingested = self.shared.claims_ingested.load(Ordering::Relaxed);
+        ingested.saturating_sub(self.snapshot().claims_ingested)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RefitPolicy, SlimFastConfig, WindowConfig};
+    use crate::slimfast::SlimFast;
+    use slimfast_data::{DatasetBuilder, GroundTruth};
+
+    fn serving_fixture(policy: RefitPolicy) -> ServingEngine {
+        let mut b = DatasetBuilder::new();
+        for i in 0..200usize {
+            let _ = b.observe(
+                &format!("s{}", i % 11),
+                &format!("o{}", i % 37),
+                &format!("v{}", i % 3),
+            );
+        }
+        let dataset = b.build();
+        let features = FeatureMatrix::empty(dataset.num_sources());
+        let truth = GroundTruth::empty(dataset.num_objects());
+        let engine = FusionEngine::fit(
+            SlimFast::em(SlimFastConfig::default()),
+            dataset,
+            features,
+            truth,
+            policy,
+        );
+        ServingEngine::new(engine)
+    }
+
+    fn claims(start: usize, n: usize) -> Vec<NamedObservation> {
+        (start..start + n)
+            .map(|i| {
+                NamedObservation::new(
+                    format!("s{}", i % 11),
+                    format!("live-o{}", i % 53),
+                    format!("v{}", i % 3),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_snapshot_serves_and_epochs_advance_on_publish() {
+        let mut serving = serving_fixture(RefitPolicy::Never).with_publish_every(8);
+        let mut reader = serving.reader();
+        assert_eq!(reader.snapshot().epoch(), 1);
+        assert!(reader.posterior("o0").is_some());
+        assert!(reader.posterior("not-a-thing").is_none());
+
+        // Below the cadence: no publish, staleness grows.
+        serving.ingest(&claims(0, 5)).unwrap();
+        assert_eq!(reader.staleness(), 5);
+        assert_eq!(reader.snapshot().epoch(), 1);
+        // Crossing the cadence publishes; the reader picks the new epoch up lock-free.
+        serving.ingest(&claims(5, 5)).unwrap();
+        assert_eq!(reader.snapshot().epoch(), 2);
+        assert_eq!(reader.staleness(), 0);
+        assert!(reader.posterior("live-o0").is_some());
+        let stats = serving.stats();
+        assert_eq!(stats.claims_ingested, 10);
+        assert_eq!(stats.snapshot_swaps, 2);
+        assert!(!stats.refit_in_flight);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_later_ingests() {
+        let mut serving = serving_fixture(RefitPolicy::Never).with_publish_every(1);
+        let mut reader = serving.reader();
+        let before = Arc::clone(reader.snapshot());
+        serving.ingest(&claims(0, 30)).unwrap();
+        // The old snapshot still serves its own (pre-ingest) world.
+        assert_eq!(before.claims_ingested(), 0);
+        assert!(before.posterior("live-o0").is_none());
+        // The reader sees the new world.
+        assert!(reader.posterior("live-o0").is_some());
+        assert_eq!(reader.snapshot().claims_ingested(), 30);
+    }
+
+    #[test]
+    fn background_refit_installs_and_matches_refit_now() {
+        let mut a = serving_fixture(RefitPolicy::Never);
+        let mut b = serving_fixture(RefitPolicy::Never);
+        a.ingest(&claims(0, 40)).unwrap();
+        b.ingest(&claims(0, 40)).unwrap();
+
+        assert!(a.refit_background());
+        // A second dispatch is refused while one is in flight.
+        assert!(!a.refit_background());
+        assert!(a.drain());
+        b.refit_now();
+
+        assert_eq!(a.engine().refit_count(), 1);
+        assert_eq!(
+            a.engine().model().weights(),
+            b.engine().model().weights(),
+            "background and synchronous refits must produce identical models"
+        );
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        for name in ["o0", "o5", "live-o0", "live-o11"] {
+            assert_eq!(sa.posterior(name), sb.posterior(name), "object {name}");
+        }
+        assert_eq!(a.stats().staleness, 0);
+    }
+
+    #[test]
+    fn policy_fires_dispatch_background_refits_during_ingest() {
+        let mut serving = serving_fixture(RefitPolicy::EveryNClaims(16)).with_publish_every(4);
+        for i in 0..8 {
+            serving.ingest(&claims(i * 8, 8)).unwrap();
+        }
+        serving.drain();
+        // 64 claims at a boundary of 16: at least one refit installed (in-flight
+        // refits absorb later boundaries), and the uncovered tail keeps counting.
+        assert!(serving.engine().refit_count() >= 1);
+        assert_eq!(serving.stats().staleness, 0);
+        assert!(!serving.refit_in_flight());
+        let mut reader = serving.reader();
+        assert!(reader.posterior("live-o1").is_some());
+    }
+
+    #[test]
+    fn batched_posteriors_match_single_queries_bitwise_and_reject_bad_ids() {
+        let mut serving = serving_fixture(RefitPolicy::Never);
+        serving.ingest(&claims(0, 100)).unwrap();
+        serving.publish_now();
+        let snapshot = serving.snapshot();
+        let num_objects = snapshot.dataset().num_objects();
+        // A large batch (forcing the pooled path) with some out-of-range ids mixed in.
+        let ids: Vec<ObjectId> = (0..POSTERIOR_INLINE_MIN + 100)
+            .map(|i| {
+                if i % 97 == 13 {
+                    ObjectId::new(num_objects + i)
+                } else {
+                    ObjectId::new(i % num_objects)
+                }
+            })
+            .collect();
+        let batch = snapshot.posteriors(&ids);
+        assert_eq!(batch.len(), ids.len());
+        for (i, o) in ids.iter().enumerate() {
+            match snapshot.posterior_by_id(*o) {
+                Some(single) => {
+                    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&single), bits(&batch[i]), "id {i}");
+                }
+                None => assert!(batch[i].is_empty(), "id {i} is out of range"),
+            }
+        }
+    }
+
+    #[test]
+    fn serving_composes_with_windows() {
+        let mut b = DatasetBuilder::new();
+        for i in 0..300usize {
+            let _ = b.observe(&format!("s{}", i % 7), &format!("o{}", i % 61), "v0");
+        }
+        let dataset = b.build();
+        let features = FeatureMatrix::empty(dataset.num_sources());
+        let truth = GroundTruth::empty(dataset.num_objects());
+        let engine = FusionEngine::fit(
+            SlimFast::em(SlimFastConfig::default()),
+            dataset,
+            features,
+            truth,
+            RefitPolicy::Never,
+        )
+        .with_window(WindowConfig::new(300).with_eviction_batch(32));
+        let mut serving = ServingEngine::new(engine).with_publish_every(64);
+        serving.ingest(&claims(0, 128)).unwrap();
+        serving.drain();
+        // The window kept the live count near the horizon (within one eviction batch).
+        let live = serving.engine().dataset().num_observations();
+        assert!((300..300 + 32).contains(&live), "live = {live}");
+        assert!(serving.engine().eviction_count() >= 96);
+        // Snapshots serve the windowed view.
+        let mut reader = serving.reader();
+        assert_eq!(reader.staleness(), 0);
+        assert!(reader.posterior("live-o0").is_some());
+    }
+}

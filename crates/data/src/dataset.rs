@@ -643,62 +643,113 @@ impl Dataset {
     }
 
     /// Evicts the claim source `s` made about object `o`, if one is live. Returns
-    /// whether a claim was removed. The log entry is tombstoned (dropped at the next
-    /// compaction); the touched rows move to the delta overlay and the object's domain
-    /// is recomputed in first-seen order over its surviving claims — cost is O(touched
-    /// rows), never O(dataset).
+    /// whether a claim was removed. Equivalent to a one-element [`Dataset::evict_batch`];
+    /// window maintenance that retires several claims at once should prefer the batch
+    /// form, which clones and recomputes each touched row once per batch instead of once
+    /// per claim.
     pub fn evict(&mut self, source: SourceId, object: ObjectId) -> bool {
-        let oi = object.index();
-        let (pos, value, seq) = {
-            let row = self.observations_for_object(object);
-            match row.binary_search_by_key(&source, |&(s, _)| s) {
-                Ok(pos) => (pos, row[pos].1, self.object_row_seqs(oi)[pos]),
-                Err(_) => return false,
-            }
-        };
+        self.evict_batch(&[(source, object)]) == 1
+    }
 
-        let okey = oi as u32;
-        if !self.delta.objects.contains_key(&okey) {
-            let entries = self.base_object_row(oi).to_vec();
-            let seqs = self.base_object_seqs(oi).to_vec();
-            self.delta
-                .objects
-                .insert(okey, RowOverlay { entries, seqs });
+    /// Evicts every live claim in `claims` (a `(source, object)` pair per claim) and
+    /// returns how many were actually removed — pairs with no live claim, and duplicate
+    /// pairs beyond the first, are skipped.
+    ///
+    /// Cost model: claims are grouped by object, so each touched object row is moved to
+    /// the delta overlay (one clone of the base row) and has its domain recomputed in
+    /// first-seen order **once per batch**, however many of its claims are evicted;
+    /// likewise each touched source row is cloned once. Log entries are tombstoned and
+    /// dropped at the next compaction; cost is O(touched rows + batch · log batch), never
+    /// O(dataset). The result is state-identical to evicting the pairs one at a time in
+    /// order.
+    pub fn evict_batch(&mut self, claims: &[(SourceId, ObjectId)]) -> usize {
+        if claims.is_empty() {
+            return 0;
         }
-        let ov = self.delta.objects.get_mut(&okey).expect("overlay ensured");
-        ov.entries.remove(pos);
-        ov.seqs.remove(pos);
-        // Recompute the domain in first-seen (log) order over the surviving claims.
-        let mut ordered: Vec<(u32, ValueId)> = ov
-            .seqs
-            .iter()
-            .copied()
-            .zip(ov.entries.iter().map(|&(_, v)| v))
-            .collect();
-        ordered.sort_unstable_by_key(|&(s, _)| s);
-        let mut dom: Vec<ValueId> = Vec::new();
-        for (_, v) in ordered {
-            if !dom.contains(&v) {
-                dom.push(v);
+        // Group by object: one overlay ensure + one domain recompute per touched row.
+        let mut by_object: Vec<(ObjectId, SourceId)> =
+            claims.iter().map(|&(s, o)| (o, s)).collect();
+        by_object.sort_unstable();
+        let mut removed: Vec<(SourceId, ObjectId, ValueId, u32)> = Vec::new();
+        let mut i = 0;
+        while i < by_object.len() {
+            let object = by_object[i].0;
+            let run_end = by_object[i..]
+                .iter()
+                .position(|&(o, _)| o != object)
+                .map_or(by_object.len(), |p| i + p);
+            let oi = object.index();
+            let okey = oi as u32;
+            let run_removed_start = removed.len();
+            for &(_, source) in &by_object[i..run_end] {
+                let (pos, value, seq) = {
+                    let row = self.observations_for_object(object);
+                    match row.binary_search_by_key(&source, |&(s, _)| s) {
+                        Ok(pos) => (pos, row[pos].1, self.object_row_seqs(oi)[pos]),
+                        Err(_) => continue,
+                    }
+                };
+                if !self.delta.objects.contains_key(&okey) {
+                    let entries = self.base_object_row(oi).to_vec();
+                    let seqs = self.base_object_seqs(oi).to_vec();
+                    self.delta
+                        .objects
+                        .insert(okey, RowOverlay { entries, seqs });
+                }
+                let ov = self.delta.objects.get_mut(&okey).expect("overlay ensured");
+                ov.entries.remove(pos);
+                ov.seqs.remove(pos);
+                removed.push((source, object, value, seq));
             }
+            if removed.len() > run_removed_start {
+                // Recompute the domain in first-seen (log) order over the surviving
+                // claims — once for the whole batch, not per evicted claim.
+                let ov = self.delta.objects.get(&okey).expect("overlay ensured");
+                let mut ordered: Vec<(u32, ValueId)> = ov
+                    .seqs
+                    .iter()
+                    .copied()
+                    .zip(ov.entries.iter().map(|&(_, v)| v))
+                    .collect();
+                ordered.sort_unstable_by_key(|&(s, _)| s);
+                let mut dom: Vec<ValueId> = Vec::new();
+                for (_, v) in ordered {
+                    if !dom.contains(&v) {
+                        dom.push(v);
+                    }
+                }
+                self.delta.domains.insert(okey, dom);
+            }
+            i = run_end;
         }
-        self.delta.domains.insert(okey, dom);
+        if removed.is_empty() {
+            return 0;
+        }
 
-        let skey = source.index() as u32;
-        if !self.delta.sources.contains_key(&skey) {
-            let row = self.base_source_row(source.index()).to_vec();
-            self.delta.sources.insert(skey, row);
-        }
-        let row = self.delta.sources.get_mut(&skey).expect("overlay ensured");
-        if let Ok(pos) = row.binary_search_by_key(&object, |&(o, _)| o) {
-            debug_assert_eq!(row[pos].1, value);
-            row.remove(pos);
+        // Second pass, grouped by source: one overlay ensure per touched source row.
+        let mut by_source: Vec<(SourceId, ObjectId, ValueId)> =
+            removed.iter().map(|&(s, o, v, _)| (s, o, v)).collect();
+        by_source.sort_unstable();
+        for &(source, object, value) in &by_source {
+            let skey = source.index() as u32;
+            if !self.delta.sources.contains_key(&skey) {
+                let row = self.base_source_row(source.index()).to_vec();
+                self.delta.sources.insert(skey, row);
+            }
+            let row = self.delta.sources.get_mut(&skey).expect("overlay ensured");
+            if let Ok(pos) = row.binary_search_by_key(&object, |&(o, _)| o) {
+                debug_assert_eq!(row[pos].1, value);
+                row.remove(pos);
+            }
         }
 
         let n = self.observations.len();
-        self.live.get_or_insert_with(|| vec![true; n])[seq as usize] = false;
-        self.num_dead += 1;
-        true
+        let live = self.live.get_or_insert_with(|| vec![true; n]);
+        for &(_, _, _, seq) in &removed {
+            live[seq as usize] = false;
+        }
+        self.num_dead += removed.len();
+        removed.len()
     }
 
     /// Claims appended since the last build/compaction (the delta log's size).
@@ -1407,6 +1458,49 @@ mod tests {
         // A re-asserted claim is live again (eviction is not a permanent ban).
         assert!(d.append_named("s0", "o0", "true").unwrap().is_some());
         assert_eq!(d.value_of(s0, o0), Some(d.value_id("true").unwrap()));
+    }
+
+    #[test]
+    fn batched_evictions_match_one_at_a_time() {
+        // A larger stream so batches touch several rows with several claims each.
+        let mut b = DatasetBuilder::new();
+        for i in 0..400usize {
+            let _ = b.observe(
+                &format!("s{}", i % 23),
+                &format!("o{}", i % 41),
+                &format!("v{}", i % 3),
+            );
+        }
+        let base = b.build();
+        let victims: Vec<(SourceId, ObjectId)> = base
+            .live_observations()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(_, obs)| (obs.source, obs.object))
+            .collect();
+        let mut one_at_a_time = base.clone();
+        let mut singles = 0;
+        for &(s, o) in &victims {
+            if one_at_a_time.evict(s, o) {
+                singles += 1;
+            }
+        }
+        let mut batched = base.clone();
+        assert_eq!(batched.evict_batch(&victims), singles);
+        assert!(batched.same_content(&one_at_a_time));
+        assert_eq!(batched.dead_claims(), one_at_a_time.dead_claims());
+        // Both compact to the same rebuilt dataset.
+        batched.compact();
+        one_at_a_time.compact();
+        assert!(batched.same_content(&one_at_a_time));
+        // Dead pairs and duplicates are skipped, not double-counted.
+        assert_eq!(batched.evict_batch(&victims), 0);
+        let survivor = batched
+            .live_observations()
+            .next()
+            .map(|obs| (obs.source, obs.object))
+            .expect("claims survive");
+        assert_eq!(batched.evict_batch(&[survivor, survivor]), 1);
     }
 
     #[test]

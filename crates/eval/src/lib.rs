@@ -14,6 +14,9 @@
 //!   serving-path scenario lineup.
 //! * [`stream`] — the windowed-stream scenario: sharded bulk load, then sliding-window
 //!   fusion over a drifting claim stream through the incremental engine.
+//! * [`serving`] — the serving scenario: the same drifting stream driven through the
+//!   concurrent serving tier (epoch-swapped snapshots, background refits in flight,
+//!   posterior queries answered throughout).
 //! * [`tables`] — plain-text rendering of result grids in the layout of the paper's tables.
 
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@
 pub mod lineup;
 pub mod metrics;
 pub mod runner;
+pub mod serving;
 pub mod stream;
 pub mod tables;
 
@@ -31,5 +35,8 @@ pub use lineup::{
 };
 pub use metrics::{mean_kl_divergence, source_accuracy_error};
 pub use runner::{CellResult, ExperimentProtocol, MethodSummary, RunOutcome};
+pub use serving::{
+    run_serving_stream, ServingPhaseStats, ServingScenarioConfig, ServingStreamReport,
+};
 pub use stream::{run_windowed_stream, PhaseStats, StreamScenarioConfig, WindowedStreamReport};
 pub use tables::{format_accuracy_table, format_cost_split_table, format_error_table};

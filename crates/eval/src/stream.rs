@@ -94,7 +94,9 @@ pub struct WindowedStreamReport {
 }
 
 /// Deterministic stream generator (a fixed 64-bit LCG; no external randomness).
-struct Lcg(u64);
+/// Shared with the serving scenario ([`crate::serving`]) so both streams come from the
+/// same claim distribution.
+pub(crate) struct Lcg(pub(crate) u64);
 
 impl Lcg {
     fn next_u32(&mut self) -> u32 {
@@ -111,7 +113,7 @@ impl Lcg {
 }
 
 /// The claims of one phase plus each object's true value, in stream order.
-fn phase_claims(
+pub(crate) fn phase_claims(
     config: &StreamScenarioConfig,
     phase: usize,
     rng: &mut Lcg,

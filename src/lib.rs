@@ -95,8 +95,9 @@ pub use slimfast_optim as optim;
 pub mod prelude {
     pub use slimfast_baselines::{Accu, Catd, Counts, MajorityVote, Sstf, TruthFinder};
     pub use slimfast_core::{
-        FittedSlimFast, FusionEngine, LearnerChoice, OptimizerDecision, ParameterSpace,
-        RefitPolicy, SlimFast, SlimFastConfig, SlimFastModel, WindowConfig, MODEL_FORMAT_VERSION,
+        FittedSlimFast, FusionEngine, LearnerChoice, ModelSnapshot, OptimizerDecision,
+        ParameterSpace, RefitPolicy, ServingEngine, ServingReader, ServingStats, SlimFast,
+        SlimFastConfig, SlimFastModel, TrainingSnapshot, WindowConfig, MODEL_FORMAT_VERSION,
     };
     pub use slimfast_data::{
         build_claims_sharded, read_observations_csv_sharded, Dataset, DatasetBuilder, DatasetStats,
