@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use criterion::Criterion;
 
-use slimfast_core::WindowConfig;
+use slimfast_core::{exec, WindowConfig};
 use slimfast_data::{
     build_claims_sharded, full_index_passes, read_observations_csv, read_observations_csv_sharded,
     Dataset, DatasetBuilder, NamedObservation,
@@ -267,6 +267,25 @@ fn run_window(total: usize, eviction_batch: usize) -> (WindowReport, Dataset) {
     )
 }
 
+/// True when this machine gives the executor a single lane, in which case every
+/// "t4" number in the report is really single-threaded and must not be cited as
+/// multi-lane evidence. Recorded in the JSON as `single_lane_caveat`.
+fn single_lane() -> bool {
+    exec::max_lanes() == 1
+}
+
+/// Prints the loud single-lane warning shared by the honesty checks of the scaling,
+/// ingest, and serving benches (each bench binary carries its own copy).
+fn warn_if_single_lane(bench: &str) {
+    if single_lane() {
+        eprintln!(
+            "*** WARNING [{bench}]: max_lanes == 1 on this machine — every multi-thread \
+             timing in this report ran on a SINGLE lane. Do not cite t4/speedup numbers as \
+             multi-lane evidence; the JSON carries \"single_lane_caveat\": true. ***"
+        );
+    }
+}
+
 fn write_json(
     bulk: &BulkReport,
     delta: &DeltaReport,
@@ -279,6 +298,8 @@ fn write_json(
     let out = format!(
         concat!(
             "{{\n  \"bench\": \"ingest\",\n",
+            "  \"max_lanes\": {},\n",
+            "  \"single_lane_caveat\": {},\n",
             "  \"claims\": {},\n",
             "  \"build_secs_sequential\": {:.4},\n",
             "  \"build_secs_sharded_t1\": {:.4},\n",
@@ -302,6 +323,8 @@ fn write_json(
             "  \"window_batched_speedup\": {:.2}\n",
             "}}\n"
         ),
+        exec::max_lanes(),
+        single_lane(),
         bulk.claims,
         bulk.seq_secs,
         bulk.sharded_t1_secs,
@@ -396,6 +419,7 @@ fn main() {
         batched.compactions,
     );
 
+    warn_if_single_lane("ingest");
     match write_json(&bulk, &delta, &window, &batched) {
         Ok(path) => println!("ingest: summary written to {path}"),
         Err(err) => eprintln!("ingest: could not write summary: {err}"),

@@ -22,6 +22,7 @@
 //! out at 200k claims. Passing `--test` (as `cargo test --benches` and CI do) runs the
 //! smallest point once and skips the large ones.
 
+use std::hint::black_box;
 use std::time::Instant;
 
 use criterion::Criterion;
@@ -31,6 +32,7 @@ use slimfast_data::{FusionInput, GroundTruth};
 use slimfast_datagen::{
     AccuracyModel, FeatureModel, ObservationPattern, SyntheticConfig, SyntheticInstance,
 };
+use slimfast_optim::kernels;
 
 struct GridPoint {
     name: &'static str,
@@ -140,6 +142,25 @@ fn effective_lanes_t4() -> usize {
     4.min(exec::max_lanes())
 }
 
+/// True when this machine gives the executor a single lane, in which case every
+/// "t4" number in the report is really single-threaded and must not be cited as
+/// multi-lane evidence. Recorded in the JSON as `single_lane_caveat`.
+fn single_lane() -> bool {
+    exec::max_lanes() == 1
+}
+
+/// Prints the loud single-lane warning shared by the honesty checks of the scaling,
+/// ingest, and serving benches (each bench binary carries its own copy).
+fn warn_if_single_lane(bench: &str) {
+    if single_lane() {
+        eprintln!(
+            "*** WARNING [{bench}]: max_lanes == 1 on this machine — every multi-thread \
+             timing in this report ran on a SINGLE lane. Do not cite t4/speedup numbers as \
+             multi-lane evidence; the JSON carries \"single_lane_caveat\": true. ***"
+        );
+    }
+}
+
 fn run_point(point: &GridPoint) -> PointReport {
     let instance = generate(point);
     let stats = instance.dataset.storage_stats();
@@ -214,22 +235,158 @@ fn run_point(point: &GridPoint) -> PointReport {
     }
 }
 
+/// Per-kernel throughput over ~1M-element deterministic inputs (8k in `--test` mode):
+/// the raw speed of the SoA kernel layer every hot loop bottoms out in, tracked in the
+/// JSON so kernel regressions show up in CI without running a full fit.
+struct KernelReport {
+    name: &'static str,
+    elems: usize,
+    melems_per_sec: f64,
+}
+
+/// Timed rounds per kernel; the published number is the minimum (cost floor).
+const KERNEL_ROUNDS: usize = 5;
+
+/// SplitMix64 step — deterministic input generation without an RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn uniform(state: &mut u64, lo: f64, hi: f64) -> f64 {
+    let unit = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    lo + unit * (hi - lo)
+}
+
+fn bench_kernels(test_mode: bool) -> Vec<KernelReport> {
+    // Row shapes mirror the training hot loops: softmax rows the size of a typical
+    // claim domain, dot/scatter rows the size of a typical source footprint.
+    const ROW: usize = 8;
+    const NNZ: usize = 32;
+    const DIM: usize = 1_024;
+    let n: usize = if test_mode { 8_192 } else { 1 << 20 };
+
+    let mut state = 0x5EED_2017_0514u64;
+    let signed: Vec<f64> = (0..n).map(|_| uniform(&mut state, -8.0, 8.0)).collect();
+    let positive: Vec<f64> = (0..n).map(|_| uniform(&mut state, 1e-6, 10.0)).collect();
+    let offsets: Vec<u32> = (0..=n / ROW).map(|i| (i * ROW) as u32).collect();
+    let params: Vec<u32> = (0..n)
+        .map(|_| (splitmix64(&mut state) % DIM as u64) as u32)
+        .collect();
+    let weights: Vec<f64> = (0..DIM).map(|_| uniform(&mut state, -1.0, 1.0)).collect();
+    let mut scratch = vec![0.0f64; n];
+    let mut out = vec![0.0f64; DIM];
+
+    let mut reports = Vec::new();
+    let mut push = |name: &'static str, secs: f64| {
+        reports.push(KernelReport {
+            name,
+            elems: n,
+            melems_per_sec: n as f64 / secs.max(1e-9) / 1e6,
+        });
+    };
+
+    // Elementwise kernels: the (untimed) copy restores pre-kernel inputs each round.
+    let mut best = f64::INFINITY;
+    for _ in 0..KERNEL_ROUNDS {
+        scratch.copy_from_slice(&signed);
+        let start = Instant::now();
+        kernels::sigmoid_slice(&mut scratch);
+        best = best.min(start.elapsed().as_secs_f64());
+        black_box(&scratch);
+    }
+    push("sigmoid_slice", best);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..KERNEL_ROUNDS {
+        scratch.copy_from_slice(&positive);
+        let start = Instant::now();
+        kernels::ln_slice(&mut scratch);
+        best = best.min(start.elapsed().as_secs_f64());
+        black_box(&scratch);
+    }
+    push("ln_slice", best);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..KERNEL_ROUNDS {
+        scratch.copy_from_slice(&signed);
+        let start = Instant::now();
+        kernels::softmax_rows(&mut scratch, &offsets);
+        best = best.min(start.elapsed().as_secs_f64());
+        black_box(&scratch);
+    }
+    push("softmax_rows", best);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..KERNEL_ROUNDS {
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for row in 0..n / NNZ {
+            let lo = row * NNZ;
+            acc += kernels::dot_csr(&params[lo..lo + NNZ], &positive[lo..lo + NNZ], &weights);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        black_box(acc);
+    }
+    push("dot_csr", best);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..KERNEL_ROUNDS {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let start = Instant::now();
+        for row in 0..n / NNZ {
+            let lo = row * NNZ;
+            kernels::axpy_scatter(
+                0.5,
+                &params[lo..lo + NNZ],
+                &positive[lo..lo + NNZ],
+                &mut out,
+            );
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        black_box(&out);
+    }
+    push("axpy_scatter", best);
+
+    reports
+}
+
 fn json_escape_free(name: &str) -> &str {
-    // Grid names are static identifiers; assert rather than escape.
-    assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == 'x'));
+    // Grid and kernel names are static identifiers; assert rather than escape.
+    assert!(name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == 'x' || c == '_'));
     name
 }
 
-fn write_json(reports: &[PointReport]) -> std::io::Result<String> {
+fn write_json(reports: &[PointReport], kernel_reports: &[KernelReport]) -> std::io::Result<String> {
     let path = std::env::var("BENCH_SCALING_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_scaling.json", env!("CARGO_MANIFEST_DIR")));
     let mut out = String::from("{\n  \"bench\": \"scaling\",\n");
     out.push_str(&format!(
-        "  \"default_threads\": {},\n  \"max_lanes\": {},\n  \"effective_lanes_t4\": {},\n  \"grid\": [\n",
+        "  \"default_threads\": {},\n  \"max_lanes\": {},\n  \"effective_lanes_t4\": {},\n  \"single_lane_caveat\": {},\n  \"kernels\": [\n",
         exec::num_threads(),
         exec::max_lanes(),
         effective_lanes_t4(),
+        single_lane(),
     ));
+    for (i, k) in kernel_reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"elems\": {}, \"melems_per_sec\": {:.1}}}{}\n",
+            json_escape_free(k.name),
+            k.elems,
+            k.melems_per_sec,
+            if i + 1 == kernel_reports.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    out.push_str("  ],\n  \"grid\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
             concat!(
@@ -337,7 +494,18 @@ fn main() {
         reports.push(report);
     }
     print_delta_table(&reports);
-    match write_json(&reports) {
+
+    let kernel_reports = bench_kernels(test_mode);
+    println!("\nscaling: kernel layer throughput (min of {KERNEL_ROUNDS} rounds)");
+    for k in &kernel_reports {
+        println!(
+            "scaling/kernels/{:<14} {:>9} elems  {:>9.1} Melem/s",
+            k.name, k.elems, k.melems_per_sec
+        );
+    }
+
+    warn_if_single_lane("scaling");
+    match write_json(&reports, &kernel_reports) {
         Ok(path) => println!("scaling: summary written to {path}"),
         Err(err) => eprintln!("scaling: could not write summary: {err}"),
     }

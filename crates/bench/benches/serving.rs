@@ -329,6 +329,25 @@ fn run_batched(serving: &ServingEngine) -> BatchedPhase {
     }
 }
 
+/// True when this machine gives the executor a single lane, in which case the
+/// concurrent-reader numbers time-share one core and must not be cited as
+/// multi-lane evidence. Recorded in the JSON as `single_lane_caveat`.
+fn single_lane() -> bool {
+    max_lanes() == 1
+}
+
+/// Prints the loud single-lane warning shared by the honesty checks of the scaling,
+/// ingest, and serving benches (each bench binary carries its own copy).
+fn warn_if_single_lane(bench: &str) {
+    if single_lane() {
+        eprintln!(
+            "*** WARNING [{bench}]: max_lanes == 1 on this machine — readers and the \
+             refit job time-shared a SINGLE lane. Do not cite concurrency numbers as \
+             multi-lane evidence; the JSON carries \"single_lane_caveat\": true. ***"
+        );
+    }
+}
+
 fn write_json(
     fit: &FitReport,
     quiescent: &QueryPhase,
@@ -346,6 +365,7 @@ fn write_json(
             "  \"readers\": {},\n",
             "  \"queries_per_reader\": {},\n",
             "  \"max_lanes\": {},\n",
+            "  \"single_lane_caveat\": {},\n",
             "  \"fit_secs\": {:.4},\n",
             "  \"posteriors_per_sec_no_refit\": {:.0},\n",
             "  \"p50_us_no_refit\": {:.2},\n",
@@ -366,6 +386,7 @@ fn write_json(
         READERS,
         quiescent.queries / READERS,
         max_lanes(),
+        single_lane(),
         fit.fit_secs,
         quiescent.posteriors_per_sec(),
         quiescent.p50_us,
@@ -442,6 +463,7 @@ fn main() {
         batched.queries as f64 / batched.secs.max(1e-9),
     );
 
+    warn_if_single_lane("serving");
     match write_json(&fit, &quiescent, &refit, &batched) {
         Ok(path) => println!("serving: summary written to {path}"),
         Err(err) => eprintln!("serving: could not write summary: {err}"),

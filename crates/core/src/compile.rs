@@ -14,14 +14,24 @@
 //!   *learning-and-inference* time) and as an independent cross-check of the
 //!   closed-form path in [`crate::model`].
 
+use std::cell::RefCell;
+use std::sync::RwLock;
+
 use slimfast_graph::{FactorGraph, FactorKind, VariableId, WeightId};
 
 use slimfast_data::{Dataset, FeatureMatrix, GroundTruth, ObjectId, TruthAssignment};
 
-use slimfast_optim::{sigmoid, softmax_in_place, StochasticObjective};
+use slimfast_optim::{kernels, StochasticObjective};
 
 use crate::exec;
 use crate::model::{ParameterSpace, SlimFastModel};
+
+thread_local! {
+    /// Per-lane class-probability scratch for the ERM objective, reused across every
+    /// example, chunk, and fit on this thread. Taken out of the cell while in use so a
+    /// re-entrant call degrades to a fresh allocation instead of a panic.
+    static ERM_PROB_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// The columnar, training-ready form of a fusion instance: every array the learners
 /// touch per iteration, flattened into CSR-style contiguous storage.
@@ -39,7 +49,12 @@ use crate::model::{ParameterSpace, SlimFastModel};
 ///   carrying the claiming source and the domain position of the claimed value;
 /// * **footprints** — per *source* (not per claim), the sparse parameter vector
 ///   `{w_s} ∪ {w_k : f_{s,k} ≠ 0}` of Equations 3/4, stored once and referenced by
-///   every claim of that source (the pre-CSR code duplicated it per claim).
+///   every claim of that source (the pre-CSR code duplicated it per claim);
+/// * **ERM class-feature rows** — per *labelled* object, one merged parameter row per
+///   domain value aggregating the footprints of the sources claiming that value
+///   (`erm_row_offsets`/`erm_class_offsets` into `erm_params`/`erm_values`), so the
+///   conditional-logit gradient is a handful of [`kernels::dot_csr`] calls instead of
+///   per-claim footprint walks. Empty when the instance carries no labels.
 ///
 /// The posterior of object `i` occupies `domain_offsets[i]..domain_offsets[i + 1]` of a
 /// flat buffer, so the E-step shards over object ranges with disjoint writes — see
@@ -68,6 +83,18 @@ pub struct CompiledProblem {
     footprint_values: Vec<f64>,
     /// Compiled-object indices that carry a usable label (the ERM example set).
     labeled: Vec<u32>,
+    /// CSR offsets of each labelled example's class rows: labelled example `e` owns the
+    /// class rows `erm_row_offsets[e]..erm_row_offsets[e + 1]` (one row per domain
+    /// value, in domain order).
+    erm_row_offsets: Vec<u32>,
+    /// CSR offsets of each ERM class row into `erm_params`/`erm_values`.
+    erm_class_offsets: Vec<u32>,
+    /// Flat parameter indices of the ERM class-feature rows: the merged footprints of
+    /// every source claiming that class for that object (Equation 4's aggregated
+    /// per-class feature vector), built once per compile.
+    erm_params: Vec<u32>,
+    /// Flat parameter values matching `erm_params`.
+    erm_values: Vec<f64>,
     /// Claim-count-balanced object chunk grid shared by both E-step passes. Computed
     /// once per compile from `claim_offsets`; depends only on the data, so E-step
     /// results stay bitwise-identical at any thread count.
@@ -129,6 +156,46 @@ impl CompiledProblem {
             claim_offsets.push(claim_sources.len() as u32);
         }
 
+        // ERM class-feature CSR: for every labelled object, one merged row per domain
+        // value summing the footprints of the sources that claimed it. Zero cost for
+        // unlabelled instances. Merging is first-seen order within a row (claim order),
+        // so the layout is a pure function of the data.
+        let mut erm_row_offsets: Vec<u32> = Vec::with_capacity(labeled.len() + 1);
+        erm_row_offsets.push(0);
+        let mut erm_class_offsets: Vec<u32> = vec![0];
+        let mut erm_params: Vec<u32> = Vec::new();
+        let mut erm_values: Vec<f64> = Vec::new();
+        let mut merge_scratch: Vec<Vec<(u32, f64)>> = Vec::new();
+        for &li in &labeled {
+            let i = li as usize;
+            let domain_len = (domain_offsets[i + 1] - domain_offsets[i]) as usize;
+            if merge_scratch.len() < domain_len {
+                merge_scratch.resize_with(domain_len, Vec::new);
+            }
+            for row in merge_scratch.iter_mut().take(domain_len) {
+                row.clear();
+            }
+            for c in claim_offsets[i] as usize..claim_offsets[i + 1] as usize {
+                let row = &mut merge_scratch[claim_classes[c] as usize];
+                let s = claim_sources[c] as usize;
+                for j in footprint_offsets[s] as usize..footprint_offsets[s + 1] as usize {
+                    let param = footprint_params[j];
+                    match row.iter_mut().find(|(p, _)| *p == param) {
+                        Some(slot) => slot.1 += footprint_values[j],
+                        None => row.push((param, footprint_values[j])),
+                    }
+                }
+            }
+            for row in merge_scratch.iter().take(domain_len) {
+                for &(p, v) in row {
+                    erm_params.push(p);
+                    erm_values.push(v);
+                }
+                erm_class_offsets.push(erm_params.len() as u32);
+            }
+            erm_row_offsets.push((erm_class_offsets.len() - 1) as u32);
+        }
+
         let chunk_grid =
             exec::ChunkGrid::claim_balanced(objects.len(), |i| claim_offsets[i] as usize);
         Self {
@@ -143,6 +210,10 @@ impl CompiledProblem {
             footprint_params,
             footprint_values,
             labeled,
+            erm_row_offsets,
+            erm_class_offsets,
+            erm_params,
+            erm_values,
             chunk_grid,
         }
     }
@@ -203,15 +274,11 @@ impl CompiledProblem {
         trust.resize(num_sources, 0.0);
         for (s, t) in trust.iter_mut().enumerate() {
             let range = self.footprint_offsets[s] as usize..self.footprint_offsets[s + 1] as usize;
-            let mut score = 0.0;
-            for j in range {
-                score += self.footprint_values[j]
-                    * weights
-                        .get(self.footprint_params[j] as usize)
-                        .copied()
-                        .unwrap_or(0.0);
-            }
-            *t = score;
+            *t = kernels::dot_csr(
+                &self.footprint_params[range.clone()],
+                &self.footprint_values[range],
+                weights,
+            );
         }
     }
 
@@ -238,18 +305,37 @@ impl CompiledProblem {
         exec::for_each_slice_mut(posteriors, &boundaries, threads, |part, slice| {
             let objects = grid.objects(part);
             let base = self.domain_offsets[objects.start] as usize;
-            for i in objects {
-                let dr = self.domain_offsets[i] as usize - base
-                    ..self.domain_offsets[i + 1] as usize - base;
-                let scores = &mut slice[dr];
+            // Scatter the trust scores of every unlabelled object's claims first, so
+            // normalisation can run as one segmented softmax over the whole chunk.
+            let mut any_labeled = false;
+            for i in objects.clone() {
                 if self.labels[i] >= 0 {
-                    scores[self.labels[i] as usize] = 1.0;
+                    any_labeled = true;
                     continue;
                 }
+                let row = self.domain_offsets[i] as usize - base;
                 for c in self.claim_offsets[i] as usize..self.claim_offsets[i + 1] as usize {
-                    scores[self.claim_classes[c] as usize] += trust[self.claim_sources[c] as usize];
+                    slice[row + self.claim_classes[c] as usize] +=
+                        trust[self.claim_sources[c] as usize];
                 }
-                softmax_in_place(scores);
+            }
+            if any_labeled {
+                // Mixed chunk: normalise row by row, clamping labelled objects to a
+                // point mass on their label (their scores are still all zero).
+                for i in objects.clone() {
+                    let dr = self.domain_offsets[i] as usize - base
+                        ..self.domain_offsets[i + 1] as usize - base;
+                    if self.labels[i] >= 0 {
+                        slice[dr.start + self.labels[i] as usize] = 1.0;
+                    } else {
+                        kernels::softmax_row(&mut slice[dr]);
+                    }
+                }
+            } else {
+                // Fully unlabelled chunk (the common unsupervised case): one segmented
+                // softmax over the chunk's contiguous posterior slice. Per-row results
+                // are bitwise-identical to the row-at-a-time path.
+                kernels::softmax_rows(slice, &self.domain_offsets[objects.start..objects.end + 1]);
             }
         });
         // Pass 2: per-claim targets, sharded by object chunks over disjoint claim ranges.
@@ -276,6 +362,7 @@ impl CompiledProblem {
         ClaimCorrectnessObjective {
             problem: self,
             targets,
+            batch: RwLock::new(SourceBatch::default()),
         }
     }
 
@@ -292,20 +379,78 @@ impl CompiledProblem {
 
     #[inline]
     fn footprint_dot(&self, source: usize, weights: &[f64]) -> f64 {
-        let mut score = 0.0;
-        for j in self.footprint(source) {
-            score += self.footprint_values[j] * weights[self.footprint_params[j] as usize];
-        }
-        score
+        let range = self.footprint(source);
+        kernels::dot_csr(
+            &self.footprint_params[range.clone()],
+            &self.footprint_values[range],
+            weights,
+        )
     }
+
+    /// The parameter row of one ERM class row (see `erm_class_offsets`).
+    #[inline]
+    fn erm_class_row(&self, row: usize) -> (&[u32], &[f64]) {
+        let lo = self.erm_class_offsets[row] as usize;
+        let hi = self.erm_class_offsets[row + 1] as usize;
+        (&self.erm_params[lo..hi], &self.erm_values[lo..hi])
+    }
+}
+
+/// Per-batch precomputation of the M-step objective: every claim of one source shares
+/// the source's trust probability within a batch (the weights are fixed until the next
+/// update), so the sigmoid and both clamped log terms are computed once per source per
+/// batch instead of once per claim.
+#[derive(Debug, Default)]
+struct SourceBatch {
+    /// `σ(trust_s)` per source at the batch's weights. Slots of sources absent from
+    /// the current batch are stale; no chunk of the batch reads them.
+    prob: Vec<f64>,
+    /// `ln(clamp(prob))` per source.
+    log_p: Vec<f64>,
+    /// `ln(1 − clamp(prob))` per source.
+    log_not_p: Vec<f64>,
+    /// Batch-generation stamp per source; a slot is fresh iff `stamp[s] == tick`.
+    stamp: Vec<u64>,
+    /// Current batch generation.
+    tick: u64,
+    /// Sources appearing in the current batch, in first-occurrence order.
+    touched: Vec<u32>,
+    /// Compact trust-score scratch, parallel to `touched`.
+    scores: Vec<f64>,
 }
 
 /// The EM M-step objective: every claim is a binary "the source was correct" example
 /// whose features are the source's parameter footprint and whose fractional target is
 /// the E-step posterior of the claimed value. See [`CompiledProblem::claim_objective`].
+///
+/// The gradient chunks run over the flat footprint CSR through a per-batch source
+/// cache: [`StochasticObjective::begin_batch`] batches every source's trust score
+/// ([`kernels::dot_csr`]), probability ([`kernels::sigmoid_slice`]) and log terms once,
+/// and the per-claim loop degrades to a table gather plus a handful of entry pushes.
 pub struct ClaimCorrectnessObjective<'a> {
     problem: &'a CompiledProblem,
     targets: &'a [f64],
+    batch: RwLock<SourceBatch>,
+}
+
+impl ClaimCorrectnessObjective<'_> {
+    /// Loss and gradient entries of one claim against an up-to-date source batch.
+    #[inline]
+    fn claim_loss_grad(
+        &self,
+        batch: &SourceBatch,
+        example: usize,
+        entries: &mut Vec<(usize, f64)>,
+    ) -> f64 {
+        let p = self.problem;
+        let source = p.claim_sources[example] as usize;
+        let target = self.targets[example];
+        let err = batch.prob[source] - target;
+        for j in p.footprint(source) {
+            entries.push((p.footprint_params[j] as usize, err * p.footprint_values[j]));
+        }
+        -(target * batch.log_p[source] + (1.0 - target) * batch.log_not_p[source])
+    }
 }
 
 impl StochasticObjective for ClaimCorrectnessObjective<'_> {
@@ -325,20 +470,136 @@ impl StochasticObjective for ClaimCorrectnessObjective<'_> {
     ) -> f64 {
         let p = self.problem;
         let source = p.claim_sources[example] as usize;
-        let prob = sigmoid(p.footprint_dot(source, w));
+        let mut prob = [p.footprint_dot(source, w)];
+        kernels::sigmoid_slice(&mut prob);
+        let prob = prob[0];
         let target = self.targets[example];
         let err = prob - target;
         for j in p.footprint(source) {
             grad.add(p.footprint_params[j] as usize, err * p.footprint_values[j]);
         }
-        slimfast_optim::log_loss(prob, target)
+        // Same clamped cross-entropy as the batched path, with the same log kernel, so
+        // per-example and chunked evaluation of one claim agree bitwise.
+        let pc = prob.clamp(1e-12, 1.0 - 1e-12);
+        -(target * kernels::ln(pc) + (1.0 - target) * kernels::ln(1.0 - pc))
+    }
+
+    fn begin_batch(&self, w: &[f64], examples: &[usize]) {
+        let p = self.problem;
+        let num_sources = p.footprint_offsets.len() - 1;
+        let mut batch = self
+            .batch
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let batch = &mut *batch;
+        if batch.prob.len() != num_sources {
+            batch.prob.resize(num_sources, 0.0);
+            batch.log_p.resize(num_sources, 0.0);
+            batch.log_not_p.resize(num_sources, 0.0);
+            batch.stamp = vec![0; num_sources];
+            batch.tick = 0;
+        }
+        // Refresh only the sources the batch actually touches: a small batch over a
+        // large source population pays for its own claims, not the whole table.
+        batch.tick += 1;
+        batch.touched.clear();
+        for &example in examples {
+            let s = p.claim_sources[example];
+            if batch.stamp[s as usize] != batch.tick {
+                batch.stamp[s as usize] = batch.tick;
+                batch.touched.push(s);
+            }
+        }
+        batch.scores.clear();
+        for &s in &batch.touched {
+            batch.scores.push(p.footprint_dot(s as usize, w));
+        }
+        kernels::sigmoid_slice(&mut batch.scores);
+        for (&s, &prob) in batch.touched.iter().zip(&batch.scores) {
+            let pc = prob.clamp(1e-12, 1.0 - 1e-12);
+            batch.prob[s as usize] = prob;
+            batch.log_p[s as usize] = kernels::ln(pc);
+            batch.log_not_p[s as usize] = kernels::ln(1.0 - pc);
+        }
+    }
+
+    fn chunk_loss_grad(
+        &self,
+        w: &[f64],
+        examples: &[usize],
+        entries: &mut Vec<(usize, f64)>,
+    ) -> f64 {
+        let batch = self
+            .batch
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if batch.prob.len() != self.problem.footprint_offsets.len() - 1 {
+            // `begin_batch` has not run (a direct caller outside the batched
+            // minimizer): fall back to self-contained per-example evaluation.
+            drop(batch);
+            let mut grad = slimfast_optim::SparseVec::new();
+            let mut loss = 0.0;
+            for &example in examples {
+                grad.clear();
+                loss += self.example_loss_grad(w, example, &mut grad);
+                entries.extend(grad.iter());
+            }
+            return loss;
+        }
+        let mut loss = 0.0;
+        for &example in examples {
+            loss += self.claim_loss_grad(&batch, example, entries);
+        }
+        loss
     }
 }
 
 /// The ERM objective: a conditional logistic regression over the labelled objects with
 /// one candidate class per domain value. See [`CompiledProblem::erm_objective`].
+///
+/// Runs over the compile-time ERM class-feature CSR (`erm_params`/`erm_values`): each
+/// class's score is one [`kernels::dot_csr`] over its pre-merged footprint row, scores
+/// normalise through [`kernels::softmax_row`] into a thread-local scratch vector, and
+/// the gradient walks the same flat rows — no per-example allocation and no per-claim
+/// footprint re-walks.
 pub struct LabeledConditionalObjective<'a> {
     problem: &'a CompiledProblem,
+}
+
+impl LabeledConditionalObjective<'_> {
+    /// Shared example body: scores the example's class rows into `probs`, softmaxes,
+    /// then reports gradient entries through `emit` and returns the example's loss.
+    #[inline]
+    fn example_body(
+        &self,
+        w: &[f64],
+        example: usize,
+        probs: &mut Vec<f64>,
+        mut emit: impl FnMut(usize, f64),
+    ) -> f64 {
+        let p = self.problem;
+        let i = p.labeled[example] as usize;
+        let label = p.labels[i] as usize;
+        let rows = p.erm_row_offsets[example] as usize..p.erm_row_offsets[example + 1] as usize;
+        probs.clear();
+        for row in rows.clone() {
+            let (params, values) = p.erm_class_row(row);
+            probs.push(kernels::dot_csr(params, values, w));
+        }
+        kernels::softmax_row(probs);
+        let loss = -probs[label].clamp(1e-12, 1.0).ln();
+        for (class, row) in rows.enumerate() {
+            let err = probs[class] - if class == label { 1.0 } else { 0.0 };
+            if err == 0.0 {
+                continue;
+            }
+            let (params, values) = p.erm_class_row(row);
+            for (param, value) in params.iter().zip(values) {
+                emit(*param as usize, err * value);
+            }
+        }
+        loss
+    }
 }
 
 impl StochasticObjective for LabeledConditionalObjective<'_> {
@@ -356,28 +617,27 @@ impl StochasticObjective for LabeledConditionalObjective<'_> {
         example: usize,
         grad: &mut slimfast_optim::SparseVec,
     ) -> f64 {
-        let p = self.problem;
-        let i = p.labeled[example] as usize;
-        let label = p.labels[i] as usize;
-        let domain_len = (p.domain_offsets[i + 1] - p.domain_offsets[i]) as usize;
-        let claims = p.claim_offsets[i] as usize..p.claim_offsets[i + 1] as usize;
-        let mut probs = vec![0.0f64; domain_len];
-        for c in claims.clone() {
-            probs[p.claim_classes[c] as usize] += p.footprint_dot(p.claim_sources[c] as usize, w);
+        let mut probs = ERM_PROB_SCRATCH.with(RefCell::take);
+        // `SparseVec::add` merges repeated parameters across class rows, which the
+        // sequential per-example update path requires.
+        let loss = self.example_body(w, example, &mut probs, |i, g| grad.add(i, g));
+        ERM_PROB_SCRATCH.with(|cell| cell.replace(probs));
+        loss
+    }
+
+    fn chunk_loss_grad(
+        &self,
+        w: &[f64],
+        examples: &[usize],
+        entries: &mut Vec<(usize, f64)>,
+    ) -> f64 {
+        let mut probs = ERM_PROB_SCRATCH.with(RefCell::take);
+        let mut loss = 0.0;
+        for &example in examples {
+            // Raw pushes: the batch reducer merges duplicate parameters in push order.
+            loss += self.example_body(w, example, &mut probs, |i, g| entries.push((i, g)));
         }
-        softmax_in_place(&mut probs);
-        let loss = -probs[label].clamp(1e-12, 1.0).ln();
-        for c in claims {
-            let class = p.claim_classes[c] as usize;
-            let err = probs[class] - if class == label { 1.0 } else { 0.0 };
-            if err == 0.0 {
-                continue;
-            }
-            let source = p.claim_sources[c] as usize;
-            for j in p.footprint(source) {
-                grad.add(p.footprint_params[j] as usize, err * p.footprint_values[j]);
-            }
-        }
+        ERM_PROB_SCRATCH.with(|cell| cell.replace(probs));
         loss
     }
 }

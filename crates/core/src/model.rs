@@ -2,7 +2,7 @@
 //! source-accuracy model (Eq. 3), plus dependency-free binary persistence so fitted
 //! models can be shipped to serving processes.
 
-use slimfast_optim::{sigmoid, softmax_in_place, SparseVec};
+use slimfast_optim::{kernels, sigmoid, SparseVec};
 
 use slimfast_data::{
     DataError, Dataset, FeatureMatrix, ObjectId, SourceAccuracies, SourceId, TruthAssignment,
@@ -180,6 +180,8 @@ impl SlimFastModel {
     /// Fills `scores` with the object's posterior (Eq. 4) using `trust` to score each
     /// claiming source. The single scoring path behind [`SlimFastModel::posterior`] and
     /// [`SlimFastModel::predict`], so per-query and bulk inference cannot diverge.
+    /// Normalises with the deterministic [`kernels::softmax_row`] — the same kernel the
+    /// E-step uses — so serving posteriors match training posteriors at fixed weights.
     fn posterior_into(
         &self,
         dataset: &Dataset,
@@ -195,7 +197,7 @@ impl SlimFastModel {
                 scores[idx] += trust(s);
             }
         }
-        softmax_in_place(scores);
+        kernels::softmax_row(scores);
     }
 
     /// Index and probability of the most probable entry; `None` for an empty posterior.

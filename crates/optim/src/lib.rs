@@ -14,6 +14,9 @@
 //! * [`exec`] / [`pool`] — the deterministic parallel executor: a process-wide
 //!   persistent worker pool plus fixed-chunk-grid primitives whose results are
 //!   bitwise-identical at any thread count.
+//! * [`kernels`] — batched, bitwise-deterministic sigmoid/softmax/dot/scatter
+//!   kernels over flat structure-of-arrays slices; every training and serving
+//!   hot loop bottoms out here.
 //! * [`sgd`] — a small SGD/AdaGrad engine over user-supplied stochastic objectives.
 //! * [`logistic`] — binary and conditional (multiclass, shared-weight) logistic regression
 //!   with hard or fractional targets; the fractional form is what EM's M-step needs.
@@ -25,6 +28,7 @@
 #![deny(unsafe_code)]
 
 pub mod exec;
+pub mod kernels;
 pub mod lasso;
 pub mod logistic;
 pub mod matrix;

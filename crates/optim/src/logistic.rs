@@ -7,6 +7,9 @@
 //! the same model with *fractional* targets given by the E-step posterior. The source
 //! accuracy model of Equation 3 is a plain binary logistic regression over source features.
 
+use std::cell::RefCell;
+
+use crate::kernels;
 use crate::penalty::Penalty;
 use crate::sgd::{minimize, FitResult, SgdConfig, StochasticObjective};
 use crate::sparse::SparseVec;
@@ -88,9 +91,72 @@ impl BinaryExample {
     }
 }
 
+thread_local! {
+    /// Per-lane probability/score scratch reused by the flat objectives across every
+    /// example, chunk, and fit on this thread. Taken out of the cell while in use so a
+    /// re-entrant call degrades to a fresh allocation instead of a panic.
+    static PROB_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Flattens sparse rows into one contiguous CSR block (`offsets` into
+/// `params`/`values`), dropping entries at or beyond `num_params` — the dot product
+/// treats those as zero and the gradient reducer discards them, so removal at flatten
+/// time is semantically neutral and keeps the hot loops branch-light.
+fn flatten_rows<'a>(
+    rows: impl Iterator<Item = &'a SparseVec>,
+    num_params: usize,
+) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+    assert!(
+        num_params <= u32::MAX as usize,
+        "parameter space exceeds the u32 CSR index range"
+    );
+    let mut offsets: Vec<u32> = vec![0];
+    let mut params: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    for row in rows {
+        for (i, v) in row.iter() {
+            if i < num_params {
+                params.push(i as u32);
+                values.push(v);
+            }
+        }
+        offsets.push(params.len() as u32);
+    }
+    (offsets, params, values)
+}
+
+/// Binary logistic objective over a flat SoA copy of the examples' features:
+/// one contiguous `params`/`values` CSR block replaces per-example `SparseVec`
+/// walks, so gradient chunks run over cache-line-friendly columns and batch
+/// their sigmoids through [`kernels::sigmoid_slice`].
 struct BinaryObjective<'a> {
     examples: &'a [BinaryExample],
     num_params: usize,
+    offsets: Vec<u32>,
+    params: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl<'a> BinaryObjective<'a> {
+    fn new(examples: &'a [BinaryExample], num_params: usize) -> Self {
+        let (offsets, params, values) =
+            flatten_rows(examples.iter().map(|ex| &ex.features), num_params);
+        Self {
+            examples,
+            num_params,
+            offsets,
+            params,
+            values,
+        }
+    }
+
+    /// The flat feature row of one example.
+    #[inline]
+    fn row(&self, example: usize) -> (&[u32], &[f64]) {
+        let lo = self.offsets[example] as usize;
+        let hi = self.offsets[example + 1] as usize;
+        (&self.params[lo..hi], &self.values[lo..hi])
+    }
 }
 
 impl StochasticObjective for BinaryObjective<'_> {
@@ -104,12 +170,42 @@ impl StochasticObjective for BinaryObjective<'_> {
 
     fn example_loss_grad(&self, w: &[f64], example: usize, grad: &mut SparseVec) -> f64 {
         let ex = &self.examples[example];
-        let p = sigmoid(ex.features.dot(w));
+        let (params, values) = self.row(example);
+        let mut score = [kernels::dot_csr(params, values, w)];
+        kernels::sigmoid_slice(&mut score);
+        let p = score[0];
         let err = ex.weight * (p - ex.target);
-        for (i, v) in ex.features.iter() {
-            grad.add(i, err * v);
+        for (i, v) in params.iter().zip(values) {
+            grad.add(*i as usize, err * v);
         }
         ex.weight * log_loss(p, ex.target)
+    }
+
+    fn chunk_loss_grad(
+        &self,
+        w: &[f64],
+        examples: &[usize],
+        entries: &mut Vec<(usize, f64)>,
+    ) -> f64 {
+        let mut probs = PROB_SCRATCH.with(RefCell::take);
+        probs.clear();
+        for &example in examples {
+            let (params, values) = self.row(example);
+            probs.push(kernels::dot_csr(params, values, w));
+        }
+        kernels::sigmoid_slice(&mut probs);
+        let mut loss = 0.0;
+        for (&example, &p) in examples.iter().zip(probs.iter()) {
+            let ex = &self.examples[example];
+            let err = ex.weight * (p - ex.target);
+            let (params, values) = self.row(example);
+            for (i, v) in params.iter().zip(values) {
+                entries.push((*i as usize, err * v));
+            }
+            loss += ex.weight * log_loss(p, ex.target);
+        }
+        PROB_SCRATCH.with(|cell| cell.replace(probs));
+        loss
     }
 }
 
@@ -138,10 +234,7 @@ impl BinaryLogisticRegression {
         config: &SgdConfig,
         init: Option<Vec<f64>>,
     ) -> Self {
-        let objective = BinaryObjective {
-            examples,
-            num_params,
-        };
+        let objective = BinaryObjective::new(examples, num_params);
         let fit = minimize(&objective, init, config);
         Self {
             weights: fit.weights.clone(),
@@ -231,9 +324,85 @@ impl ConditionalExample {
     }
 }
 
+/// Conditional logistic objective over a flat SoA copy of the per-class feature
+/// rows: `class_offsets` maps an example to its contiguous class rows, and
+/// `row_offsets` maps each class row into the shared `params`/`values` CSR
+/// block. Class scores are gathered with [`kernels::dot_csr`] into a
+/// thread-local scratch vector (no per-example allocation) and normalised with
+/// [`kernels::softmax_row`].
 struct ConditionalObjective<'a> {
     examples: &'a [ConditionalExample],
     num_params: usize,
+    class_offsets: Vec<u32>,
+    row_offsets: Vec<u32>,
+    params: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl<'a> ConditionalObjective<'a> {
+    fn new(examples: &'a [ConditionalExample], num_params: usize) -> Self {
+        let (row_offsets, params, values) =
+            flatten_rows(examples.iter().flat_map(|ex| ex.classes.iter()), num_params);
+        let mut class_offsets: Vec<u32> = Vec::with_capacity(examples.len() + 1);
+        class_offsets.push(0);
+        let mut rows = 0u32;
+        for ex in examples {
+            rows += ex.classes.len() as u32;
+            class_offsets.push(rows);
+        }
+        Self {
+            examples,
+            num_params,
+            class_offsets,
+            row_offsets,
+            params,
+            values,
+        }
+    }
+
+    /// The flat feature row of one class row.
+    #[inline]
+    fn class_row(&self, row: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_offsets[row] as usize;
+        let hi = self.row_offsets[row + 1] as usize;
+        (&self.params[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Shared example body: scores every class row into `probs`, softmaxes, then
+    /// reports gradient entries through `emit` and returns the example's loss.
+    #[inline]
+    fn example_body(
+        &self,
+        w: &[f64],
+        example: usize,
+        probs: &mut Vec<f64>,
+        mut emit: impl FnMut(usize, f64),
+    ) -> f64 {
+        let ex = &self.examples[example];
+        if ex.classes.is_empty() {
+            return 0.0;
+        }
+        let rows = self.class_offsets[example] as usize..self.class_offsets[example + 1] as usize;
+        probs.clear();
+        for row in rows.clone() {
+            let (params, values) = self.class_row(row);
+            probs.push(kernels::dot_csr(params, values, w));
+        }
+        kernels::softmax_row(probs);
+        let mut loss = 0.0;
+        for (c, row) in rows.enumerate() {
+            let t = ex.target_prob(c);
+            let err = ex.weight * (probs[c] - t);
+            let (params, values) = self.class_row(row);
+            for (i, v) in params.iter().zip(values) {
+                emit(*i as usize, err * v);
+            }
+            if t > 0.0 {
+                loss += -t * probs[c].clamp(1e-12, 1.0).ln();
+            }
+        }
+        ex.weight * loss
+    }
 }
 
 impl StochasticObjective for ConditionalObjective<'_> {
@@ -246,24 +415,29 @@ impl StochasticObjective for ConditionalObjective<'_> {
     }
 
     fn example_loss_grad(&self, w: &[f64], example: usize, grad: &mut SparseVec) -> f64 {
-        let ex = &self.examples[example];
-        if ex.classes.is_empty() {
-            return 0.0;
-        }
-        let mut probs: Vec<f64> = ex.classes.iter().map(|x| x.dot(w)).collect();
-        softmax_in_place(&mut probs);
+        let mut probs = PROB_SCRATCH.with(RefCell::take);
+        // `SparseVec::add` merges repeated coordinates, which the sequential
+        // per-example update path requires.
+        let loss = self.example_body(w, example, &mut probs, |i, g| grad.add(i, g));
+        PROB_SCRATCH.with(|cell| cell.replace(probs));
+        loss
+    }
+
+    fn chunk_loss_grad(
+        &self,
+        w: &[f64],
+        examples: &[usize],
+        entries: &mut Vec<(usize, f64)>,
+    ) -> f64 {
+        let mut probs = PROB_SCRATCH.with(RefCell::take);
         let mut loss = 0.0;
-        for (c, x) in ex.classes.iter().enumerate() {
-            let t = ex.target_prob(c);
-            let err = ex.weight * (probs[c] - t);
-            for (i, v) in x.iter() {
-                grad.add(i, err * v);
-            }
-            if t > 0.0 {
-                loss += -t * probs[c].clamp(1e-12, 1.0).ln();
-            }
+        for &example in examples {
+            // Raw pushes suffice here: the batch reducer merges duplicate
+            // coordinates deterministically in push order.
+            loss += self.example_body(w, example, &mut probs, |i, g| entries.push((i, g)));
         }
-        ex.weight * loss
+        PROB_SCRATCH.with(|cell| cell.replace(probs));
+        loss
     }
 }
 
@@ -292,10 +466,7 @@ impl ConditionalLogit {
         config: &SgdConfig,
         init: Option<Vec<f64>>,
     ) -> Self {
-        let objective = ConditionalObjective {
-            examples,
-            num_params,
-        };
+        let objective = ConditionalObjective::new(examples, num_params);
         let fit = minimize(&objective, init, config);
         Self {
             weights: fit.weights.clone(),
@@ -313,21 +484,31 @@ impl ConditionalLogit {
         self.fit.as_ref()
     }
 
+    /// Class posterior for a set of candidate classes, written into a caller-owned
+    /// buffer so repeated scoring allocates nothing.
+    pub fn predict_proba_into(&self, classes: &[SparseVec], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(classes.iter().map(|x| x.dot(&self.weights)));
+        softmax_in_place(out);
+    }
+
     /// Class posterior for a set of candidate classes.
     pub fn predict_proba(&self, classes: &[SparseVec]) -> Vec<f64> {
-        let mut scores: Vec<f64> = classes.iter().map(|x| x.dot(&self.weights)).collect();
-        softmax_in_place(&mut scores);
+        let mut scores = Vec::with_capacity(classes.len());
+        self.predict_proba_into(classes, &mut scores);
         scores
     }
 
-    /// Mean negative log-likelihood over a set of examples.
+    /// Mean negative log-likelihood over a set of examples. One probability buffer is
+    /// reused across the whole set (no per-example allocation).
     pub fn mean_log_loss(&self, examples: &[ConditionalExample]) -> f64 {
         if examples.is_empty() {
             return 0.0;
         }
         let mut total = 0.0;
+        let mut probs = Vec::new();
         for ex in examples {
-            let probs = self.predict_proba(&ex.classes);
+            self.predict_proba_into(&ex.classes, &mut probs);
             for (c, &p) in probs.iter().enumerate() {
                 let t = ex.target_prob(c);
                 if t > 0.0 {

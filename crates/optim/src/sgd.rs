@@ -30,6 +30,47 @@ pub trait StochasticObjective: Sync {
     /// Computes the loss of example `example` at `w` and accumulates its (sparse) gradient
     /// into `grad`. `grad` is cleared by the caller before each invocation.
     fn example_loss_grad(&self, w: &[f64], example: usize, grad: &mut SparseVec) -> f64;
+
+    /// Hook invoked by the batched minimizer exactly once per mini-batch, on the
+    /// coordinator thread, **before** any of the batch's gradient chunks run, with the
+    /// weights every chunk of that batch will be evaluated at and the full (shuffled)
+    /// example list of the batch.
+    ///
+    /// Objectives that can hoist per-batch work out of the per-example loop — SLiMFast's
+    /// claim-correctness objective precomputes the trust probability and log terms of
+    /// every source *appearing in the batch*, turning per-claim dot+sigmoid+log work
+    /// into a table gather — refresh their caches in this hook. The default does
+    /// nothing. The sequential (per-example) minimizer path never calls it.
+    fn begin_batch(&self, _w: &[f64], _examples: &[usize]) {}
+
+    /// Computes the summed loss of the listed `examples` at `w` and appends their sparse
+    /// gradient entries to `entries` in example order (duplicate coordinates allowed —
+    /// the batch reducer merges them deterministically, in push order).
+    ///
+    /// This is the unit of work the batched minimizer hands to a worker lane. The
+    /// default implementation loops [`example_loss_grad`](Self::example_loss_grad) over
+    /// a thread-local scratch vector, which reproduces the historical per-example chunk
+    /// behaviour bit for bit. Objectives with a flat structure-of-arrays layout override
+    /// it to batch the math through [`crate::kernels`]. Implementations may rely on
+    /// state prepared by [`begin_batch`](Self::begin_batch): the batched minimizer
+    /// guarantees `begin_batch(w)` ran, with these exact weights, before any chunk of
+    /// the batch — direct callers must uphold the same order.
+    fn chunk_loss_grad(
+        &self,
+        w: &[f64],
+        examples: &[usize],
+        entries: &mut Vec<(usize, f64)>,
+    ) -> f64 {
+        let mut grad = GRAD_SCRATCH.with(RefCell::take);
+        let mut loss = 0.0;
+        for &example in examples {
+            grad.clear();
+            loss += self.example_loss_grad(w, example, &mut grad);
+            entries.extend(grad.iter());
+        }
+        GRAD_SCRATCH.with(|cell| cell.replace(grad));
+        loss
+    }
 }
 
 /// Configuration of an SGD run.
@@ -390,6 +431,9 @@ fn minimize_batched<O: StochasticObjective>(
         while start < n_examples {
             let end = (start + batch_size).min(n_examples);
             let num_chunks = (end - start).div_ceil(GRAD_CHUNK);
+            // Per-batch precomputation hook, on the coordinator before the fan-out so
+            // every chunk of the batch observes the same prepared state.
+            objective.begin_batch(&weights, &order[start..end]);
             {
                 // Accumulate the chunks of this batch: chunk `c` covers the fixed
                 // example window `start + c*GRAD_CHUNK ..` of the shuffled order and
@@ -400,16 +444,13 @@ fn minimize_batched<O: StochasticObjective>(
                     let chunk_start = start + chunk * GRAD_CHUNK;
                     let chunk_end = (chunk_start + GRAD_CHUNK).min(end);
                     let mut partial = lock_partial(&partials[chunk]);
-                    partial.loss = 0.0;
+                    let partial = &mut *partial;
                     partial.entries.clear();
-                    let mut grad = GRAD_SCRATCH.with(RefCell::take);
-                    for &example in &order_ref[chunk_start..chunk_end] {
-                        grad.clear();
-                        partial.loss +=
-                            objective.example_loss_grad(weights_ref, example, &mut grad);
-                        partial.entries.extend(grad.iter());
-                    }
-                    GRAD_SCRATCH.with(|cell| cell.replace(grad));
+                    partial.loss = objective.chunk_loss_grad(
+                        weights_ref,
+                        &order_ref[chunk_start..chunk_end],
+                        &mut partial.entries,
+                    );
                 };
                 if lanes <= 1 || num_chunks < 2 * lanes {
                     for chunk in 0..num_chunks {
