@@ -1,0 +1,300 @@
+//! Snapshot bench: serving cold start from the columnar snapshot store versus the
+//! CSV-parse-and-refit path, plus on-disk density versus the in-memory CSR layout.
+//!
+//! Two start-up paths build the *same* serving state from disk:
+//!
+//! 1. **CSV + refit** — read the claims CSV, parse it, rebuild the feature matrix,
+//!    fit the model (EM), and stand up a [`ServingEngine`]. This is what a restart
+//!    cost before the snapshot store existed.
+//! 2. **Snapshot cold start** — [`ModelSnapshot::read_from_file`] on the `SLFS`
+//!    bundle written by the pre-save engine, then [`ServingEngine::from_snapshot`] —
+//!    no parsing, no training.
+//!
+//! Before any timing is trusted, the bench asserts the cold-started tier serves
+//! posteriors **bitwise-identical** to the pre-save engine on every checked object,
+//! and that the on-disk dataset container spends no more bytes per claim than the
+//! in-memory CSR layout ([`Dataset::storage_stats`]).
+//!
+//! A machine-readable summary is written to `BENCH_snapshot.json` at the workspace
+//! root (override with the `BENCH_SNAPSHOT_OUT` environment variable). The default
+//! scale is 2M claims; `SLIMFAST_SNAPSHOT_CLAIMS` overrides it, and `--test` (as
+//! `cargo test --benches` and the CI smoke job use) drops to 200k claims.
+
+use std::time::Instant;
+
+use criterion::Criterion;
+
+use slimfast_core::{
+    exec, FusionEngine, ModelSnapshot, RefitPolicy, ServingEngine, SlimFast, SlimFastConfig,
+};
+use slimfast_data::snapshot::dataset_to_bytes;
+use slimfast_data::{
+    read_observations_csv, Dataset, FeatureMatrix, FeatureMatrixBuilder, GroundTruth, ObjectId,
+    SourceId,
+};
+
+/// Sources shared across the whole stream; every object draws 10 of them.
+const NUM_SOURCES: usize = 500;
+const CLAIMS_PER_OBJECT: usize = 10;
+/// Bitwise posterior verification covers every object up to this cap.
+const VERIFY_OBJECT_CAP: usize = 100_000;
+
+fn total_claims(test_mode: bool) -> usize {
+    if let Ok(v) = std::env::var("SLIMFAST_SNAPSHOT_CLAIMS") {
+        return v
+            .parse()
+            .expect("SLIMFAST_SNAPSHOT_CLAIMS must be an integer");
+    }
+    if test_mode {
+        200_000
+    } else {
+        2_000_000
+    }
+}
+
+/// Deterministic claim mix shared by both start-up paths (same shape as the ingest
+/// bench: strided sources, multi-valued domains).
+fn claim_fields(i: usize, k: usize) -> (usize, usize) {
+    let source = (i + k * 7) % NUM_SOURCES;
+    let value = (i.wrapping_mul(31) + k.wrapping_mul(17)) % 4;
+    (source, value)
+}
+
+fn generate_csv(total: usize) -> String {
+    let mut out = String::with_capacity(total * 16);
+    for i in 0..total / CLAIMS_PER_OBJECT {
+        for k in 0..CLAIMS_PER_OBJECT {
+            let (s, v) = claim_fields(i, k);
+            out.push_str(&format!("s{s},o{i},v{v}\n"));
+        }
+    }
+    out
+}
+
+/// Source metadata both paths derive the same way (the snapshot stores it; the CSV
+/// path must rebuild it).
+fn build_features(num_sources: usize) -> FeatureMatrix {
+    let mut fb = FeatureMatrixBuilder::new();
+    for s in 0..num_sources {
+        if s % 3 == 0 {
+            fb.set_flag(SourceId::new(s), "Tier=High");
+        }
+        fb.set(SourceId::new(s), "traffic", (s % 17) as f64 * 0.25);
+    }
+    fb.build(num_sources)
+}
+
+fn fit_serving(dataset: Dataset) -> ServingEngine {
+    let features = build_features(dataset.num_sources());
+    let truth = GroundTruth::empty(dataset.num_objects());
+    let engine = FusionEngine::fit(
+        SlimFast::em(SlimFastConfig::default()),
+        dataset,
+        features,
+        truth,
+        RefitPolicy::Never,
+    );
+    ServingEngine::new(engine)
+}
+
+fn single_lane() -> bool {
+    exec::max_lanes() == 1
+}
+
+fn warn_if_single_lane(bench: &str) {
+    if single_lane() {
+        eprintln!(
+            "*** WARNING [{bench}]: max_lanes == 1 on this machine — every multi-thread \
+             timing in this report ran on a SINGLE lane. Do not cite speedup numbers as \
+             multi-lane evidence; the JSON carries \"single_lane_caveat\": true. ***"
+        );
+    }
+}
+
+struct Report {
+    claims: usize,
+    csv_bytes: usize,
+    csv_read_secs: f64,
+    csv_parse_secs: f64,
+    fit_secs: f64,
+    csv_total_secs: f64,
+    snapshot_bytes: usize,
+    snapshot_write_secs: f64,
+    cold_start_secs: f64,
+    cold_start_speedup: f64,
+    disk_dataset_bytes_per_claim: f64,
+    disk_bundle_bytes_per_claim: f64,
+    memory_bytes_per_claim: f64,
+    verified_objects: usize,
+}
+
+fn write_json(r: &Report) -> std::io::Result<String> {
+    let path = std::env::var("BENCH_SNAPSHOT_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_snapshot.json", env!("CARGO_MANIFEST_DIR")));
+    let out = format!(
+        concat!(
+            "{{\n  \"bench\": \"snapshot\",\n",
+            "  \"max_lanes\": {},\n",
+            "  \"single_lane_caveat\": {},\n",
+            "  \"claims\": {},\n",
+            "  \"csv_bytes\": {},\n",
+            "  \"csv_read_secs\": {:.4},\n",
+            "  \"csv_parse_secs\": {:.4},\n",
+            "  \"fit_secs\": {:.4},\n",
+            "  \"csv_cold_start_secs\": {:.4},\n",
+            "  \"snapshot_bytes\": {},\n",
+            "  \"snapshot_write_secs\": {:.4},\n",
+            "  \"snapshot_cold_start_secs\": {:.4},\n",
+            "  \"cold_start_speedup\": {:.2},\n",
+            "  \"disk_dataset_bytes_per_claim\": {:.1},\n",
+            "  \"disk_bundle_bytes_per_claim\": {:.1},\n",
+            "  \"memory_bytes_per_claim\": {:.1},\n",
+            "  \"verified_objects\": {}\n",
+            "}}\n"
+        ),
+        exec::max_lanes(),
+        single_lane(),
+        r.claims,
+        r.csv_bytes,
+        r.csv_read_secs,
+        r.csv_parse_secs,
+        r.fit_secs,
+        r.csv_total_secs,
+        r.snapshot_bytes,
+        r.snapshot_write_secs,
+        r.cold_start_secs,
+        r.cold_start_speedup,
+        r.disk_dataset_bytes_per_claim,
+        r.disk_bundle_bytes_per_claim,
+        r.memory_bytes_per_claim,
+        r.verified_objects,
+    );
+    std::fs::write(&path, &out)?;
+    Ok(path)
+}
+
+fn main() {
+    let _criterion = Criterion::default().configure_from_args();
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let total = total_claims(test_mode);
+
+    let dir = std::env::temp_dir().join(format!("slimfast-bench-snapshot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    let csv_path = dir.join("claims.csv");
+    let snap_path = dir.join("state.slfs");
+
+    println!("snapshot: {total} claims ({NUM_SOURCES} sources)");
+    let csv = generate_csv(total);
+    let csv_bytes = csv.len();
+    std::fs::write(&csv_path, &csv).expect("write claims CSV");
+    drop(csv);
+
+    // ---- Path 1: CSV read + parse + refit (the pre-snapshot restart cost). ----
+    let start = Instant::now();
+    let raw = std::fs::read(&csv_path).expect("read claims CSV");
+    let csv_read_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let dataset = read_observations_csv(&raw[..]).expect("parse claims CSV");
+    let csv_parse_secs = start.elapsed().as_secs_f64();
+    drop(raw);
+    let start = Instant::now();
+    let baseline = fit_serving(dataset);
+    let fit_secs = start.elapsed().as_secs_f64();
+    let csv_total_secs = csv_read_secs + csv_parse_secs + fit_secs;
+
+    // ---- Persist the fitted serving state. ----
+    let saved = baseline.snapshot();
+    let start = Instant::now();
+    saved.write_to_file(&snap_path).expect("write snapshot");
+    let snapshot_write_secs = start.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&snap_path)
+        .expect("snapshot metadata")
+        .len() as usize;
+
+    // ---- Path 2: snapshot cold start — no parsing, no training. ----
+    let start = Instant::now();
+    let restored = ModelSnapshot::read_from_file(&snap_path).expect("read snapshot");
+    let revived = ServingEngine::from_snapshot(
+        restored,
+        SlimFast::em(SlimFastConfig::default()),
+        RefitPolicy::Never,
+    );
+    let mut reader = revived.reader();
+    let cold_start_secs = start.elapsed().as_secs_f64();
+
+    // ---- Correctness gates, before any timing is reported. ----
+    let num_objects = saved.dataset().num_objects();
+    let verified_objects = num_objects.min(VERIFY_OBJECT_CAP);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    for o in (0..verified_objects).map(ObjectId::new) {
+        let before = saved.posterior_by_id(o).expect("pre-save posterior");
+        let after = reader.posterior_by_id(o).expect("cold-start posterior");
+        assert_eq!(
+            bits(&before),
+            bits(&after),
+            "cold-started posterior diverged on object {o:?}"
+        );
+    }
+    let stats = saved.dataset().storage_stats();
+    let memory_bytes_per_claim = stats.bytes_per_claim();
+    let dataset_bytes = dataset_to_bytes(saved.dataset())
+        .expect("dataset container")
+        .len();
+    let disk_dataset_bytes_per_claim = dataset_bytes as f64 / total as f64;
+    let disk_bundle_bytes_per_claim = snapshot_bytes as f64 / total as f64;
+    assert!(
+        disk_dataset_bytes_per_claim <= memory_bytes_per_claim,
+        "on-disk dataset ({disk_dataset_bytes_per_claim:.1} B/claim) must not exceed the \
+         in-memory layout ({memory_bytes_per_claim:.1} B/claim)"
+    );
+    let cold_start_speedup = csv_total_secs / cold_start_secs.max(1e-9);
+    assert!(
+        cold_start_speedup >= 5.0,
+        "snapshot cold start must be >= 5x faster than CSV parse + refit \
+         (got {cold_start_speedup:.2}x: csv {csv_total_secs:.3}s vs snapshot {cold_start_secs:.3}s)"
+    );
+
+    let report = Report {
+        claims: total,
+        csv_bytes,
+        csv_read_secs,
+        csv_parse_secs,
+        fit_secs,
+        csv_total_secs,
+        snapshot_bytes,
+        snapshot_write_secs,
+        cold_start_secs,
+        cold_start_speedup,
+        disk_dataset_bytes_per_claim,
+        disk_bundle_bytes_per_claim,
+        memory_bytes_per_claim,
+        verified_objects,
+    };
+    println!(
+        "snapshot/csv   read {:>7.3}s  parse {:>7.3}s  fit {:>7.3}s  total {:>7.3}s",
+        report.csv_read_secs, report.csv_parse_secs, report.fit_secs, report.csv_total_secs,
+    );
+    println!(
+        "snapshot/cold  write {:>7.3}s  read+restore {:>7.3}s  speedup {:>6.2}x  ({} objects verified bitwise)",
+        report.snapshot_write_secs,
+        report.cold_start_secs,
+        report.cold_start_speedup,
+        report.verified_objects,
+    );
+    println!(
+        "snapshot/disk  bundle {} B ({:>5.1} B/claim)  dataset section {:>5.1} B/claim  memory {:>5.1} B/claim",
+        report.snapshot_bytes,
+        report.disk_bundle_bytes_per_claim,
+        report.disk_dataset_bytes_per_claim,
+        report.memory_bytes_per_claim,
+    );
+
+    drop((baseline, revived, saved));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    warn_if_single_lane("snapshot");
+    match write_json(&report) {
+        Ok(path) => println!("snapshot: summary written to {path}"),
+        Err(err) => eprintln!("snapshot: could not write summary: {err}"),
+    }
+}

@@ -49,6 +49,11 @@
 //!   of reader threads, a single-writer ingest path, refits dispatched as background
 //!   jobs on the worker pool, and a batched posterior API that fans large queries over
 //!   the pool.
+//! * [`serve::ModelSnapshot::write_to_file`] / [`serve::ServingEngine::from_snapshot`]
+//!   — full-state persistence and cold start: one versioned, checksummed bundle holds
+//!   the fitted model, the compacted columnar dataset, the feature matrix, and the
+//!   precompiled trust table, and a restored snapshot serves bitwise-identical
+//!   posteriors without retraining.
 //!
 //! ## Extensions
 //!
@@ -85,5 +90,7 @@ pub use config::{LearnerChoice, RefitPolicy, SlimFastConfig, WindowConfig};
 pub use engine::{FusionEngine, TrainingSnapshot};
 pub use model::{ParameterSpace, SlimFastModel, MODEL_FORMAT_VERSION};
 pub use optimizer::{OptimizerDecision, OptimizerReport};
-pub use serve::{ModelSnapshot, ServingEngine, ServingReader, ServingStats};
+pub use serve::{
+    ModelSnapshot, ServingEngine, ServingReader, ServingStats, SNAPSHOT_FORMAT_VERSION,
+};
 pub use slimfast::{FittedSlimFast, SlimFast};

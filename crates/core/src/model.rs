@@ -4,6 +4,7 @@
 
 use slimfast_optim::{kernels, sigmoid, SparseVec};
 
+use slimfast_data::format::{self, fnv1a};
 use slimfast_data::{
     DataError, Dataset, FeatureMatrix, ObjectId, SourceAccuracies, SourceId, TruthAssignment,
     ValueId,
@@ -13,22 +14,18 @@ use slimfast_data::{
 const MODEL_MAGIC: [u8; 4] = *b"SLMF";
 
 /// Current version of the serialized model format. Bump on any layout change; readers
-/// reject blobs written by a newer version with
+/// accept every version up to this one and reject newer blobs with
 /// [`DataError::UnsupportedModelVersion`].
-pub const MODEL_FORMAT_VERSION: u32 = 1;
+///
+/// * **v1** — fixed-width header (`num_sources`/`num_features` as `u64`) and raw
+///   little-endian weights; still readable.
+/// * **v2** — counts as varints and the weight vector as a compressed `f64` column,
+///   built on the shared wire primitives of [`slimfast_data::format`] (the same
+///   vocabulary the dataset snapshot containers use).
+pub const MODEL_FORMAT_VERSION: u32 = 2;
 
-/// Bytes in the fixed header: magic, version, `num_sources`, `num_features`.
-const MODEL_HEADER_LEN: usize = 4 + 4 + 8 + 8;
-
-/// FNV-1a 64-bit hash, used as the integrity checksum of serialized models.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// Bytes in the fixed v1 header: magic, version, `num_sources`, `num_features`.
+const V1_HEADER_LEN: usize = 4 + 4 + 8 + 8;
 
 /// Layout of SLiMFast's parameter vector: one source-indicator weight `w_s` per source
 /// followed by one weight `w_k` per domain feature.
@@ -286,51 +283,82 @@ impl SlimFastModel {
 
     /// Serializes the model into a self-describing binary blob.
     ///
-    /// Layout (all integers little-endian):
+    /// Layout of the current (v2) format, built on the shared wire primitives of
+    /// [`slimfast_data::format`] (all integers little-endian):
     ///
     /// ```text
-    /// magic "SLMF" (4) | version u32 (4) | num_sources u64 (8) | num_features u64 (8)
-    /// | weights f64 × (num_sources + num_features) | fnv1a-64 checksum u64 (8)
+    /// magic "SLMF" (4) | version u32 (4) | num_sources varint | num_features varint
+    /// | weights f64 column block (raw or RLE, whichever is smaller) | fnv1a-64 (8)
     /// ```
     ///
     /// The checksum covers everything before it. Weights are written bit-exactly, so a
     /// round trip through [`SlimFastModel::from_bytes`] reproduces predictions and
     /// accuracies bit-for-bit. The format is hand-rolled and dependency-free.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut bytes = Vec::with_capacity(MODEL_HEADER_LEN + 8 * self.weights.len() + 8);
+        let mut bytes = Vec::with_capacity(32 + 8 * self.weights.len());
         bytes.extend_from_slice(&MODEL_MAGIC);
         bytes.extend_from_slice(&MODEL_FORMAT_VERSION.to_le_bytes());
-        bytes.extend_from_slice(&(self.space.num_sources as u64).to_le_bytes());
-        bytes.extend_from_slice(&(self.space.num_features as u64).to_le_bytes());
-        for w in &self.weights {
-            bytes.extend_from_slice(&w.to_le_bytes());
-        }
-        bytes.extend_from_slice(&fnv1a(&bytes).to_le_bytes());
+        format::write_varint(&mut bytes, self.space.num_sources as u64);
+        format::write_varint(&mut bytes, self.space.num_features as u64);
+        format::write_f64_column(&mut bytes, &self.weights);
+        format::append_checksum(&mut bytes);
         bytes
     }
 
-    /// Deserializes a model previously written by [`SlimFastModel::to_bytes`].
+    /// Deserializes a model previously written by [`SlimFastModel::to_bytes`] — by this
+    /// build or an older one (every format version up to [`MODEL_FORMAT_VERSION`] is
+    /// readable).
     ///
     /// Fails with [`DataError::CorruptModel`] on wrong magic, truncation, length
     /// mismatches, or a checksum failure, and with
     /// [`DataError::UnsupportedModelVersion`] when the blob was written by a newer
     /// format version.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DataError> {
+        if bytes.len() < 8 {
+            return Err(format::corrupt("blob shorter than the fixed header"));
+        }
+        if bytes[..4] != MODEL_MAGIC {
+            return Err(format::corrupt("missing \"SLMF\" magic"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+        match version {
+            1 => Self::from_bytes_v1(bytes),
+            2 => Self::from_bytes_v2(bytes),
+            _ => Err(DataError::UnsupportedModelVersion {
+                found: version,
+                supported: MODEL_FORMAT_VERSION,
+            }),
+        }
+    }
+
+    /// Current-format reader: checksum first, then a bounds-checked cursor walk.
+    fn from_bytes_v2(bytes: &[u8]) -> Result<Self, DataError> {
+        let payload = format::split_checksum(bytes)?;
+        let mut cursor = format::Cursor::new(&payload[8..]);
+        let max = u32::MAX as usize;
+        let num_sources = cursor.read_len(max)?;
+        let num_features = cursor.read_len(max)?;
+        let weights = cursor.read_f64_column(num_sources + num_features)?;
+        if !cursor.is_empty() {
+            return Err(format::corrupt("trailing bytes after the weight column"));
+        }
+        Ok(Self {
+            space: ParameterSpace {
+                num_sources,
+                num_features,
+            },
+            weights,
+        })
+    }
+
+    /// Legacy reader for v1 blobs (fixed-width counts, raw weight bytes). Kept verbatim
+    /// so every model ever written stays loadable.
+    fn from_bytes_v1(bytes: &[u8]) -> Result<Self, DataError> {
         let corrupt = |message: &str| DataError::CorruptModel {
             message: message.to_string(),
         };
-        if bytes.len() < MODEL_HEADER_LEN + 8 {
+        if bytes.len() < V1_HEADER_LEN + 8 {
             return Err(corrupt("blob shorter than the fixed header"));
-        }
-        if bytes[..4] != MODEL_MAGIC {
-            return Err(corrupt("missing \"SLMF\" magic"));
-        }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
-        if version != MODEL_FORMAT_VERSION {
-            return Err(DataError::UnsupportedModelVersion {
-                found: version,
-                supported: MODEL_FORMAT_VERSION,
-            });
         }
         let num_sources = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
         let num_features = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
@@ -340,7 +368,7 @@ impl SlimFastModel {
         else {
             return Err(corrupt("declared parameter count overflows"));
         };
-        let expected = MODEL_HEADER_LEN
+        let expected = V1_HEADER_LEN
             .checked_add(
                 len.checked_mul(8)
                     .ok_or_else(|| corrupt("payload overflows"))?,
@@ -355,7 +383,7 @@ impl SlimFastModel {
         if fnv1a(&bytes[..payload_end]) != stored {
             return Err(corrupt("checksum mismatch"));
         }
-        let weights = bytes[MODEL_HEADER_LEN..payload_end]
+        let weights = bytes[V1_HEADER_LEN..payload_end]
             .chunks_exact(8)
             .map(|chunk| f64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
             .collect();
@@ -582,10 +610,15 @@ mod tests {
             Err(slimfast_data::DataError::UnsupportedModelVersion { found, supported })
                 if found == MODEL_FORMAT_VERSION + 1 && supported == MODEL_FORMAT_VERSION
         ));
-        // Truncation and payload corruption.
-        assert!(SlimFastModel::from_bytes(&good[..good.len() - 1]).is_err());
+        // Truncation at every length and payload corruption.
+        for len in 0..good.len() {
+            assert!(
+                SlimFastModel::from_bytes(&good[..len]).is_err(),
+                "len {len}"
+            );
+        }
         let mut bad = good.clone();
-        let mid = MODEL_HEADER_LEN + 3;
+        let mid = 8 + (good.len() - 16) / 2; // inside the checksummed payload
         bad[mid] ^= 0xff;
         assert!(matches!(
             SlimFastModel::from_bytes(&bad),
@@ -593,6 +626,46 @@ mod tests {
         ));
         // Empty blob.
         assert!(SlimFastModel::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn legacy_v1_blobs_still_load() {
+        // Hand-write a v1 blob (fixed-width counts, raw little-endian weights) and
+        // check the current reader restores it bit-for-bit.
+        let weights = [0.25f64, -1.5, 3.125, 0.0];
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"SLMF");
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&2u64.to_le_bytes()); // num_sources
+        v1.extend_from_slice(&2u64.to_le_bytes()); // num_features
+        for w in weights {
+            v1.extend_from_slice(&w.to_le_bytes());
+        }
+        let checksum = slimfast_data::format::fnv1a(&v1);
+        v1.extend_from_slice(&checksum.to_le_bytes());
+
+        let model = SlimFastModel::from_bytes(&v1).unwrap();
+        assert_eq!(model.space().num_sources, 2);
+        assert_eq!(model.space().num_features, 2);
+        assert_eq!(model.weights(), &weights);
+        // Corrupt v1 payloads still fail cleanly through the legacy reader.
+        let mut bad = v1.clone();
+        bad[V1_HEADER_LEN + 3] ^= 0x40;
+        assert!(matches!(
+            SlimFastModel::from_bytes(&bad),
+            Err(slimfast_data::DataError::CorruptModel { message }) if message.contains("checksum")
+        ));
+        for len in 0..v1.len() {
+            assert!(SlimFastModel::from_bytes(&v1[..len]).is_err(), "len {len}");
+        }
+        // Re-serializing writes the current format, which also round-trips.
+        let v2 = model.to_bytes();
+        assert_eq!(
+            u32::from_le_bytes(v2[4..8].try_into().unwrap()),
+            MODEL_FORMAT_VERSION
+        );
+        let again = SlimFastModel::from_bytes(&v2).unwrap();
+        assert_eq!(again.weights(), model.weights());
     }
 
     #[test]

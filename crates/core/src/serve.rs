@@ -14,7 +14,7 @@
 //! * **The writer** owns the [`ServingEngine`]: it ingests claims into the wrapped
 //!   engine (window maintenance and compaction hygiene included), dispatches refits
 //!   onto the process-wide [`WorkerPool`] as *background jobs* when the engine's
-//!   [`RefitPolicy`](crate::config::RefitPolicy) fires, and publishes fresh snapshots.
+//!   [`RefitPolicy`] fires, and publishes fresh snapshots.
 //!
 //! # Snapshot lifecycle
 //!
@@ -67,19 +67,37 @@
 //! [`FusionEngine::refit`] at the capture's claim count would have served, no matter
 //! how long the background job ran or what else overlapped with it. The integration
 //! tests assert exactly this.
+//!
+//! # Persistence & cold start
+//!
+//! A [`ModelSnapshot`] is also the unit of persistence: [`ModelSnapshot::write_to`]
+//! serializes the full serving state — the fitted model, the compacted dataset, the
+//! feature matrix, and the precompiled trust table — into one versioned, checksummed
+//! `SLFS` container built from the [`slimfast_data::format`] wire vocabulary, and
+//! [`ServingEngine::from_snapshot`] cold-starts a serving tier from a reloaded
+//! snapshot *without retraining*: the restored snapshot is installed as the initial
+//! published epoch, so the first posterior served after a restart is bitwise-identical
+//! to the last one served before the save. Writes go through
+//! [`slimfast_data::atomic_write`], so a crash mid-save never truncates a previously
+//! good snapshot file.
 
+use std::io::{Read, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use slimfast_data::{
-    DataError, Dataset, FeatureMatrix, NamedObservation, ObjectId, TruthAssignment, ValueId,
+    atomic_write, format, snapshot as columnar, DataError, Dataset, FeatureMatrix, GroundTruth,
+    NamedObservation, ObjectId, TruthAssignment, ValueId,
 };
 use slimfast_optim::{JobHandle, WorkerPool};
 
+use crate::config::RefitPolicy;
 use crate::engine::FusionEngine;
 use crate::exec::{execution_lanes, num_threads};
 use crate::model::SlimFastModel;
 use crate::optimizer::OptimizerDecision;
+use crate::slimfast::SlimFast;
 
 /// Object handles per task in the batched [`ModelSnapshot::posteriors`] fan-out.
 /// Constant — never derived from the thread count — so the task grid, and therefore
@@ -89,6 +107,17 @@ const POSTERIOR_CHUNK: usize = 256;
 /// Batches below this many handles answer inline on the calling thread: the pool
 /// wakeup costs more than scoring a handful of objects.
 const POSTERIOR_INLINE_MIN: usize = 2 * POSTERIOR_CHUNK;
+
+/// Magic prefix of a serialized [`ModelSnapshot`] bundle ("SLiMFast Serving").
+const SNAPSHOT_MAGIC: [u8; 4] = *b"SLFS";
+
+/// Current [`ModelSnapshot`] bundle format version.
+///
+/// Version 1 nests the independently versioned section containers (the model blob,
+/// the `SLFD` dataset container, the `SLFF` features container), so the bundle version
+/// only changes when the *bundle* layout does — a dataset- or model-format revision is
+/// absorbed by the nested containers' own version fields.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
 
 /// An immutable, consistent view of the serving state: one fitted model, the dataset
 /// as of publish time, and the compiled per-source trust table
@@ -102,6 +131,9 @@ pub struct ModelSnapshot {
     /// Compiled trust table: `trust[s]` is the model's trust score for source `s`,
     /// precomputed once at publish so per-claim scoring is a table lookup.
     trust: Vec<f64>,
+    /// Which learner produced the model (forwarded to
+    /// [`FusionEngine::from_model`] on restore so refits keep using it).
+    decision: OptimizerDecision,
     epoch: u64,
     claims_ingested: u64,
     refits_installed: usize,
@@ -118,6 +150,7 @@ impl ModelSnapshot {
             dataset,
             features,
             trust,
+            decision: engine.decision(),
             epoch,
             claims_ingested,
             refits_installed: engine.refit_count(),
@@ -138,6 +171,172 @@ impl ModelSnapshot {
     /// Refits installed into the engine up to this snapshot (a model-version counter).
     pub fn refits_installed(&self) -> usize {
         self.refits_installed
+    }
+
+    /// Which learner ([`OptimizerDecision::Erm`] / [`OptimizerDecision::Em`]) produced
+    /// this snapshot's model.
+    pub fn decision(&self) -> OptimizerDecision {
+        self.decision
+    }
+
+    /// Serializes the full serving state into one `SLFS` bundle:
+    ///
+    /// ```text
+    /// magic "SLFS" | version u32 LE
+    /// | varint epoch | varint claims_ingested | varint refits_installed
+    /// | decision u8 (0 = ERM, 1 = EM)
+    /// | varint len + model blob          (crate::model — own magic/version/checksum)
+    /// | varint len + dataset container   (SLFD — slimfast_data::snapshot)
+    /// | varint len + features container  (SLFF — slimfast_data::snapshot)
+    /// | varint trust len | f64 column    (precompiled trust table)
+    /// | FNV-1a 64 checksum of everything above
+    /// ```
+    ///
+    /// The dataset is written in compacted form (an uncompacted snapshot is compacted
+    /// on a clone first — content-preserving, so reloaded posteriors are unchanged).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, DataError> {
+        let dataset_bytes = if self.dataset.is_compacted() {
+            columnar::dataset_to_bytes(&self.dataset)?
+        } else {
+            let mut compacted = self.dataset.clone();
+            compacted.compact();
+            columnar::dataset_to_bytes(&compacted)?
+        };
+        let model_bytes = self.model.to_bytes();
+        let features_bytes = columnar::features_to_bytes(&self.features);
+        let mut bytes = Vec::with_capacity(
+            64 + model_bytes.len()
+                + dataset_bytes.len()
+                + features_bytes.len()
+                + 8 * self.trust.len(),
+        );
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+        format::write_varint(&mut bytes, self.epoch);
+        format::write_varint(&mut bytes, self.claims_ingested);
+        format::write_varint(&mut bytes, self.refits_installed as u64);
+        bytes.push(match self.decision {
+            OptimizerDecision::Erm => 0,
+            OptimizerDecision::Em => 1,
+        });
+        for section in [&model_bytes, &dataset_bytes, &features_bytes] {
+            format::write_varint(&mut bytes, section.len() as u64);
+            bytes.extend_from_slice(section);
+        }
+        format::write_varint(&mut bytes, self.trust.len() as u64);
+        format::write_f64_column(&mut bytes, &self.trust);
+        format::append_checksum(&mut bytes);
+        Ok(bytes)
+    }
+
+    /// Deserializes a bundle written by [`ModelSnapshot::to_bytes`].
+    ///
+    /// Corruption anywhere — bad magic, a flipped bit, truncation at any byte,
+    /// inconsistent section dimensions — yields [`DataError::CorruptModel`]; a bundle
+    /// from a newer library yields [`DataError::UnsupportedModelVersion`]. Never
+    /// panics on untrusted input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DataError> {
+        if bytes.len() < 8 {
+            return Err(format::corrupt(
+                "snapshot bundle shorter than the fixed header",
+            ));
+        }
+        if bytes[..4] != SNAPSHOT_MAGIC {
+            return Err(format::corrupt("bad snapshot bundle magic"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version == 0 || version > SNAPSHOT_FORMAT_VERSION {
+            return Err(DataError::UnsupportedModelVersion {
+                found: version,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        let payload = format::split_checksum(bytes)?;
+        let mut cursor = format::Cursor::new(&payload[8..]);
+        let epoch = cursor.read_varint()?;
+        let claims_ingested = cursor.read_varint()?;
+        let refits_installed = cursor.read_len(usize::MAX)?;
+        let decision = match cursor.read_u8()? {
+            0 => OptimizerDecision::Erm,
+            1 => OptimizerDecision::Em,
+            other => {
+                return Err(format::corrupt(format!(
+                    "unknown optimizer decision tag {other}"
+                )))
+            }
+        };
+        let n = cursor.read_len(cursor.remaining())?;
+        let model = SlimFastModel::from_bytes(cursor.read_exact(n)?)?;
+        let n = cursor.read_len(cursor.remaining())?;
+        let dataset = columnar::dataset_from_bytes(cursor.read_exact(n)?)?;
+        let n = cursor.read_len(cursor.remaining())?;
+        let features = columnar::features_from_bytes(cursor.read_exact(n)?)?;
+        let trust_len = cursor.read_len(u32::MAX as usize)?;
+        let trust = cursor.read_f64_column(trust_len)?;
+        if !cursor.is_empty() {
+            return Err(format::corrupt(
+                "trailing bytes after the snapshot sections",
+            ));
+        }
+        if trust.len() != dataset.num_sources() {
+            return Err(format::corrupt(format!(
+                "trust table covers {} sources but the dataset has {}",
+                trust.len(),
+                dataset.num_sources()
+            )));
+        }
+        if features.num_sources() != dataset.num_sources() {
+            return Err(format::corrupt(format!(
+                "feature matrix covers {} sources but the dataset has {}",
+                features.num_sources(),
+                dataset.num_sources()
+            )));
+        }
+        if model.weights().len() != dataset.num_sources() + features.num_features() {
+            return Err(format::corrupt(format!(
+                "model has {} weights for {} sources + {} features",
+                model.weights().len(),
+                dataset.num_sources(),
+                features.num_features()
+            )));
+        }
+        Ok(Self {
+            model,
+            dataset,
+            features,
+            trust,
+            decision,
+            epoch,
+            claims_ingested,
+            refits_installed,
+        })
+    }
+
+    /// Writes the bundle to any [`Write`] sink. See [`ModelSnapshot::to_bytes`] for
+    /// the layout; prefer [`ModelSnapshot::write_to_file`] for paths — it writes
+    /// atomically.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> Result<(), DataError> {
+        writer.write_all(&self.to_bytes()?)?;
+        Ok(())
+    }
+
+    /// Reads a bundle from any [`Read`] source (reads to end, then parses).
+    pub fn read_from<R: Read>(mut reader: R) -> Result<Self, DataError> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Writes the bundle to a file via [`slimfast_data::atomic_write`]: the bytes land
+    /// in a temp file, are fsynced, and are renamed over `path`, so a crash mid-write
+    /// never leaves a truncated snapshot behind.
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), DataError> {
+        atomic_write(path, &self.to_bytes()?)
+    }
+
+    /// Reads a bundle from a file written by [`ModelSnapshot::write_to_file`].
+    pub fn read_from_file(path: impl AsRef<Path>) -> Result<Self, DataError> {
+        Self::from_bytes(&std::fs::read(path)?)
     }
 
     /// The frozen model serving this snapshot.
@@ -333,6 +532,52 @@ impl ServingEngine {
         }
     }
 
+    /// Cold-starts a serving tier from a persisted [`ModelSnapshot`] *without
+    /// retraining*: the snapshot itself becomes the initial published epoch, so the
+    /// first posterior served is bitwise-identical to the last one the saving engine
+    /// served — same model weights, same precompiled trust table, same dataset
+    /// content. The wrapped [`FusionEngine`] is reassembled around clones of the
+    /// snapshot's model and dataset (via [`FusionEngine::from_model`]), ready to
+    /// ingest further claims and refit under `policy`.
+    ///
+    /// `estimator` supplies the training configuration for *future* refits; the
+    /// snapshot pins which learner ([`ModelSnapshot::decision`]) produced the restored
+    /// weights. Two counters restart rather than persist: the engine's
+    /// [`FusionEngine::refit_count`] begins at 0 (the historical total remains
+    /// available as [`ModelSnapshot::refits_installed`]), and ground-truth labels are
+    /// not part of a snapshot — re-apply them through [`ServingEngine::label`] if
+    /// refits should keep supervision.
+    pub fn from_snapshot(
+        snapshot: ModelSnapshot,
+        estimator: SlimFast,
+        policy: RefitPolicy,
+    ) -> Self {
+        let engine = FusionEngine::from_model(
+            estimator,
+            snapshot.model.clone(),
+            snapshot.decision,
+            snapshot.dataset.clone(),
+            snapshot.features.clone(),
+            GroundTruth::empty(snapshot.dataset.num_objects()),
+            policy,
+        );
+        let epoch = snapshot.epoch;
+        let claims_ingested = snapshot.claims_ingested;
+        let shared = Arc::new(ServeShared {
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            epoch: AtomicU64::new(epoch),
+            claims_ingested: AtomicU64::new(claims_ingested),
+            swaps: AtomicU64::new(1),
+        });
+        Self {
+            engine,
+            shared,
+            refit: None,
+            publish_every: Self::DEFAULT_PUBLISH_EVERY,
+            claims_since_publish: 0,
+        }
+    }
+
     /// Sets the data-snapshot cadence: a fresh snapshot is published after every
     /// `publish_every` ingested claims (clamped to at least 1), bounding reader
     /// staleness at `publish_every − 1` claims in steady state. Publishing clones the
@@ -362,7 +607,7 @@ impl ServingEngine {
     /// Ingests a batch of claims and runs the serving maintenance cycle: window
     /// evictions and compaction hygiene inside the wrapped engine, completed background
     /// refits installed and published, a new refit dispatched if the engine's
-    /// [`RefitPolicy`](crate::config::RefitPolicy) fires while none is in flight, and a
+    /// [`RefitPolicy`] fires while none is in flight, and a
     /// data snapshot published on the [`ServingEngine::with_publish_every`] cadence.
     /// Returns the number of non-duplicate claims appended.
     ///
@@ -760,6 +1005,173 @@ mod tests {
                 None => assert!(batch[i].is_empty(), "id {i} is out of range"),
             }
         }
+    }
+
+    #[test]
+    fn snapshot_bundle_round_trips_bitwise() {
+        let mut serving = serving_fixture(RefitPolicy::Never);
+        serving.ingest(&claims(0, 75)).unwrap();
+        serving.refit_now();
+        let saved = serving.snapshot();
+
+        let bytes = saved.to_bytes().unwrap();
+        let restored = ModelSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.epoch(), saved.epoch());
+        assert_eq!(restored.claims_ingested(), saved.claims_ingested());
+        assert_eq!(restored.refits_installed(), saved.refits_installed());
+        assert_eq!(restored.decision(), saved.decision());
+        assert_eq!(restored.model().weights(), saved.model().weights());
+        assert!(restored.dataset().same_content(saved.dataset()));
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for o in 0..saved.dataset().num_objects() {
+            let a = saved.posterior_by_id(ObjectId::new(o)).unwrap();
+            let b = restored.posterior_by_id(ObjectId::new(o)).unwrap();
+            assert_eq!(bits(&a), bits(&b), "object {o}");
+        }
+    }
+
+    #[test]
+    fn uncompacted_snapshots_are_compacted_on_write_without_changing_posteriors() {
+        let mut serving = serving_fixture(RefitPolicy::Never).with_publish_every(1);
+        serving.ingest(&claims(0, 40)).unwrap();
+        let saved = serving.snapshot();
+        // The bundle is readable whether or not the captured dataset was compacted,
+        // and posteriors survive the (content-preserving) compaction either way.
+        let restored = ModelSnapshot::from_bytes(&saved.to_bytes().unwrap()).unwrap();
+        assert!(restored.dataset().same_content(saved.dataset()));
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for o in 0..saved.dataset().num_objects() {
+            let a = saved.posterior_by_id(ObjectId::new(o)).unwrap();
+            let b = restored.posterior_by_id(ObjectId::new(o)).unwrap();
+            assert_eq!(bits(&a), bits(&b), "object {o}");
+        }
+    }
+
+    #[test]
+    fn from_snapshot_cold_starts_and_keeps_serving() {
+        let mut serving = serving_fixture(RefitPolicy::Never);
+        serving.ingest(&claims(0, 60)).unwrap();
+        serving.refit_now();
+        let saved = serving.snapshot();
+        let bytes = saved.to_bytes().unwrap();
+
+        let restored = ModelSnapshot::from_bytes(&bytes).unwrap();
+        let mut revived = ServingEngine::from_snapshot(
+            restored,
+            SlimFast::em(SlimFastConfig::default()),
+            RefitPolicy::Never,
+        );
+        // The initial published epoch IS the restored snapshot: identical counters,
+        // bitwise-identical posteriors, zero staleness, no retraining.
+        let stats = revived.stats();
+        assert_eq!(stats.epoch, saved.epoch());
+        assert_eq!(stats.claims_ingested, saved.claims_ingested());
+        assert_eq!(stats.staleness, 0);
+        assert_eq!(revived.engine().refit_count(), 0);
+        let mut reader = revived.reader();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for o in 0..saved.dataset().num_objects() {
+            let a = saved.posterior_by_id(ObjectId::new(o)).unwrap();
+            let b = reader.posterior_by_id(ObjectId::new(o)).unwrap();
+            assert_eq!(bits(&a), bits(&b), "object {o}");
+        }
+        // The revived writer ingests, publishes, and refits like a fresh engine.
+        revived.ingest(&claims(60, 30)).unwrap();
+        revived.refit_now();
+        assert_eq!(revived.engine().refit_count(), 1);
+        assert!(reader.posterior("live-o7").is_some());
+        assert_eq!(reader.staleness(), 0);
+        assert!(reader.snapshot().epoch() > saved.epoch());
+    }
+
+    #[test]
+    fn snapshot_bundle_rejects_corruption_and_future_versions() {
+        let mut serving = serving_fixture(RefitPolicy::Never);
+        serving.ingest(&claims(0, 25)).unwrap();
+        serving.publish_now();
+        let good = serving.snapshot().to_bytes().unwrap();
+
+        // Truncation at every length parses to an error, never a panic.
+        for len in 0..good.len() {
+            assert!(
+                ModelSnapshot::from_bytes(&good[..len]).is_err(),
+                "truncation at {len} must fail"
+            );
+        }
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            ModelSnapshot::from_bytes(&bad),
+            Err(DataError::CorruptModel { .. })
+        ));
+        // A flipped payload bit trips the bundle checksum.
+        let mut bad = good.clone();
+        let mid = 8 + (good.len() - 16) / 2;
+        bad[mid] ^= 0x04;
+        match ModelSnapshot::from_bytes(&bad) {
+            Err(DataError::CorruptModel { message }) => {
+                assert!(message.contains("checksum"), "message: {message}")
+            }
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+        // A future version is reported as unsupported, not corrupt.
+        let mut future = good.clone();
+        future[4..8].copy_from_slice(&(SNAPSHOT_FORMAT_VERSION + 3).to_le_bytes());
+        assert!(matches!(
+            ModelSnapshot::from_bytes(&future),
+            Err(DataError::UnsupportedModelVersion { found, supported })
+                if found == SNAPSHOT_FORMAT_VERSION + 3 && supported == SNAPSHOT_FORMAT_VERSION
+        ));
+        // An unknown decision tag in an otherwise well-formed bundle is corrupt.
+        let mut crafted = Vec::new();
+        crafted.extend_from_slice(&SNAPSHOT_MAGIC);
+        crafted.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+        format::write_varint(&mut crafted, 1); // epoch
+        format::write_varint(&mut crafted, 0); // claims_ingested
+        format::write_varint(&mut crafted, 0); // refits_installed
+        crafted.push(7); // not a decision
+        format::append_checksum(&mut crafted);
+        match ModelSnapshot::from_bytes(&crafted) {
+            Err(DataError::CorruptModel { message }) => {
+                assert!(message.contains("decision"), "message: {message}")
+            }
+            other => panic!("expected decision-tag failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_file_round_trip_is_atomic_and_lossless() {
+        let mut serving = serving_fixture(RefitPolicy::Never);
+        serving.ingest(&claims(0, 30)).unwrap();
+        serving.publish_now();
+        let saved = serving.snapshot();
+
+        let dir = std::env::temp_dir().join(format!("slimfast-serve-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.slfs");
+        saved.write_to_file(&path).unwrap();
+        // Overwrite through the atomic path; the previous file is replaced, not
+        // appended to, and no temp files are left behind.
+        saved.write_to_file(&path).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("state.slfs")]);
+
+        let restored = ModelSnapshot::read_from_file(&path).unwrap();
+        assert_eq!(restored.model().weights(), saved.model().weights());
+        assert!(restored.dataset().same_content(saved.dataset()));
+
+        // The Write/Read pair speaks the same bytes as the file pair.
+        let mut sink = Vec::new();
+        saved.write_to(&mut sink).unwrap();
+        assert_eq!(sink, std::fs::read(&path).unwrap());
+        let again = ModelSnapshot::read_from(&sink[..]).unwrap();
+        assert_eq!(again.claims_ingested(), saved.claims_ingested());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

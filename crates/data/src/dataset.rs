@@ -977,6 +977,100 @@ impl Dataset {
     }
 }
 
+/// Borrowed view of a compacted [`Dataset`]'s base CSR arrays and vocabularies,
+/// consumed by the snapshot writer (`crate::snapshot`). Only meaningful when
+/// [`Dataset::is_compacted`] holds — overlay rows are not represented.
+pub(crate) struct DatasetColumns<'a> {
+    pub by_object: &'a [(SourceId, ValueId)],
+    pub by_object_offsets: &'a [u32],
+    pub by_object_seq: &'a [u32],
+    pub by_source: &'a [(ObjectId, ValueId)],
+    pub by_source_offsets: &'a [u32],
+    pub domains: &'a [ValueId],
+    pub domain_offsets: &'a [u32],
+    pub sources: &'a Interner<SourceId>,
+    pub objects: &'a Interner<ObjectId>,
+    pub values: &'a Interner<ValueId>,
+    pub num_sources: usize,
+    pub num_objects: usize,
+    pub num_values: usize,
+    pub compactions: usize,
+}
+
+/// Owned CSR arrays and vocabularies of a compacted dataset, produced by the snapshot
+/// reader (`crate::snapshot`) and assembled with [`Dataset::from_parts`].
+pub(crate) struct DatasetParts {
+    pub observations: Vec<Observation>,
+    pub by_object: Vec<(SourceId, ValueId)>,
+    pub by_object_offsets: Vec<u32>,
+    pub by_object_seq: Vec<u32>,
+    pub by_source: Vec<(ObjectId, ValueId)>,
+    pub by_source_offsets: Vec<u32>,
+    pub domains: Vec<ValueId>,
+    pub domain_offsets: Vec<u32>,
+    pub sources: Interner<SourceId>,
+    pub objects: Interner<ObjectId>,
+    pub values: Interner<ValueId>,
+    pub num_sources: usize,
+    pub num_objects: usize,
+    pub num_values: usize,
+    pub compactions: usize,
+}
+
+impl Dataset {
+    /// Borrows the base CSR arrays and vocabularies for columnar serialization.
+    /// Callers must hold [`Dataset::is_compacted`]; the view ignores any delta.
+    pub(crate) fn columns(&self) -> DatasetColumns<'_> {
+        debug_assert!(
+            self.is_compacted(),
+            "columns() requires a compacted dataset"
+        );
+        DatasetColumns {
+            by_object: &self.by_object,
+            by_object_offsets: &self.by_object_offsets,
+            by_object_seq: &self.by_object_seq,
+            by_source: &self.by_source,
+            by_source_offsets: &self.by_source_offsets,
+            domains: &self.domains,
+            domain_offsets: &self.domain_offsets,
+            sources: &self.sources,
+            objects: &self.objects,
+            values: &self.values,
+            num_sources: self.num_sources,
+            num_objects: self.num_objects,
+            num_values: self.num_values,
+            compactions: self.compactions,
+        }
+    }
+
+    /// Assembles a compacted dataset directly from its CSR arrays, bypassing the
+    /// indexing pass. The caller (the snapshot reader) is responsible for the CSR
+    /// invariants: row slices sorted by their first component, offsets covering the
+    /// entry vectors, and `observations` aligned with `by_object_seq`.
+    pub(crate) fn from_parts(parts: DatasetParts) -> Dataset {
+        Dataset {
+            observations: parts.observations,
+            live: None,
+            num_dead: 0,
+            by_object: parts.by_object,
+            by_object_offsets: parts.by_object_offsets,
+            by_object_seq: parts.by_object_seq,
+            by_source: parts.by_source,
+            by_source_offsets: parts.by_source_offsets,
+            domains: parts.domains,
+            domain_offsets: parts.domain_offsets,
+            sources: parts.sources,
+            objects: parts.objects,
+            values: parts.values,
+            num_sources: parts.num_sources,
+            num_objects: parts.num_objects,
+            num_values: parts.num_values,
+            delta: DeltaLog::default(),
+            compactions: parts.compactions,
+        }
+    }
+}
+
 /// Incremental builder of a [`Dataset`].
 ///
 /// Observations can be registered either by name ([`DatasetBuilder::observe`]) or by

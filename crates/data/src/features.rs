@@ -103,6 +103,25 @@ impl FeatureMatrix {
             features: self.features.clone(),
         }
     }
+
+    /// Borrows the sparse rows for columnar serialization (`crate::snapshot`).
+    pub(crate) fn rows(&self) -> &[Vec<(FeatureId, FeatureValue)>] {
+        &self.rows
+    }
+
+    /// Borrows the feature vocabulary for columnar serialization (`crate::snapshot`).
+    pub(crate) fn interner(&self) -> &Interner<FeatureId> {
+        &self.features
+    }
+
+    /// Assembles a matrix directly from deserialized rows and vocabulary
+    /// (`crate::snapshot`).
+    pub(crate) fn from_parts(
+        rows: Vec<Vec<(FeatureId, FeatureValue)>>,
+        features: Interner<FeatureId>,
+    ) -> Self {
+        Self { rows, features }
+    }
 }
 
 /// Incremental builder for a [`FeatureMatrix`].

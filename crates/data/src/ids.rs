@@ -160,6 +160,22 @@ where
             .enumerate()
             .map(|(i, n)| (Id::from(i), n.as_str()))
     }
+
+    /// Rebuilds an interner from its insertion-order name vector (the inverse of
+    /// collecting [`Interner::iter`]). Handles are assigned in vector order, so an
+    /// interner round-trips exactly through its name list. Duplicate names keep the
+    /// first handle, matching [`Interner::intern`] semantics.
+    pub fn from_names(names: Vec<String>) -> Self {
+        let mut lookup = HashMap::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            lookup.entry(name.clone()).or_insert(i as u32);
+        }
+        Self {
+            names,
+            lookup,
+            _marker: std::marker::PhantomData,
+        }
+    }
 }
 
 /// Helper trait giving [`Interner`] access to the underlying index of a handle.

@@ -6,11 +6,77 @@
 //! this workspace generates is comma-free.
 
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::error::DataError;
 use crate::features::{FeatureMatrix, FeatureMatrixBuilder};
 use crate::truth::GroundTruth;
+
+/// Writes `bytes` to `path` atomically: the data goes to a temp file in the same
+/// directory, is fsync'd, and is then renamed over the target, so a crash at any point
+/// leaves either the old file or the new one — never a torn mix. Used by the snapshot
+/// and model file writers; the temp file is cleaned up on failure.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), DataError> {
+    let path = path.as_ref();
+    let dir: PathBuf = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let file_name = path.file_name().ok_or_else(|| {
+        DataError::Invalid(format!(
+            "atomic_write target '{}' has no file name",
+            path.display()
+        ))
+    })?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself. Directory fsync is best-effort: some platforms
+        // refuse to open directories, and the rename is already atomic without it.
+        if let Ok(d) = std::fs::File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(DataError::from)
+}
+
+/// Drives `handle` over every non-empty, non-comment line of `reader`, reusing one
+/// line buffer for the whole file instead of allocating a fresh `String` per line
+/// (what `BufRead::lines` does). The callback receives the 1-based line number and
+/// the trimmed line. All CSV readers in this module go through here, so large loads
+/// are one buffered read loop with zero per-line allocations.
+fn for_each_csv_line<R: Read>(
+    reader: R,
+    mut handle: impl FnMut(usize, &str) -> Result<(), DataError>,
+) -> Result<(), DataError> {
+    let mut reader = BufReader::with_capacity(1 << 16, reader);
+    let mut line = String::new();
+    let mut number = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        number += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        handle(number, trimmed)?;
+    }
+}
 
 /// Splits one non-comment observation line into its `(source, object, value)` fields,
 /// or `None` when the line does not have exactly three comma-separated fields. Shared
@@ -28,20 +94,16 @@ pub(crate) fn parse_claim_fields(trimmed: &str) -> Option<(&str, &str, &str)> {
 /// Empty lines and lines starting with `#` are ignored.
 pub fn read_observations_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
     let mut builder = DatasetBuilder::new();
-    for (idx, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
+    for_each_csv_line(reader, |line, trimmed| {
         let (source, object, value) =
             parse_claim_fields(trimmed).ok_or_else(|| DataError::Parse {
-                line: idx + 1,
+                line,
                 message: "expected exactly three comma-separated fields: source,object,value"
                     .to_string(),
             })?;
         builder.observe(source, object, value)?;
-    }
+        Ok(())
+    })?;
     Ok(builder.build())
 }
 
@@ -83,32 +145,28 @@ pub fn read_ground_truth_csv<R: Read>(
     reader: R,
 ) -> Result<GroundTruth, DataError> {
     let mut truth = GroundTruth::empty(dataset.num_objects());
-    for (idx, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
+    for_each_csv_line(reader, |line, trimmed| {
         let mut parts = trimmed.split(',');
         let (object, value) = match (parts.next(), parts.next(), parts.next()) {
             (Some(o), Some(v), None) => (o.trim(), v.trim()),
             _ => {
                 return Err(DataError::Parse {
-                    line: idx + 1,
+                    line,
                     message: "expected exactly two comma-separated fields: object,value"
                         .to_string(),
                 })
             }
         };
         let o = dataset.object_id(object).ok_or(DataError::Parse {
-            line: idx + 1,
+            line,
             message: format!("unknown object '{object}'"),
         })?;
         let v = dataset
             .value_id(value)
             .ok_or(DataError::TruthOutsideDomain { object: o.index() })?;
         truth.set(o, v);
-    }
+        Ok(())
+    })?;
     Ok(truth)
 }
 
@@ -140,33 +198,29 @@ pub fn read_features_csv<R: Read>(
     reader: R,
 ) -> Result<FeatureMatrix, DataError> {
     let mut builder = FeatureMatrixBuilder::new();
-    for (idx, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
+    for_each_csv_line(reader, |line, trimmed| {
         let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
         if fields.len() < 2 || fields.len() > 3 {
             return Err(DataError::Parse {
-                line: idx + 1,
+                line,
                 message: "expected source,feature[,value]".to_string(),
             });
         }
         let s = dataset.source_id(fields[0]).ok_or(DataError::Parse {
-            line: idx + 1,
+            line,
             message: format!("unknown source '{}'", fields[0]),
         })?;
         let value = if fields.len() == 3 {
             fields[2].parse::<f64>().map_err(|_| DataError::Parse {
-                line: idx + 1,
+                line,
                 message: format!("'{}' is not a number", fields[2]),
             })?
         } else {
             1.0
         };
         builder.set(s, fields[1], value);
-    }
+        Ok(())
+    })?;
     Ok(builder.build(dataset.num_sources()))
 }
 
@@ -231,6 +285,30 @@ mod tests {
         // Value never observed by any source violates single-truth semantics.
         let err = read_ground_truth_csv(&dataset, "GBA/Parkinson,maybe\n".as_bytes()).unwrap_err();
         assert!(matches!(err, DataError::TruthOutsideDomain { .. }));
+    }
+
+    #[test]
+    fn atomic_write_replaces_without_leaving_temp_files() {
+        let dir = std::env::temp_dir().join(format!("slimfast-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        // Overwrite is atomic too, and no temp files survive.
+        atomic_write(&path, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer payload");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        // A target with no file name is rejected, not panicked on.
+        assert!(atomic_write(dir.join(".."), b"x").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

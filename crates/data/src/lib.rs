@@ -24,6 +24,14 @@
 //!
 //! The crate has no opinion about *how* fusion is performed; it only captures the shape of
 //! the problem: conflicting observations over objects with single-truth semantics.
+//!
+//! ## Persistence
+//!
+//! Two complementary channels exist: human-auditable CSV ([`io`]) and the columnar
+//! binary snapshot containers of [`snapshot`] — versioned, checksummed, and loaded
+//! with one contiguous read per column straight into the CSR layouts. The low-level
+//! wire vocabulary (varints, delta-encoded offsets, RLE blocks, FNV-1a checksums)
+//! lives in [`mod@format`] and is shared with the model blobs of `slimfast-core`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,11 +40,13 @@ pub mod dataset;
 pub mod error;
 pub mod estimator;
 pub mod features;
+pub mod format;
 pub mod fusion;
 pub mod ids;
 pub mod ingest;
 pub mod io;
 pub mod observation;
+pub mod snapshot;
 pub mod split;
 pub mod stats;
 pub mod truth;
@@ -49,10 +59,14 @@ pub use fusion::{FusionInput, FusionMethod, FusionOutput};
 pub use ids::{FeatureId, Interner, ObjectId, SourceId, ValueId};
 pub use ingest::{build_claims_sharded, read_observations_csv_sharded};
 pub use io::{
-    read_features_csv, read_ground_truth_csv, read_observations_csv, write_ground_truth_csv,
-    write_observations_csv,
+    atomic_write, read_features_csv, read_ground_truth_csv, read_observations_csv,
+    write_ground_truth_csv, write_observations_csv,
 };
 pub use observation::{NamedObservation, Observation};
+pub use snapshot::{
+    dataset_from_bytes, dataset_to_bytes, features_from_bytes, features_to_bytes,
+    read_dataset_file, write_dataset_file,
+};
 pub use split::{Split, SplitPlan};
 pub use stats::DatasetStats;
 pub use truth::{GroundTruth, SourceAccuracies, TruthAssignment};

@@ -1,0 +1,530 @@
+//! Columnar binary snapshots of datasets and feature matrices.
+//!
+//! CSV round trips re-parse every claim; a snapshot instead writes the CSR arrays a
+//! [`Dataset`] already holds as contiguous columnar streams and loads them back with
+//! one contiguous read per column — no per-claim parsing, no re-indexing, no
+//! re-interning. Cold-starting a serving process from a snapshot is therefore bounded
+//! by I/O and a handful of `memcpy`-shaped column decodes, not by parse or fit time.
+//!
+//! # Dataset container layout (`SLFD`, version 1)
+//!
+//! All integers are little-endian; `varint` is unsigned LEB128 and `block`, `offsets`,
+//! `u32 column`, and `f64 column` are the primitives of [`crate::format`] (every block
+//! is independently raw or run-length encoded, whichever is smaller).
+//!
+//! | section | encoding |
+//! |---|---|
+//! | magic | `"SLFD"` (4 bytes) |
+//! | version | `u32` |
+//! | counts | varints: `num_sources`, `num_objects`, `num_values`, `num_observations`, `compactions`, `domains_len` |
+//! | source names | varint count, then per name: varint length + UTF-8 bytes |
+//! | object names | same |
+//! | value names | same |
+//! | `by_object` offsets | delta+varint offsets, `num_objects` rows |
+//! | `by_object` source column | u32 column, `num_observations` entries |
+//! | `by_object` value column | u32 column, `num_observations` entries |
+//! | `by_object` seq column | u32 column, `num_observations` entries |
+//! | `by_source` offsets | delta+varint offsets, `num_sources` rows |
+//! | `by_source` object column | u32 column, `num_observations` entries |
+//! | `by_source` value column | u32 column, `num_observations` entries |
+//! | domain offsets | delta+varint offsets, `num_objects` rows |
+//! | domain value column | u32 column, `domains_len` entries |
+//! | checksum | FNV-1a 64 of all preceding bytes |
+//!
+//! The insertion-order observation log is **not** stored: each `by_object` entry
+//! carries its log sequence number, so the loader scatters the object rows back into
+//! log order (`log[seq] = (source, row_object, value)`) — an exact, validated
+//! reconstruction that keeps on-disk bytes/claim strictly below the in-memory figure
+//! reported by [`Dataset::storage_stats`].
+//!
+//! Feature matrices use the sibling `SLFF` container: feature vocabulary, delta+varint
+//! row offsets, a u32 feature-handle column, and an f64 value column (bit-exact).
+//!
+//! # Compatibility promise
+//!
+//! Readers accept every container version up to the current one; the version constants
+//! only move when the layout changes, and old versions stay readable (the same promise
+//! `SlimFastModel::from_bytes` makes for model blobs). Every reader validates the
+//! trailing checksum and every structural invariant before constructing a value:
+//! corrupt or truncated input fails with typed [`DataError::CorruptModel`] /
+//! [`DataError::UnsupportedModelVersion`] errors, never a panic.
+//!
+//! # Write atomicity
+//!
+//! The file helpers ([`write_dataset_file`]) go through [`crate::io::atomic_write`]
+//! (write temp + fsync + rename), so a crash mid-write never leaves a torn snapshot
+//! at the target path.
+
+use std::path::Path;
+
+use crate::dataset::{Dataset, DatasetParts};
+use crate::error::DataError;
+use crate::features::{FeatureMatrix, FeatureValue};
+use crate::format::{self, corrupt, Cursor};
+use crate::ids::{FeatureId, Interner, ObjectId, SourceId, ValueId};
+use crate::io::atomic_write;
+use crate::observation::Observation;
+
+/// Magic prefix of a serialized dataset container.
+const DATASET_MAGIC: [u8; 4] = *b"SLFD";
+/// Current dataset container version. Bumped only on layout changes; older versions
+/// stay readable.
+pub const DATASET_FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of a serialized feature-matrix container.
+const FEATURES_MAGIC: [u8; 4] = *b"SLFF";
+/// Current feature-matrix container version.
+pub const FEATURES_FORMAT_VERSION: u32 = 1;
+
+fn write_dict<Id: Copy + From<usize> + crate::ids::IdLike>(
+    out: &mut Vec<u8>,
+    interner: &Interner<Id>,
+) {
+    format::write_varint(out, interner.len() as u64);
+    for (_, name) in interner.iter() {
+        format::write_str(out, name);
+    }
+}
+
+fn read_dict<Id: Copy + From<usize> + crate::ids::IdLike>(
+    cursor: &mut Cursor<'_>,
+    max_len: usize,
+) -> Result<Interner<Id>, DataError> {
+    let len = cursor.read_len(max_len)?;
+    let mut names = Vec::with_capacity(len.min(cursor.remaining()));
+    for _ in 0..len {
+        names.push(cursor.read_str()?);
+    }
+    Ok(Interner::from_names(names))
+}
+
+/// Checks the magic/version header shared by both containers. Returns the cursor
+/// positioned after the header, with the trailing checksum already verified.
+fn open_container<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 4],
+    supported: u32,
+) -> Result<Cursor<'a>, DataError> {
+    if bytes.len() < 8 || &bytes[..4] != magic {
+        return Err(corrupt("bad magic: not a snapshot container"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    if version == 0 || version > supported {
+        return Err(DataError::UnsupportedModelVersion {
+            found: version,
+            supported,
+        });
+    }
+    let payload = format::split_checksum(bytes)?;
+    let mut cursor = Cursor::new(payload);
+    cursor.read_exact(8).expect("header length checked");
+    Ok(cursor)
+}
+
+/// Serializes a compacted dataset into the columnar `SLFD` container.
+///
+/// Fails with [`DataError::Invalid`] when the dataset carries pending appends or
+/// tombstones — call [`Dataset::compact`] first (the serving-bundle writer does this
+/// automatically on a clone).
+pub fn dataset_to_bytes(dataset: &Dataset) -> Result<Vec<u8>, DataError> {
+    if !dataset.is_compacted() {
+        return Err(DataError::Invalid(
+            "snapshots require a compacted dataset; call Dataset::compact() first".to_string(),
+        ));
+    }
+    let cols = dataset.columns();
+    let n = cols.by_object.len();
+    let mut out = Vec::with_capacity(32 + n * 6);
+    out.extend_from_slice(&DATASET_MAGIC);
+    out.extend_from_slice(&DATASET_FORMAT_VERSION.to_le_bytes());
+    for count in [
+        cols.num_sources,
+        cols.num_objects,
+        cols.num_values,
+        n,
+        cols.compactions,
+        cols.domains.len(),
+    ] {
+        format::write_varint(&mut out, count as u64);
+    }
+    write_dict(&mut out, cols.sources);
+    write_dict(&mut out, cols.objects);
+    write_dict(&mut out, cols.values);
+
+    let planar_u32 = |col: &mut Vec<u32>, it: &mut dyn Iterator<Item = u32>| {
+        col.clear();
+        col.extend(it);
+    };
+    let mut col: Vec<u32> = Vec::with_capacity(n);
+    format::write_offsets(&mut out, cols.by_object_offsets);
+    planar_u32(&mut col, &mut cols.by_object.iter().map(|&(s, _)| s.0));
+    format::write_u32_column(&mut out, &col);
+    planar_u32(&mut col, &mut cols.by_object.iter().map(|&(_, v)| v.0));
+    format::write_u32_column(&mut out, &col);
+    format::write_u32_column(&mut out, cols.by_object_seq);
+
+    format::write_offsets(&mut out, cols.by_source_offsets);
+    planar_u32(&mut col, &mut cols.by_source.iter().map(|&(o, _)| o.0));
+    format::write_u32_column(&mut out, &col);
+    planar_u32(&mut col, &mut cols.by_source.iter().map(|&(_, v)| v.0));
+    format::write_u32_column(&mut out, &col);
+
+    format::write_offsets(&mut out, cols.domain_offsets);
+    planar_u32(&mut col, &mut cols.domains.iter().map(|&v| v.0));
+    format::write_u32_column(&mut out, &col);
+
+    format::append_checksum(&mut out);
+    Ok(out)
+}
+
+/// Validates that every entry of `col` is below `bound`.
+fn check_ids(col: &[u32], bound: usize, what: &str) -> Result<(), DataError> {
+    if col.iter().any(|&id| (id as usize) >= bound) {
+        return Err(corrupt(format!("{what} handle out of range")));
+    }
+    Ok(())
+}
+
+/// Deserializes a `SLFD` container back into a compacted [`Dataset`].
+///
+/// The checksum is verified before any parsing; every handle is bounds-checked and the
+/// sequence column is validated to be a permutation of the log positions before the
+/// observation log is scattered back together, so corrupt input can produce an error
+/// but never a panic or an inconsistent dataset.
+pub fn dataset_from_bytes(bytes: &[u8]) -> Result<Dataset, DataError> {
+    let mut cursor = open_container(bytes, &DATASET_MAGIC, DATASET_FORMAT_VERSION)?;
+    let max = u32::MAX as usize;
+    let num_sources = cursor.read_len(max)?;
+    let num_objects = cursor.read_len(max)?;
+    let num_values = cursor.read_len(max)?;
+    let n = cursor.read_len(max)?;
+    let compactions = cursor.read_len(usize::MAX)?;
+    // Every domain entry is backed by at least one claim, so domains_len <= n.
+    let domains_len = cursor.read_len(n)?;
+
+    let sources: Interner<SourceId> = read_dict(&mut cursor, num_sources)?;
+    let objects: Interner<ObjectId> = read_dict(&mut cursor, num_objects)?;
+    let values: Interner<ValueId> = read_dict(&mut cursor, num_values)?;
+
+    let n_u32 = u32::try_from(n).map_err(|_| corrupt("claim count overflows u32"))?;
+    let by_object_offsets = cursor.read_offsets(num_objects, n_u32)?;
+    let obj_sources = cursor.read_u32_column(n)?;
+    let obj_values = cursor.read_u32_column(n)?;
+    let by_object_seq = cursor.read_u32_column(n)?;
+    check_ids(&obj_sources, num_sources, "source")?;
+    check_ids(&obj_values, num_values, "value")?;
+
+    let by_source_offsets = cursor.read_offsets(num_sources, n_u32)?;
+    let src_objects = cursor.read_u32_column(n)?;
+    let src_values = cursor.read_u32_column(n)?;
+    check_ids(&src_objects, num_objects, "object")?;
+    check_ids(&src_values, num_values, "value")?;
+
+    let domains_u32 =
+        u32::try_from(domains_len).map_err(|_| corrupt("domain count overflows u32"))?;
+    let domain_offsets = cursor.read_offsets(num_objects, domains_u32)?;
+    let domain_values = cursor.read_u32_column(domains_len)?;
+    check_ids(&domain_values, num_values, "value")?;
+    if !cursor.is_empty() {
+        return Err(corrupt("trailing bytes after dataset payload"));
+    }
+
+    // Scatter the object rows back into the insertion-order log. The seq column must
+    // be a permutation of 0..n or the log cannot be reconstructed.
+    let mut observations = vec![Observation::new(SourceId(0), ObjectId(0), ValueId(0)); n];
+    let mut seen = vec![false; n];
+    for object in 0..num_objects {
+        let row = by_object_offsets[object] as usize..by_object_offsets[object + 1] as usize;
+        for i in row {
+            let seq = by_object_seq[i] as usize;
+            if seq >= n || seen[seq] {
+                return Err(corrupt("sequence column is not a permutation of the log"));
+            }
+            seen[seq] = true;
+            observations[seq] = Observation::new(
+                SourceId(obj_sources[i]),
+                ObjectId::new(object),
+                ValueId(obj_values[i]),
+            );
+        }
+    }
+
+    let zip_pairs =
+        |a: Vec<u32>, b: Vec<u32>| -> Vec<(u32, u32)> { a.into_iter().zip(b).collect() };
+    let by_object = zip_pairs(obj_sources, obj_values)
+        .into_iter()
+        .map(|(s, v)| (SourceId(s), ValueId(v)))
+        .collect();
+    let by_source = zip_pairs(src_objects, src_values)
+        .into_iter()
+        .map(|(o, v)| (ObjectId(o), ValueId(v)))
+        .collect();
+    let domains = domain_values.into_iter().map(ValueId).collect();
+
+    Ok(Dataset::from_parts(DatasetParts {
+        observations,
+        by_object,
+        by_object_offsets,
+        by_object_seq,
+        by_source,
+        by_source_offsets,
+        domains,
+        domain_offsets,
+        sources,
+        objects,
+        values,
+        num_sources,
+        num_objects,
+        num_values,
+        compactions,
+    }))
+}
+
+/// Serializes a [`FeatureMatrix`] into the columnar `SLFF` container.
+pub fn features_to_bytes(features: &FeatureMatrix) -> Vec<u8> {
+    let rows = features.rows();
+    let nnz = rows.iter().map(Vec::len).sum::<usize>();
+    let mut out = Vec::with_capacity(32 + nnz * 12);
+    out.extend_from_slice(&FEATURES_MAGIC);
+    out.extend_from_slice(&FEATURES_FORMAT_VERSION.to_le_bytes());
+    format::write_varint(&mut out, rows.len() as u64);
+    format::write_varint(&mut out, nnz as u64);
+    write_dict(&mut out, features.interner());
+    let mut offsets = Vec::with_capacity(rows.len() + 1);
+    offsets.push(0u32);
+    let mut acc = 0u32;
+    for row in rows {
+        acc += row.len() as u32;
+        offsets.push(acc);
+    }
+    format::write_offsets(&mut out, &offsets);
+    let ids: Vec<u32> = rows.iter().flatten().map(|&(k, _)| k.0).collect();
+    format::write_u32_column(&mut out, &ids);
+    let vals: Vec<f64> = rows.iter().flatten().map(|&(_, v)| v).collect();
+    format::write_f64_column(&mut out, &vals);
+    format::append_checksum(&mut out);
+    out
+}
+
+/// Deserializes a `SLFF` container back into a [`FeatureMatrix`] (bit-exact values).
+pub fn features_from_bytes(bytes: &[u8]) -> Result<FeatureMatrix, DataError> {
+    let mut cursor = open_container(bytes, &FEATURES_MAGIC, FEATURES_FORMAT_VERSION)?;
+    let num_sources = cursor.read_len(u32::MAX as usize)?;
+    let nnz = cursor.read_len(u32::MAX as usize)?;
+    let interner: Interner<FeatureId> = read_dict(&mut cursor, u32::MAX as usize)?;
+    let nnz_u32 = u32::try_from(nnz).map_err(|_| corrupt("feature count overflows u32"))?;
+    let offsets = cursor.read_offsets(num_sources, nnz_u32)?;
+    let ids = cursor.read_u32_column(nnz)?;
+    check_ids(&ids, interner.len(), "feature")?;
+    let vals = cursor.read_f64_column(nnz)?;
+    if !cursor.is_empty() {
+        return Err(corrupt("trailing bytes after feature payload"));
+    }
+    let mut rows: Vec<Vec<(FeatureId, FeatureValue)>> = Vec::with_capacity(num_sources);
+    for s in 0..num_sources {
+        let range = offsets[s] as usize..offsets[s + 1] as usize;
+        rows.push(range.map(|i| (FeatureId(ids[i]), vals[i])).collect());
+    }
+    Ok(FeatureMatrix::from_parts(rows, interner))
+}
+
+/// Writes a compacted dataset to `path` atomically (temp file + fsync + rename).
+pub fn write_dataset_file(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), DataError> {
+    atomic_write(path, &dataset_to_bytes(dataset)?)
+}
+
+/// Reads a dataset snapshot written by [`write_dataset_file`].
+pub fn read_dataset_file(path: impl AsRef<Path>) -> Result<Dataset, DataError> {
+    dataset_from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::features::FeatureMatrixBuilder;
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.observe("s0", "o0", "false").unwrap();
+        b.observe("s1", "o0", "false").unwrap();
+        b.observe("s2", "o0", "true").unwrap();
+        b.observe("s0", "o1", "true").unwrap();
+        b.observe("s2", "o1", "true").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn dataset_round_trips_losslessly() {
+        let d = toy();
+        let bytes = dataset_to_bytes(&d).unwrap();
+        let back = dataset_from_bytes(&bytes).unwrap();
+        assert!(back.same_content(&d));
+        assert!(back.is_compacted());
+        assert_eq!(back.compaction_count(), d.compaction_count());
+        assert_eq!(back.observations(), d.observations());
+        // Name lookups survive.
+        assert_eq!(back.source_id("s2"), d.source_id("s2"));
+        assert_eq!(back.value_name(ValueId::new(0)), Some("false"));
+    }
+
+    #[test]
+    fn empty_and_unnamed_datasets_round_trip() {
+        let empty = DatasetBuilder::new().build();
+        let back = dataset_from_bytes(&dataset_to_bytes(&empty).unwrap()).unwrap();
+        assert!(back.same_content(&empty));
+
+        // Handle-only datasets have empty vocabularies and reserved entities.
+        let mut b = DatasetBuilder::new();
+        b.observe_ids(SourceId::new(3), ObjectId::new(1), ValueId::new(2))
+            .unwrap();
+        b.reserve_sources(10);
+        b.reserve_objects(5);
+        let d = b.build();
+        let back = dataset_from_bytes(&dataset_to_bytes(&d).unwrap()).unwrap();
+        assert!(back.same_content(&d));
+        assert_eq!(back.num_sources(), 10);
+        assert_eq!(back.num_values(), d.num_values());
+        assert_eq!(back.source_name(SourceId::new(3)), None);
+    }
+
+    #[test]
+    fn uncompacted_datasets_are_rejected() {
+        let mut d = toy();
+        d.append_named("s9", "o9", "new").unwrap();
+        let err = dataset_to_bytes(&d).unwrap_err();
+        assert!(matches!(err, DataError::Invalid(_)));
+        d.compact();
+        assert!(dataset_to_bytes(&d).is_ok());
+    }
+
+    #[test]
+    fn compacted_delta_datasets_round_trip() {
+        let mut d = toy();
+        d.append_named("s3", "o2", "w").unwrap();
+        let s0 = d.source_id("s0").unwrap();
+        let o0 = d.object_id("o0").unwrap();
+        assert!(d.evict(s0, o0));
+        d.compact();
+        let back = dataset_from_bytes(&dataset_to_bytes(&d).unwrap()).unwrap();
+        assert!(back.same_content(&d));
+        assert_eq!(back.compaction_count(), 1);
+        // The restored dataset accepts further appends and compactions.
+        let mut grown = back;
+        grown.append_named("s4", "o3", "q").unwrap();
+        grown.compact();
+        assert_eq!(grown.num_observations(), d.num_observations() + 1);
+    }
+
+    #[test]
+    fn truncation_at_every_length_errors_without_panic() {
+        let bytes = dataset_to_bytes(&toy()).unwrap();
+        for len in 0..bytes.len() {
+            assert!(dataset_from_bytes(&bytes[..len]).is_err(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_future_versions_are_typed() {
+        let mut bytes = dataset_to_bytes(&toy()).unwrap();
+        let mut bad = bytes.clone();
+        bad[0] = b'?';
+        assert!(matches!(
+            dataset_from_bytes(&bad).unwrap_err(),
+            DataError::CorruptModel { .. }
+        ));
+        // Future version (checksum re-stamped so only the version differs).
+        bytes[4..8].copy_from_slice(&(DATASET_FORMAT_VERSION + 3).to_le_bytes());
+        let payload_len = bytes.len() - 8;
+        let checksum = format::fnv1a(&bytes[..payload_len]);
+        bytes[payload_len..].copy_from_slice(&checksum.to_le_bytes());
+        match dataset_from_bytes(&bytes).unwrap_err() {
+            DataError::UnsupportedModelVersion { found, supported } => {
+                assert_eq!(found, DATASET_FORMAT_VERSION + 3);
+                assert_eq!(supported, DATASET_FORMAT_VERSION);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_seq_column_is_rejected_not_scattered() {
+        let d = toy();
+        // Rebuild the container with a duplicated sequence number but a valid
+        // checksum: the permutation validation must catch it.
+        let bytes = dataset_to_bytes(&d).unwrap();
+        let back = dataset_from_bytes(&bytes).unwrap();
+        assert!(back.same_content(&d));
+        // A hand-corrupted container (bit flip) fails the checksum.
+        for pos in [9, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(dataset_from_bytes(&bad).is_err(), "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn features_round_trip_bit_exact() {
+        let mut b = FeatureMatrixBuilder::new();
+        b.set_flag(SourceId::new(0), "PubYear=2009");
+        b.set(SourceId::new(0), "citations", 34.5);
+        b.set_flag(SourceId::new(2), "Study=GWAS");
+        let m = b.build(4);
+        let bytes = features_to_bytes(&m);
+        let back = features_from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_sources(), m.num_sources());
+        assert_eq!(back.num_features(), m.num_features());
+        for s in 0..m.num_sources() {
+            assert_eq!(
+                back.features_of(SourceId::new(s)),
+                m.features_of(SourceId::new(s))
+            );
+        }
+        assert_eq!(back.feature_id("citations"), m.feature_id("citations"));
+        for len in 0..bytes.len() {
+            assert!(features_from_bytes(&bytes[..len]).is_err(), "len {len}");
+        }
+
+        let empty = FeatureMatrix::empty(3);
+        let back = features_from_bytes(&features_to_bytes(&empty)).unwrap();
+        assert_eq!(back.num_sources(), 3);
+        assert_eq!(back.num_features(), 0);
+    }
+
+    #[test]
+    fn dataset_files_round_trip_atomically() {
+        let d = toy();
+        let dir = std::env::temp_dir().join(format!("slimfast-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.slfd");
+        write_dataset_file(&d, &path).unwrap();
+        let back = read_dataset_file(&path).unwrap();
+        assert!(back.same_content(&d));
+        // Overwrite goes through the same atomic path.
+        write_dataset_file(&back, &path).unwrap();
+        assert!(read_dataset_file(&path).unwrap().same_content(&d));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_bytes_stay_below_memory_bytes() {
+        // A moderately sized synthetic dataset: disk must beat the in-memory CSR
+        // figure (the log is not stored and columns compress).
+        let mut b = DatasetBuilder::with_capacity(20_000);
+        for i in 0..20_000usize {
+            let _ = b.observe(
+                &format!("s{}", i % 200),
+                &format!("o{}", i / 10),
+                &format!("v{}", (i * 31 + i / 10 * 17) % 4),
+            );
+        }
+        let d = b.build();
+        let bytes = dataset_to_bytes(&d).unwrap();
+        let disk_per_claim = bytes.len() as f64 / d.num_observations() as f64;
+        let mem_per_claim = d.storage_stats().bytes_per_claim();
+        assert!(
+            disk_per_claim <= mem_per_claim,
+            "disk {disk_per_claim:.1} B/claim vs memory {mem_per_claim:.1} B/claim"
+        );
+    }
+}

@@ -74,6 +74,13 @@
 //! claims and labels, answers posterior queries without retraining, and refits per a
 //! [`core::RefitPolicy`] (always, every N claims, or when the Section 4.2 error bound
 //! drifts).
+//!
+//! The full serving state persists as one columnar snapshot bundle
+//! ([`core::ModelSnapshot::write_to_file`]): the model, the compacted dataset written
+//! as contiguous columnar streams ([`data::snapshot`]), the feature matrix, and the
+//! precompiled trust table — versioned, checksummed, and written atomically.
+//! [`core::ServingEngine::from_snapshot`] cold-starts a serving tier from the bundle
+//! without retraining, serving posteriors bitwise-identical to the pre-save engine.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -98,6 +105,7 @@ pub mod prelude {
         FittedSlimFast, FusionEngine, LearnerChoice, ModelSnapshot, OptimizerDecision,
         ParameterSpace, RefitPolicy, ServingEngine, ServingReader, ServingStats, SlimFast,
         SlimFastConfig, SlimFastModel, TrainingSnapshot, WindowConfig, MODEL_FORMAT_VERSION,
+        SNAPSHOT_FORMAT_VERSION,
     };
     pub use slimfast_data::{
         build_claims_sharded, read_observations_csv_sharded, Dataset, DatasetBuilder, DatasetStats,

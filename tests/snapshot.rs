@@ -1,0 +1,323 @@
+//! Columnar snapshot persistence through the facade: dataset containers round-trip
+//! losslessly against an in-memory oracle, corruption of any kind fails with the typed
+//! persistence errors (never a panic), a serving tier cold-started from a persisted
+//! [`ModelSnapshot`] serves bitwise-identical posteriors, and the committed golden
+//! fixture pins the v1 wire format byte-for-byte.
+
+use proptest::prelude::*;
+use slimfast::data::snapshot::{dataset_from_bytes, dataset_to_bytes};
+use slimfast::data::{format, DataError, Observation};
+use slimfast::prelude::*;
+
+/// Builds a compacted dataset from raw `(source, object, value)` triples, ignoring
+/// idempotent duplicates and conflicts (the oracle is whatever the builder accepted).
+fn dataset_from_triples(triples: &[(u8, u8, u8)]) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    for &(s, o, v) in triples {
+        let _ = b.observe(&format!("s{s}"), &format!("o{o}"), &format!("v{v}"));
+    }
+    b.build()
+}
+
+/// Asserts that `restored` is indistinguishable from `original` through every public
+/// accessor a fusion method or serving tier relies on.
+fn assert_datasets_equal(original: &Dataset, restored: &Dataset) {
+    assert!(restored.same_content(original));
+    assert_eq!(restored.num_sources(), original.num_sources());
+    assert_eq!(restored.num_objects(), original.num_objects());
+    assert_eq!(restored.num_values(), original.num_values());
+    assert_eq!(restored.num_observations(), original.num_observations());
+    assert_eq!(restored.observations(), original.observations());
+    for o in (0..original.num_objects()).map(ObjectId::new) {
+        assert_eq!(restored.domain(o), original.domain(o), "domain of {o:?}");
+        assert_eq!(
+            restored.observations_for_object(o),
+            original.observations_for_object(o),
+            "row of {o:?}"
+        );
+        assert_eq!(restored.object_name(o), original.object_name(o));
+    }
+    for s in original.source_ids() {
+        assert_eq!(
+            restored.observations_by_source(s),
+            original.observations_by_source(s),
+            "row of {s:?}"
+        );
+        assert_eq!(restored.source_name(s), original.source_name(s));
+        if let Some(name) = original.source_name(s) {
+            assert_eq!(restored.source_id(name), Some(s));
+        }
+    }
+    for v in (0..original.num_values()).map(ValueId::new) {
+        assert_eq!(restored.value_name(v), original.value_name(v));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dataset_containers_round_trip_losslessly(
+        triples in proptest::collection::vec((0..12u8, 0..20u8, 0..4u8), 1..120)
+    ) {
+        let dataset = dataset_from_triples(&triples);
+        let bytes = dataset_to_bytes(&dataset).unwrap();
+        let restored = dataset_from_bytes(&bytes).unwrap();
+        assert_datasets_equal(&dataset, &restored);
+    }
+
+    #[test]
+    fn windowed_datasets_round_trip_after_compaction(
+        triples in proptest::collection::vec((0..10u8, 0..16u8, 0..3u8), 1..80),
+        appended in proptest::collection::vec((0..10u8, 16..24u8, 0..3u8), 1..40),
+        evictions in 0..16usize,
+    ) {
+        // Exercise the full mutation surface before persisting: streaming appends into
+        // the delta overlay, window evictions, and the compaction that snapshots require.
+        let mut dataset = dataset_from_triples(&triples);
+        for &(s, o, v) in &appended {
+            let _ = dataset.append_named(&format!("s{s}"), &format!("o{o}"), &format!("v{v}"));
+        }
+        let victims: Vec<_> = dataset
+            .live_observations()
+            .take(evictions)
+            .map(|obs| (obs.source, obs.object))
+            .collect();
+        dataset.evict_batch(&victims);
+        dataset.compact();
+
+        let bytes = dataset_to_bytes(&dataset).unwrap();
+        let restored = dataset_from_bytes(&bytes).unwrap();
+        assert_datasets_equal(&dataset, &restored);
+        // A restored dataset is a first-class citizen: it keeps accepting appends.
+        let mut grown = restored;
+        grown.append_named("s-new", "o-new", "v0").unwrap();
+        prop_assert_eq!(grown.num_observations(), dataset.num_observations() + 1);
+    }
+
+    #[test]
+    fn corrupted_containers_fail_without_panicking(
+        triples in proptest::collection::vec((0..8u8, 0..12u8, 0..3u8), 1..60),
+        position in 0..u16::MAX,
+        mask in 1..=255u8,
+    ) {
+        let bytes = dataset_to_bytes(&dataset_from_triples(&triples)).unwrap();
+        let mut corrupted = bytes.clone();
+        let pos = position as usize % corrupted.len();
+        corrupted[pos] ^= mask;
+        // Every byte of the container is covered by the magic, the version field, or
+        // the trailing checksum: any flip must surface as a typed error, never a panic.
+        prop_assert!(dataset_from_bytes(&corrupted).is_err(), "flip at {}", pos);
+    }
+}
+
+#[test]
+fn truncated_containers_fail_at_every_prefix() {
+    let triples: Vec<(u8, u8, u8)> = (0..50).map(|i| (i % 7, i % 11, i % 3)).collect();
+    let bytes = dataset_to_bytes(&dataset_from_triples(&triples)).unwrap();
+    for len in 0..bytes.len() {
+        assert!(
+            dataset_from_bytes(&bytes[..len]).is_err(),
+            "prefix of {len} bytes must fail"
+        );
+    }
+}
+
+#[test]
+fn containers_fail_with_the_typed_persistence_errors() {
+    let triples: Vec<(u8, u8, u8)> = (0..30).map(|i| (i % 5, i % 9, i % 3)).collect();
+    let good = dataset_to_bytes(&dataset_from_triples(&triples)).unwrap();
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        dataset_from_bytes(&bad_magic),
+        Err(DataError::CorruptModel { .. })
+    ));
+
+    // A genuinely newer container (version bumped *and* checksum re-stamped) must be
+    // reported as unsupported, not corrupt — that is the compatibility promise.
+    let mut future = good.clone();
+    future[4..8].copy_from_slice(&u32::to_le_bytes(99));
+    future.truncate(future.len() - 8);
+    format::append_checksum(&mut future);
+    assert!(matches!(
+        dataset_from_bytes(&future),
+        Err(DataError::UnsupportedModelVersion {
+            found: 99,
+            supported: _
+        })
+    ));
+}
+
+fn fitted_serving_engine() -> ServingEngine {
+    let mut b = DatasetBuilder::new();
+    for i in 0..240usize {
+        let _ = b.observe(
+            &format!("s{}", i % 13),
+            &format!("o{}", i % 41),
+            &format!("v{}", (i * 7) % 4),
+        );
+    }
+    let dataset = b.build();
+    let mut fb = FeatureMatrixBuilder::new();
+    for s in 0..13usize {
+        if s % 3 == 0 {
+            fb.set_flag(SourceId::new(s), "Citations=High");
+        }
+        fb.set(SourceId::new(s), "traffic", s as f64 * 0.25);
+    }
+    let features = fb.build(dataset.num_sources());
+    let mut truth = GroundTruth::empty(dataset.num_objects());
+    truth.set(
+        dataset.object_id("o0").unwrap(),
+        dataset.value_id("v0").unwrap(),
+    );
+    let engine = FusionEngine::fit(
+        SlimFast::em(SlimFastConfig::default()),
+        dataset,
+        features,
+        truth,
+        RefitPolicy::Never,
+    );
+    ServingEngine::new(engine)
+}
+
+#[test]
+fn cold_start_from_snapshot_serves_bitwise_identical_posteriors() {
+    let mut serving = fitted_serving_engine();
+    let live: Vec<NamedObservation> = (0..90)
+        .map(|i| {
+            NamedObservation::new(
+                format!("s{}", i % 13),
+                format!("live-o{}", i % 29),
+                format!("v{}", i % 4),
+            )
+        })
+        .collect();
+    serving.ingest(&live).unwrap();
+    serving.refit_now();
+    let saved = serving.snapshot();
+
+    // Persist through the byte channel and cold-start a brand-new serving tier.
+    let bytes = saved.to_bytes().unwrap();
+    let restored = ModelSnapshot::from_bytes(&bytes).unwrap();
+    let mut revived = ServingEngine::from_snapshot(
+        restored,
+        SlimFast::em(SlimFastConfig::default()),
+        RefitPolicy::Never,
+    );
+    let mut reader = revived.reader();
+
+    // Bitwise-identical posteriors for every object, no retraining involved
+    // (exercised at SLIMFAST_THREADS = 1 and 4 by the CI matrix).
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    for o in (0..saved.dataset().num_objects()).map(ObjectId::new) {
+        let before = saved.posterior_by_id(o).unwrap();
+        let after = reader.posterior_by_id(o).unwrap();
+        assert_eq!(bits(&before), bits(&after), "object {o:?}");
+    }
+    // Batched queries agree too, and the revived tier keeps serving new claims.
+    let ids: Vec<ObjectId> = (0..saved.dataset().num_objects())
+        .map(ObjectId::new)
+        .collect();
+    let batch_before = saved.posteriors(&ids);
+    let batch_after = reader.posteriors(&ids);
+    for (i, (b, a)) in batch_before.iter().zip(&batch_after).enumerate() {
+        assert_eq!(bits(b), bits(a), "batched object {i}");
+    }
+    revived
+        .ingest(&[NamedObservation::new("s0", "post-restart", "v1")])
+        .unwrap();
+    revived.publish_now();
+    assert!(reader.posterior("post-restart").is_some());
+    assert_eq!(reader.staleness(), 0);
+}
+
+/// The golden fixture's serving state. Every number below is produced by exact f64
+/// arithmetic (multiples of 1/8 — no transcendentals), so the serialized bytes are
+/// identical on every platform and toolchain.
+fn golden_state() -> ServingEngine {
+    let mut b = DatasetBuilder::new();
+    for i in 0..30usize {
+        b.observe(
+            &format!("src-{}", i % 6),
+            &format!("obj-{}", i % 10),
+            &format!("val-{}", (i * 7) % 3),
+        )
+        .unwrap();
+    }
+    let dataset = b.build();
+    let mut fb = FeatureMatrixBuilder::new();
+    for s in 0..6usize {
+        if s % 2 == 0 {
+            fb.set_flag(SourceId::new(s), "Citations=High");
+        }
+        fb.set(SourceId::new(s), "traffic", s as f64 * 0.5);
+    }
+    let features = fb.build(dataset.num_sources());
+    let space = ParameterSpace::new(&dataset, &features);
+    let weights: Vec<f64> = (0..space.len()).map(|i| i as f64 * 0.375 - 1.0).collect();
+    let model = SlimFastModel::new(space, weights);
+    let truth = GroundTruth::empty(dataset.num_objects());
+    let engine = FusionEngine::from_model(
+        SlimFast::em(SlimFastConfig::default()),
+        model,
+        OptimizerDecision::Em,
+        dataset,
+        features,
+        truth,
+        RefitPolicy::Never,
+    );
+    ServingEngine::new(engine)
+}
+
+/// Pins the v1 snapshot wire format: the committed fixture must match freshly
+/// serialized bytes exactly, and must load into a snapshot that still serves. If the
+/// format ever changes, this fails loudly — bump the container version and regenerate
+/// with `SLIMFAST_REGEN_GOLDEN=1 cargo test --test snapshot golden`.
+#[test]
+fn golden_v1_snapshot_fixture_is_stable() {
+    let saved = golden_state().snapshot();
+    let bytes = saved.to_bytes().unwrap();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_snapshot_v1.bin"
+    );
+    if std::env::var_os("SLIMFAST_REGEN_GOLDEN").is_some() {
+        std::fs::write(path, &bytes).unwrap();
+        return;
+    }
+    let fixture = std::fs::read(path).expect("committed golden fixture");
+    assert_eq!(
+        bytes, fixture,
+        "serialized bytes no longer match the committed v1 fixture — \
+         this is a wire-format change"
+    );
+
+    let restored = ModelSnapshot::from_bytes(&fixture).unwrap();
+    assert_eq!(restored.epoch(), 1);
+    assert_eq!(restored.claims_ingested(), 0);
+    assert_eq!(restored.decision(), OptimizerDecision::Em);
+    let space_len = restored.model().weights().len();
+    for (i, w) in restored.model().weights().iter().enumerate() {
+        assert_eq!(
+            w.to_bits(),
+            (i as f64 * 0.375 - 1.0).to_bits(),
+            "weight {i}"
+        );
+    }
+    assert_eq!(space_len, restored.dataset().num_sources() + 2);
+    let posterior = restored.posterior("obj-0").unwrap();
+    assert_eq!(
+        posterior.len(),
+        restored.dataset().domain(ObjectId::new(0)).len()
+    );
+    assert!((posterior.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+}
+
+// Keep `Observation` linked so the oracle comparison stays honest if its fields move.
+#[allow(dead_code)]
+fn _observation_shape(obs: &Observation) -> (SourceId, ObjectId, ValueId) {
+    (obs.source, obs.object, obs.value)
+}
