@@ -13,6 +13,11 @@
 //! 3. **Batched API** — one thread drives [`ModelSnapshot::posteriors`] over the whole
 //!    object universe in fixed-size batches (the query path that fans out over the
 //!    worker pool); reports batched posteriors/sec.
+//! 4. **Refit failures** (`--features fault-injection` only) — the same reader
+//!    workload while every background refit the writer dispatches *fails* via an
+//!    injected training panic; reports the degraded posterior rate plus the
+//!    supervision counters (`refit_failures`, `refit_retries`). In default builds the
+//!    phase is skipped and the JSON records `fault_injection: false` with zeroes.
 //!
 //! The headline number is `with_refit_throughput_ratio` — the serving tier's contract
 //! is that queries under a refit in flight sustain ≥ 0.8× the quiescent rate. The
@@ -310,6 +315,104 @@ struct BatchedPhase {
     secs: f64,
 }
 
+/// Outcome of the refit-failure phase: supervision counters and the posterior rate
+/// sustained while every background refit was failing. Measured only when the
+/// `fault-injection` feature is on; otherwise recorded as disabled with zeroes, so
+/// `BENCH_serving.json` keeps a stable schema.
+struct FaultPhase {
+    enabled: bool,
+    refit_failures: u64,
+    refit_retries: u64,
+    degraded_posteriors_per_sec: f64,
+}
+
+impl FaultPhase {
+    #[cfg(not(feature = "fault-injection"))]
+    fn disabled() -> Self {
+        Self {
+            enabled: false,
+            refit_failures: 0,
+            refit_retries: 0,
+            degraded_posteriors_per_sec: 0.0,
+        }
+    }
+}
+
+/// Refit-failure phase: the fixed reader workload while the writer keeps dispatching
+/// background refits that *all fail* (injected panics at the training entry), so the
+/// measured rate is what the tier sustains in degraded fallback serving.
+#[cfg(feature = "fault-injection")]
+fn run_degraded(serving: &mut ServingEngine, q: usize) -> FaultPhase {
+    use slimfast_data::faults::{FaultKind, FaultPlan};
+
+    let stats_before = serving.stats();
+    // Fail every refit attempt for the phase's duration (the trigger list is far
+    // longer than any realistic number of resolutions within one reader workload).
+    let mut plan = FaultPlan::new(17);
+    for nth in 1..=1024 {
+        plan = plan.fault("refit.train", nth, FaultKind::Panic);
+    }
+    let scope = plan.activate();
+
+    let num_objects = serving.snapshot().dataset().num_objects();
+    let readers: Vec<ServingReader> = (0..READERS).map(|_| serving.reader()).collect();
+    let done = AtomicUsize::new(0);
+    let start = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let done = &done;
+        let handles: Vec<_> = readers
+            .into_iter()
+            .enumerate()
+            .map(|(r, reader)| {
+                scope.spawn(move || {
+                    let latencies = reader_workload(reader, r, q, num_objects);
+                    done.fetch_add(1, Ordering::Release);
+                    latencies
+                })
+            })
+            .collect();
+
+        // The writer: keep a (doomed) refit in flight the whole time. Manual
+        // dispatch bypasses quarantine, so supervision keeps catching failures.
+        assert!(serving.refit_background(), "no refit could be dispatched");
+        while done.load(Ordering::Acquire) < READERS {
+            serving.poll_refit();
+            if !serving.refit_in_flight() {
+                serving.refit_background();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader thread panicked"))
+            .collect()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    serving.drain();
+    drop(scope);
+
+    let stats = serving.stats();
+    assert!(
+        stats.refit_failures > stats_before.refit_failures,
+        "no refit failure was caught during the degraded phase"
+    );
+    assert_eq!(
+        stats.refits_installed, stats_before.refits_installed,
+        "a doomed refit installed anyway"
+    );
+    // Leave the engine healthy for whatever runs after the bench.
+    serving.reset_health();
+
+    let queries = latencies.len();
+    FaultPhase {
+        enabled: true,
+        refit_failures: stats.refit_failures - stats_before.refit_failures,
+        refit_retries: stats.refit_retries - stats_before.refit_retries,
+        degraded_posteriors_per_sec: queries as f64 / secs.max(1e-9),
+    }
+}
+
 /// Phase 3: the batched posterior API over the whole object universe, one consistent
 /// snapshot, fanned over the worker pool.
 fn run_batched(serving: &ServingEngine) -> BatchedPhase {
@@ -353,6 +456,7 @@ fn write_json(
     quiescent: &QueryPhase,
     refit: &RefitPhase,
     batched: &BatchedPhase,
+    fault: &FaultPhase,
 ) -> std::io::Result<String> {
     let path = std::env::var("BENCH_SERVING_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_serving.json", env!("CARGO_MANIFEST_DIR")));
@@ -378,7 +482,11 @@ fn write_json(
             "  \"refits_installed\": {},\n",
             "  \"snapshot_swaps\": {},\n",
             "  \"max_staleness_observed\": {},\n",
-            "  \"batched_posteriors_per_sec\": {:.0}\n",
+            "  \"batched_posteriors_per_sec\": {:.0},\n",
+            "  \"fault_injection\": {},\n",
+            "  \"refit_failures\": {},\n",
+            "  \"refit_retries\": {},\n",
+            "  \"degraded_posteriors_per_sec\": {:.0}\n",
             "}}\n"
         ),
         fit.claims,
@@ -400,6 +508,10 @@ fn write_json(
         refit.snapshot_swaps,
         refit.max_staleness,
         batched.queries as f64 / batched.secs.max(1e-9),
+        fault.enabled,
+        fault.refit_failures,
+        fault.refit_retries,
+        fault.degraded_posteriors_per_sec,
     );
     std::fs::write(&path, &out)?;
     Ok(path)
@@ -463,8 +575,21 @@ fn main() {
         batched.queries as f64 / batched.secs.max(1e-9),
     );
 
+    #[cfg(feature = "fault-injection")]
+    let fault = run_degraded(&mut serving, q);
+    #[cfg(not(feature = "fault-injection"))]
+    let fault = FaultPhase::disabled();
+    if fault.enabled {
+        println!(
+            "serving/faults   {} failed refits ({} retries) caught with readers live: {:>9.0} posteriors/s degraded",
+            fault.refit_failures, fault.refit_retries, fault.degraded_posteriors_per_sec,
+        );
+    } else {
+        println!("serving/faults   skipped (build without --features fault-injection)");
+    }
+
     warn_if_single_lane("serving");
-    match write_json(&fit, &quiescent, &refit, &batched) {
+    match write_json(&fit, &quiescent, &refit, &batched, &fault) {
         Ok(path) => println!("serving: summary written to {path}"),
         Err(err) => eprintln!("serving: could not write summary: {err}"),
     }

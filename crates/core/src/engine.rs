@@ -547,6 +547,20 @@ impl TrainingSnapshot {
         self.estimator.train(&input)
     }
 
+    /// Fallible variant of [`TrainingSnapshot::train`]: the entry point supervised
+    /// background refits go through (see `slimfast_core::serve`). Training itself is
+    /// infallible today, so in production builds this always returns `Ok` — the
+    /// `Result` exists for the `refit.train` fault-injection site
+    /// ([`slimfast_data::faults`]), which under the `fault-injection` feature can make
+    /// the refit error or panic to exercise the serving tier's retry and quarantine
+    /// paths.
+    pub fn try_train(
+        &self,
+    ) -> Result<(SlimFastModel, OptimizerDecision), slimfast_data::DataError> {
+        slimfast_data::faults::fire_data("refit.train")?;
+        Ok(self.train())
+    }
+
     /// The captured (compacted) dataset the model will be trained on.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset

@@ -91,6 +91,7 @@ pub use engine::{FusionEngine, TrainingSnapshot};
 pub use model::{ParameterSpace, SlimFastModel, MODEL_FORMAT_VERSION};
 pub use optimizer::{OptimizerDecision, OptimizerReport};
 pub use serve::{
-    ModelSnapshot, ServingEngine, ServingReader, ServingStats, SNAPSHOT_FORMAT_VERSION,
+    HealthReport, HealthState, ModelSnapshot, RetryPolicy, ServingEngine, ServingReader,
+    ServingStats, SNAPSHOT_FORMAT_VERSION,
 };
 pub use slimfast::{FittedSlimFast, SlimFast};

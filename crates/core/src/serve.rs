@@ -80,15 +80,41 @@
 //! to the last one served before the save. Writes go through
 //! [`slimfast_data::atomic_write`], so a crash mid-save never truncates a previously
 //! good snapshot file.
+//!
+//! # Fault tolerance
+//!
+//! A failed background refit — a panic on the pool worker or an error from training —
+//! never takes serving down: the writer keeps publishing (and readers keep serving)
+//! the current epoch-swapped snapshot, and the failure is handled by a supervision
+//! loop configured through [`RetryPolicy`]:
+//!
+//! * the first failure moves the engine to [`HealthState::Degraded`] and schedules a
+//!   retry after a claim-count backoff (deterministic — no wall clock), doubling per
+//!   consecutive failure;
+//! * [`RetryPolicy::max_attempts`] consecutive failures move it to
+//!   [`HealthState::Quarantined`]: automatic dispatch stops until an operator calls
+//!   [`ServingEngine::refit_background`] (always honored) or
+//!   [`ServingEngine::reset_health`];
+//! * any successful refit install resets the engine to [`HealthState::Healthy`].
+//!
+//! [`ServingEngine::health`] reports the full picture; [`ServingEngine::stats`]
+//! carries the headline state and failure counters. The synchronous
+//! [`ServingEngine::refit_now`] path is *not* supervised — it trains inline on the
+//! caller, which keeps its error behavior (propagate) unchanged.
+//!
+//! For crash recovery across process restarts, [`ServingEngine::checkpoint`] rotates
+//! `SLFS` bundles into a [`SnapshotDir`] as numbered generations and
+//! [`ServingEngine::recover`] cold-starts from the newest generation that parses
+//! cleanly, scanning past torn or corrupt files (see [`SnapshotDir::recover`]).
 
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use slimfast_data::{
     atomic_write, format, snapshot as columnar, DataError, Dataset, FeatureMatrix, GroundTruth,
-    NamedObservation, ObjectId, TruthAssignment, ValueId,
+    NamedObservation, ObjectId, SnapshotDir, TruthAssignment, ValueId,
 };
 use slimfast_optim::{JobHandle, WorkerPool};
 
@@ -402,7 +428,7 @@ impl ModelSnapshot {
             .map(|(task, chunk)| Mutex::new((task * POSTERIOR_CHUNK, chunk)))
             .collect();
         WorkerPool::global().run(slices.len(), lanes, |task| {
-            let mut slot = slices[task].lock().expect("posterior chunk");
+            let mut slot = lock_ignore_poison(&slices[task]);
             let (start, chunk) = &mut *slot;
             let range = *start..*start + chunk.len();
             score_range(range, chunk);
@@ -424,6 +450,27 @@ impl ModelSnapshot {
     }
 }
 
+/// Locks a mutex, recovering the guard even if a panicking thread poisoned it.
+///
+/// Every mutex on the serving path guards a value that is only ever replaced
+/// wholesale (an `Arc` store, an `Option` slot, a disjoint output chunk), never
+/// mutated in place across a panic point — so a poisoned lock cannot expose a
+/// half-written value, and the query/supervision paths must keep working after a
+/// supervised panic rather than cascade it.
+fn lock_ignore_poison<T: ?Sized>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_ignore_poison`], for the snapshot `RwLock` read side.
+fn read_ignore_poison<T: ?Sized>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_ignore_poison`], for the snapshot `RwLock` write side.
+fn write_ignore_poison<T: ?Sized>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// State shared between the writer and every reader: the current snapshot behind a
 /// brief lock, and its epoch as a lock-free fast-path discriminator.
 #[derive(Debug)]
@@ -440,14 +487,164 @@ struct ServeShared {
     swaps: AtomicU64,
 }
 
+/// What a supervised background training attempt produced: the trained model, or the
+/// error the `refit.train` fault site injected (production training is infallible —
+/// panics, not errors, are the real-world failure mode, and those surface through
+/// [`JobHandle::try_join`]).
+type RefitOutcome = Result<(SlimFastModel, OptimizerDecision), DataError>;
+
 /// A background refit in flight on the worker pool.
 struct InFlightRefit {
     handle: JobHandle,
-    /// The trained result, deposited by the pool worker.
-    result: Arc<Mutex<Option<(SlimFastModel, OptimizerDecision)>>>,
+    /// The training outcome, deposited by the pool worker. Stays `None` if the job
+    /// panicked before storing — the supervisor reads the panic off the handle.
+    result: Arc<Mutex<Option<RefitOutcome>>>,
     /// `claims_since_fit` covered by the capture (forwarded to
     /// [`FusionEngine::install_model`]).
     covered: usize,
+}
+
+/// How the serving tier reacts to failed background refits: how many consecutive
+/// failures to tolerate before quarantining, and how long to back off between
+/// attempts — measured in **ingested claims**, not wall-clock time, so retry
+/// schedules are deterministic and reproducible in CI.
+///
+/// The backoff is exponential: after the `k`-th consecutive failure the next
+/// automatic dispatch waits until `backoff_claims * 2^(k-1)` further claims have been
+/// ingested (saturating). Once `max_attempts` consecutive failures accumulate the
+/// engine is [`HealthState::Quarantined`] and stops dispatching on its own; see the
+/// [fault-tolerance section](self#fault-tolerance) of the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive failures tolerated before the engine quarantines (min 1).
+    pub max_attempts: u32,
+    /// Base claim-count backoff before the first retry.
+    pub backoff_claims: u64,
+}
+
+impl RetryPolicy {
+    /// Default consecutive-failure budget.
+    pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+    /// Default base backoff, in ingested claims.
+    pub const DEFAULT_BACKOFF_CLAIMS: u64 = 64;
+
+    /// A policy tolerating `max_attempts` consecutive failures (clamped to at least
+    /// 1) with a base backoff of `backoff_claims` ingested claims.
+    pub fn new(max_attempts: u32, backoff_claims: u64) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            backoff_claims,
+        }
+    }
+
+    /// Claims to wait before the retry that follows the `consecutive_failures`-th
+    /// consecutive failure: `backoff_claims * 2^(consecutive_failures - 1)`,
+    /// saturating.
+    pub fn backoff_after(&self, consecutive_failures: u32) -> u64 {
+        let shift = consecutive_failures.saturating_sub(1).min(63);
+        self.backoff_claims.saturating_mul(1u64 << shift)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_MAX_ATTEMPTS, Self::DEFAULT_BACKOFF_CLAIMS)
+    }
+}
+
+/// Refit-supervision state of a serving engine. Transitions:
+/// `Healthy → Degraded` on a refit failure, `Degraded → Quarantined` after
+/// [`RetryPolicy::max_attempts`] consecutive failures, anything `→ Healthy` on a
+/// successful install. Serving availability is unaffected in every state — the
+/// published snapshot keeps answering queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// No outstanding refit failures.
+    Healthy,
+    /// At least one refit failed since the last success; retries are scheduled on
+    /// the claim-count backoff.
+    Degraded,
+    /// The consecutive-failure budget is exhausted; automatic refit dispatch is
+    /// suspended until [`ServingEngine::refit_background`] or
+    /// [`ServingEngine::reset_health`].
+    Quarantined,
+}
+
+/// Full refit-supervision report; see [`ServingEngine::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Current supervision state.
+    pub state: HealthState,
+    /// Consecutive failures since the last successful install.
+    pub consecutive_refit_failures: u32,
+    /// Total refit failures over the engine's lifetime.
+    pub refit_failures: u64,
+    /// Refit dispatches that were retries of a failed attempt.
+    pub refit_retries: u64,
+    /// Claim count (against [`ServingStats::claims_ingested`]) at which the next
+    /// automatic retry unlocks; `None` when healthy or quarantined.
+    pub next_retry_at_claims: Option<u64>,
+    /// Message of the most recent refit failure (panic message or error display).
+    pub last_refit_error: Option<String>,
+    /// Epoch of the snapshot currently serving — the one failures fall back to.
+    pub serving_epoch: u64,
+}
+
+/// Internal supervision bookkeeping behind [`ServingEngine::health`].
+#[derive(Debug, Clone)]
+struct Supervision {
+    policy: RetryPolicy,
+    state: HealthState,
+    consecutive_failures: u32,
+    failures: u64,
+    retries: u64,
+    next_retry_at_claims: Option<u64>,
+    last_error: Option<String>,
+}
+
+impl Supervision {
+    fn new(policy: RetryPolicy) -> Self {
+        Self {
+            policy,
+            state: HealthState::Healthy,
+            consecutive_failures: 0,
+            failures: 0,
+            retries: 0,
+            next_retry_at_claims: None,
+            last_error: None,
+        }
+    }
+
+    /// Whether an automatic (policy-driven) dispatch may proceed at `claims` total
+    /// ingested claims.
+    fn allows_dispatch(&self, claims: u64) -> bool {
+        match self.state {
+            HealthState::Healthy => true,
+            HealthState::Degraded => self.next_retry_at_claims.map_or(true, |at| claims >= at),
+            HealthState::Quarantined => false,
+        }
+    }
+
+    fn record_success(&mut self) {
+        self.state = HealthState::Healthy;
+        self.consecutive_failures = 0;
+        self.next_retry_at_claims = None;
+        self.last_error = None;
+    }
+
+    fn record_failure(&mut self, message: String, claims: u64) {
+        self.failures += 1;
+        self.consecutive_failures += 1;
+        self.last_error = Some(message);
+        if self.consecutive_failures >= self.policy.max_attempts {
+            self.state = HealthState::Quarantined;
+            self.next_retry_at_claims = None;
+        } else {
+            self.state = HealthState::Degraded;
+            self.next_retry_at_claims =
+                Some(claims.saturating_add(self.policy.backoff_after(self.consecutive_failures)));
+        }
+    }
 }
 
 /// Counters describing a serving engine's current state; see [`ServingEngine::stats`].
@@ -465,6 +662,12 @@ pub struct ServingStats {
     pub refit_in_flight: bool,
     /// Refits installed into the engine (synchronous and background alike).
     pub refits_installed: usize,
+    /// Current refit-supervision state (details via [`ServingEngine::health`]).
+    pub health: HealthState,
+    /// Total background-refit failures caught by supervision.
+    pub refit_failures: u64,
+    /// Refit dispatches that were retries of a failed attempt.
+    pub refit_retries: u64,
 }
 
 /// The writer half of the serving tier: wraps a [`FusionEngine`], ingests claims,
@@ -509,6 +712,8 @@ pub struct ServingEngine {
     /// Publish a data snapshot after this many ingested claims (staleness bound).
     publish_every: usize,
     claims_since_publish: usize,
+    /// Refit-failure bookkeeping behind [`ServingEngine::health`].
+    supervision: Supervision,
 }
 
 impl ServingEngine {
@@ -529,6 +734,7 @@ impl ServingEngine {
             refit: None,
             publish_every: Self::DEFAULT_PUBLISH_EVERY,
             claims_since_publish: 0,
+            supervision: Supervision::new(RetryPolicy::default()),
         }
     }
 
@@ -575,6 +781,7 @@ impl ServingEngine {
             refit: None,
             publish_every: Self::DEFAULT_PUBLISH_EVERY,
             claims_since_publish: 0,
+            supervision: Supervision::new(RetryPolicy::default()),
         }
     }
 
@@ -588,10 +795,17 @@ impl ServingEngine {
         self
     }
 
+    /// Sets the refit-supervision [`RetryPolicy`] and resets the supervision state
+    /// to [`HealthState::Healthy`]. The default policy is [`RetryPolicy::default`].
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.supervision = Supervision::new(policy);
+        self
+    }
+
     /// A new reader handle, pre-loaded with the current snapshot. Readers are
     /// independent: move one into each query thread.
     pub fn reader(&self) -> ServingReader {
-        let snapshot = Arc::clone(&self.shared.snapshot.read().expect("serve snapshot"));
+        let snapshot = Arc::clone(&read_ignore_poison(&self.shared.snapshot));
         ServingReader {
             shared: Arc::clone(&self.shared),
             cached_epoch: snapshot.epoch,
@@ -601,7 +815,7 @@ impl ServingEngine {
 
     /// The currently published snapshot (an O(1) `Arc` clone under a brief read-lock).
     pub fn snapshot(&self) -> Arc<ModelSnapshot> {
-        Arc::clone(&self.shared.snapshot.read().expect("serve snapshot"))
+        Arc::clone(&read_ignore_poison(&self.shared.snapshot))
     }
 
     /// Ingests a batch of claims and runs the serving maintenance cycle: window
@@ -626,7 +840,10 @@ impl ServingEngine {
             .fetch_add(appended as u64, Ordering::Relaxed);
         self.claims_since_publish += appended;
         self.poll_refit();
-        if self.refit.is_none() && self.engine.claims_since_fit() > 0 && self.engine.should_refit()
+        if self.refit.is_none()
+            && self.engine.claims_since_fit() > 0
+            && self.engine.should_refit()
+            && self.supervision_allows_dispatch()
         {
             self.dispatch_refit();
         }
@@ -643,13 +860,24 @@ impl ServingEngine {
     pub fn label(&mut self, object: &str, value: &str) {
         self.engine.label_no_refit(object, value);
         self.poll_refit();
-        if self.refit.is_none() && self.engine.should_refit() {
+        if self.refit.is_none() && self.engine.should_refit() && self.supervision_allows_dispatch()
+        {
             self.dispatch_refit();
         }
     }
 
-    /// Dispatches a background refit immediately, regardless of the policy. Returns
-    /// `false` (and does nothing) if one is already in flight. The refit trains on a
+    /// Whether the retry policy permits an automatic dispatch right now (always
+    /// `true` when healthy; gated by the claim-count backoff when degraded; `false`
+    /// when quarantined).
+    fn supervision_allows_dispatch(&self) -> bool {
+        self.supervision
+            .allows_dispatch(self.shared.claims_ingested.load(Ordering::Relaxed))
+    }
+
+    /// Dispatches a background refit immediately, regardless of the refit policy
+    /// *and* of the supervision state — a manual dispatch is honored even while
+    /// [`HealthState::Quarantined`], so an operator can always force a retry.
+    /// Returns `false` (and does nothing) if one is already in flight. The refit trains on a
     /// [`crate::engine::TrainingSnapshot`] captured *now*; claims ingested while it
     /// trains are served from snapshots and folded into the next refit.
     pub fn refit_background(&mut self) -> bool {
@@ -666,26 +894,28 @@ impl ServingEngine {
         self.refit.is_some()
     }
 
-    /// Installs a completed background refit if one has finished, without blocking.
-    /// Returns whether a model snapshot was published. ([`ServingEngine::ingest`] does
-    /// this automatically; call it directly on idle writers.)
+    /// Resolves a completed background refit if one has finished, without blocking.
+    /// Returns whether a model snapshot was published — `false` both when nothing had
+    /// finished and when the finished refit *failed*; a failure is recorded against
+    /// the [`RetryPolicy`] and visible via [`ServingEngine::health`], while the
+    /// current snapshot keeps serving untouched. ([`ServingEngine::ingest`] does this
+    /// automatically; call it directly on idle writers.)
     pub fn poll_refit(&mut self) -> bool {
         if !self.refit.as_ref().is_some_and(|r| r.handle.is_finished()) {
             return false;
         }
-        self.install_finished_refit();
-        true
+        self.resolve_refit()
     }
 
-    /// Blocks until any in-flight refit has trained, installs it, and publishes a
+    /// Blocks until any in-flight refit has trained, resolves it, and publishes a
     /// fresh snapshot reflecting every ingested claim (staleness 0). Returns whether a
-    /// refit was installed. Use at stream quiescence (end of a phase, shutdown) to
-    /// converge the published state.
+    /// refit was installed — a failed refit resolves to `false` and is recorded
+    /// against the [`RetryPolicy`] instead of installing. Use at stream quiescence
+    /// (end of a phase, shutdown) to converge the published state.
     pub fn drain(&mut self) -> bool {
         let installed = if self.refit.is_some() {
-            // `install_finished_refit` joins the handle, which blocks until done.
-            self.install_finished_refit();
-            true
+            // `resolve_refit` joins the handle, which blocks until done.
+            self.resolve_refit()
         } else {
             false
         };
@@ -696,11 +926,13 @@ impl ServingEngine {
     }
 
     /// Synchronous refit + publish, blocking the writer: captures, trains inline, and
-    /// publishes. Also drains any in-flight background refit first, so the installed
-    /// model is the one trained on the current claims.
+    /// publishes. Also drains any in-flight background refit first (resolving a
+    /// failure if it carried one), so the installed model is the one trained on the
+    /// current claims. Unlike background refits this path is unsupervised: it runs on
+    /// the caller's thread, so a training panic propagates to the caller.
     pub fn refit_now(&mut self) {
         if self.refit.is_some() {
-            self.install_finished_refit();
+            self.resolve_refit();
         }
         self.engine.refit();
         self.publish();
@@ -716,12 +948,7 @@ impl ServingEngine {
     /// snapshot: claims ingested that its dataset does not reflect.
     pub fn stats(&self) -> ServingStats {
         let claims_ingested = self.shared.claims_ingested.load(Ordering::Relaxed);
-        let snapshot_claims = self
-            .shared
-            .snapshot
-            .read()
-            .expect("serve snapshot")
-            .claims_ingested;
+        let snapshot_claims = read_ignore_poison(&self.shared.snapshot).claims_ingested;
         ServingStats {
             epoch: self.shared.epoch.load(Ordering::Acquire),
             snapshot_swaps: self.shared.swaps.load(Ordering::Relaxed),
@@ -729,7 +956,61 @@ impl ServingEngine {
             staleness: claims_ingested - snapshot_claims,
             refit_in_flight: self.refit.is_some(),
             refits_installed: self.engine.refit_count(),
+            health: self.supervision.state,
+            refit_failures: self.supervision.failures,
+            refit_retries: self.supervision.retries,
         }
+    }
+
+    /// Full refit-supervision report: health state, failure/retry counters, the
+    /// claim count at which the next automatic retry unlocks, and the message of the
+    /// most recent failure. See the [fault-tolerance section](self#fault-tolerance)
+    /// of the module docs for the state machine.
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            state: self.supervision.state,
+            consecutive_refit_failures: self.supervision.consecutive_failures,
+            refit_failures: self.supervision.failures,
+            refit_retries: self.supervision.retries,
+            next_retry_at_claims: self.supervision.next_retry_at_claims,
+            last_refit_error: self.supervision.last_error.clone(),
+            serving_epoch: self.shared.epoch.load(Ordering::Acquire),
+        }
+    }
+
+    /// Clears the supervision state back to [`HealthState::Healthy`] — an operator
+    /// acknowledging a quarantine after fixing the underlying cause. Lifetime
+    /// failure/retry totals are preserved; the consecutive-failure count, backoff
+    /// schedule, and last-error message reset.
+    pub fn reset_health(&mut self) {
+        let mut fresh = Supervision::new(self.supervision.policy);
+        fresh.failures = self.supervision.failures;
+        fresh.retries = self.supervision.retries;
+        self.supervision = fresh;
+    }
+
+    /// Persists the currently published snapshot as a new generation in `dir`
+    /// (see [`SnapshotDir::write_generation`]) and returns its generation number.
+    /// The write is atomic and the directory prunes itself to its retention bound.
+    pub fn checkpoint(&self, dir: &SnapshotDir) -> Result<u64, DataError> {
+        dir.write_generation(&self.snapshot().to_bytes()?)
+    }
+
+    /// Cold-starts a serving tier from the newest *valid* generation in `dir`:
+    /// truncated or corrupt newer generations are skipped (a torn write never
+    /// strands recovery), and the restored engine serves posteriors
+    /// bitwise-identical to the ones the checkpointing engine served. See
+    /// [`ServingEngine::from_snapshot`] for the cold-start semantics and
+    /// [`SnapshotDir::recover`] to inspect which generations were skipped.
+    ///
+    /// Fails with [`DataError::Invalid`] only when *no* readable generation exists.
+    pub fn recover(
+        dir: &SnapshotDir,
+        estimator: SlimFast,
+        policy: RefitPolicy,
+    ) -> Result<Self, DataError> {
+        let recovered = dir.recover(ModelSnapshot::from_bytes)?;
+        Ok(Self::from_snapshot(recovered.value, estimator, policy))
     }
 
     /// The wrapped engine (read-only; all mutation goes through the serving methods so
@@ -739,13 +1020,16 @@ impl ServingEngine {
     }
 
     fn dispatch_refit(&mut self) {
+        if self.supervision.consecutive_failures > 0 {
+            self.supervision.retries += 1;
+        }
         let snapshot = self.engine.training_snapshot();
         let covered = snapshot.claims_since_fit();
         let result = Arc::new(Mutex::new(None));
         let slot = Arc::clone(&result);
         let handle = WorkerPool::global().spawn(move || {
-            let trained = snapshot.train();
-            *slot.lock().expect("refit result slot") = Some(trained);
+            let trained = snapshot.try_train();
+            *lock_ignore_poison(&slot) = Some(trained);
         });
         self.refit = Some(InFlightRefit {
             handle,
@@ -754,26 +1038,44 @@ impl ServingEngine {
         });
     }
 
-    /// Joins the in-flight refit (blocking if it is still training), installs the
-    /// model, and publishes. Must only be called when `self.refit.is_some()`.
-    fn install_finished_refit(&mut self) {
+    /// Joins the in-flight refit (blocking if it is still training) and resolves it.
+    /// A successful training result is installed and published (returns `true`); a
+    /// panic or training error is recorded against the [`RetryPolicy`] and the
+    /// engine keeps serving the current snapshot untouched (returns `false`). Must
+    /// only be called when `self.refit.is_some()`.
+    fn resolve_refit(&mut self) -> bool {
         let refit = self.refit.take().expect("a refit is in flight");
-        refit.handle.join();
-        let (model, decision) = refit
-            .result
-            .lock()
-            .expect("refit result slot")
-            .take()
-            .expect("a joined refit job has stored its result");
-        self.engine.install_model(model, decision, refit.covered);
-        self.publish();
+        let outcome = match refit.handle.try_join() {
+            Ok(()) => lock_ignore_poison(&refit.result).take().unwrap_or_else(|| {
+                Err(DataError::Invalid(
+                    "refit job finished without storing a result".into(),
+                ))
+            }),
+            Err(panic) => Err(DataError::Invalid(format!(
+                "refit job panicked: {}",
+                panic.message()
+            ))),
+        };
+        match outcome {
+            Ok((model, decision)) => {
+                self.engine.install_model(model, decision, refit.covered);
+                self.supervision.record_success();
+                self.publish();
+                true
+            }
+            Err(err) => {
+                let claims = self.shared.claims_ingested.load(Ordering::Relaxed);
+                self.supervision.record_failure(err.to_string(), claims);
+                false
+            }
+        }
     }
 
     fn publish(&mut self) {
         let epoch = self.shared.epoch.load(Ordering::Relaxed) + 1;
         let claims = self.shared.claims_ingested.load(Ordering::Relaxed);
         let snapshot = Arc::new(ModelSnapshot::capture(&self.engine, epoch, claims));
-        *self.shared.snapshot.write().expect("serve snapshot") = snapshot;
+        *write_ignore_poison(&self.shared.snapshot) = snapshot;
         self.shared.epoch.store(epoch, Ordering::Release);
         self.shared.swaps.fetch_add(1, Ordering::Relaxed);
         self.claims_since_publish = 0;
@@ -821,7 +1123,7 @@ impl ServingReader {
     pub fn snapshot(&mut self) -> &Arc<ModelSnapshot> {
         let epoch = self.shared.epoch.load(Ordering::Acquire);
         if epoch != self.cached_epoch {
-            let current = self.shared.snapshot.read().expect("serve snapshot");
+            let current = read_ignore_poison(&self.shared.snapshot);
             self.cached = Arc::clone(&current);
             self.cached_epoch = self.cached.epoch;
         }

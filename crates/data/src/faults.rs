@@ -1,0 +1,341 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Production fault tolerance is only trustworthy if the failure paths actually run,
+//! so this module lets the test suite (and the chaos leg of CI) *schedule* failures at
+//! named points inside the persistence and training pipeline and then assert that the
+//! engine keeps serving — deterministically, at any thread count.
+//!
+//! # Model
+//!
+//! A [`FaultPlan`] is a seeded list of triggers, each naming an injection **site** (a
+//! static string like `"atomic_write.pre_rename"`), the **hit count** at which it
+//! fires (the `nth` time execution reaches the site, 1-based), and the [`FaultKind`]
+//! to inject — an error return or a panic. Code under test calls [`fire`] (or the
+//! [`fire_data`] / [`fire_std_io`] wrappers) at its injection sites; with no plan
+//! active, or when the `fault-injection` feature is off, those calls are no-ops that
+//! compile away.
+//!
+//! Determinism comes from the trigger model, not from wall clocks or randomness at
+//! fire time: a site fires on its Nth *hit*, and every instrumented site in this
+//! workspace is reached in a deterministic order for a fixed input (sequential CSV
+//! reads, one in-flight background refit at a time, single-writer snapshot I/O). The
+//! plan's seed exists for *test authors*: [`FaultPlan::derive_nth`] derives a stable
+//! pseudo-random hit count from `(seed, site)` so property tests can sweep fault
+//! positions reproducibly.
+//!
+//! # Activation is process-global and exclusive
+//!
+//! [`FaultPlan::activate`] installs the plan into a process-wide slot and returns a
+//! [`FaultScope`] guard; dropping the guard clears the plan and resets all hit
+//! counters. The guard also holds a global lock so two tests cannot interleave plans —
+//! fault-injection tests serialize instead of corrupting each other's counters.
+//!
+//! # Instrumented sites
+//!
+//! | site | location | effect of an injected fault |
+//! |---|---|---|
+//! | `atomic_write.pre_fsync` | [`crate::io::atomic_write`], after the temp write, before `sync_all` | write fails; destination untouched |
+//! | `atomic_write.pre_rename` | [`crate::io::atomic_write`], after fsync, before the rename | write fails at the commit point; destination untouched |
+//! | `csv.read` | [`crate::io`] CSV line loop, per accepted line | the Nth line read fails as I/O error |
+//! | `snapshot.read` | [`crate::snapshot::SnapshotDir::read_generation`] | the generation read fails |
+//! | `refit.train` | `slimfast-core`'s background-refit training entry | the refit errors or panics |
+
+#[cfg(feature = "fault-injection")]
+use std::collections::HashMap;
+#[cfg(feature = "fault-injection")]
+use std::sync::Mutex;
+
+use crate::error::DataError;
+
+/// What an injected fault does at its site: return an error through the site's normal
+/// error channel, or panic (modelling a crashed worker / killed process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The site panics with a message naming the site. For background work this
+    /// models a crashed job; for write paths it models a process kill mid-operation
+    /// (cleanup code after the site does not run).
+    Panic,
+    /// The site returns an injected error through its normal `Result` channel
+    /// ([`DataError::Io`] for the data-layer sites).
+    Error,
+}
+
+/// One scheduled fault: fire `kind` on the `nth` (1-based) hit of `site`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Trigger {
+    site: String,
+    nth: u64,
+    kind: FaultKind,
+}
+
+/// A seeded, deterministic schedule of faults to inject. See the [module docs](self)
+/// for the trigger model; build with [`FaultPlan::new`] + [`FaultPlan::fault`] and
+/// install with [`FaultPlan::activate`].
+///
+/// ```
+/// use slimfast_data::faults::{FaultKind, FaultPlan};
+///
+/// // Fail the second snapshot read, then panic on the first refit.
+/// let plan = FaultPlan::new(42)
+///     .fault("snapshot.read", 2, FaultKind::Error)
+///     .fault("refit.train", 1, FaultKind::Panic);
+/// let _scope = plan.activate(); // cleared (and counters reset) when dropped
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    triggers: Vec<Trigger>,
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed` (see [`FaultPlan::derive_nth`]).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Schedules `kind` to fire on the `nth` (1-based; clamped to at least 1) hit of
+    /// `site`. Multiple triggers may target the same site at different counts — e.g.
+    /// failing the first `k` refit attempts to drive an engine into quarantine.
+    pub fn fault(mut self, site: &str, nth: u64, kind: FaultKind) -> Self {
+        self.triggers.push(Trigger {
+            site: site.to_string(),
+            nth: nth.max(1),
+            kind,
+        });
+        self
+    }
+
+    /// Derives a stable hit count in `1..=span` from `(seed, site)` via FNV-1a —
+    /// a reproducible way for property tests to sweep fault positions without
+    /// consulting a clock or an RNG at fire time.
+    pub fn derive_nth(&self, site: &str, span: u64) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for byte in site.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        1 + hash % span.max(1)
+    }
+
+    /// Installs the plan process-wide and returns the RAII guard keeping it active.
+    /// Hit counters start at zero; the guard's drop clears the plan and the counters.
+    /// Guards are exclusive process-wide: a second `activate` blocks until the first
+    /// scope drops, so concurrent fault-injection tests serialize.
+    ///
+    /// Without the `fault-injection` feature this installs nothing and the returned
+    /// guard is inert.
+    #[must_use = "the plan deactivates when the returned scope is dropped"]
+    pub fn activate(self) -> FaultScope {
+        #[cfg(feature = "fault-injection")]
+        {
+            let exclusive = lock_ignore_poison(active::exclusive());
+            active::install(self);
+            FaultScope {
+                _exclusive: exclusive,
+            }
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        FaultScope {}
+    }
+}
+
+/// RAII guard returned by [`FaultPlan::activate`]: the plan stays active until this
+/// scope is dropped, and no other plan can activate concurrently.
+pub struct FaultScope {
+    #[cfg(feature = "fault-injection")]
+    _exclusive: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        #[cfg(feature = "fault-injection")]
+        active::clear();
+    }
+}
+
+impl std::fmt::Debug for FaultScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultScope").finish_non_exhaustive()
+    }
+}
+
+/// Locks `mutex`, ignoring poisoning: fault-injection deliberately panics inside
+/// instrumented code, and a poisoned bookkeeping mutex must not cascade.
+#[cfg(feature = "fault-injection")]
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(feature = "fault-injection")]
+mod active {
+    //! The process-global active plan and its hit counters (feature-gated: none of
+    //! this exists in a default build).
+
+    use super::*;
+    use std::sync::OnceLock;
+
+    struct ActivePlan {
+        plan: FaultPlan,
+        hits: HashMap<String, u64>,
+    }
+
+    fn slot() -> &'static Mutex<Option<ActivePlan>> {
+        static SLOT: OnceLock<Mutex<Option<ActivePlan>>> = OnceLock::new();
+        SLOT.get_or_init(|| Mutex::new(None))
+    }
+
+    /// The exclusivity lock held by every [`FaultScope`].
+    pub(super) fn exclusive() -> &'static Mutex<()> {
+        static EXCLUSIVE: OnceLock<Mutex<()>> = OnceLock::new();
+        EXCLUSIVE.get_or_init(|| Mutex::new(()))
+    }
+
+    pub(super) fn install(plan: FaultPlan) {
+        *lock_ignore_poison(slot()) = Some(ActivePlan {
+            plan,
+            hits: HashMap::new(),
+        });
+    }
+
+    pub(super) fn clear() {
+        *lock_ignore_poison(slot()) = None;
+    }
+
+    pub(super) fn fire(site: &str) -> Option<FaultKind> {
+        let mut guard = lock_ignore_poison(slot());
+        let active = guard.as_mut()?;
+        let count = active.hits.entry(site.to_string()).or_insert(0);
+        *count += 1;
+        let hit = *count;
+        active
+            .plan
+            .triggers
+            .iter()
+            .find(|t| t.site == site && t.nth == hit)
+            .map(|t| t.kind)
+    }
+
+    pub(super) fn hit_count(site: &str) -> u64 {
+        lock_ignore_poison(slot())
+            .as_ref()
+            .and_then(|active| active.hits.get(site).copied())
+            .unwrap_or(0)
+    }
+}
+
+/// Records a hit of `site` against the active plan and returns the fault to inject,
+/// if one is scheduled for this hit. Always `None` when no plan is active; compiles
+/// to an inlined `None` when the `fault-injection` feature is off.
+#[inline]
+pub fn fire(site: &str) -> Option<FaultKind> {
+    #[cfg(feature = "fault-injection")]
+    {
+        active::fire(site)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = site;
+        None
+    }
+}
+
+/// Times `site` has been hit under the currently active plan (0 with no plan or
+/// without the feature). Lets tests assert a site was actually exercised.
+#[inline]
+pub fn hit_count(site: &str) -> u64 {
+    #[cfg(feature = "fault-injection")]
+    {
+        active::hit_count(site)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = site;
+        0
+    }
+}
+
+/// The error an [`FaultKind::Error`] injection surfaces at data-layer sites.
+pub fn injected_error(site: &str) -> DataError {
+    DataError::Io(format!("injected fault at {site}"))
+}
+
+/// [`fire`] adapted to sites whose error channel is [`DataError`]: a scheduled
+/// [`FaultKind::Error`] returns [`injected_error`], a scheduled [`FaultKind::Panic`]
+/// panics with a message naming the site.
+#[inline]
+pub fn fire_data(site: &str) -> Result<(), DataError> {
+    match fire(site) {
+        None => Ok(()),
+        Some(FaultKind::Error) => Err(injected_error(site)),
+        Some(FaultKind::Panic) => panic!("injected panic at {site}"),
+    }
+}
+
+/// [`fire`] adapted to sites whose error channel is [`std::io::Result`].
+#[inline]
+pub fn fire_std_io(site: &str) -> std::io::Result<()> {
+    match fire(site) {
+        None => Ok(()),
+        Some(FaultKind::Error) => Err(std::io::Error::other(format!("injected fault at {site}"))),
+        Some(FaultKind::Panic) => panic!("injected panic at {site}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_nth_is_stable_and_in_range() {
+        let plan = FaultPlan::new(7);
+        for span in [1u64, 2, 10, 1000] {
+            for site in ["a", "csv.read", "atomic_write.pre_rename"] {
+                let n = plan.derive_nth(site, span);
+                assert_eq!(n, plan.derive_nth(site, span), "stable for {site}");
+                assert!((1..=span).contains(&n), "{n} outside 1..={span}");
+            }
+        }
+        // Different seeds move the derived position (for a span big enough to see it).
+        assert_ne!(
+            FaultPlan::new(1).derive_nth("csv.read", 1_000_000),
+            FaultPlan::new(2).derive_nth("csv.read", 1_000_000)
+        );
+    }
+
+    #[test]
+    fn inactive_sites_never_fire() {
+        // No plan active (and in default builds the feature is off entirely).
+        assert_eq!(fire("nope"), None);
+        assert!(fire_data("nope").is_ok());
+        assert!(fire_std_io("nope").is_ok());
+        assert_eq!(hit_count("nope"), 0);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn triggers_fire_on_their_hit_count_and_scopes_reset() {
+        {
+            let _scope = FaultPlan::new(0)
+                .fault("t.site", 2, FaultKind::Error)
+                .activate();
+            assert_eq!(fire("t.site"), None, "first hit passes");
+            assert_eq!(fire("t.site"), Some(FaultKind::Error), "second hit fires");
+            assert_eq!(fire("t.site"), None, "third hit passes again");
+            assert_eq!(hit_count("t.site"), 3);
+            assert!(matches!(fire_data("t.other"), Ok(())));
+        }
+        // The scope dropped: counters are gone and nothing fires.
+        assert_eq!(hit_count("t.site"), 0);
+        assert_eq!(fire("t.site"), None);
+    }
+}

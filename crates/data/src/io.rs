@@ -10,6 +10,7 @@ use std::path::{Path, PathBuf};
 
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::error::DataError;
+use crate::faults;
 use crate::features::{FeatureMatrix, FeatureMatrixBuilder};
 use crate::truth::GroundTruth;
 
@@ -17,6 +18,10 @@ use crate::truth::GroundTruth;
 /// directory, is fsync'd, and is then renamed over the target, so a crash at any point
 /// leaves either the old file or the new one — never a torn mix. Used by the snapshot
 /// and model file writers; the temp file is cleaned up on failure.
+///
+/// Carries the `atomic_write.pre_fsync` and `atomic_write.pre_rename` fault-injection
+/// sites (see [`crate::faults`]): killing the write at either point must leave the
+/// destination holding its previous bytes in full — the rename is the commit point.
 pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), DataError> {
     let path = path.as_ref();
     let dir: PathBuf = match path.parent() {
@@ -37,7 +42,9 @@ pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), DataErro
     let result = (|| -> std::io::Result<()> {
         let mut file = std::fs::File::create(&tmp)?;
         file.write_all(bytes)?;
+        faults::fire_std_io("atomic_write.pre_fsync")?;
         file.sync_all()?;
+        faults::fire_std_io("atomic_write.pre_rename")?;
         std::fs::rename(&tmp, path)?;
         // Persist the rename itself. Directory fsync is best-effort: some platforms
         // refuse to open directories, and the rename is already atomic without it.
@@ -74,6 +81,10 @@ fn for_each_csv_line<R: Read>(
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
+        // `csv.read` fault site: the Nth content line fails as an I/O error — the
+        // transport failing mid-stream, as opposed to a malformed line, which the
+        // lenient reader can quarantine.
+        faults::fire_data("csv.read")?;
         handle(number, trimmed)?;
     }
 }
@@ -105,6 +116,77 @@ pub fn read_observations_csv<R: Read>(reader: R) -> Result<Dataset, DataError> {
         Ok(())
     })?;
     Ok(builder.build())
+}
+
+/// One quarantined input line from [`read_observations_csv_lenient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectedRow {
+    /// 1-based line number in the input stream.
+    pub line: usize,
+    /// Why the line was rejected (malformed fields, conflicting claim, ...).
+    pub reason: String,
+}
+
+/// Quarantine report of a lenient CSV load: how many claims were accepted, how many
+/// lines were rejected, and per-line detail for the first
+/// [`IngestReport::rejected`]`.capacity`-many rejections (capped by the caller of
+/// [`read_observations_csv_lenient`] so one garbage file cannot balloon memory).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Claims accepted into the dataset.
+    pub accepted: usize,
+    /// Total lines rejected (including those beyond the detail cap).
+    pub total_rejected: usize,
+    /// Line-level detail for the first `max_rejected` rejections, in input order.
+    pub rejected: Vec<RejectedRow>,
+}
+
+impl IngestReport {
+    /// Whether any line was quarantined.
+    pub fn has_rejections(&self) -> bool {
+        self.total_rejected > 0
+    }
+
+    /// Whether rejections beyond [`IngestReport::rejected`] were dropped from the
+    /// detail list (the total still counts them).
+    pub fn is_truncated(&self) -> bool {
+        self.total_rejected > self.rejected.len()
+    }
+}
+
+/// Permissive variant of [`read_observations_csv`]: malformed lines and conflicting
+/// claims are quarantined into an [`IngestReport`] (line number + reason, detail
+/// capped at `max_rejected` rows) instead of aborting the whole load. Transport-level
+/// I/O errors still abort — a short read is a failed load, not a bad row.
+///
+/// Strict mode ([`read_observations_csv`]) remains the default ingest path; use this
+/// for feeds known to be messy where serving availability beats completeness.
+pub fn read_observations_csv_lenient<R: Read>(
+    reader: R,
+    max_rejected: usize,
+) -> Result<(Dataset, IngestReport), DataError> {
+    let mut builder = DatasetBuilder::new();
+    let mut report = IngestReport::default();
+    for_each_csv_line(reader, |line, trimmed| {
+        let reject = |report: &mut IngestReport, reason: String| {
+            report.total_rejected += 1;
+            if report.rejected.len() < max_rejected {
+                report.rejected.push(RejectedRow { line, reason });
+            }
+        };
+        match parse_claim_fields(trimmed) {
+            None => reject(
+                &mut report,
+                "expected exactly three comma-separated fields: source,object,value".to_string(),
+            ),
+            Some((source, object, value)) => match builder.observe(source, object, value) {
+                Ok(_) => report.accepted += 1,
+                Err(err) => reject(&mut report, err.to_string()),
+            },
+        }
+        Ok(())
+    })?;
+    Ok((builder.build(), report))
 }
 
 /// Writes observations as `source,object,value` lines. Entities without names are written
@@ -263,6 +345,54 @@ mod tests {
             DataError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn lenient_reader_quarantines_bad_lines_with_reasons() {
+        // Line 2 is malformed, line 4 conflicts with line 1, line 5 is fine.
+        let input = "a,o1,v1\n\
+                     only-two,fields\n\
+                     b,o1,v2\n\
+                     a,o1,v9\n\
+                     c,o2,v1\n";
+        let (dataset, report) = read_observations_csv_lenient(input.as_bytes(), 16).unwrap();
+        assert_eq!(dataset.num_observations(), 3);
+        assert_eq!(report.accepted, 3);
+        assert_eq!(report.total_rejected, 2);
+        assert!(report.has_rejections());
+        assert!(!report.is_truncated());
+        assert_eq!(report.rejected[0].line, 2);
+        assert!(report.rejected[0]
+            .reason
+            .contains("three comma-separated fields"));
+        assert_eq!(report.rejected[1].line, 4);
+        assert!(
+            report.rejected[1].reason.contains("at most one value"),
+            "reason: {}",
+            report.rejected[1].reason
+        );
+        // The strict reader rejects the same input outright, at the first bad line.
+        match read_observations_csv(input.as_bytes()).unwrap_err() {
+            DataError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_reader_caps_the_rejection_detail_but_counts_everything() {
+        let mut input = String::from("a,o1,v1\n");
+        for _ in 0..10 {
+            input.push_str("broken\n");
+        }
+        let (dataset, report) = read_observations_csv_lenient(input.as_bytes(), 3).unwrap();
+        assert_eq!(dataset.num_observations(), 1);
+        assert_eq!(report.total_rejected, 10);
+        assert_eq!(report.rejected.len(), 3);
+        assert!(report.is_truncated());
+        // A clean file reports cleanly.
+        let (_, clean) = read_observations_csv_lenient("a,o,v\n".as_bytes(), 3).unwrap();
+        assert!(!clean.has_rejections());
+        assert_eq!(clean.accepted, 1);
     }
 
     #[test]

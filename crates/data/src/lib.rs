@@ -32,6 +32,14 @@
 //! with one contiguous read per column straight into the CSR layouts. The low-level
 //! wire vocabulary (varints, delta-encoded offsets, RLE blocks, FNV-1a checksums)
 //! lives in [`mod@format`] and is shared with the model blobs of `slimfast-core`.
+//!
+//! ## Fault tolerance
+//!
+//! [`SnapshotDir`] rotates snapshots as numbered generations and recovers by scanning
+//! newest→oldest past torn or corrupt files; [`read_observations_csv_lenient`]
+//! quarantines malformed claim lines instead of aborting a load; and the [`faults`]
+//! module provides the deterministic fault-injection layer (active only under the
+//! `fault-injection` feature) that keeps those failure paths tested.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -39,6 +47,7 @@
 pub mod dataset;
 pub mod error;
 pub mod estimator;
+pub mod faults;
 pub mod features;
 pub mod format;
 pub mod fusion;
@@ -54,18 +63,20 @@ pub mod truth;
 pub use dataset::{full_index_passes, Dataset, DatasetBuilder, StorageStats};
 pub use error::DataError;
 pub use estimator::{FittedFusion, FusionEstimator};
+pub use faults::{FaultKind, FaultPlan, FaultScope};
 pub use features::{FeatureMatrix, FeatureMatrixBuilder, FeatureValue};
 pub use fusion::{FusionInput, FusionMethod, FusionOutput};
 pub use ids::{FeatureId, Interner, ObjectId, SourceId, ValueId};
 pub use ingest::{build_claims_sharded, read_observations_csv_sharded};
 pub use io::{
     atomic_write, read_features_csv, read_ground_truth_csv, read_observations_csv,
-    write_ground_truth_csv, write_observations_csv,
+    read_observations_csv_lenient, write_ground_truth_csv, write_observations_csv, IngestReport,
+    RejectedRow,
 };
 pub use observation::{NamedObservation, Observation};
 pub use snapshot::{
     dataset_from_bytes, dataset_to_bytes, features_from_bytes, features_to_bytes,
-    read_dataset_file, write_dataset_file,
+    read_dataset_file, write_dataset_file, Recovered, SnapshotDir,
 };
 pub use split::{Split, SplitPlan};
 pub use stats::DatasetStats;

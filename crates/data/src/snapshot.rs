@@ -55,10 +55,11 @@
 //! (write temp + fsync + rename), so a crash mid-write never leaves a torn snapshot
 //! at the target path.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::dataset::{Dataset, DatasetParts};
 use crate::error::DataError;
+use crate::faults;
 use crate::features::{FeatureMatrix, FeatureValue};
 use crate::format::{self, corrupt, Cursor};
 use crate::ids::{FeatureId, Interner, ObjectId, SourceId, ValueId};
@@ -333,6 +334,175 @@ pub fn write_dataset_file(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(
     atomic_write(path, &dataset_to_bytes(dataset)?)
 }
 
+/// The value recovered by [`SnapshotDir::recover`], with the generation it came from
+/// and every newer generation that had to be skipped to reach it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovered<T> {
+    /// Generation number the value was parsed from.
+    pub generation: u64,
+    /// The parsed value.
+    pub value: T,
+    /// Newer generations skipped on the way down, newest first, with the error that
+    /// disqualified each (truncated file, checksum mismatch, unreadable, ...).
+    pub skipped: Vec<(u64, String)>,
+}
+
+/// A directory of rotated snapshot generations: `gen-NNNN.slfs` files plus an
+/// advisory `MANIFEST`.
+///
+/// Each [`SnapshotDir::write_generation`] lands a new numbered file through
+/// [`atomic_write`] and prunes generations beyond the retention count, so the
+/// directory always holds the most recent `retain` complete snapshots.
+/// [`SnapshotDir::recover`] scans **newest→oldest** and returns the first generation
+/// that reads *and parses* cleanly — a torn write, a truncated file, or bit rot in
+/// the newest generation falls back to the one before it instead of stranding cold
+/// start. The `MANIFEST` is advisory only (human-auditable pointer to the latest
+/// generation); recovery never trusts it — the directory listing and each file's own
+/// checksums are the source of truth.
+///
+/// The directory is single-writer (like the serving tier it checkpoints): concurrent
+/// `write_generation` calls from multiple processes are not coordinated.
+///
+/// ```no_run
+/// use slimfast_data::SnapshotDir;
+///
+/// let dir = SnapshotDir::open("/var/lib/slimfast/snapshots")?.with_retention(4);
+/// let generation = dir.write_generation(b"...serialized snapshot bundle...")?;
+/// let recovered = dir.recover(|bytes| Ok(bytes.to_vec()))?;
+/// assert_eq!(recovered.generation, generation);
+/// # Ok::<(), slimfast_data::DataError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnapshotDir {
+    dir: PathBuf,
+    retain: usize,
+}
+
+impl SnapshotDir {
+    /// Default number of generations kept on disk.
+    pub const DEFAULT_RETENTION: usize = 3;
+
+    /// Opens (creating if needed) a generation directory at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, DataError> {
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            retain: Self::DEFAULT_RETENTION,
+        })
+    }
+
+    /// Sets how many generations [`SnapshotDir::write_generation`] keeps (clamped to
+    /// at least 1). Older generations are deleted after each successful write.
+    pub fn with_retention(mut self, keep: usize) -> Self {
+        self.retain = keep.max(1);
+        self
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of generation `generation` (whether or not it exists on disk).
+    pub fn generation_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation:04}.slfs"))
+    }
+
+    /// Parses a directory entry's file name back into a generation number.
+    fn parse_generation(name: &str) -> Option<u64> {
+        name.strip_prefix("gen-")?
+            .strip_suffix(".slfs")?
+            .parse()
+            .ok()
+    }
+
+    /// Generation numbers present on disk, ascending. Files that do not match the
+    /// `gen-NNNN.slfs` pattern (the manifest, temp files) are ignored.
+    pub fn generations(&self) -> Result<Vec<u64>, DataError> {
+        let mut generations = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(generation) = Self::parse_generation(&entry.file_name().to_string_lossy()) {
+                generations.push(generation);
+            }
+        }
+        generations.sort_unstable();
+        Ok(generations)
+    }
+
+    /// The newest generation on disk, if any.
+    pub fn latest(&self) -> Result<Option<u64>, DataError> {
+        Ok(self.generations()?.last().copied())
+    }
+
+    /// Writes `bytes` as the next generation (atomically: temp + fsync + rename),
+    /// refreshes the advisory `MANIFEST`, prunes generations beyond the retention
+    /// count, and returns the new generation number.
+    ///
+    /// A failure before the rename (crash, full disk, injected fault) leaves the
+    /// previous generations untouched — the next write simply claims the same number.
+    pub fn write_generation(&self, bytes: &[u8]) -> Result<u64, DataError> {
+        let next = self.latest()?.map_or(1, |g| g + 1);
+        atomic_write(self.generation_path(next), bytes)?;
+        // Manifest failures are not fatal: the generation itself is already durable
+        // and recovery never reads the manifest.
+        let manifest = format!("latest-generation: {next}\nretain: {}\n", self.retain);
+        let _ = atomic_write(self.dir.join("MANIFEST"), manifest.as_bytes());
+        self.prune()?;
+        Ok(next)
+    }
+
+    /// Deletes the oldest generations beyond the retention count (best effort: a
+    /// file that refuses to delete is left for the next prune).
+    fn prune(&self) -> Result<(), DataError> {
+        let generations = self.generations()?;
+        if generations.len() > self.retain {
+            for &generation in &generations[..generations.len() - self.retain] {
+                let _ = std::fs::remove_file(self.generation_path(generation));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the raw bytes of one generation. Carries the `snapshot.read`
+    /// fault-injection site (see [`crate::faults`]).
+    pub fn read_generation(&self, generation: u64) -> Result<Vec<u8>, DataError> {
+        faults::fire_data("snapshot.read")?;
+        Ok(std::fs::read(self.generation_path(generation))?)
+    }
+
+    /// Recovers the newest generation that reads **and** parses cleanly, scanning
+    /// newest→oldest. `parse` validates the bytes (e.g. `ModelSnapshot::from_bytes` or
+    /// [`dataset_from_bytes`]); generations it rejects — truncated, checksum-corrupt,
+    /// wrong format — are recorded in [`Recovered::skipped`] and the scan continues,
+    /// so a torn newest write never strands cold start. Fails with
+    /// [`DataError::Invalid`] only when no generation on disk is valid.
+    pub fn recover<T>(
+        &self,
+        mut parse: impl FnMut(&[u8]) -> Result<T, DataError>,
+    ) -> Result<Recovered<T>, DataError> {
+        let mut skipped = Vec::new();
+        for generation in self.generations()?.into_iter().rev() {
+            match self.read_generation(generation).and_then(|b| parse(&b)) {
+                Ok(value) => {
+                    return Ok(Recovered {
+                        generation,
+                        value,
+                        skipped,
+                    })
+                }
+                Err(err) => skipped.push((generation, err.to_string())),
+            }
+        }
+        Err(DataError::Invalid(format!(
+            "no valid snapshot generation in '{}' ({} present, all rejected)",
+            self.dir.display(),
+            skipped.len()
+        )))
+    }
+}
+
 /// Reads a dataset snapshot written by [`write_dataset_file`].
 pub fn read_dataset_file(path: impl AsRef<Path>) -> Result<Dataset, DataError> {
     dataset_from_bytes(&std::fs::read(path)?)
@@ -504,6 +674,65 @@ mod tests {
         write_dataset_file(&back, &path).unwrap();
         assert!(read_dataset_file(&path).unwrap().same_content(&d));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("slimfast-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn snapshot_dir_rotates_generations_and_prunes() {
+        let path = scratch_dir("gen-rotate");
+        let dir = SnapshotDir::open(&path).unwrap().with_retention(2);
+        assert_eq!(dir.latest().unwrap(), None);
+        for i in 1..=4u64 {
+            let written = dir
+                .write_generation(format!("payload-{i}").as_bytes())
+                .unwrap();
+            assert_eq!(written, i);
+        }
+        // Retention keeps the newest two; the manifest is advisory and ignored by
+        // the generation listing.
+        assert_eq!(dir.generations().unwrap(), vec![3, 4]);
+        let manifest = std::fs::read_to_string(path.join("MANIFEST")).unwrap();
+        assert!(manifest.contains("latest-generation: 4"));
+        assert_eq!(dir.read_generation(4).unwrap(), b"payload-4");
+        let recovered = dir.recover(|b| Ok(b.to_vec())).unwrap();
+        assert_eq!(recovered.generation, 4);
+        assert_eq!(recovered.value, b"payload-4");
+        assert!(recovered.skipped.is_empty());
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn recovery_scans_past_truncated_and_corrupt_generations() {
+        let path = scratch_dir("gen-recover");
+        let dir = SnapshotDir::open(&path).unwrap().with_retention(4);
+        let good = dataset_to_bytes(&toy()).unwrap();
+        dir.write_generation(&good).unwrap(); // gen 1: valid
+        dir.write_generation(&good[..good.len() / 2]).unwrap(); // gen 2: truncated
+        let mut corrupt = good.clone();
+        corrupt[good.len() / 2] ^= 0x40;
+        dir.write_generation(&corrupt).unwrap(); // gen 3: bit rot
+        let recovered = dir.recover(dataset_from_bytes).unwrap();
+        assert_eq!(recovered.generation, 1);
+        assert!(recovered.value.same_content(&toy()));
+        assert_eq!(
+            recovered
+                .skipped
+                .iter()
+                .map(|(g, _)| *g)
+                .collect::<Vec<_>>(),
+            vec![3, 2],
+            "newer generations are tried (and rejected) first"
+        );
+        // With every generation bad, recovery is a typed error, not a panic.
+        std::fs::write(dir.generation_path(1), &good[..8]).unwrap();
+        let err = dir.recover(dataset_from_bytes).unwrap_err();
+        assert!(matches!(err, DataError::Invalid(_)), "{err:?}");
+        std::fs::remove_dir_all(&path).unwrap();
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! `SLIMFAST_THREADS` settings.
 
 use slimfast_core::{
-    FusionEngine, RefitPolicy, ServingEngine, SlimFast, SlimFastConfig, WindowConfig,
+    FusionEngine, HealthState, RefitPolicy, ServingEngine, SlimFast, SlimFastConfig, WindowConfig,
 };
 use slimfast_data::{build_claims_sharded, FeatureMatrix, GroundTruth, ObjectId};
 
@@ -97,19 +97,28 @@ pub struct ServingStreamReport {
     /// Sum of the lead posterior component over every object of the final snapshot —
     /// a bitwise fingerprint of the *served* posteriors (not just the weights).
     pub posterior_fingerprint: f64,
+    /// Refit-supervision state at the end of the run. A healthy scenario run never
+    /// fails a refit, so anything but [`HealthState::Healthy`] (or a nonzero failure
+    /// count below) means the serving tier degraded mid-run and the throughput
+    /// numbers describe fallback serving, not steady state.
+    pub final_health: HealthState,
+    /// Background-refit failures caught by supervision over the run.
+    pub refit_failures: u64,
 }
 
 impl ServingStreamReport {
     /// The deterministic projection of the report: everything except the
     /// timing-dependent counters. Two runs of the same config — at any
     /// `SLIMFAST_THREADS` — must agree on this bit for bit.
-    pub fn deterministic_fingerprint(&self) -> (usize, usize, usize, Vec<u64>, u64) {
+    #[allow(clippy::type_complexity)]
+    pub fn deterministic_fingerprint(&self) -> (usize, usize, usize, Vec<u64>, u64, u64) {
         (
             self.refits,
             self.evictions,
             self.final_live,
             self.final_weights.iter().map(|w| w.to_bits()).collect(),
             self.posterior_fingerprint.to_bits(),
+            self.refit_failures,
         )
     }
 }
@@ -223,6 +232,8 @@ pub fn run_serving_stream(config: &ServingScenarioConfig) -> ServingStreamReport
         final_live: serving.engine().dataset().num_observations(),
         final_weights: serving.engine().model().weights().to_vec(),
         posterior_fingerprint,
+        final_health: stats.health,
+        refit_failures: stats.refit_failures,
         phases,
     }
 }
@@ -258,6 +269,9 @@ mod tests {
         assert!(report.snapshot_swaps >= 2);
         assert!(!report.final_weights.is_empty());
         assert!(report.posterior_fingerprint.is_finite());
+        // Nothing was injected, so supervision must have stayed quiet.
+        assert_eq!(report.final_health, HealthState::Healthy);
+        assert_eq!(report.refit_failures, 0);
         // Volume conservation, like the windowed-stream scenario.
         let delivered: usize = report.phases.iter().map(|p| p.claims).sum();
         assert_eq!(report.final_live + report.evictions, delivered);

@@ -45,7 +45,7 @@ pub use logistic::{
 };
 pub use matrix::{rank_one_completion, rank_one_factorize, AgreementMatrix};
 pub use penalty::Penalty;
-pub use pool::{JobHandle, WorkerPool};
+pub use pool::{JobHandle, JobPanic, WorkerPool};
 pub use schedule::LearningRate;
 pub use sgd::{auto_batch_size, minimize, FitResult, SgdConfig, StochasticObjective};
 pub use sparse::SparseVec;

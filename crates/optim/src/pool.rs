@@ -52,14 +52,26 @@
 //! A panic inside a task is caught on the executing lane, the job is still driven to
 //! completion (remaining tasks run normally), and the first payload is re-raised on the
 //! submitting caller's thread — for background jobs, on whoever calls
-//! [`JobHandle::join`]. Workers never unwind out of their loop, so one poisoned
-//! objective cannot strand a barrier or kill a lane for subsequent jobs.
+//! [`JobHandle::join`], while [`JobHandle::try_join`] returns the payload as a
+//! [`JobPanic`] value for callers that supervise rather than propagate. Workers never
+//! unwind out of their loop, so one poisoned objective cannot strand a barrier or kill
+//! a lane for subsequent jobs; the pool's own bookkeeping locks ignore mutex
+//! poisoning for the same reason.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::exec::as_worker;
+
+/// Locks `mutex`, ignoring poisoning. The pool's bookkeeping mutexes are never held
+/// across user code, so they cannot be left inconsistent by an unwind — but a panic
+/// elsewhere on a lane must not turn every later lock of the same job into a second
+/// panic. Fault-supervision callers rely on this: observing a crashed job is how
+/// they *recover*, so the observation itself must be infallible.
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The work a [`Job`] executes per claimed task.
 enum Work {
@@ -144,19 +156,14 @@ impl Job {
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(task)))
                 }
                 Work::Owned(slot) => {
-                    let f = slot
-                        .lock()
-                        .expect("background job slot")
+                    let f = lock_ignore_poison(slot)
                         .take()
                         .expect("background tasks are claimed exactly once");
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
                 }
             };
             if let Err(payload) = result {
-                self.panic
-                    .lock()
-                    .expect("job panic slot")
-                    .get_or_insert(payload);
+                lock_ignore_poison(&self.panic).get_or_insert(payload);
             }
             // `AcqRel` chains every finisher's writes into the release sequence, so the
             // final finisher — and, through the `done` mutex, the waiting caller —
@@ -184,10 +191,59 @@ impl Job {
     }
 }
 
+/// The captured panic of a background job, returned by [`JobHandle::try_join`]
+/// instead of being re-raised — the supervision half of fault-tolerant serving: a
+/// crashed refit becomes a value the caller can log, count, and retry.
+pub struct JobPanic {
+    payload: Box<dyn std::any::Any + Send>,
+}
+
+impl JobPanic {
+    /// The panic message, when the payload is the usual `&str` / `String` from
+    /// `panic!`; a placeholder for exotic payloads.
+    pub fn message(&self) -> &str {
+        if let Some(s) = self.payload.downcast_ref::<&'static str>() {
+            s
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s
+        } else {
+            "non-string panic payload"
+        }
+    }
+
+    /// The raw panic payload, for callers that want to inspect or re-raise manually.
+    pub fn into_payload(self) -> Box<dyn std::any::Any + Send> {
+        self.payload
+    }
+
+    /// Re-raises the panic on the current thread (what [`JobHandle::join`] does).
+    pub fn resume(self) -> ! {
+        std::panic::resume_unwind(self.payload)
+    }
+}
+
+impl std::fmt::Debug for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobPanic")
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "background job panicked: {}", self.message())
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
 /// A handle to a background job submitted with [`WorkerPool::spawn`].
 ///
 /// Dropping the handle detaches the job (it still runs to completion on the pool);
-/// [`JobHandle::join`] blocks until it finishes and re-raises any panic it produced.
+/// [`JobHandle::join`] blocks until it finishes and re-raises any panic it produced,
+/// while [`JobHandle::try_join`] hands the panic back as a [`JobPanic`] value so
+/// supervising callers can treat a crashed job as a recoverable failure.
 pub struct JobHandle {
     job: Arc<Job>,
 }
@@ -198,12 +254,22 @@ impl JobHandle {
         self.job.is_done()
     }
 
+    /// Blocks until the job completes. Returns `Err` with the captured panic if the
+    /// job panicked, instead of re-raising it — the caller decides whether the crash
+    /// is fatal. Poison-tolerant: a panic on the executing lane never turns this
+    /// observation into a second panic.
+    pub fn try_join(self) -> Result<(), JobPanic> {
+        self.job.wait_done();
+        match lock_ignore_poison(&self.job.panic).take() {
+            Some(payload) => Err(JobPanic { payload }),
+            None => Ok(()),
+        }
+    }
+
     /// Blocks until the job completes. Re-raises the job's panic, if it panicked.
     pub fn join(self) {
-        self.job.wait_done();
-        let payload = self.job.panic.lock().expect("job panic slot").take();
-        if let Some(payload) = payload {
-            std::panic::resume_unwind(payload);
+        if let Err(panic) = self.try_join() {
+            panic.resume();
         }
     }
 }
@@ -400,7 +466,7 @@ impl WorkerPool {
                 state.queue.remove(pos);
             }
         }
-        let payload = job.panic.lock().expect("job panic slot").take();
+        let payload = lock_ignore_poison(&job.panic).take();
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
         }
@@ -589,6 +655,22 @@ mod tests {
         // The pool is intact afterwards.
         let after = pooled_map(8, 2, |task| task as f64 + 1.0);
         assert_eq!(after, (0..8).map(|t| t as f64 + 1.0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_join_returns_panics_as_values_with_messages() {
+        let handle = WorkerPool::global().spawn(|| panic!("supervised boom {}", 7));
+        let err = handle
+            .try_join()
+            .expect_err("the panic must surface as Err");
+        assert_eq!(err.message(), "supervised boom 7");
+        assert!(err.to_string().contains("supervised boom 7"));
+        // A clean job joins Ok.
+        let handle = WorkerPool::global().spawn(|| {});
+        assert!(handle.try_join().is_ok());
+        // The pool survives the supervised crash.
+        let after = pooled_map(8, 2, |task| task as f64);
+        assert_eq!(after, (0..8).map(|t| t as f64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -102,16 +102,16 @@ pub use slimfast_optim as optim;
 pub mod prelude {
     pub use slimfast_baselines::{Accu, Catd, Counts, MajorityVote, Sstf, TruthFinder};
     pub use slimfast_core::{
-        FittedSlimFast, FusionEngine, LearnerChoice, ModelSnapshot, OptimizerDecision,
-        ParameterSpace, RefitPolicy, ServingEngine, ServingReader, ServingStats, SlimFast,
-        SlimFastConfig, SlimFastModel, TrainingSnapshot, WindowConfig, MODEL_FORMAT_VERSION,
-        SNAPSHOT_FORMAT_VERSION,
+        FittedSlimFast, FusionEngine, HealthReport, HealthState, LearnerChoice, ModelSnapshot,
+        OptimizerDecision, ParameterSpace, RefitPolicy, RetryPolicy, ServingEngine, ServingReader,
+        ServingStats, SlimFast, SlimFastConfig, SlimFastModel, TrainingSnapshot, WindowConfig,
+        MODEL_FORMAT_VERSION, SNAPSHOT_FORMAT_VERSION,
     };
     pub use slimfast_data::{
         build_claims_sharded, read_observations_csv_sharded, Dataset, DatasetBuilder, DatasetStats,
         FeatureMatrix, FeatureMatrixBuilder, FittedFusion, FusionEstimator, FusionInput,
-        FusionMethod, FusionOutput, GroundTruth, NamedObservation, ObjectId, SourceAccuracies,
-        SourceId, Split, SplitPlan, TruthAssignment, ValueId,
+        FusionMethod, FusionOutput, GroundTruth, NamedObservation, ObjectId, SnapshotDir,
+        SourceAccuracies, SourceId, Split, SplitPlan, TruthAssignment, ValueId,
     };
     pub use slimfast_datagen::{DatasetKind, SyntheticConfig, SyntheticInstance};
     pub use slimfast_eval::{standard_lineup, ExperimentProtocol};
